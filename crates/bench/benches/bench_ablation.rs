@@ -1,0 +1,75 @@
+//! Criterion counterpart of the codec ablation (E8): encode/decode
+//! throughput of every codec stage on representative metric bytes.
+
+use bench::workload::table1_series;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use metric_store::codec::{self, CodecId};
+
+fn bench_codecs(c: &mut Criterion) {
+    let series = table1_series("loss", "training", 50_000, 42);
+    let (_, _, _, values) = series.columns();
+    let raw = codec::encode_f64_raw(&values);
+
+    let mut group = c.benchmark_group("ablation/codec_encode");
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    for (name, pipeline) in [
+        ("rle", vec![CodecId::Rle]),
+        ("shuffle+rle", vec![CodecId::Shuffle8, CodecId::Rle]),
+        ("lz77", vec![CodecId::Lz77]),
+        ("huffman", vec![CodecId::Huffman]),
+        ("lz77+huffman", vec![CodecId::Lz77, CodecId::Huffman]),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| codec::encode_pipeline(&raw, &pipeline))
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("xor-float"), |b| {
+        b.iter(|| codec::xor::encode(&values))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation/codec_decode");
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    for (name, pipeline) in [
+        ("rle", vec![CodecId::Rle]),
+        ("lz77+huffman", vec![CodecId::Lz77, CodecId::Huffman]),
+    ] {
+        let encoded = codec::encode_pipeline(&raw, &pipeline);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| codec::decode_pipeline(&encoded, &pipeline).unwrap())
+        });
+    }
+    let xor_encoded = codec::xor::encode(&values);
+    group.bench_function(BenchmarkId::from_parameter("xor-float"), |b| {
+        b.iter(|| codec::xor::decode(&xor_encoded).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_int_columns(c: &mut Criterion) {
+    let series = table1_series("loss", "training", 50_000, 42);
+    let (steps, _, times, _) = series.columns();
+    let mut group = c.benchmark_group("ablation/int_columns");
+    group.throughput(Throughput::Elements(steps.len() as u64));
+    group.bench_function("steps_delta_varint", |b| {
+        b.iter(|| codec::encode_u64_column(&steps))
+    });
+    group.bench_function("times_delta_zigzag", |b| {
+        b.iter(|| codec::encode_i64_column(&times))
+    });
+    let enc = codec::encode_u64_column(&steps);
+    group.bench_function("steps_decode", |b| {
+        b.iter(|| codec::decode_u64_column(&enc).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_codecs, bench_int_columns
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion counterpart of Figure 3 (E5): cost of simulating single
+//! scaling-study cells, and of the real threaded ring all-reduce that
+//! underlies the DDP substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use train_sim::ddp::ring_allreduce;
+use train_sim::model::Architecture;
+use train_sim::sim::{NullObserver, TrainingSimulation, WalltimeCutoff};
+use train_sim::DatasetSpec;
+
+fn bench_sim_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3/simulate_cell");
+    // Reduced dataset so a cell simulates in milliseconds; the cost
+    // model per step is identical to the full study.
+    for (arch, params, gpus) in [
+        (Architecture::MaeVit, 100_000_000u64, 8u32),
+        (Architecture::MaeVit, 1_400_000_000, 128),
+        (Architecture::SwinV2, 600_000_000, 32),
+    ] {
+        let label = format!("{}-{}-{}gpus", arch.name(), params / 1_000_000, gpus);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut cfg = bench::figure3::cell_config(arch, params, gpus);
+                cfg.dataset = DatasetSpec::modis().with_samples(20_000);
+                cfg.epochs = 2;
+                cfg.cutoff = WalltimeCutoff::Unlimited;
+                TrainingSimulation::new(cfg).unwrap().run(&mut NullObserver)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3/ring_allreduce");
+    for ranks in [2usize, 4, 8] {
+        for n in [1_024usize, 65_536] {
+            group.throughput(Throughput::Elements((ranks * n) as u64));
+            let label = format!("{ranks}ranks-{n}elems");
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter_batched(
+                    || {
+                        (0..ranks)
+                            .map(|r| (0..n).map(|i| (r * n + i) as f64).collect())
+                            .collect::<Vec<Vec<f64>>>()
+                    },
+                    ring_allreduce,
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sim_cells, bench_ring_allreduce
+}
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! The "minimal overhead" claim (E7): cost of the logging hot path.
+//!
+//! Measures `log_metric` under the buffered and synchronous collectors,
+//! with concurrent producers, and with a telemetry plugin attached —
+//! the numbers that decide whether provenance collection can stay on in
+//! production training loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use yprov4ml::collector::Collector;
+use yprov4ml::model::{Context, LogRecord};
+use yprov4ml::plugins::{PluginSink, ProvPlugin, SystemStatsPlugin, SystemStats};
+
+fn metric_record(step: u64) -> LogRecord {
+    LogRecord::Metric {
+        name: "loss".into(),
+        context: Context::Training,
+        step,
+        epoch: 0,
+        time_us: step as i64,
+        value: 0.5,
+    }
+}
+
+fn bench_single_producer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead/log_metric");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function(BenchmarkId::from_parameter("buffered"), |b| {
+        let collector = Collector::buffered();
+        let mut step = 0u64;
+        b.iter(|| {
+            collector.log(metric_record(step)).unwrap();
+            step += 1;
+        });
+        collector.close().unwrap();
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("synchronous"), |b| {
+        let collector = Collector::synchronous();
+        let mut step = 0u64;
+        b.iter(|| {
+            collector.log(metric_record(step)).unwrap();
+            step += 1;
+        });
+        collector.close().unwrap();
+    });
+    group.finish();
+}
+
+fn bench_concurrent_producers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead/concurrent_8_producers");
+    group.throughput(Throughput::Elements(8 * 1_000));
+    group.bench_function("buffered", |b| {
+        b.iter_batched(
+            Collector::buffered,
+            |collector| {
+                let mut handles = Vec::new();
+                for _ in 0..8 {
+                    let c = Arc::clone(&collector);
+                    handles.push(std::thread::spawn(move || {
+                        for step in 0..1_000 {
+                            c.log(metric_record(step)).unwrap();
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+                collector.close().unwrap()
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_plugin_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead/plugin_tick");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("system_stats", |b| {
+        let collector = Collector::buffered();
+        let mut plugin =
+            SystemStatsPlugin::new(|| SystemStats { memory_bytes: 1 << 30, cpu_util: 0.4 });
+        b.iter(|| {
+            let mut sink = PluginSink::new(&collector);
+            plugin.on_tick(&mut sink);
+        });
+        collector.close().unwrap();
+    });
+    group.finish();
+}
+
+fn bench_journal(c: &mut Criterion) {
+    use yprov4ml::journal::{JournalHeader, JournalWriter};
+    let mut group = c.benchmark_group("overhead/journaled_log");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("journal_append", |b| {
+        let dir = std::env::temp_dir().join(format!("ybench_journal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer = JournalWriter::create(
+            &dir,
+            &JournalHeader {
+                version: 1,
+                experiment: "bench".into(),
+                run: "r".into(),
+                user: "u".into(),
+                started_us: 0,
+            },
+        )
+        .unwrap();
+        let mut step = 0u64;
+        b.iter(|| {
+            writer.append(&metric_record(step)).unwrap();
+            step += 1;
+        });
+        drop(writer);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_single_producer, bench_concurrent_producers, bench_plugin_tick, bench_journal
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Provenance-layer benchmarks: PROV-JSON serialization/parsing, graph
+//! indexing and lineage queries — the operations the yProv service runs
+//! on every uploaded document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prov_graph::ProvGraph;
+use prov_model::{ProvDocument, QName};
+
+/// A chain-structured document with `n` derivation hops plus fan-out.
+fn chain_doc(n: usize) -> ProvDocument {
+    let mut doc = ProvDocument::new();
+    doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+    for i in 0..n {
+        doc.entity(QName::new("ex", format!("e{i}")));
+        doc.activity(QName::new("ex", format!("a{i}")));
+        if i > 0 {
+            doc.used(QName::new("ex", format!("a{i}")), QName::new("ex", format!("e{}", i - 1)));
+        }
+        doc.was_generated_by(QName::new("ex", format!("e{i}")), QName::new("ex", format!("a{i}")));
+    }
+    doc
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prov/json");
+    for n in [100usize, 1_000] {
+        let doc = chain_doc(n);
+        let json = doc.to_json_string().unwrap();
+        group.throughput(Throughput::Bytes(json.len() as u64));
+        group.bench_function(BenchmarkId::new("serialize", n), |b| {
+            b.iter(|| doc.to_json_string().unwrap())
+        });
+        group.bench_function(BenchmarkId::new("parse", n), |b| {
+            b.iter(|| ProvDocument::from_json_str(&json).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prov/graph");
+    for n in [100usize, 1_000] {
+        let doc = chain_doc(n);
+        let last = QName::new("ex", format!("e{}", n - 1));
+        group.bench_function(BenchmarkId::new("index", n), |b| {
+            b.iter(|| ProvGraph::new(&doc))
+        });
+        let graph = ProvGraph::new(&doc);
+        group.bench_function(BenchmarkId::new("ancestors", n), |b| {
+            b.iter(|| graph.ancestors(&last))
+        });
+        group.bench_function(BenchmarkId::new("topo_order", n), |b| {
+            b.iter(|| graph.topo_order().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let doc = chain_doc(1_000);
+    c.bench_function("prov/validate_1000", |b| {
+        b.iter(|| prov_model::validate(&doc))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_serialization, bench_graph_queries, bench_validation
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion counterpart of Table 1 (E1): write/read throughput and
+//! on-disk footprint of the three metric storage backends on an
+//! identical series.
+
+use bench::workload::table1_series;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use metric_store::json_store::JsonStore;
+use metric_store::netcdf::{NcOptions, NcStore};
+use metric_store::store::MetricStore;
+use metric_store::zarr::{ZarrOptions, ZarrStore};
+
+const POINTS: usize = 20_000;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ybench_t1_{tag}_{}", std::process::id()))
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let series = table1_series("loss", "training", POINTS, 42);
+    let mut group = c.benchmark_group("table1/write");
+    group.throughput(Throughput::Elements(POINTS as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("json"), |b| {
+        let dir = tmp("json_w");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = JsonStore::create(&dir).unwrap();
+        b.iter(|| store.write_series(&series).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    group.bench_function(BenchmarkId::from_parameter("zarr"), |b| {
+        let dir = tmp("zarr_w");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ZarrStore::create(&dir, ZarrOptions::default()).unwrap();
+        b.iter(|| store.write_series(&series).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    group.bench_function(BenchmarkId::from_parameter("nc"), |b| {
+        let path = tmp("nc_w.nc");
+        std::fs::remove_file(&path).ok();
+        let store = NcStore::create(&path, NcOptions::default()).unwrap();
+        b.iter(|| store.write_series(&series).unwrap());
+        std::fs::remove_file(&path).ok();
+    });
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let series = table1_series("loss", "training", POINTS, 42);
+    let mut group = c.benchmark_group("table1/read");
+    group.throughput(Throughput::Elements(POINTS as u64));
+
+    let json_dir = tmp("json_r");
+    std::fs::remove_dir_all(&json_dir).ok();
+    let json = JsonStore::create(&json_dir).unwrap();
+    json.write_series(&series).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("json"), |b| {
+        b.iter(|| json.read_series("loss", "training").unwrap())
+    });
+
+    let zarr_dir = tmp("zarr_r");
+    std::fs::remove_dir_all(&zarr_dir).ok();
+    let zarr = ZarrStore::create(&zarr_dir, ZarrOptions::default()).unwrap();
+    zarr.write_series(&series).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("zarr"), |b| {
+        b.iter(|| zarr.read_series("loss", "training").unwrap())
+    });
+
+    let nc_path = tmp("nc_r.nc");
+    std::fs::remove_file(&nc_path).ok();
+    let nc = NcStore::create(&nc_path, NcOptions::default()).unwrap();
+    nc.write_series(&series).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("nc"), |b| {
+        b.iter(|| nc.read_series("loss", "training").unwrap())
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(&json_dir).ok();
+    std::fs::remove_dir_all(&zarr_dir).ok();
+    std::fs::remove_file(&nc_path).ok();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_writes, bench_reads
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! The paper's third scaling axis (§3.3, §5): dataset size.
+//!
+//! The §5 study notes that "although a smaller model and smaller
+//! compute are beneficial when the dataset is contained, when scaling
+//! up the samples it becomes unreasonable to stick with less compute
+//! devices". This harness sweeps dataset size × GPU count at a fixed
+//! model and reports where the compute crossover happens, plus the
+//! loss-vs-data curves the §3.3 forecasting use case builds on.
+//!
+//! ```text
+//! cargo run -p bench --bin datascale --release
+//! ```
+
+use train_sim::model::{Architecture, ModelConfig};
+use train_sim::sim::{NullObserver, Phase, SimConfig, TrainingSimulation, WalltimeCutoff};
+use train_sim::{DatasetSpec, MachineConfig};
+
+fn run(samples: u64, gpus: u32) -> train_sim::RunResult {
+    let cfg = SimConfig {
+        model: ModelConfig::sized(Architecture::SwinV2, 600_000_000),
+        machine: MachineConfig::frontier_like(),
+        dataset: DatasetSpec::modis().with_samples(samples),
+        gpus,
+        per_gpu_batch: 32,
+        epochs: 10,
+        comm: Default::default(),
+        cutoff: WalltimeCutoff::paper_two_hours(),
+        exercise_collective: false,
+        phase: Phase::PreTraining,
+        grad_accumulation: 1,
+        resume_from: None,
+    };
+    TrainingSimulation::new(cfg)
+        .expect("valid config")
+        .run(&mut NullObserver)
+}
+
+fn main() {
+    let sample_grid = [50_000u64, 200_000, 800_000, 3_200_000];
+    let gpu_grid = [8u32, 32, 128];
+
+    println!("Data scaling at fixed model (SwinT-V2 600M), 10 epochs, 2 h walltime\n");
+    println!("loss × energy (kWh); '—' = over walltime");
+    println!("{:>10} | {:>12} {:>12} {:>12}", "samples", "8 GPUs", "32 GPUs", "128 GPUs");
+    println!("{}", "-".repeat(54));
+
+    let mut best_gpus_per_row = Vec::new();
+    for &samples in &sample_grid {
+        let mut cells = Vec::new();
+        let mut best: Option<(u32, f64)> = None;
+        for &gpus in &gpu_grid {
+            let r = run(samples, gpus);
+            if r.completed {
+                cells.push(format!("{:>12.3}", r.loss_energy_product));
+                if best.is_none_or(|(_, v)| r.loss_energy_product < v) {
+                    best = Some((gpus, r.loss_energy_product));
+                }
+            } else {
+                cells.push(format!("{:>12}", "—"));
+            }
+        }
+        println!("{samples:>10} | {}", cells.join(" "));
+        best_gpus_per_row.push(best.map(|(g, _)| g));
+    }
+
+    println!("\nbest GPU count per dataset size: {best_gpus_per_row:?}");
+    println!("(the crossover: small datasets favour few GPUs; large datasets");
+    println!(" leave few-GPU configurations unable to finish at all)");
+
+    // §3.3 loss-vs-data curve: the numbers a forecasting model trains on.
+    println!("\nfinal loss vs dataset size (completed runs, 128 GPUs):");
+    for &samples in &sample_grid {
+        let r = run(samples, 128);
+        if r.completed {
+            println!("  {samples:>9} samples -> loss {:.4}", r.final_loss);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 3**: the energy/performance trade-off grids of
+//! the §5 scaling study — MAE on top, SwinT-V2 below, loss × total
+//! energy per (model size, GPU count) cell, empty cells for runs that
+//! exceeded the 2-hour walltime (E5).
+//!
+//! ```text
+//! cargo run -p bench --bin figure3 --release [-- <csv-output-path>]
+//! ```
+
+use bench::figure3::run_grid;
+use train_sim::model::Architecture;
+
+fn main() {
+    println!("Figure 3: energy and performance trade-off (loss × total energy)");
+    println!("2 architectures × 4 sizes × 5 GPU counts, DDP, MODIS workload, 2 h walltime\n");
+
+    let mut csv = String::from("arch,params,gpus,completed,loss,energy_kwh,walltime_s,loss_energy\n");
+    for arch in [Architecture::MaeVit, Architecture::SwinV2] {
+        let grid = run_grid(arch);
+        println!("{}", grid.render());
+        csv.push_str(&grid.to_csv());
+
+        // Narrate the qualitative findings the paper reports.
+        let completed: Vec<_> = grid
+            .rows
+            .iter()
+            .flatten()
+            .filter(|c| c.completed)
+            .collect();
+        let empty = grid.rows.iter().flatten().filter(|c| !c.completed).count();
+        if let Some(best) = completed
+            .iter()
+            .min_by(|a, b| a.loss_energy.total_cmp(&b.loss_energy))
+        {
+            println!(
+                "  best trade-off: {} params on {} GPUs ({:.3} loss·kWh); {} empty cells\n",
+                best.params, best.gpus, best.loss_energy, empty
+            );
+        }
+    }
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &csv).expect("write csv");
+        println!("raw cells written to {path}");
+    }
+
+    println!("paper-shape checks:");
+    let mae8 = bench::run_figure3_cell(Architecture::MaeVit, 1_400_000_000, 8);
+    let swin128 = bench::run_figure3_cell(Architecture::SwinV2, 1_400_000_000, 128);
+    let mae128 = bench::run_figure3_cell(Architecture::MaeVit, 1_400_000_000, 128);
+    println!(
+        "  - large model, few GPUs over walltime: 1.4B MAE @ 8 GPUs completed = {}",
+        mae8.completed
+    );
+    println!(
+        "  - SwinT-V2 better at scale: loss 1.4B@128 swin {:.4} vs mae {:.4}",
+        swin128.final_loss, mae128.final_loss
+    );
+}

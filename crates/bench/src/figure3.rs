@@ -1,0 +1,201 @@
+//! The Figure 3 experiment driver: the paper's §5 scaling study.
+//!
+//! 2 architectures × 4 model sizes × 5 GPU counts, DDP on the
+//! Frontier-like machine, MODIS workload, 2-hour walltime. Each cell
+//! reports the paper's trade-off metric (final loss × total energy in
+//! kWh); cells whose run exceeds the walltime are *empty*, exactly as
+//! in the paper's heat maps.
+
+use train_sim::model::{Architecture, ModelConfig};
+use train_sim::sim::{NullObserver, SimConfig, TrainingSimulation, WalltimeCutoff};
+use train_sim::{DatasetSpec, MachineConfig};
+
+/// The GPU counts of the paper's study.
+pub const GPU_COUNTS: [u32; 5] = [8, 16, 32, 64, 128];
+
+/// Epochs used in the reproduction. Chosen so that, under the 2-hour
+/// cutoff, the *pattern* of the paper emerges: every 100 M cell
+/// completes, while the large models drop out at low GPU counts.
+pub const EPOCHS: u32 = 20;
+
+/// One cell of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure3Cell {
+    /// Architecture of this cell.
+    pub arch: Architecture,
+    /// Model parameter count.
+    pub params: u64,
+    /// GPU count.
+    pub gpus: u32,
+    /// Final loss (meaningful only when `completed`).
+    pub final_loss: f64,
+    /// Total energy in kWh.
+    pub energy_kwh: f64,
+    /// Simulated walltime in seconds.
+    pub walltime_s: f64,
+    /// The paper's metric: loss × energy.
+    pub loss_energy: f64,
+    /// False = exceeded the walltime (an empty cell in the figure).
+    pub completed: bool,
+}
+
+/// The full grid for one architecture.
+#[derive(Debug, Clone)]
+pub struct Figure3Grid {
+    /// Architecture of the grid.
+    pub arch: Architecture,
+    /// Rows (one per model size), each with one cell per GPU count.
+    pub rows: Vec<Vec<Figure3Cell>>,
+}
+
+/// The simulation configuration of one cell.
+pub fn cell_config(arch: Architecture, params: u64, gpus: u32) -> SimConfig {
+    SimConfig {
+        model: ModelConfig::sized(arch, params),
+        machine: MachineConfig::frontier_like(),
+        dataset: DatasetSpec::modis(),
+        gpus,
+        per_gpu_batch: 32,
+        epochs: EPOCHS,
+        comm: Default::default(),
+        cutoff: WalltimeCutoff::paper_two_hours(),
+        exercise_collective: false,
+        phase: train_sim::sim::Phase::PreTraining,
+        grad_accumulation: 1,
+        resume_from: None,
+    }
+}
+
+/// Runs one cell of the study.
+pub fn run_figure3_cell(arch: Architecture, params: u64, gpus: u32) -> Figure3Cell {
+    let cfg = cell_config(arch, params, gpus);
+    let sim = TrainingSimulation::new(cfg).expect("paper corners are valid configs");
+    let result = sim.run(&mut NullObserver);
+    Figure3Cell {
+        arch,
+        params,
+        gpus,
+        final_loss: result.final_loss,
+        energy_kwh: result.energy_kwh,
+        walltime_s: result.walltime_s,
+        loss_energy: result.loss_energy_product,
+        completed: result.completed,
+    }
+}
+
+/// Runs the whole grid for one architecture.
+pub fn run_grid(arch: Architecture) -> Figure3Grid {
+    let rows = ModelConfig::paper_ladder(arch)
+        .into_iter()
+        .map(|model| {
+            GPU_COUNTS
+                .iter()
+                .map(|&gpus| run_figure3_cell(arch, model.params, gpus))
+                .collect()
+        })
+        .collect();
+    Figure3Grid { arch, rows }
+}
+
+impl Figure3Grid {
+    /// Renders the grid the way the paper's heat map tabulates it:
+    /// loss × energy per cell, empty cells for over-walltime runs.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} — loss × total energy (kWh), 2 h walltime\n", self.arch);
+        out.push_str(&format!("{:>8} |", "params"));
+        for g in GPU_COUNTS {
+            out.push_str(&format!(" {g:>9} GPUs"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(10 + GPU_COUNTS.len() * 15));
+        out.push('\n');
+        for row in &self.rows {
+            let tag = ModelConfig::sized(self.arch, row[0].params).size_tag();
+            out.push_str(&format!("{tag:>8} |"));
+            for cell in row {
+                if cell.completed {
+                    out.push_str(&format!(" {:>13.3}", cell.loss_energy));
+                } else {
+                    out.push_str(&format!(" {:>13}", "—"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rows: `arch,params,gpus,completed,loss,energy_kwh,walltime_s,loss_energy`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            for c in row {
+                out.push_str(&format!(
+                    "{},{},{},{},{:.6},{:.6},{:.1},{:.6}\n",
+                    c.arch.name(),
+                    c.params,
+                    c.gpus,
+                    c.completed,
+                    c.final_loss,
+                    c.energy_kwh,
+                    c.walltime_s,
+                    c.loss_energy
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_model_completes_everywhere() {
+        for &gpus in &GPU_COUNTS {
+            let cell = run_figure3_cell(Architecture::MaeVit, 100_000_000, gpus);
+            assert!(cell.completed, "100M MAE must fit the 2h budget at {gpus} GPUs");
+            assert!(cell.loss_energy > 0.0);
+        }
+    }
+
+    #[test]
+    fn biggest_swin_fails_at_low_gpu_counts() {
+        let low = run_figure3_cell(Architecture::SwinV2, 1_400_000_000, 8);
+        assert!(!low.completed, "1.4B SwinV2 on 8 GPUs must blow the 2h budget");
+        let high = run_figure3_cell(Architecture::SwinV2, 1_400_000_000, 128);
+        assert!(high.completed, "1.4B SwinV2 on 128 GPUs must finish");
+    }
+
+    #[test]
+    fn swin_beats_mae_loss_at_scale() {
+        // The paper: "the newer SwinT-V2 architecture is performing much
+        // better at scale".
+        let mae = run_figure3_cell(Architecture::MaeVit, 1_400_000_000, 128);
+        let swin = run_figure3_cell(Architecture::SwinV2, 1_400_000_000, 128);
+        assert!(swin.completed && mae.completed);
+        assert!(swin.final_loss < mae.final_loss);
+    }
+
+    #[test]
+    fn render_marks_empty_cells() {
+        let grid = Figure3Grid {
+            arch: Architecture::SwinV2,
+            rows: vec![vec![
+                Figure3Cell {
+                    arch: Architecture::SwinV2,
+                    params: 1_400_000_000,
+                    gpus: 8,
+                    final_loss: 1.0,
+                    energy_kwh: 1.0,
+                    walltime_s: 7300.0,
+                    loss_energy: 1.0,
+                    completed: false,
+                };
+                GPU_COUNTS.len()
+            ]],
+        };
+        assert!(grid.render().contains('—'));
+        assert!(grid.to_csv().contains("false"));
+    }
+}

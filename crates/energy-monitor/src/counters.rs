@@ -1,0 +1,136 @@
+//! Lock-free performance counters shared between worker threads and the
+//! telemetry layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing FLOP counter.
+///
+/// Workers add the FLOPs of each kernel; the sampler reads totals and
+/// rates. All operations are relaxed atomics — counters tolerate small
+/// reordering, exactness matters only at quiescence.
+#[derive(Debug, Default)]
+pub struct FlopsCounter {
+    total: AtomicU64,
+}
+
+impl FlopsCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `flops` (saturating at `u64::MAX`).
+    pub fn add(&self, flops: u64) {
+        let mut cur = self.total.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_add(flops);
+            match self
+                .total
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total FLOPs so far.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Average rate over `elapsed_s` seconds (0 for non-positive spans).
+    pub fn flops_per_second(&self, elapsed_s: f64) -> f64 {
+        if elapsed_s > 0.0 {
+            self.total() as f64 / elapsed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A gauge holding the current utilization of a device in `[0, 1]`.
+///
+/// Stored as parts-per-million in an atomic so readers never lock.
+#[derive(Debug, Default)]
+pub struct UtilizationGauge {
+    ppm: AtomicU64,
+}
+
+impl UtilizationGauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the utilization (clamped to `[0, 1]`).
+    pub fn set(&self, utilization: f64) {
+        let clamped = if utilization.is_finite() {
+            utilization.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.ppm
+            .store((clamped * 1_000_000.0) as u64, Ordering::Release);
+    }
+
+    /// Reads the utilization.
+    pub fn get(&self) -> f64 {
+        self.ppm.load(Ordering::Acquire) as f64 / 1_000_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn flops_accumulate() {
+        let c = FlopsCounter::new();
+        c.add(1_000);
+        c.add(500);
+        assert_eq!(c.total(), 1_500);
+        assert!((c.flops_per_second(3.0) - 500.0).abs() < 1e-9);
+        assert_eq!(c.flops_per_second(0.0), 0.0);
+    }
+
+    #[test]
+    fn flops_saturate_instead_of_wrapping() {
+        let c = FlopsCounter::new();
+        c.add(u64::MAX - 5);
+        c.add(100);
+        assert_eq!(c.total(), u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        let c = Arc::new(FlopsCounter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.add(3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.total(), 8 * 10_000 * 3);
+    }
+
+    #[test]
+    fn gauge_clamps_and_roundtrips() {
+        let g = UtilizationGauge::new();
+        g.set(0.75);
+        assert!((g.get() - 0.75).abs() < 1e-5);
+        g.set(2.0);
+        assert!((g.get() - 1.0).abs() < 1e-9);
+        g.set(-1.0);
+        assert_eq!(g.get(), 0.0);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Background power sampling.
+//!
+//! [`PowerSampler`] polls a [`PowerSource`] the way the paper's library
+//! polls ROCm-SMI: on a background thread at a fixed interval, appending
+//! `(time, watts)` samples to a shared buffer and integrating energy
+//! online. Time comes from a [`VirtualClock`], which either follows the
+//! wall clock or is advanced manually — the latter makes sampling fully
+//! deterministic for the simulator and for tests.
+
+use crate::energy::EnergyAccumulator;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Anything that can report instantaneous power draw in watts.
+pub trait PowerSource: Send + Sync {
+    /// Current draw in watts.
+    fn watts(&self) -> f64;
+    /// Device label used in metric names.
+    fn label(&self) -> String {
+        "device".to_string()
+    }
+}
+
+impl<F: Fn() -> f64 + Send + Sync> PowerSource for F {
+    fn watts(&self) -> f64 {
+        self()
+    }
+}
+
+/// One collected sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Seconds on the sampler's clock.
+    pub t_s: f64,
+    /// Observed draw.
+    pub watts: f64,
+}
+
+/// A clock that is either wall-time-based or manually advanced.
+///
+/// Internally microseconds in an atomic; `advance` makes simulated time
+/// visible to the sampling thread without locks.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero, advanced manually.
+    pub fn manual() -> Arc<Self> {
+        Arc::new(VirtualClock::default())
+    }
+
+    /// Current reading in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.micros.load(Ordering::Acquire) as f64 / 1e6
+    }
+
+    /// Advances the clock (manual mode).
+    pub fn advance(&self, seconds: f64) {
+        assert!(seconds >= 0.0, "clock cannot go backwards");
+        self.micros
+            .fetch_add((seconds * 1e6) as u64, Ordering::AcqRel);
+    }
+
+    /// Sets an absolute reading, which must not move backwards.
+    pub fn set_s(&self, seconds: f64) {
+        let new = (seconds * 1e6) as u64;
+        let mut cur = self.micros.load(Ordering::Acquire);
+        loop {
+            if new < cur {
+                return;
+            }
+            match self.micros.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Shared state between the sampler thread and its handle.
+struct SamplerShared {
+    samples: Mutex<Vec<PowerSample>>,
+    energy: Mutex<EnergyAccumulator>,
+    stop: AtomicBool,
+}
+
+/// A background power sampler.
+///
+/// Dropping the sampler stops the thread.
+pub struct PowerSampler {
+    shared: Arc<SamplerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    clock: Arc<VirtualClock>,
+}
+
+impl PowerSampler {
+    /// Spawns a sampling thread polling `source` every `interval`.
+    ///
+    /// Timestamps are read from `clock`; to sample simulated time,
+    /// advance the clock from the simulation loop. The poll cadence
+    /// itself is wall-time (`interval`), so with a manual clock the
+    /// effective resolution is `interval` polls per wall tick.
+    pub fn spawn(
+        source: Arc<dyn PowerSource>,
+        clock: Arc<VirtualClock>,
+        interval: Duration,
+    ) -> Self {
+        let shared = Arc::new(SamplerShared {
+            samples: Mutex::new(Vec::new()),
+            energy: Mutex::new(EnergyAccumulator::new()),
+            stop: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread_clock = Arc::clone(&clock);
+        let thread = std::thread::Builder::new()
+            .name("power-sampler".into())
+            .spawn(move || {
+                while !thread_shared.stop.load(Ordering::Acquire) {
+                    let sample = PowerSample {
+                        t_s: thread_clock.now_s(),
+                        watts: source.watts(),
+                    };
+                    thread_shared.samples.lock().push(sample);
+                    thread_shared.energy.lock().add_sample(sample.t_s, sample.watts);
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn sampler thread");
+        PowerSampler { shared, thread: Some(thread), clock }
+    }
+
+    /// A sampler with no background thread: call [`Self::sample_now`]
+    /// from the simulation loop instead. Fully deterministic.
+    pub fn manual(clock: Arc<VirtualClock>) -> Self {
+        PowerSampler {
+            shared: Arc::new(SamplerShared {
+                samples: Mutex::new(Vec::new()),
+                energy: Mutex::new(EnergyAccumulator::new()),
+                stop: AtomicBool::new(true),
+            }),
+            thread: None,
+            clock,
+        }
+    }
+
+    /// Takes one sample immediately (works in both modes).
+    pub fn sample_now(&self, watts: f64) {
+        let sample = PowerSample { t_s: self.clock.now_s(), watts };
+        self.shared.samples.lock().push(sample);
+        self.shared.energy.lock().add_sample(sample.t_s, sample.watts);
+    }
+
+    /// Stops the background thread (if any) and returns all samples with
+    /// the final energy accumulator.
+    pub fn finish(mut self) -> (Vec<PowerSample>, EnergyAccumulator) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let samples = std::mem::take(&mut *self.shared.samples.lock());
+        let energy = self.shared.energy.lock().clone();
+        (samples, energy)
+    }
+
+    /// Snapshot of the integrated energy so far (joules).
+    pub fn joules_so_far(&self) -> f64 {
+        self.shared.energy.lock().joules()
+    }
+
+    /// Number of samples collected so far.
+    pub fn sample_count(&self) -> usize {
+        self.shared.samples.lock().len()
+    }
+
+    /// The sampler's clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+}
+
+impl Drop for PowerSampler {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_monotonically() {
+        let clock = VirtualClock::manual();
+        assert_eq!(clock.now_s(), 0.0);
+        clock.advance(1.5);
+        assert!((clock.now_s() - 1.5).abs() < 1e-6);
+        clock.set_s(1.0); // backwards set is ignored
+        assert!((clock.now_s() - 1.5).abs() < 1e-6);
+        clock.set_s(3.0);
+        assert!((clock.now_s() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock cannot go backwards")]
+    fn negative_advance_panics() {
+        VirtualClock::manual().advance(-1.0);
+    }
+
+    #[test]
+    fn manual_sampler_is_deterministic() {
+        let clock = VirtualClock::manual();
+        let sampler = PowerSampler::manual(Arc::clone(&clock));
+        for i in 0..=10 {
+            sampler.sample_now(200.0);
+            if i < 10 {
+                clock.advance(0.5);
+            }
+        }
+        let (samples, energy) = sampler.finish();
+        assert_eq!(samples.len(), 11);
+        assert!((energy.joules() - 200.0 * 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn background_sampler_collects_and_stops() {
+        let clock = VirtualClock::manual();
+        let util = Arc::new(AtomicU64::new(250));
+        let src_util = Arc::clone(&util);
+        let source: Arc<dyn PowerSource> =
+            Arc::new(move || src_util.load(Ordering::Relaxed) as f64);
+        let sampler = PowerSampler::spawn(source, Arc::clone(&clock), Duration::from_millis(1));
+        // Advance virtual time while the thread polls.
+        for _ in 0..50 {
+            clock.advance(0.01);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (samples, _) = sampler.finish();
+        assert!(samples.len() > 5, "collected {}", samples.len());
+        assert!(samples.iter().all(|s| s.watts == 250.0));
+        // Timestamps are non-decreasing.
+        for w in samples.windows(2) {
+            assert!(w[1].t_s >= w[0].t_s);
+        }
+    }
+
+    #[test]
+    fn joules_so_far_grows() {
+        let clock = VirtualClock::manual();
+        let sampler = PowerSampler::manual(Arc::clone(&clock));
+        sampler.sample_now(100.0);
+        clock.advance(1.0);
+        sampler.sample_now(100.0);
+        let early = sampler.joules_so_far();
+        clock.advance(1.0);
+        sampler.sample_now(100.0);
+        assert!(sampler.joules_so_far() > early);
+        assert_eq!(sampler.sample_count(), 3);
+    }
+
+    #[test]
+    fn closure_power_source() {
+        let source: Arc<dyn PowerSource> = Arc::new(|| 42.0);
+        assert_eq!(source.watts(), 42.0);
+        assert_eq!(source.label(), "device");
+    }
+}

@@ -1,0 +1,123 @@
+//! Concurrency integration: simulated DDP ranks doing real threaded
+//! all-reduces while logging into one shared run — the paper's
+//! distributed-collection scenario at thread scale.
+
+use std::sync::Arc;
+use train_sim::ddp::{ring_allreduce, sequential_allreduce};
+use yprov4ml::model::Context;
+use yprov4ml::Experiment;
+
+/// Eight "ranks" train a toy model data-parallel: each holds a gradient
+/// shard, all-reduces it for real every step, applies the update, and
+/// logs its local loss into the shared provenance run.
+#[test]
+fn ddp_ranks_train_and_log_concurrently() {
+    let base = std::env::temp_dir().join(format!("yconc_ddp_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let experiment = Experiment::new("ddp", &base).unwrap();
+    let run = Arc::new(experiment.start_run("8rank").unwrap());
+
+    const RANKS: usize = 8;
+    const DIM: usize = 256;
+    const STEPS: usize = 20;
+
+    // Shared "model": every rank must hold identical weights after each
+    // all-reduce, or DDP is broken.
+    let mut weights = vec![1.0f64; DIM];
+    for step in 0..STEPS {
+        // Per-rank gradients (deterministic, rank-dependent).
+        let grads: Vec<Vec<f64>> = (0..RANKS)
+            .map(|r| {
+                (0..DIM)
+                    .map(|i| ((r + 1) as f64) * 0.01 * ((i + step) % 5) as f64)
+                    .collect()
+            })
+            .collect();
+        let expected = sequential_allreduce(&grads);
+
+        // Ranks log concurrently while the collective runs.
+        let mut loggers = Vec::new();
+        for rank in 0..RANKS {
+            let run = Arc::clone(&run);
+            loggers.push(std::thread::spawn(move || {
+                run.log_metric(
+                    format!("loss/rank{rank}"),
+                    Context::Training,
+                    step as u64,
+                    0,
+                    1.0 / (step + 1) as f64 + rank as f64 * 1e-6,
+                );
+            }));
+        }
+        let reduced = ring_allreduce(grads);
+        for l in loggers {
+            l.join().unwrap();
+        }
+
+        // All ranks agree with the sequential reduction.
+        for r in 0..RANKS {
+            for i in 0..DIM {
+                assert!(
+                    (reduced[r][i] - expected[r][i]).abs() < 1e-9,
+                    "rank {r} dim {i} diverged at step {step}"
+                );
+            }
+        }
+        // Apply the averaged gradient.
+        for i in 0..DIM {
+            weights[i] -= 0.001 * reduced[0][i] / RANKS as f64;
+        }
+    }
+
+    let run = Arc::try_unwrap(run).ok().expect("loggers joined");
+    let report = run.finish().unwrap();
+    assert_eq!(report.metric_samples, RANKS * STEPS);
+
+    // Every rank's series is complete and ordered.
+    let doc = experiment.load_run_document("8rank").unwrap();
+    assert!(prov_model::validate::is_valid(&doc));
+    let metric_ty = prov_model::QName::yprov("Metric");
+    let series_count = doc
+        .iter_elements()
+        .filter(|e| e.has_type(&metric_ty))
+        .count();
+    assert_eq!(series_count, RANKS);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Hammer one run from many threads with mixed record kinds; nothing is
+/// lost and finish() sees a consistent state.
+#[test]
+fn mixed_record_stress() {
+    let base = std::env::temp_dir().join(format!("yconc_stress_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let experiment = Experiment::new("stress", &base).unwrap();
+    let run = Arc::new(experiment.start_run("hammer").unwrap());
+
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let run = Arc::clone(&run);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..2_000u64 {
+                run.log_metric("m", Context::Training, t * 10_000 + i, 0, i as f64);
+            }
+        }));
+    }
+    for t in 0..2u64 {
+        let run = Arc::clone(&run);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..100u64 {
+                run.log_param(format!("p{t}_{i}"), i as i64);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let run = Arc::try_unwrap(run).ok().expect("threads joined");
+    let report = run.finish().unwrap();
+    assert_eq!(report.metric_samples, 4 * 2_000);
+    assert_eq!(report.params, 2 * 100);
+    std::fs::remove_dir_all(&base).ok();
+}

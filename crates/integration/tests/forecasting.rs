@@ -1,0 +1,100 @@
+//! The §3.3 loop, end to end: run a grid of simulated experiments under
+//! provenance collection, fit a forecasting model *from the stored
+//! provenance files only*, and predict an unseen configuration — then
+//! check the prediction against actually running that configuration.
+
+use integration::simulate_with_provenance;
+use train_sim::model::{Architecture, ModelConfig};
+use train_sim::sim::{NullObserver, Phase, SimConfig, TrainingSimulation, WalltimeCutoff};
+use train_sim::{DatasetSpec, MachineConfig};
+use yprov4ml::compare::RunSummary;
+use yprov4ml::forecast::{LogLinearModel, RunFeatures};
+use yprov4ml::Experiment;
+
+fn cfg(params: u64, gpus: u32, samples: u64) -> SimConfig {
+    SimConfig {
+        model: ModelConfig::sized(Architecture::SwinV2, params),
+        machine: MachineConfig::frontier_like(),
+        dataset: DatasetSpec::modis().with_samples(samples),
+        gpus,
+        per_gpu_batch: 32,
+        epochs: 2,
+        comm: Default::default(),
+        cutoff: WalltimeCutoff::Unlimited,
+        exercise_collective: false,
+        phase: Phase::PreTraining,
+        grad_accumulation: 1,
+        resume_from: None,
+    }
+}
+
+#[test]
+fn forecast_unseen_configuration_from_provenance() {
+    let base = std::env::temp_dir().join(format!("yforecast_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let experiment = Experiment::new("scaling-kb", &base).unwrap();
+
+    // 1. Build the knowledge base: a 2×2×2 grid of real (simulated)
+    //    runs, each leaving only its provenance file behind.
+    for &params in &[100_000_000u64, 600_000_000] {
+        for &gpus in &[8u32, 64] {
+            for &samples in &[20_000u64, 80_000] {
+                let name = format!("p{}m-g{gpus}-s{samples}", params / 1_000_000);
+                let run = experiment.start_run(&name).unwrap();
+                simulate_with_provenance(cfg(params, gpus, samples), &run, 50).unwrap();
+                run.finish().unwrap();
+            }
+        }
+    }
+
+    // 2. Reload summaries from disk and fit walltime + energy models.
+    let summaries: Vec<RunSummary> = experiment
+        .list_runs()
+        .unwrap()
+        .iter()
+        .filter_map(|name| {
+            RunSummary::from_document(&experiment.load_run_document(name).unwrap())
+        })
+        .collect();
+    assert_eq!(summaries.len(), 8);
+    let walltime_model = LogLinearModel::fit_from_summaries(&summaries, "walltime_s").unwrap();
+    let energy_model = LogLinearModel::fit_from_summaries(&summaries, "energy_kwh").unwrap();
+    assert!(
+        walltime_model.train_rms_rel_error < 0.25,
+        "training fit {}",
+        walltime_model.train_rms_rel_error
+    );
+
+    // 3. Predict an unseen interior corner with a single inference step.
+    let planned_cfg = cfg(200_000_000, 32, 40_000);
+    let planned = RunFeatures {
+        params: 200_000_000.0,
+        samples: (planned_cfg.dataset.samples * planned_cfg.epochs as u64) as f64,
+        gpus: 32.0,
+    };
+    let predicted_walltime = walltime_model.predict(&planned);
+    let predicted_energy = energy_model.predict(&planned);
+
+    // 4. Ground truth: actually run it.
+    let actual = TrainingSimulation::new(planned_cfg).unwrap().run(&mut NullObserver);
+    let walltime_err = (predicted_walltime - actual.walltime_s).abs() / actual.walltime_s;
+    let energy_err = (predicted_energy - actual.energy_kwh).abs() / actual.energy_kwh;
+    assert!(
+        walltime_err < 0.5,
+        "walltime: predicted {predicted_walltime:.0}s vs actual {:.0}s ({walltime_err:.2} rel)",
+        actual.walltime_s
+    );
+    assert!(
+        energy_err < 0.5,
+        "energy: predicted {predicted_energy:.3} vs actual {:.3} ({energy_err:.2} rel)",
+        actual.energy_kwh
+    );
+
+    // 5. The fitted exponents are physically sensible: more params →
+    //    more walltime; more samples → more walltime.
+    let exp = walltime_model.exponents();
+    assert!(exp["params"] > 0.0);
+    assert!(exp["samples"] > 0.0);
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,159 @@
+//! Bit-level reader and writer, MSB-first within each byte.
+//!
+//! Shared by the Gorilla XOR float codec and the Huffman coder.
+
+use crate::error::StoreError;
+
+/// Appends bits to a growing byte buffer, most significant bit first.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the last byte (0 = last byte full/absent).
+    partial: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.partial == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.partial);
+        }
+        self.partial = (self.partial + 1) % 8;
+    }
+
+    /// Writes the low `n` bits of `value`, most significant first.
+    pub fn write_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.partial == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.partial as usize
+        }
+    }
+
+    /// Finishes, returning the padded byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits from a byte slice, MSB-first.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading at the first bit of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Reads one bit; errors at end of input.
+    pub fn read_bit(&mut self) -> Result<bool, StoreError> {
+        let byte = self.pos / 8;
+        if byte >= self.data.len() {
+            return Err(StoreError::Truncated("bit stream".into()));
+        }
+        let bit = (self.data[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits into the low bits of a `u64`.
+    pub fn read_bits(&mut self, n: u8) -> Result<u64, StoreError> {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multibit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut r = BitReader::new(&[0, 0]);
+        assert_eq!(r.remaining(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.remaining(), 11);
+        assert_eq!(r.bit_pos(), 5);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bit(true); // bit 7 of first byte
+        let bytes = w.into_bytes();
+        assert_eq!(bytes[0], 0b1000_0000);
+    }
+}

@@ -1,0 +1,141 @@
+//! Bounded-error float quantization.
+//!
+//! Telemetry metrics (power, utilization, throughput) rarely deserve
+//! all 52 mantissa bits — the sensors themselves are only a few
+//! percent accurate. Zeroing the low mantissa bits before XOR
+//! compression multiplies the compression ratio while keeping the
+//! *relative* error provably below `2^-(kept_bits)` for finite values.
+//! Non-finite values (NaN, ±∞) pass through untouched — masking a
+//! NaN's mantissa could silently turn it into infinity.
+//!
+//! This is the classic "bit grooming" filter of scientific data
+//! compression (also available in NetCDF-C as quantize modes).
+
+/// Quantizes one value, keeping `mantissa_bits` of the 52-bit mantissa.
+pub fn quantize_value(v: f64, mantissa_bits: u8) -> f64 {
+    if !v.is_finite() || mantissa_bits >= 52 {
+        return v;
+    }
+    let drop = 52 - mantissa_bits as u64;
+    let bits = v.to_bits();
+    // Round-to-nearest on the dropped bits (add half, then mask), with
+    // saturation guard: rounding can carry into the exponent, which is
+    // numerically correct (rounds up to the next binade).
+    let half = 1u64 << (drop - 1);
+    let rounded = bits.checked_add(half).unwrap_or(bits);
+    let masked = rounded & !((1u64 << drop) - 1);
+    let out = f64::from_bits(masked);
+    // The carry can overflow the exponent into Inf for values near
+    // f64::MAX; refuse to amplify, keep the original.
+    if out.is_finite() {
+        out
+    } else {
+        v
+    }
+}
+
+/// Quantizes a column in place.
+pub fn quantize_column(values: &mut [f64], mantissa_bits: u8) {
+    for v in values.iter_mut() {
+        *v = quantize_value(*v, mantissa_bits);
+    }
+}
+
+/// Worst-case relative error bound for a mantissa width.
+pub fn relative_error_bound(mantissa_bits: u8) -> f64 {
+    if mantissa_bits >= 52 {
+        0.0
+    } else {
+        // Round-to-nearest halves the truncation error.
+        2.0f64.powi(-(mantissa_bits as i32) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_stays_within_bound() {
+        let mut x = 0xDEADBEEFu64;
+        for bits in [8u8, 12, 16, 24, 40] {
+            let bound = relative_error_bound(bits);
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((x >> 11) as f64 / (1u64 << 53) as f64) * 2e6 - 1e6;
+                if v == 0.0 {
+                    continue;
+                }
+                let q = quantize_value(v, bits);
+                let rel = ((q - v) / v).abs();
+                assert!(
+                    rel <= bound * 1.0000001,
+                    "bits={bits} v={v} q={q} rel={rel} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_is_identity() {
+        for v in [1.0, -2.5, 1e-300, f64::MAX] {
+            assert_eq!(quantize_value(v, 52).to_bits(), v.to_bits());
+            assert_eq!(quantize_value(v, 60).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_values_untouched() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(quantize_value(v, 8).to_bits(), v.to_bits());
+        }
+        // Zero and subnormals survive.
+        assert_eq!(quantize_value(0.0, 8), 0.0);
+        assert_eq!(quantize_value(-0.0, 8).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn near_max_does_not_overflow() {
+        let v = f64::MAX;
+        let q = quantize_value(v, 8);
+        assert!(q.is_finite());
+    }
+
+    #[test]
+    fn quantization_improves_xor_compression() {
+        // A noisy power trace: ~260 W ± noise.
+        let mut x = 7u64;
+        let mut values: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                260.0 + ((x >> 40) as f64 / 65_536.0) * 10.0
+            })
+            .collect();
+        let exact = crate::codec::xor::encode(&values);
+        quantize_column(&mut values, 12);
+        let quantized = crate::codec::xor::encode(&values);
+        assert!(
+            quantized.len() * 3 < exact.len() * 2,
+            "12-bit mantissa should cut at least a third: {} vs {}",
+            quantized.len(),
+            exact.len()
+        );
+        // And the data still decodes exactly (lossy at quantize time,
+        // lossless after).
+        let back = crate::codec::xor::decode(&quantized).unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        for bits in [8u8, 16, 30] {
+            let v = 123.456789;
+            let once = quantize_value(v, bits);
+            let twice = quantize_value(once, bits);
+            assert_eq!(once.to_bits(), twice.to_bits());
+        }
+    }
+}

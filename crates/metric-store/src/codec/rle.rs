@@ -1,0 +1,141 @@
+//! Byte-oriented run-length encoding.
+//!
+//! Format: a sequence of `(control, payload)` groups.
+//! * `control < 128`: a literal run; the next `control + 1` bytes are
+//!   copied verbatim.
+//! * `control >= 128`: a repeat run; the next byte repeats
+//!   `control - 128 + 2` times (minimum useful run is 2).
+
+use crate::error::StoreError;
+
+const MAX_LITERAL: usize = 128;
+const MAX_REPEAT: usize = 129;
+
+/// Encodes `data` with RLE. Never panics; output for incompressible
+/// input grows by at most 1/128.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut i = 0usize;
+    let mut literal_start = 0usize;
+
+    let flush_literal = |out: &mut Vec<u8>, from: usize, to: usize, data: &[u8]| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(MAX_LITERAL);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&data[s..s + n]);
+            s += n;
+        }
+    };
+
+    while i < data.len() {
+        // Measure the run starting at i.
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < MAX_REPEAT {
+            run += 1;
+        }
+        if run >= 3 {
+            flush_literal(&mut out, literal_start, i, data);
+            out.push((run - 2 + 128) as u8);
+            out.push(b);
+            i += run;
+            literal_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literal(&mut out, literal_start, data.len(), data);
+    out
+}
+
+/// Decodes RLE data produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Vec<u8>, StoreError> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0usize;
+    while i < data.len() {
+        let control = data[i];
+        i += 1;
+        if control < 128 {
+            let n = control as usize + 1;
+            let chunk = data
+                .get(i..i + n)
+                .ok_or_else(|| StoreError::Truncated("rle literal".into()))?;
+            out.extend_from_slice(chunk);
+            i += n;
+        } else {
+            let n = control as usize - 128 + 2;
+            let b = *data
+                .get(i)
+                .ok_or_else(|| StoreError::Truncated("rle repeat".into()))?;
+            i += 1;
+            out.resize(out.len() + n, b);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let enc = encode(data);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(&[]);
+        roundtrip(&[1]);
+        roundtrip(&[1, 2]);
+        roundtrip(&[1, 1]);
+        roundtrip(&[1, 1, 1]);
+    }
+
+    #[test]
+    fn long_runs_compress_hard() {
+        let data = vec![7u8; 100_000];
+        let enc = encode(&data);
+        assert!(enc.len() < 100_000 / 50, "got {}", enc.len());
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_grows_bounded() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(100_000).collect();
+        let enc = encode(&data);
+        assert!(enc.len() <= data.len() + data.len() / 128 + 2);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        let mut data = Vec::new();
+        data.extend_from_slice(b"abc");
+        data.extend(std::iter::repeat_n(0u8, 500));
+        data.extend_from_slice(b"defgh");
+        data.extend(std::iter::repeat_n(255u8, 3));
+        data.extend_from_slice(b"x");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn run_exactly_at_limits() {
+        roundtrip(&[9u8; MAX_REPEAT]);
+        roundtrip(&[9u8; MAX_REPEAT + 1]);
+        roundtrip(&vec![9u8; MAX_REPEAT * 3 + 1]);
+        let literals: Vec<u8> = (0..MAX_LITERAL as u8).collect();
+        roundtrip(&literals);
+        let longer: Vec<u8> = (0..=255u8).collect();
+        roundtrip(&longer);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let enc = encode(&[5u8; 100]);
+        assert!(decode(&enc[..1]).is_err());
+        // Literal control byte promising more than available.
+        assert!(decode(&[10, 1, 2]).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the codec stack and the storage backends:
+//! every encoder must be the exact inverse of its decoder for arbitrary
+//! inputs, including non-finite floats and adversarial byte patterns.
+
+use metric_store::codec::{self, CodecId};
+use metric_store::series::{MetricPoint, MetricSeries};
+use metric_store::store::{frame_chunk, unframe_chunk};
+use proptest::prelude::*;
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rle_roundtrips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let enc = codec::rle::encode(&data);
+        prop_assert_eq!(codec::rle::decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_roundtrips_runny_data(runs in prop::collection::vec((any::<u8>(), 1usize..400), 0..50)) {
+        let mut data = Vec::new();
+        for (b, n) in runs {
+            data.extend(std::iter::repeat_n(b, n));
+        }
+        let enc = codec::rle::encode(&data);
+        prop_assert_eq!(codec::rle::decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn lz77_roundtrips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let enc = codec::lz77::compress(&data);
+        prop_assert_eq!(codec::lz77::decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn lz77_roundtrips_repetitive(seed in prop::collection::vec(any::<u8>(), 1..64), reps in 1usize..100) {
+        let mut data = Vec::new();
+        for _ in 0..reps {
+            data.extend_from_slice(&seed);
+        }
+        let enc = codec::lz77::compress(&data);
+        prop_assert_eq!(codec::lz77::decompress(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_roundtrips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let enc = codec::huffman::encode(&data);
+        prop_assert_eq!(codec::huffman::decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_like_roundtrips(data in prop::collection::vec(any::<u8>(), 0..8192)) {
+        let enc = codec::deflate_like(&data);
+        prop_assert_eq!(codec::inflate_like(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn shuffle_roundtrips(data in prop::collection::vec(any::<u8>(), 0..2048), width in 1usize..16) {
+        let s = codec::shuffle::shuffle(&data, width);
+        prop_assert_eq!(codec::shuffle::unshuffle(&s, width), data);
+    }
+
+    #[test]
+    fn xor_float_roundtrips(values in prop::collection::vec(any::<f64>(), 0..2048)) {
+        let enc = codec::xor::encode(&values);
+        let dec = codec::xor::decode(&enc).unwrap();
+        prop_assert!(bits_eq(&values, &dec));
+    }
+
+    #[test]
+    fn int_columns_roundtrip(
+        steps in prop::collection::vec(any::<u64>(), 0..2048),
+        times in prop::collection::vec(any::<i64>(), 0..2048),
+    ) {
+        prop_assert_eq!(
+            codec::decode_u64_column(&codec::encode_u64_column(&steps)).unwrap(), steps);
+        prop_assert_eq!(
+            codec::decode_i64_column(&codec::encode_i64_column(&times)).unwrap(), times);
+    }
+
+    #[test]
+    fn chunk_frames_roundtrip(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        pick in 0usize..6,
+    ) {
+        let pipelines: [&[CodecId]; 6] = [
+            &[],
+            &[CodecId::Rle],
+            &[CodecId::Huffman],
+            &[CodecId::Lz77],
+            &[CodecId::Lz77, CodecId::Huffman],
+            &[CodecId::Shuffle8, CodecId::Lz77, CodecId::Huffman],
+        ];
+        let framed = frame_chunk(&data, pipelines[pick]);
+        let (back, used) = unframe_chunk(&framed).unwrap();
+        prop_assert_eq!(back, data);
+        prop_assert_eq!(used, framed.len());
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = unframe_chunk(&data); // must not panic
+        let _ = codec::inflate_like(&data);
+        let _ = codec::huffman::decode(&data);
+        let _ = codec::lz77::decompress(&data);
+        let _ = codec::rle::decode(&data);
+        let _ = codec::xor::decode(&data);
+    }
+
+    #[test]
+    fn zarr_store_roundtrips_arbitrary_series(
+        raw in prop::collection::vec((any::<u64>(), any::<u32>(), any::<i64>(), any::<f64>()), 0..500),
+        chunk in 1usize..300,
+    ) {
+        let mut series = MetricSeries::new("m", "c");
+        for (step, epoch, time_us, value) in raw {
+            series.push(MetricPoint { step, epoch, time_us, value });
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "yzarr_prop_{}_{:x}", std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        let store = metric_store::zarr::ZarrStore::create(
+            &dir,
+            metric_store::zarr::ZarrOptions { chunk_points: chunk, ..Default::default() },
+        ).unwrap();
+        use metric_store::store::MetricStore;
+        store.write_series(&series).unwrap();
+        let back = store.read_series("m", "c").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(series.len(), back.len());
+        for (a, b) in series.points.iter().zip(&back.points) {
+            prop_assert_eq!(a.step, b.step);
+            prop_assert_eq!(a.epoch, b.epoch);
+            prop_assert_eq!(a.time_us, b.time_us);
+            prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Structural diff between two PROV documents.
+//!
+//! Supports the paper's "development tracking" use case (§3.1): comparing
+//! the provenance of two runs shows exactly which parameters, artifacts
+//! and relations changed between them.
+
+use prov_model::{AttrValue, ProvDocument, QName, Relation};
+use std::collections::BTreeMap;
+
+/// An attribute-level change on one element present in both documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementChange {
+    /// The element whose attributes differ.
+    pub id: QName,
+    /// Keys present only in the left document, with their values.
+    pub removed_attrs: BTreeMap<QName, Vec<AttrValue>>,
+    /// Keys present only in the right document, with their values.
+    pub added_attrs: BTreeMap<QName, Vec<AttrValue>>,
+    /// Keys present in both but with different value lists: `(left, right)`.
+    pub changed_attrs: BTreeMap<QName, (Vec<AttrValue>, Vec<AttrValue>)>,
+}
+
+impl ElementChange {
+    /// True when no attribute actually differs.
+    pub fn is_empty(&self) -> bool {
+        self.removed_attrs.is_empty()
+            && self.added_attrs.is_empty()
+            && self.changed_attrs.is_empty()
+    }
+}
+
+/// The result of diffing two documents (`left` = old, `right` = new).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DocumentDiff {
+    /// Elements only in the left document.
+    pub removed_elements: Vec<QName>,
+    /// Elements only in the right document.
+    pub added_elements: Vec<QName>,
+    /// Elements in both with differing attributes.
+    pub changed_elements: Vec<ElementChange>,
+    /// Relations only in the left document.
+    pub removed_relations: Vec<Relation>,
+    /// Relations only in the right document.
+    pub added_relations: Vec<Relation>,
+}
+
+impl DocumentDiff {
+    /// True when the two documents are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.removed_elements.is_empty()
+            && self.added_elements.is_empty()
+            && self.changed_elements.is_empty()
+            && self.removed_relations.is_empty()
+            && self.added_relations.is_empty()
+    }
+
+    /// A compact human-readable summary (one line per change).
+    pub fn summary(&self) -> String {
+        let mut lines = Vec::new();
+        for id in &self.removed_elements {
+            lines.push(format!("- element {id}"));
+        }
+        for id in &self.added_elements {
+            lines.push(format!("+ element {id}"));
+        }
+        for ch in &self.changed_elements {
+            for (k, (l, r)) in &ch.changed_attrs {
+                lines.push(format!(
+                    "~ {} {k}: {} -> {}",
+                    ch.id,
+                    join(l),
+                    join(r)
+                ));
+            }
+            for (k, v) in &ch.added_attrs {
+                lines.push(format!("+ {} {k}={}", ch.id, join(v)));
+            }
+            for (k, v) in &ch.removed_attrs {
+                lines.push(format!("- {} {k}={}", ch.id, join(v)));
+            }
+        }
+        for r in &self.removed_relations {
+            lines.push(format!("- {}({}, {})", r.kind.json_key(), r.subject, r.object));
+        }
+        for r in &self.added_relations {
+            lines.push(format!("+ {}({}, {})", r.kind.json_key(), r.subject, r.object));
+        }
+        lines.join("\n")
+    }
+}
+
+fn join(vals: &[AttrValue]) -> String {
+    vals.iter()
+        .map(|v| v.lexical())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Computes the structural diff between two documents.
+pub fn diff(left: &ProvDocument, right: &ProvDocument) -> DocumentDiff {
+    let mut out = DocumentDiff::default();
+
+    for el in left.iter_elements() {
+        match right.get(&el.id) {
+            None => out.removed_elements.push(el.id.clone()),
+            Some(rel) => {
+                let change = diff_attrs(&el.id, &el.attributes, &rel.attributes);
+                if !change.is_empty() {
+                    out.changed_elements.push(change);
+                }
+            }
+        }
+    }
+    for el in right.iter_elements() {
+        if left.get(&el.id).is_none() {
+            out.added_elements.push(el.id.clone());
+        }
+    }
+
+    for r in left.relations() {
+        if !right.relations().contains(r) {
+            out.removed_relations.push(r.clone());
+        }
+    }
+    for r in right.relations() {
+        if !left.relations().contains(r) {
+            out.added_relations.push(r.clone());
+        }
+    }
+
+    out
+}
+
+fn diff_attrs(
+    id: &QName,
+    left: &BTreeMap<QName, Vec<AttrValue>>,
+    right: &BTreeMap<QName, Vec<AttrValue>>,
+) -> ElementChange {
+    let mut change = ElementChange {
+        id: id.clone(),
+        removed_attrs: BTreeMap::new(),
+        added_attrs: BTreeMap::new(),
+        changed_attrs: BTreeMap::new(),
+    };
+    for (k, lv) in left {
+        match right.get(k) {
+            None => {
+                change.removed_attrs.insert(k.clone(), lv.clone());
+            }
+            Some(rv) if rv != lv => {
+                change
+                    .changed_attrs
+                    .insert(k.clone(), (lv.clone(), rv.clone()));
+            }
+            _ => {}
+        }
+    }
+    for (k, rv) in right {
+        if !left.contains_key(k) {
+            change.added_attrs.insert(k.clone(), rv.clone());
+        }
+    }
+    change
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    fn run_doc(lr: f64, epochs: i64, extra_artifact: bool) -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.activity(q("run"))
+            .attr(q("learning_rate"), AttrValue::Double(lr))
+            .attr(q("epochs"), AttrValue::Int(epochs));
+        doc.entity(q("model"));
+        doc.was_generated_by(q("model"), q("run"));
+        if extra_artifact {
+            doc.entity(q("confusion_matrix"));
+            doc.was_generated_by(q("confusion_matrix"), q("run"));
+        }
+        doc
+    }
+
+    #[test]
+    fn identical_documents_have_empty_diff() {
+        let a = run_doc(0.001, 10, false);
+        let b = run_doc(0.001, 10, false);
+        let d = diff(&a, &b);
+        assert!(d.is_empty());
+        assert_eq!(d.summary(), "");
+    }
+
+    #[test]
+    fn changed_hyperparameter_is_reported() {
+        let a = run_doc(0.001, 10, false);
+        let b = run_doc(0.01, 10, false);
+        let d = diff(&a, &b);
+        assert_eq!(d.changed_elements.len(), 1);
+        let ch = &d.changed_elements[0];
+        assert_eq!(ch.id, q("run"));
+        let (l, r) = &ch.changed_attrs[&q("learning_rate")];
+        assert_eq!(l[0], AttrValue::Double(0.001));
+        assert_eq!(r[0], AttrValue::Double(0.01));
+        assert!(d.summary().contains("learning_rate"));
+    }
+
+    #[test]
+    fn added_artifact_and_relation_reported() {
+        let a = run_doc(0.001, 10, false);
+        let b = run_doc(0.001, 10, true);
+        let d = diff(&a, &b);
+        assert_eq!(d.added_elements, vec![q("confusion_matrix")]);
+        assert_eq!(d.added_relations.len(), 1);
+        assert!(d.removed_elements.is_empty());
+    }
+
+    #[test]
+    fn removal_is_symmetric_to_addition() {
+        let a = run_doc(0.001, 10, true);
+        let b = run_doc(0.001, 10, false);
+        let d = diff(&a, &b);
+        assert_eq!(d.removed_elements, vec![q("confusion_matrix")]);
+        assert_eq!(d.removed_relations.len(), 1);
+    }
+
+    #[test]
+    fn added_and_removed_attrs() {
+        let mut a = ProvDocument::new();
+        a.entity(q("e")).attr(q("old"), AttrValue::Int(1));
+        let mut b = ProvDocument::new();
+        b.entity(q("e")).attr(q("new"), AttrValue::Int(2));
+        let d = diff(&a, &b);
+        let ch = &d.changed_elements[0];
+        assert!(ch.removed_attrs.contains_key(&q("old")));
+        assert!(ch.added_attrs.contains_key(&q("new")));
+        let s = d.summary();
+        assert!(s.contains("+ ex:e ex:new=2"));
+        assert!(s.contains("- ex:e ex:old=1"));
+    }
+}

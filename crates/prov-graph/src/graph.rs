@@ -1,0 +1,365 @@
+//! Adjacency-indexed view of a PROV document.
+
+use prov_model::{Element, ProvDocument, QName, RelationKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// One directed edge of the provenance graph.
+///
+/// `from` is the relation subject, `to` the object; `relation` indexes
+/// into [`ProvGraph::document`]'s relation list for full details.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the source node.
+    pub from: usize,
+    /// Index of the target node.
+    pub to: usize,
+    /// The relation kind of this edge.
+    pub kind: RelationKind,
+    /// Index of the relation in the document's relation list.
+    pub relation: usize,
+}
+
+/// An adjacency-indexed graph over a borrowed [`ProvDocument`].
+///
+/// Node indices are dense (`0..node_count()`); identifiers that only
+/// appear in relations (dangling references) still get nodes so traversal
+/// works on partially declared documents.
+pub struct ProvGraph<'a> {
+    doc: &'a ProvDocument,
+    ids: Vec<QName>,
+    index: HashMap<QName, usize>,
+    edges: Vec<Edge>,
+    out: Vec<Vec<usize>>,
+    inn: Vec<Vec<usize>>,
+}
+
+impl<'a> ProvGraph<'a> {
+    /// Indexes a document. Cost is `O(elements + relations)`.
+    pub fn new(doc: &'a ProvDocument) -> Self {
+        let mut ids = Vec::new();
+        let mut index = HashMap::new();
+        let intern = |q: &QName, ids: &mut Vec<QName>, index: &mut HashMap<QName, usize>| {
+            *index.entry(q.clone()).or_insert_with(|| {
+                ids.push(q.clone());
+                ids.len() - 1
+            })
+        };
+
+        for el in doc.iter_elements() {
+            intern(&el.id, &mut ids, &mut index);
+        }
+        let mut edges = Vec::with_capacity(doc.relation_count());
+        for (ri, rel) in doc.relations().iter().enumerate() {
+            let from = intern(&rel.subject, &mut ids, &mut index);
+            let to = intern(&rel.object, &mut ids, &mut index);
+            edges.push(Edge { from, to, kind: rel.kind, relation: ri });
+        }
+
+        let mut out = vec![Vec::new(); ids.len()];
+        let mut inn = vec![Vec::new(); ids.len()];
+        for (ei, e) in edges.iter().enumerate() {
+            out[e.from].push(ei);
+            inn[e.to].push(ei);
+        }
+
+        ProvGraph { doc, ids, index, edges, out, inn }
+    }
+
+    /// The underlying document.
+    pub fn document(&self) -> &'a ProvDocument {
+        self.doc
+    }
+
+    /// Number of nodes (declared elements plus dangling references).
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The node index for an identifier, if present.
+    pub fn node(&self, id: &QName) -> Option<usize> {
+        self.index.get(id).copied()
+    }
+
+    /// The identifier of node `i`.
+    pub fn id(&self, i: usize) -> &QName {
+        &self.ids[i]
+    }
+
+    /// The declared element of node `i`, if it was declared.
+    pub fn element(&self, i: usize) -> Option<&'a Element> {
+        self.doc.get(&self.ids[i])
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of node `i` (towards its origins).
+    pub fn out_edges(&self, i: usize) -> impl Iterator<Item = &Edge> {
+        self.out[i].iter().map(move |&ei| &self.edges[ei])
+    }
+
+    /// Incoming edges of node `i` (from its dependents).
+    pub fn in_edges(&self, i: usize) -> impl Iterator<Item = &Edge> {
+        self.inn[i].iter().map(move |&ei| &self.edges[ei])
+    }
+
+    /// Out-degree of node `i`.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.out[i].len()
+    }
+
+    /// In-degree of node `i`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.inn[i].len()
+    }
+
+    /// Identifiers of everything reachable by out-edges from `id`
+    /// (the *origins* / provenance closure), excluding `id` itself.
+    pub fn ancestors(&self, id: &QName) -> BTreeSet<QName> {
+        self.reach(id, true)
+    }
+
+    /// Identifiers of everything reachable by in-edges from `id`
+    /// (everything *influenced by* it), excluding `id` itself.
+    pub fn descendants(&self, id: &QName) -> BTreeSet<QName> {
+        self.reach(id, false)
+    }
+
+    fn reach(&self, id: &QName, forward: bool) -> BTreeSet<QName> {
+        let Some(start) = self.node(id) else {
+            return BTreeSet::new();
+        };
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut result = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            let adj = if forward { &self.out[n] } else { &self.inn[n] };
+            for &ei in adj {
+                let next = if forward { self.edges[ei].to } else { self.edges[ei].from };
+                if !seen[next] {
+                    seen[next] = true;
+                    result.insert(self.ids[next].clone());
+                    stack.push(next);
+                }
+            }
+        }
+        result
+    }
+
+    /// Shortest path (by hop count, following out-edges) between two
+    /// identifiers, inclusive of both endpoints.
+    pub fn path(&self, from: &QName, to: &QName) -> Option<Vec<QName>> {
+        let (s, t) = (self.node(from)?, self.node(to)?);
+        if s == t {
+            return Some(vec![from.clone()]);
+        }
+        let mut prev: Vec<Option<usize>> = vec![None; self.node_count()];
+        let mut queue = std::collections::VecDeque::from([s]);
+        let mut seen = vec![false; self.node_count()];
+        seen[s] = true;
+        while let Some(n) = queue.pop_front() {
+            for &ei in &self.out[n] {
+                let next = self.edges[ei].to;
+                if !seen[next] {
+                    seen[next] = true;
+                    prev[next] = Some(n);
+                    if next == t {
+                        let mut path = vec![t];
+                        let mut cur = t;
+                        while let Some(p) = prev[cur] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path.into_iter().map(|i| self.ids[i].clone()).collect());
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Topological order of the nodes (origins last), or `None` when the
+    /// graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<QName>> {
+        let n = self.node_count();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.in_degree(i)).collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(self.ids[i].clone());
+            for &ei in &self.out[i] {
+                let t = self.edges[ei].to;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push_back(t);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// True when the provenance graph contains a cycle.
+    ///
+    /// Cycles are structurally impossible in honest provenance (nothing
+    /// can precede its own origin), so a cycle indicates a malformed or
+    /// adversarial document.
+    pub fn has_cycle(&self) -> bool {
+        self.topo_order().is_none()
+    }
+
+    /// Nodes with no outgoing edges — the ultimate sources (e.g. raw
+    /// datasets, initial configurations).
+    pub fn roots(&self) -> Vec<QName> {
+        (0..self.node_count())
+            .filter(|&i| self.out_degree(i) == 0)
+            .map(|i| self.ids[i].clone())
+            .collect()
+    }
+
+    /// Nodes with no incoming edges — final products nothing else used.
+    pub fn leaves(&self) -> Vec<QName> {
+        (0..self.node_count())
+            .filter(|&i| self.in_degree(i) == 0)
+            .map(|i| self.ids[i].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    /// data -> used by train -> generates model -> used by eval -> report
+    fn pipeline_doc() -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("data"));
+        doc.activity(q("train"));
+        doc.entity(q("model"));
+        doc.activity(q("eval"));
+        doc.entity(q("report"));
+        doc.used(q("train"), q("data"));
+        doc.was_generated_by(q("model"), q("train"));
+        doc.used(q("eval"), q("model"));
+        doc.was_generated_by(q("report"), q("eval"));
+        doc
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let doc = pipeline_doc();
+        let g = ProvGraph::new(&doc);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.node(&q("model")).is_some());
+        assert!(g.node(&q("ghost")).is_none());
+        let i = g.node(&q("model")).unwrap();
+        assert_eq!(g.id(i), &q("model"));
+        assert!(g.element(i).is_some());
+    }
+
+    #[test]
+    fn ancestors_follow_provenance() {
+        let doc = pipeline_doc();
+        let g = ProvGraph::new(&doc);
+        let anc = g.ancestors(&q("report"));
+        assert!(anc.contains(&q("eval")));
+        assert!(anc.contains(&q("model")));
+        assert!(anc.contains(&q("train")));
+        assert!(anc.contains(&q("data")));
+        assert!(!anc.contains(&q("report")));
+        assert!(g.ancestors(&q("data")).is_empty());
+    }
+
+    #[test]
+    fn descendants_follow_influence() {
+        let doc = pipeline_doc();
+        let g = ProvGraph::new(&doc);
+        let desc = g.descendants(&q("data"));
+        assert_eq!(desc.len(), 4);
+        assert!(desc.contains(&q("report")));
+        assert!(g.descendants(&q("report")).is_empty());
+        assert!(g.descendants(&q("missing")).is_empty());
+    }
+
+    #[test]
+    fn path_finds_lineage_chain() {
+        let doc = pipeline_doc();
+        let g = ProvGraph::new(&doc);
+        let p = g.path(&q("report"), &q("data")).unwrap();
+        assert_eq!(
+            p,
+            vec![q("report"), q("eval"), q("model"), q("train"), q("data")]
+        );
+        assert!(g.path(&q("data"), &q("report")).is_none(), "wrong direction");
+        assert_eq!(g.path(&q("data"), &q("data")).unwrap(), vec![q("data")]);
+    }
+
+    #[test]
+    fn topo_order_and_acyclicity() {
+        let doc = pipeline_doc();
+        let g = ProvGraph::new(&doc);
+        assert!(!g.has_cycle());
+        let order = g.topo_order().unwrap();
+        let pos = |id: &QName| order.iter().position(|x| x == id).unwrap();
+        assert!(pos(&q("report")) < pos(&q("eval")));
+        assert!(pos(&q("model")) < pos(&q("train")));
+        assert!(pos(&q("train")) < pos(&q("data")));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut doc = ProvDocument::new();
+        doc.entity(q("a"));
+        doc.entity(q("b"));
+        doc.was_derived_from(q("a"), q("b"));
+        doc.was_derived_from(q("b"), q("a"));
+        let g = ProvGraph::new(&doc);
+        assert!(g.has_cycle());
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn dangling_references_become_nodes() {
+        let mut doc = ProvDocument::new();
+        doc.activity(q("train"));
+        doc.used(q("train"), q("undeclared"));
+        let g = ProvGraph::new(&doc);
+        assert_eq!(g.node_count(), 2);
+        let i = g.node(&q("undeclared")).unwrap();
+        assert!(g.element(i).is_none(), "undeclared node has no element");
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let doc = pipeline_doc();
+        let g = ProvGraph::new(&doc);
+        assert_eq!(g.roots(), vec![q("data")]);
+        assert_eq!(g.leaves(), vec![q("report")]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let doc = ProvDocument::new();
+        let g = ProvGraph::new(&doc);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_cycle());
+        assert!(g.topo_order().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Impact and divergence analysis.
+//!
+//! Two questions a provenance store answers that nothing else can:
+//!
+//! * **taint** — "this dataset turned out to be corrupted; which
+//!   artifacts are derived from it?" (forward closure, filtered to
+//!   entities);
+//! * **divergence** — "these two runs should have been identical;
+//!   where do their histories first differ?" (common vs. exclusive
+//!   ancestry).
+
+use crate::graph::ProvGraph;
+use prov_model::{ElementKind, ProvDocument, QName};
+use std::collections::BTreeSet;
+
+/// Everything *downstream* of `source`: artifacts, activities and
+/// agents whose existence depends on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintReport {
+    /// The contaminated source.
+    pub source: QName,
+    /// Downstream entities (the artifacts to quarantine).
+    pub tainted_entities: Vec<QName>,
+    /// Downstream activities (the runs to re-execute).
+    pub tainted_activities: Vec<QName>,
+    /// Total downstream elements of any kind.
+    pub total: usize,
+}
+
+/// Computes the taint closure of `source` in `doc`.
+pub fn taint(doc: &ProvDocument, source: &QName) -> TaintReport {
+    let graph = ProvGraph::new(doc);
+    let downstream = graph.descendants(source);
+    let mut tainted_entities = Vec::new();
+    let mut tainted_activities = Vec::new();
+    for id in &downstream {
+        match doc.get(id).map(|e| e.kind) {
+            Some(ElementKind::Entity) => tainted_entities.push(id.clone()),
+            Some(ElementKind::Activity) => tainted_activities.push(id.clone()),
+            _ => {}
+        }
+    }
+    TaintReport {
+        source: source.clone(),
+        total: downstream.len(),
+        tainted_entities,
+        tainted_activities,
+    }
+}
+
+/// Ancestry comparison of two elements (typically two runs' outputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Ancestors shared by both.
+    pub common: BTreeSet<QName>,
+    /// Ancestors only the first element has.
+    pub only_left: BTreeSet<QName>,
+    /// Ancestors only the second element has.
+    pub only_right: BTreeSet<QName>,
+}
+
+impl Divergence {
+    /// True when both elements have exactly the same ancestry.
+    pub fn is_identical(&self) -> bool {
+        self.only_left.is_empty() && self.only_right.is_empty()
+    }
+
+    /// Jaccard similarity of the two ancestries (1 when identical; 1
+    /// for two isolated nodes, which share their — empty — history).
+    pub fn similarity(&self) -> f64 {
+        let union = self.common.len() + self.only_left.len() + self.only_right.len();
+        if union == 0 {
+            1.0
+        } else {
+            self.common.len() as f64 / union as f64
+        }
+    }
+}
+
+/// Compares the ancestries of `left` and `right` in `doc`.
+pub fn divergence(doc: &ProvDocument, left: &QName, right: &QName) -> Divergence {
+    let graph = ProvGraph::new(doc);
+    let la = graph.ancestors(left);
+    let ra = graph.ancestors(right);
+    Divergence {
+        common: la.intersection(&ra).cloned().collect(),
+        only_left: la.difference(&ra).cloned().collect(),
+        only_right: ra.difference(&la).cloned().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    /// dataset -> train1 -> model1 -> eval1 -> report1
+    ///         \-> train2 -> model2          (train2 also used config2)
+    fn doc() -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("dataset"));
+        doc.entity(q("config2"));
+        for i in [1, 2] {
+            doc.activity(q(&format!("train{i}")));
+            doc.entity(q(&format!("model{i}")));
+            doc.used(q(&format!("train{i}")), q("dataset"));
+            doc.was_generated_by(q(&format!("model{i}")), q(&format!("train{i}")));
+        }
+        doc.used(q("train2"), q("config2"));
+        doc.activity(q("eval1"));
+        doc.entity(q("report1"));
+        doc.used(q("eval1"), q("model1"));
+        doc.was_generated_by(q("report1"), q("eval1"));
+        doc
+    }
+
+    #[test]
+    fn taint_finds_all_downstream_artifacts() {
+        let d = doc();
+        let report = taint(&d, &q("dataset"));
+        assert_eq!(report.total, 6);
+        assert!(report.tainted_entities.contains(&q("model1")));
+        assert!(report.tainted_entities.contains(&q("model2")));
+        assert!(report.tainted_entities.contains(&q("report1")));
+        assert!(report.tainted_activities.contains(&q("train1")));
+        assert!(report.tainted_activities.contains(&q("eval1")));
+        // config2 is upstream of train2, not downstream of the dataset.
+        assert!(!report.tainted_entities.contains(&q("config2")));
+    }
+
+    #[test]
+    fn taint_of_a_leaf_is_empty() {
+        let d = doc();
+        let report = taint(&d, &q("report1"));
+        assert_eq!(report.total, 0);
+        assert!(report.tainted_entities.is_empty());
+    }
+
+    #[test]
+    fn divergence_isolates_the_differing_input() {
+        let d = doc();
+        let div = divergence(&d, &q("model1"), &q("model2"));
+        assert!(!div.is_identical());
+        assert!(div.common.contains(&q("dataset")));
+        assert!(div.only_right.contains(&q("config2")));
+        assert!(div.only_left.contains(&q("train1")));
+        assert!(div.similarity() > 0.0 && div.similarity() < 1.0);
+    }
+
+    #[test]
+    fn identical_ancestry_detected() {
+        let mut d = ProvDocument::new();
+        d.entity(q("src"));
+        d.activity(q("a"));
+        d.used(q("a"), q("src"));
+        d.entity(q("out1"));
+        d.entity(q("out2"));
+        d.was_generated_by(q("out1"), q("a"));
+        d.was_generated_by(q("out2"), q("a"));
+        let div = divergence(&d, &q("out1"), &q("out2"));
+        assert!(div.is_identical());
+        assert_eq!(div.similarity(), 1.0);
+    }
+
+    #[test]
+    fn unrelated_nodes_share_nothing() {
+        let mut d = ProvDocument::new();
+        d.entity(q("a"));
+        d.entity(q("b"));
+        let div = divergence(&d, &q("a"), &q("b"));
+        assert!(div.common.is_empty());
+        assert_eq!(div.similarity(), 1.0, "empty histories are vacuously equal");
+    }
+}

@@ -1,0 +1,205 @@
+//! Declarative queries and sub-graph extraction over PROV documents.
+
+use prov_model::{AttrValue, Element, ElementKind, ProvDocument, QName};
+use std::collections::BTreeSet;
+
+/// Extracts the sub-document induced by a set of identifiers: the kept
+/// elements plus every relation whose subject *and* object are kept.
+pub fn subgraph(doc: &ProvDocument, keep: &BTreeSet<QName>) -> ProvDocument {
+    let mut out = ProvDocument::new();
+    out.namespaces_mut()
+        .merge(doc.namespaces())
+        .expect("merging into empty registry cannot conflict");
+    for el in doc.iter_elements() {
+        if keep.contains(&el.id) {
+            out.insert_element(el.clone());
+        }
+    }
+    for rel in doc.relations() {
+        if keep.contains(&rel.subject) && keep.contains(&rel.object) {
+            out.add_relation(rel.clone());
+        }
+    }
+    out
+}
+
+/// A fluent element query.
+///
+/// ```
+/// # use prov_model::{ProvDocument, QName, AttrValue, ElementKind};
+/// # use prov_graph::QueryBuilder;
+/// # let mut doc = ProvDocument::new();
+/// # doc.entity(QName::new("ex", "m")).attr(QName::new("ex", "loss"), AttrValue::Double(0.5));
+/// let hits = QueryBuilder::new(&doc)
+///     .kind(ElementKind::Entity)
+///     .where_attr(QName::new("ex", "loss"), |v| v.as_f64().is_some_and(|x| x < 1.0))
+///     .run();
+/// assert_eq!(hits.len(), 1);
+/// ```
+pub struct QueryBuilder<'a> {
+    doc: &'a ProvDocument,
+    kind: Option<ElementKind>,
+    prov_type: Option<QName>,
+    #[allow(clippy::type_complexity)]
+    predicates: Vec<(QName, Box<dyn Fn(&AttrValue) -> bool + 'a>)>,
+    local_contains: Option<String>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Starts a query over all elements of `doc`.
+    pub fn new(doc: &'a ProvDocument) -> Self {
+        QueryBuilder {
+            doc,
+            kind: None,
+            prov_type: None,
+            predicates: Vec::new(),
+            local_contains: None,
+        }
+    }
+
+    /// Keep only elements of this kind.
+    pub fn kind(mut self, kind: ElementKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Keep only elements carrying this `prov:type`.
+    pub fn with_type(mut self, ty: QName) -> Self {
+        self.prov_type = Some(ty);
+        self
+    }
+
+    /// Keep only elements whose identifier's local part contains `s`.
+    pub fn id_contains(mut self, s: impl Into<String>) -> Self {
+        self.local_contains = Some(s.into());
+        self
+    }
+
+    /// Keep only elements where *some* value under `key` satisfies `pred`.
+    pub fn where_attr(
+        mut self,
+        key: QName,
+        pred: impl Fn(&AttrValue) -> bool + 'a,
+    ) -> Self {
+        self.predicates.push((key, Box::new(pred)));
+        self
+    }
+
+    /// Executes the query.
+    pub fn run(self) -> Vec<&'a Element> {
+        self.doc
+            .iter_elements()
+            .filter(|el| self.kind.is_none_or(|k| el.kind == k))
+            .filter(|el| {
+                self.prov_type
+                    .as_ref()
+                    .is_none_or(|t| el.has_type(t))
+            })
+            .filter(|el| {
+                self.local_contains
+                    .as_ref()
+                    .is_none_or(|s| el.id.local().contains(s.as_str()))
+            })
+            .filter(|el| {
+                self.predicates
+                    .iter()
+                    .all(|(key, pred)| el.attrs(key).iter().any(pred))
+            })
+            .collect()
+    }
+
+    /// Executes the query and returns just the identifiers.
+    pub fn ids(self) -> BTreeSet<QName> {
+        self.run().into_iter().map(|e| e.id.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    fn doc() -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("model_small"))
+            .prov_type(q("Model"))
+            .attr(q("loss"), AttrValue::Double(0.9));
+        doc.entity(q("model_big"))
+            .prov_type(q("Model"))
+            .attr(q("loss"), AttrValue::Double(0.2));
+        doc.entity(q("dataset")).prov_type(q("Dataset"));
+        doc.activity(q("train"));
+        doc.used(q("train"), q("dataset"));
+        doc.was_generated_by(q("model_big"), q("train"));
+        doc
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let d = doc();
+        let entities = QueryBuilder::new(&d).kind(ElementKind::Entity).run();
+        assert_eq!(entities.len(), 3);
+        let acts = QueryBuilder::new(&d).kind(ElementKind::Activity).run();
+        assert_eq!(acts.len(), 1);
+    }
+
+    #[test]
+    fn filter_by_prov_type() {
+        let d = doc();
+        let models = QueryBuilder::new(&d).with_type(q("Model")).ids();
+        assert_eq!(models.len(), 2);
+        assert!(models.contains(&q("model_small")));
+    }
+
+    #[test]
+    fn filter_by_attribute_predicate() {
+        let d = doc();
+        let good = QueryBuilder::new(&d)
+            .with_type(q("Model"))
+            .where_attr(q("loss"), |v| v.as_f64().is_some_and(|x| x < 0.5))
+            .ids();
+        assert_eq!(good.len(), 1);
+        assert!(good.contains(&q("model_big")));
+    }
+
+    #[test]
+    fn filter_by_id_substring() {
+        let d = doc();
+        let hits = QueryBuilder::new(&d).id_contains("model").ids();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn combined_filters_intersect() {
+        let d = doc();
+        let hits = QueryBuilder::new(&d)
+            .kind(ElementKind::Entity)
+            .with_type(q("Model"))
+            .id_contains("small")
+            .run();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, q("model_small"));
+    }
+
+    #[test]
+    fn subgraph_keeps_internal_relations_only() {
+        let d = doc();
+        let keep: BTreeSet<QName> = [q("train"), q("dataset")].into_iter().collect();
+        let sub = subgraph(&d, &keep);
+        assert_eq!(sub.element_count(), 2);
+        assert_eq!(sub.relation_count(), 1); // used(train, dataset)
+        assert!(sub.namespaces().contains("ex"));
+    }
+
+    #[test]
+    fn subgraph_of_empty_set_is_empty() {
+        let d = doc();
+        let sub = subgraph(&d, &BTreeSet::new());
+        assert!(sub.is_empty() || sub.element_count() == 0);
+        assert_eq!(sub.relation_count(), 0);
+    }
+}

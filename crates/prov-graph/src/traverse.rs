@@ -1,0 +1,245 @@
+//! Configurable breadth-first / depth-first traversal with edge filters.
+
+use crate::graph::{Edge, ProvGraph};
+use prov_model::{QName, RelationKind};
+use std::collections::VecDeque;
+
+/// Visit order of a [`Traversal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalOrder {
+    /// Breadth-first (level by level; shortest hop distance first).
+    BreadthFirst,
+    /// Depth-first (follows one lineage chain to its end first).
+    DepthFirst,
+}
+
+/// Direction of travel along relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow subject → object (towards origins).
+    Forward,
+    /// Follow object → subject (towards dependents).
+    Backward,
+}
+
+/// A visited node together with its hop distance from the start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Visit {
+    /// The node identifier.
+    pub id: QName,
+    /// Hops from the traversal start (start itself is depth 0).
+    pub depth: usize,
+}
+
+/// A configurable graph walk.
+///
+/// ```
+/// # use prov_model::{ProvDocument, QName, RelationKind};
+/// # use prov_graph::{ProvGraph, Traversal};
+/// # let mut doc = ProvDocument::new();
+/// # let a = QName::new("ex", "a"); let b = QName::new("ex", "b");
+/// # doc.entity(a.clone()); doc.entity(b.clone());
+/// # doc.was_derived_from(a.clone(), b.clone());
+/// # let g = ProvGraph::new(&doc);
+/// let visits = Traversal::new(&g)
+///     .only_kinds(&[RelationKind::WasDerivedFrom])
+///     .max_depth(3)
+///     .run(&a);
+/// assert_eq!(visits.len(), 2); // a itself + b
+/// ```
+pub struct Traversal<'g, 'a> {
+    graph: &'g ProvGraph<'a>,
+    order: TraversalOrder,
+    direction: Direction,
+    kinds: Option<Vec<RelationKind>>,
+    max_depth: Option<usize>,
+}
+
+impl<'g, 'a> Traversal<'g, 'a> {
+    /// A forward breadth-first traversal with no filters.
+    pub fn new(graph: &'g ProvGraph<'a>) -> Self {
+        Traversal {
+            graph,
+            order: TraversalOrder::BreadthFirst,
+            direction: Direction::Forward,
+            kinds: None,
+            max_depth: None,
+        }
+    }
+
+    /// Sets the visit order.
+    pub fn order(mut self, order: TraversalOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Walks towards dependents instead of origins.
+    pub fn backward(mut self) -> Self {
+        self.direction = Direction::Backward;
+        self
+    }
+
+    /// Restricts travel to the given relation kinds.
+    pub fn only_kinds(mut self, kinds: &[RelationKind]) -> Self {
+        self.kinds = Some(kinds.to_vec());
+        self
+    }
+
+    /// Limits the hop distance (start node is depth 0).
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    fn edge_allowed(&self, e: &Edge) -> bool {
+        match &self.kinds {
+            Some(ks) => ks.contains(&e.kind),
+            None => true,
+        }
+    }
+
+    /// Runs the walk from `start`, returning visits in visit order.
+    ///
+    /// The start node is included (depth 0). Unknown identifiers yield an
+    /// empty result.
+    pub fn run(&self, start: &QName) -> Vec<Visit> {
+        let Some(s) = self.graph.node(start) else {
+            return Vec::new();
+        };
+        let mut seen = vec![false; self.graph.node_count()];
+        seen[s] = true;
+        let mut result = vec![Visit { id: start.clone(), depth: 0 }];
+        // Deque used as queue (BFS) or stack (DFS).
+        let mut work: VecDeque<(usize, usize)> = VecDeque::from([(s, 0)]);
+
+        while let Some((node, depth)) = match self.order {
+            TraversalOrder::BreadthFirst => work.pop_front(),
+            TraversalOrder::DepthFirst => work.pop_back(),
+        } {
+            if let Some(max) = self.max_depth {
+                if depth >= max {
+                    continue;
+                }
+            }
+            let edges: Vec<&Edge> = match self.direction {
+                Direction::Forward => self.graph.out_edges(node).collect(),
+                Direction::Backward => self.graph.in_edges(node).collect(),
+            };
+            for e in edges {
+                if !self.edge_allowed(e) {
+                    continue;
+                }
+                let next = match self.direction {
+                    Direction::Forward => e.to,
+                    Direction::Backward => e.from,
+                };
+                if !seen[next] {
+                    seen[next] = true;
+                    result.push(Visit {
+                        id: self.graph.id(next).clone(),
+                        depth: depth + 1,
+                    });
+                    work.push_back((next, depth + 1));
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::ProvDocument;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    /// Chain: e0 <-derived- e1 <-derived- e2 <-derived- e3, plus an
+    /// attribution edge from e1 to agent g.
+    fn chain_doc() -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        for i in 0..4 {
+            doc.entity(q(&format!("e{i}")));
+        }
+        doc.agent(q("g"));
+        for i in (1..4).rev() {
+            doc.was_derived_from(q(&format!("e{i}")), q(&format!("e{}", i - 1)));
+        }
+        doc.was_attributed_to(q("e1"), q("g"));
+        doc
+    }
+
+    #[test]
+    fn bfs_visits_by_depth() {
+        let doc = chain_doc();
+        let g = ProvGraph::new(&doc);
+        let visits = Traversal::new(&g).run(&q("e3"));
+        let depths: Vec<(String, usize)> = visits
+            .iter()
+            .map(|v| (v.id.local().to_string(), v.depth))
+            .collect();
+        assert_eq!(depths[0], ("e3".into(), 0));
+        assert!(depths.contains(&("e2".into(), 1)));
+        assert!(depths.contains(&("e1".into(), 2)));
+        assert!(depths.contains(&("e0".into(), 3)));
+        assert!(depths.contains(&("g".into(), 3)));
+    }
+
+    #[test]
+    fn dfs_reaches_same_set() {
+        let doc = chain_doc();
+        let g = ProvGraph::new(&doc);
+        let bfs: std::collections::BTreeSet<_> = Traversal::new(&g)
+            .run(&q("e3"))
+            .into_iter()
+            .map(|v| v.id)
+            .collect();
+        let dfs: std::collections::BTreeSet<_> = Traversal::new(&g)
+            .order(TraversalOrder::DepthFirst)
+            .run(&q("e3"))
+            .into_iter()
+            .map(|v| v.id)
+            .collect();
+        assert_eq!(bfs, dfs);
+    }
+
+    #[test]
+    fn kind_filter_excludes_edges() {
+        let doc = chain_doc();
+        let g = ProvGraph::new(&doc);
+        let visits = Traversal::new(&g)
+            .only_kinds(&[RelationKind::WasDerivedFrom])
+            .run(&q("e3"));
+        assert!(visits.iter().all(|v| v.id != q("g")), "agent filtered out");
+        assert_eq!(visits.len(), 4);
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let doc = chain_doc();
+        let g = ProvGraph::new(&doc);
+        let visits = Traversal::new(&g).max_depth(1).run(&q("e3"));
+        assert_eq!(visits.len(), 2); // e3 + e2
+        let visits = Traversal::new(&g).max_depth(0).run(&q("e3"));
+        assert_eq!(visits.len(), 1);
+    }
+
+    #[test]
+    fn backward_traversal() {
+        let doc = chain_doc();
+        let g = ProvGraph::new(&doc);
+        let visits = Traversal::new(&g).backward().run(&q("e0"));
+        let ids: Vec<_> = visits.iter().map(|v| v.id.local().to_string()).collect();
+        assert!(ids.contains(&"e3".to_string()));
+        assert_eq!(visits.len(), 4);
+    }
+
+    #[test]
+    fn unknown_start_is_empty() {
+        let doc = chain_doc();
+        let g = ProvGraph::new(&doc);
+        assert!(Traversal::new(&g).run(&q("nope")).is_empty());
+    }
+}

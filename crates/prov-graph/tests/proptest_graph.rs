@@ -1,0 +1,155 @@
+//! Property tests on graph invariants over randomly generated PROV
+//! documents.
+
+use proptest::prelude::*;
+use prov_graph::{subgraph, ProvGraph};
+use prov_model::{ProvDocument, QName, Relation, RelationKind};
+use std::collections::BTreeSet;
+
+fn q(i: usize) -> QName {
+    QName::new("ex", format!("n{i}"))
+}
+
+/// A random document over `n` entities with edges `i -> j` only where
+/// `i > j` — guaranteed acyclic.
+fn dag_doc(n: usize, edges: &[(usize, usize)]) -> ProvDocument {
+    let mut doc = ProvDocument::new();
+    doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+    for i in 0..n {
+        doc.entity(q(i));
+    }
+    for &(a, b) in edges {
+        let (hi, lo) = (a.max(b), a.min(b));
+        if hi != lo {
+            doc.was_derived_from(q(hi), q(lo));
+        }
+    }
+    doc
+}
+
+/// A document with arbitrary (possibly cyclic) edges.
+fn any_doc(n: usize, edges: &[(usize, usize)]) -> ProvDocument {
+    let mut doc = ProvDocument::new();
+    doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+    for i in 0..n {
+        doc.entity(q(i));
+    }
+    for &(a, b) in edges {
+        doc.add_relation(Relation::new(RelationKind::WasInfluencedBy, q(a % n), q(b % n)));
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ancestors_and_descendants_are_dual(
+        n in 2usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20), 0..60),
+    ) {
+        let edges: Vec<(usize, usize)> = edges.into_iter()
+            .map(|(a, b)| (a % n, b % n)).collect();
+        let doc = dag_doc(n, &edges);
+        let graph = ProvGraph::new(&doc);
+        for a in 0..n {
+            let anc = graph.ancestors(&q(a));
+            for b in anc {
+                let desc = graph.descendants(&b);
+                prop_assert!(
+                    desc.contains(&q(a)),
+                    "{} in ancestors({}) but not vice versa", b, a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dags_have_topo_order_respecting_edges(
+        n in 2usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20), 0..60),
+    ) {
+        let edges: Vec<(usize, usize)> = edges.into_iter()
+            .map(|(a, b)| (a % n, b % n)).collect();
+        let doc = dag_doc(n, &edges);
+        let graph = ProvGraph::new(&doc);
+        prop_assert!(!graph.has_cycle(), "construction is acyclic");
+        let order = graph.topo_order().unwrap();
+        let pos = |id: &QName| order.iter().position(|x| x == id).unwrap();
+        // Every edge hi -> lo must have hi before lo in the order.
+        for &(a, b) in &edges {
+            let (hi, lo) = (a.max(b), a.min(b));
+            if hi != lo {
+                prop_assert!(pos(&q(hi)) < pos(&q(lo)));
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_are_cycles(n in 1usize..10, node in 0usize..10) {
+        let node = node % n;
+        let doc = any_doc(n, &[(node, node)]);
+        let graph = ProvGraph::new(&doc);
+        prop_assert!(graph.has_cycle());
+    }
+
+    #[test]
+    fn subgraph_is_closed_and_minimal(
+        n in 2usize..15,
+        edges in prop::collection::vec((0usize..15, 0usize..15), 0..40),
+        keep_bits in prop::collection::vec(any::<bool>(), 15),
+    ) {
+        let edges: Vec<(usize, usize)> = edges.into_iter()
+            .map(|(a, b)| (a % n, b % n)).collect();
+        let doc = dag_doc(n, &edges);
+        let keep: BTreeSet<QName> = (0..n)
+            .filter(|&i| keep_bits[i])
+            .map(q)
+            .collect();
+        let sub = subgraph(&doc, &keep);
+        // Exactly the kept elements appear.
+        prop_assert_eq!(sub.element_count(), keep.len());
+        // Every relation's endpoints are kept.
+        for rel in sub.relations() {
+            prop_assert!(keep.contains(&rel.subject));
+            prop_assert!(keep.contains(&rel.object));
+        }
+        // No dropped relation had both endpoints kept.
+        let sub_rel_count = sub.relation_count();
+        let expect = doc.relations().iter()
+            .filter(|r| keep.contains(&r.subject) && keep.contains(&r.object))
+            .count();
+        prop_assert_eq!(sub_rel_count, expect);
+    }
+
+    #[test]
+    fn path_endpoints_and_adjacency(
+        n in 2usize..15,
+        edges in prop::collection::vec((0usize..15, 0usize..15), 1..40),
+    ) {
+        let edges: Vec<(usize, usize)> = edges.into_iter()
+            .map(|(a, b)| (a % n, b % n)).collect();
+        let doc = dag_doc(n, &edges);
+        let graph = ProvGraph::new(&doc);
+        // For each pair, if a path exists its endpoints match and each
+        // hop is a real edge.
+        let edge_set: BTreeSet<(usize, usize)> = edges.iter()
+            .map(|&(a, b)| (a.max(b), a.min(b)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        for a in 0..n {
+            for b in 0..n {
+                if let Some(path) = graph.path(&q(a), &q(b)) {
+                    prop_assert_eq!(path.first().unwrap(), &q(a));
+                    prop_assert_eq!(path.last().unwrap(), &q(b));
+                    for w in path.windows(2) {
+                        let from: usize = w[0].local()[1..].parse().unwrap();
+                        let to: usize = w[1].local()[1..].parse().unwrap();
+                        prop_assert!(edge_set.contains(&(from, to)),
+                            "hop {from}->{to} is not an edge");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! PROV-JSON serialization and deserialization.
+//!
+//! Implements the W3C PROV-JSON member-submission layout: a top-level
+//! object with a `prefix` block, one block per element kind keyed by
+//! qualified identifier, one block per relation kind keyed by relation
+//! identifier (blank-node style `_:idN` keys for anonymous relations),
+//! and a `bundle` block of nested documents.
+
+use crate::document::ProvDocument;
+use crate::error::ProvError;
+use crate::qname::QName;
+use crate::record::{Element, ElementKind};
+use crate::relation::{Relation, RelationKind};
+use crate::value::{format_double, AttrValue};
+use crate::XsdDateTime;
+use serde_json::{json, Map, Value};
+
+impl ProvDocument {
+    /// Serializes to a PROV-JSON [`serde_json::Value`].
+    pub fn to_json(&self) -> Value {
+        doc_to_json(self)
+    }
+
+    /// Serializes to a compact PROV-JSON string.
+    pub fn to_json_string(&self) -> Result<String, ProvError> {
+        Ok(serde_json::to_string(&self.to_json())?)
+    }
+
+    /// Serializes to a pretty-printed PROV-JSON string.
+    pub fn to_json_string_pretty(&self) -> Result<String, ProvError> {
+        Ok(serde_json::to_string_pretty(&self.to_json())?)
+    }
+
+    /// Parses a PROV-JSON value into a document.
+    pub fn from_json(value: &Value) -> Result<Self, ProvError> {
+        doc_from_json(value)
+    }
+
+    /// Parses a PROV-JSON string into a document.
+    pub fn from_json_str(s: &str) -> Result<Self, ProvError> {
+        let value: Value = serde_json::from_str(s)?;
+        doc_from_json(&value)
+    }
+
+    /// Reorders relations into the canonical (kind, then textual) order
+    /// used by the serializer, recursively through bundles.
+    ///
+    /// After `canonicalize`, two documents with the same content compare
+    /// equal regardless of relation insertion order.
+    pub fn canonicalize(&mut self) {
+        self.relations_mut().sort_by_cached_key(relation_sort_key);
+        let names: Vec<QName> = self.iter_bundles().map(|(n, _)| n.clone()).collect();
+        for name in names {
+            self.bundle(name).canonicalize();
+        }
+    }
+}
+
+fn relation_sort_key(r: &Relation) -> (usize, String, String, String) {
+    let kind_pos = RelationKind::all()
+        .iter()
+        .position(|k| *k == r.kind)
+        .unwrap_or(usize::MAX);
+    (
+        kind_pos,
+        r.subject.to_string(),
+        r.object.to_string(),
+        format!("{:?}{:?}{:?}", r.id, r.time, r.extras),
+    )
+}
+
+// --------------------------------------------------------------------------
+// Serialization
+// --------------------------------------------------------------------------
+
+fn doc_to_json(doc: &ProvDocument) -> Value {
+    let mut root = Map::new();
+
+    // prefix block
+    let mut prefix = Map::new();
+    for ns in doc.namespaces().iter() {
+        prefix.insert(ns.prefix, Value::String(ns.iri));
+    }
+    if let Some(d) = doc.namespaces().default_ns() {
+        prefix.insert("default".to_string(), Value::String(d.to_string()));
+    }
+    if !prefix.is_empty() {
+        root.insert("prefix".to_string(), Value::Object(prefix));
+    }
+
+    // element blocks
+    for kind in ElementKind::all() {
+        let mut block = Map::new();
+        for el in doc.iter_kind(kind) {
+            block.insert(el.id.to_string(), attrs_to_json(&el.attributes));
+        }
+        if !block.is_empty() {
+            root.insert(kind.json_key().to_string(), Value::Object(block));
+        }
+    }
+
+    // relation blocks — anonymous ids are zero-padded so that the sorted
+    // JSON map preserves insertion order.
+    let mut anon = 0u64;
+    for kind in RelationKind::all() {
+        let mut block = Map::new();
+        for rel in doc.relations_of(*kind) {
+            let key = match &rel.id {
+                Some(q) => q.to_string(),
+                None => {
+                    anon += 1;
+                    format!("_:id{anon:06}")
+                }
+            };
+            block.insert(key, relation_to_json(rel));
+        }
+        if !block.is_empty() {
+            root.insert(kind.json_key().to_string(), Value::Object(block));
+        }
+    }
+
+    // bundles
+    let mut bundles = Map::new();
+    for (name, bundle) in doc.iter_bundles() {
+        bundles.insert(name.to_string(), doc_to_json(bundle));
+    }
+    if !bundles.is_empty() {
+        root.insert("bundle".to_string(), Value::Object(bundles));
+    }
+
+    Value::Object(root)
+}
+
+fn attrs_to_json(attrs: &std::collections::BTreeMap<QName, Vec<AttrValue>>) -> Value {
+    let mut obj = Map::new();
+    for (key, values) in attrs {
+        let rendered: Vec<Value> = values.iter().map(value_to_json).collect();
+        let v = if rendered.len() == 1 {
+            rendered.into_iter().next().expect("len checked")
+        } else {
+            Value::Array(rendered)
+        };
+        obj.insert(key.to_string(), v);
+    }
+    Value::Object(obj)
+}
+
+/// Renders one attribute value per the PROV-JSON value rules.
+pub fn value_to_json(v: &AttrValue) -> Value {
+    match v {
+        AttrValue::String(s) => Value::String(s.clone()),
+        AttrValue::LangString(s, lang) => json!({ "$": s, "lang": lang }),
+        AttrValue::Int(i) => json!(i),
+        AttrValue::Bool(b) => json!(b),
+        // Doubles always use the typed-literal form: serde_json's float
+        // parsing is approximate (no `float_roundtrip` feature), while the
+        // lexical form printed with Rust's shortest-roundtrip formatter
+        // parses back exactly.
+        AttrValue::Double(d) => json!({ "$": format_double(*d), "type": "xsd:double" }),
+        AttrValue::QualifiedName(q) => json!({ "$": q.to_string(), "type": "prov:QUALIFIED_NAME" }),
+        AttrValue::DateTime(t) => json!({ "$": t.to_string(), "type": "xsd:dateTime" }),
+        AttrValue::Typed(s, t) => json!({ "$": s, "type": t.to_string() }),
+    }
+}
+
+fn relation_to_json(rel: &Relation) -> Value {
+    let mut obj = Map::new();
+    obj.insert(
+        rel.kind.subject_key().to_string(),
+        Value::String(rel.subject.to_string()),
+    );
+    obj.insert(
+        rel.kind.object_key().to_string(),
+        Value::String(rel.object.to_string()),
+    );
+    if let Some(t) = rel.time {
+        obj.insert("prov:time".to_string(), Value::String(t.to_string()));
+    }
+    for (k, v) in &rel.extras {
+        obj.insert(k.clone(), Value::String(v.to_string()));
+    }
+    if let Value::Object(attrs) = attrs_to_json(&rel.attributes) {
+        for (k, v) in attrs {
+            obj.insert(k, v);
+        }
+    }
+    Value::Object(obj)
+}
+
+// --------------------------------------------------------------------------
+// Deserialization
+// --------------------------------------------------------------------------
+
+fn doc_from_json(value: &Value) -> Result<ProvDocument, ProvError> {
+    let root = value
+        .as_object()
+        .ok_or_else(|| ProvError::Structure("document must be a JSON object".into()))?;
+    let mut doc = ProvDocument::new();
+
+    if let Some(prefix) = root.get("prefix") {
+        let prefix = prefix
+            .as_object()
+            .ok_or_else(|| ProvError::Structure("'prefix' must be an object".into()))?;
+        for (p, iri) in prefix {
+            let iri = iri
+                .as_str()
+                .ok_or_else(|| ProvError::Structure(format!("prefix {p:?} must map to a string")))?;
+            if p == "default" {
+                doc.namespaces_mut().set_default(iri);
+            } else {
+                doc.namespaces_mut().register(p.clone(), iri)?;
+            }
+        }
+    }
+
+    for kind in ElementKind::all() {
+        if let Some(block) = root.get(kind.json_key()) {
+            let block = block.as_object().ok_or_else(|| {
+                ProvError::Structure(format!("'{}' must be an object", kind.json_key()))
+            })?;
+            for (id, attrs) in block {
+                let id = QName::parse(id)?;
+                let mut el = Element::new(kind, id);
+                parse_attrs_into(attrs, &mut el.attributes, kind.json_key())?;
+                doc.insert_element(el);
+            }
+        }
+    }
+
+    for kind in RelationKind::all() {
+        if let Some(block) = root.get(kind.json_key()) {
+            let block = block.as_object().ok_or_else(|| {
+                ProvError::Structure(format!("'{}' must be an object", kind.json_key()))
+            })?;
+            for (rel_id, body) in block {
+                let rel = relation_from_json(*kind, rel_id, body)?;
+                doc.add_relation(rel);
+            }
+        }
+    }
+
+    if let Some(bundles) = root.get("bundle") {
+        let bundles = bundles
+            .as_object()
+            .ok_or_else(|| ProvError::Structure("'bundle' must be an object".into()))?;
+        for (name, inner) in bundles {
+            let name = QName::parse(name)?;
+            let parsed = doc_from_json(inner)?;
+            *doc.bundle(name) = parsed;
+        }
+    }
+
+    Ok(doc)
+}
+
+fn parse_attrs_into(
+    attrs: &Value,
+    out: &mut std::collections::BTreeMap<QName, Vec<AttrValue>>,
+    ctx: &str,
+) -> Result<(), ProvError> {
+    let obj = attrs
+        .as_object()
+        .ok_or_else(|| ProvError::Structure(format!("attributes of {ctx} must be an object")))?;
+    for (key, raw) in obj {
+        let key = QName::parse(key)?;
+        let values = match raw {
+            Value::Array(items) => items
+                .iter()
+                .map(value_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            single => vec![value_from_json(single)?],
+        };
+        out.entry(key).or_default().extend(values);
+    }
+    Ok(())
+}
+
+/// Parses one PROV-JSON attribute value.
+pub fn value_from_json(v: &Value) -> Result<AttrValue, ProvError> {
+    match v {
+        Value::String(s) => Ok(AttrValue::String(s.clone())),
+        Value::Bool(b) => Ok(AttrValue::Bool(*b)),
+        Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Ok(AttrValue::Int(i))
+            } else if let Some(d) = n.as_f64() {
+                Ok(AttrValue::Double(d))
+            } else {
+                Err(ProvError::BadValue(format!("unrepresentable number {n}")))
+            }
+        }
+        Value::Object(obj) => {
+            let lexical = obj
+                .get("$")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ProvError::BadValue("typed value needs a '$' string".into()))?;
+            if let Some(lang) = obj.get("lang").and_then(Value::as_str) {
+                return Ok(AttrValue::LangString(lexical.to_string(), lang.to_string()));
+            }
+            match obj.get("type").and_then(Value::as_str) {
+                Some(ty) => {
+                    let ty = QName::parse(ty)?;
+                    AttrValue::from_lexical(lexical, &ty)
+                }
+                None => Ok(AttrValue::String(lexical.to_string())),
+            }
+        }
+        other => Err(ProvError::BadValue(format!(
+            "unsupported attribute value: {other}"
+        ))),
+    }
+}
+
+fn relation_from_json(kind: RelationKind, rel_id: &str, body: &Value) -> Result<Relation, ProvError> {
+    let obj = body.as_object().ok_or_else(|| {
+        ProvError::Structure(format!("relation {rel_id:?} must map to an object"))
+    })?;
+    let get_q = |key: &str| -> Result<QName, ProvError> {
+        let raw = obj.get(key).and_then(Value::as_str).ok_or_else(|| {
+            ProvError::Structure(format!(
+                "relation {rel_id:?} ({}) missing argument {key:?}",
+                kind.json_key()
+            ))
+        })?;
+        QName::parse(raw)
+    };
+
+    let subject = get_q(kind.subject_key())?;
+    let object = get_q(kind.object_key())?;
+    let mut rel = Relation::new(kind, subject, object);
+
+    if !rel_id.starts_with("_:") {
+        rel.id = Some(QName::parse(rel_id)?);
+    }
+    if kind.supports_time() {
+        if let Some(t) = obj.get("prov:time").and_then(Value::as_str) {
+            rel.time = Some(XsdDateTime::parse(t)?);
+        }
+    }
+    for extra in kind.extra_keys() {
+        if let Some(v) = obj.get(*extra).and_then(Value::as_str) {
+            rel.extras.insert(extra.to_string(), QName::parse(v)?);
+        }
+    }
+
+    // Everything that isn't a formal argument is an application attribute.
+    let formal: Vec<&str> = {
+        let mut f = vec![kind.subject_key(), kind.object_key(), "prov:time"];
+        f.extend_from_slice(kind.extra_keys());
+        f
+    };
+    for (key, raw) in obj {
+        if formal.contains(&key.as_str()) {
+            continue;
+        }
+        let key = QName::parse(key)?;
+        match raw {
+            Value::Array(items) => {
+                for item in items {
+                    let v = value_from_json(item)?;
+                    rel.add_attr(key.clone(), v);
+                }
+            }
+            single => {
+                let v = value_from_json(single)?;
+                rel.add_attr(key, v);
+            }
+        }
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qname::YPROV_NS;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    fn sample_doc() -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.namespaces_mut().register("yprov4ml", YPROV_NS).unwrap();
+        doc.entity(q("dataset"))
+            .label("MODIS patches")
+            .attr(QName::yprov("patches"), AttrValue::Int(800_000));
+        doc.entity(q("model"))
+            .attr(QName::yprov("loss"), AttrValue::Double(0.125))
+            .attr(QName::yprov("params"), AttrValue::Double(1.4e9));
+        doc.activity(q("train"))
+            .start_time(XsdDateTime::new(1_000, 0))
+            .end_time(XsdDateTime::new(8_200, 500));
+        doc.agent(q("researcher"));
+        doc.used(q("train"), q("dataset")).add_attr(
+            QName::prov("role"),
+            AttrValue::from("training-input"),
+        );
+        doc.was_generated_by(q("model"), q("train"));
+        doc.was_associated_with(q("train"), q("researcher"));
+        doc.was_derived_from(q("model"), q("dataset"));
+        doc
+    }
+
+    #[test]
+    fn roundtrip_preserves_document() {
+        let mut doc = sample_doc();
+        let json = doc.to_json_string_pretty().unwrap();
+        let mut back = ProvDocument::from_json_str(&json).unwrap();
+        doc.canonicalize();
+        back.canonicalize();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn json_level_idempotence() {
+        let doc = sample_doc();
+        let j1 = doc.to_json();
+        let back = ProvDocument::from_json(&j1).unwrap();
+        let j2 = back.to_json();
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn serializes_expected_blocks() {
+        let doc = sample_doc();
+        let v = doc.to_json();
+        assert!(v.get("prefix").is_some());
+        assert!(v.get("entity").unwrap().get("ex:dataset").is_some());
+        assert!(v.get("activity").unwrap().get("ex:train").is_some());
+        assert!(v.get("used").is_some());
+        assert!(v.get("wasGeneratedBy").is_some());
+        // No empty blocks.
+        assert!(v.get("hadMember").is_none());
+    }
+
+    #[test]
+    fn multivalued_attributes_roundtrip() {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("e"))
+            .prov_type(q("TypeA"))
+            .prov_type(q("TypeB"));
+        let json = doc.to_json();
+        let tv = &json["entity"]["ex:e"]["prov:type"];
+        assert!(tv.is_array(), "multi-valued attr must serialize as array");
+        let back = ProvDocument::from_json(&json).unwrap();
+        let e = back.get(&q("e")).unwrap();
+        assert!(e.has_type(&q("TypeA")));
+        assert!(e.has_type(&q("TypeB")));
+    }
+
+    #[test]
+    fn special_float_values_roundtrip() {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("e"))
+            .attr(QName::yprov("nan"), AttrValue::Double(f64::NAN))
+            .attr(QName::yprov("inf"), AttrValue::Double(f64::INFINITY))
+            .attr(QName::yprov("whole"), AttrValue::Double(3.0));
+        let json = doc.to_json_string().unwrap();
+        let back = ProvDocument::from_json_str(&json).unwrap();
+        let e = back.get(&q("e")).unwrap();
+        match e.attr(&QName::yprov("nan")).unwrap() {
+            AttrValue::Double(d) => assert!(d.is_nan()),
+            other => panic!("expected NaN double, got {other:?}"),
+        }
+        assert_eq!(
+            e.attr(&QName::yprov("inf")),
+            Some(&AttrValue::Double(f64::INFINITY))
+        );
+        assert_eq!(e.attr(&QName::yprov("whole")), Some(&AttrValue::Double(3.0)));
+    }
+
+    #[test]
+    fn bundles_roundtrip() {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.bundle(q("runmeta")).entity(q("inner"));
+        let json = doc.to_json_string().unwrap();
+        let back = ProvDocument::from_json_str(&json).unwrap();
+        assert!(back
+            .get_bundle(&q("runmeta"))
+            .unwrap()
+            .get(&q("inner"))
+            .is_some());
+    }
+
+    #[test]
+    fn named_relations_keep_their_id() {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("e"));
+        doc.activity(q("a"));
+        let rel = Relation::new(RelationKind::Used, q("a"), q("e")).with_id(q("use1"));
+        doc.add_relation(rel);
+        let json = doc.to_json();
+        assert!(json["used"].get("ex:use1").is_some());
+        let back = ProvDocument::from_json(&json).unwrap();
+        assert_eq!(back.relations()[0].id, Some(q("use1")));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "[]",
+            r#"{"entity": 5}"#,
+            r#"{"entity": {"noColon": {}}}"#,
+            r#"{"used": {"_:id1": {"prov:activity": "ex:a"}}}"#, // missing prov:entity
+            r#"{"prefix": {"ex": 42}}"#,
+        ] {
+            assert!(
+                ProvDocument::from_json_str(bad).is_err(),
+                "should reject {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_accepts_external_style_document() {
+        // Hand-written PROV-JSON resembling the paper's Figure 1 output.
+        let src = r#"{
+            "prefix": {"ex": "http://example.org/", "default": "http://example.org/d/"},
+            "entity": {
+                "ex:model.ckpt": {"prov:label": "checkpoint", "ex:bytes": 123456},
+                "ex:dataset": {"prov:type": {"$": "ex:Dataset", "type": "prov:QUALIFIED_NAME"}}
+            },
+            "activity": {
+                "ex:training": {"prov:startTime": {"$": "2025-01-01T00:00:00Z", "type": "xsd:dateTime"}}
+            },
+            "used": {
+                "_:id1": {"prov:activity": "ex:training", "prov:entity": "ex:dataset",
+                          "prov:time": "2025-01-01T00:00:01Z"}
+            },
+            "wasGeneratedBy": {
+                "_:id2": {"prov:entity": "ex:model.ckpt", "prov:activity": "ex:training"}
+            }
+        }"#;
+        let doc = ProvDocument::from_json_str(src).unwrap();
+        assert_eq!(doc.element_count(), 3);
+        assert_eq!(doc.relation_count(), 2);
+        assert_eq!(
+            doc.namespaces().default_ns(),
+            Some("http://example.org/d/")
+        );
+        let used = doc.relations_of(RelationKind::Used).next().unwrap();
+        assert_eq!(used.time.unwrap().epoch_secs, 1_735_689_601);
+        let ds = doc.get(&q("dataset")).unwrap();
+        assert!(ds.has_type(&q("Dataset")));
+    }
+
+    #[test]
+    fn lang_strings_roundtrip() {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("e")).attr(
+            QName::prov("label"),
+            AttrValue::LangString("modello".into(), "it".into()),
+        );
+        let json = doc.to_json_string().unwrap();
+        let back = ProvDocument::from_json_str(&json).unwrap();
+        assert_eq!(
+            back.get(&q("e")).unwrap().attr(&QName::prov("label")),
+            Some(&AttrValue::LangString("modello".into(), "it".into()))
+        );
+    }
+}

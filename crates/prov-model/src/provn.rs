@@ -1,0 +1,229 @@
+//! PROV-N writer.
+//!
+//! Renders a [`ProvDocument`] in the human-readable PROV-N notation
+//! (`document ... endDocument`). Only serialization is provided; the
+//! interchange format of the yProv ecosystem is PROV-JSON, and PROV-N is
+//! emitted for human inspection and debugging.
+
+use crate::document::ProvDocument;
+use crate::qname::QName;
+use crate::record::ElementKind;
+use crate::relation::Relation;
+use crate::value::AttrValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the document as a PROV-N string.
+pub fn to_provn(doc: &ProvDocument) -> String {
+    let mut out = String::new();
+    out.push_str("document\n");
+    write_body(doc, &mut out, 1);
+    out.push_str("endDocument\n");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_body(doc: &ProvDocument, out: &mut String, level: usize) {
+    if let Some(d) = doc.namespaces().default_ns() {
+        indent(out, level);
+        let _ = writeln!(out, "default <{d}>");
+    }
+    for ns in doc.namespaces().iter() {
+        indent(out, level);
+        let _ = writeln!(out, "prefix {} <{}>", ns.prefix, ns.iri);
+    }
+
+    for kind in ElementKind::all() {
+        for el in doc.iter_kind(kind) {
+            indent(out, level);
+            match kind {
+                ElementKind::Activity => {
+                    // activity(id, start, end, [attrs])
+                    let start = el
+                        .start_time()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "-".into());
+                    let end = el
+                        .end_time()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "-".into());
+                    let attrs = format_attrs(&el.attributes, &["prov:startTime", "prov:endTime"]);
+                    let _ = writeln!(out, "activity({}, {start}, {end}{attrs})", el.id);
+                }
+                _ => {
+                    let attrs = format_attrs(&el.attributes, &[]);
+                    let _ = writeln!(out, "{}({}{attrs})", kind.provn_keyword(), el.id);
+                }
+            }
+        }
+    }
+
+    for rel in doc.relations() {
+        indent(out, level);
+        out.push_str(&format_relation(rel));
+        out.push('\n');
+    }
+
+    for (name, bundle) in doc.iter_bundles() {
+        indent(out, level);
+        let _ = writeln!(out, "bundle {name}");
+        write_body(bundle, out, level + 1);
+        indent(out, level);
+        out.push_str("endBundle\n");
+    }
+}
+
+fn format_relation(rel: &Relation) -> String {
+    // kind(id; subject, object, time?, extras..., [attrs])
+    let mut args = Vec::new();
+    if let Some(id) = &rel.id {
+        args.push(format!("{id};"));
+    }
+    args.push(rel.subject.to_string());
+    args.push(rel.object.to_string());
+    if rel.kind.supports_time() {
+        match rel.time {
+            Some(t) => args.push(t.to_string()),
+            None if !rel.extras.is_empty() => args.push("-".into()),
+            None => {}
+        }
+    }
+    for key in rel.kind.extra_keys() {
+        if let Some(v) = rel.extras.get(*key) {
+            args.push(v.to_string());
+        }
+    }
+    let attrs = format_attrs(&rel.attributes, &[]);
+    // The id separator `;` binds to the first argument, so join carefully.
+    let mut joined = String::new();
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 && !joined.ends_with(';') {
+            joined.push_str(", ");
+        } else if joined.ends_with(';') {
+            joined.push(' ');
+        }
+        joined.push_str(a);
+    }
+    format!("{}({joined}{attrs})", rel.kind.json_key())
+}
+
+fn format_attrs(attrs: &BTreeMap<QName, Vec<AttrValue>>, skip: &[&str]) -> String {
+    let mut parts = Vec::new();
+    for (key, values) in attrs {
+        if skip.contains(&key.to_string().as_str()) {
+            continue;
+        }
+        for v in values {
+            parts.push(format!("{key}={}", format_value(v)));
+        }
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(", [{}]", parts.join(", "))
+    }
+}
+
+fn format_value(v: &AttrValue) -> String {
+    match v {
+        AttrValue::String(s) => format!("\"{}\"", escape(s)),
+        AttrValue::LangString(s, lang) => format!("\"{}\"@{lang}", escape(s)),
+        AttrValue::QualifiedName(q) => format!("'{q}'"),
+        other => match other.type_name() {
+            Some(t) => format!("\"{}\" %% {t}", escape(&other.lexical())),
+            None => format!("\"{}\"", escape(&other.lexical())),
+        },
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XsdDateTime;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    #[test]
+    fn renders_document_frame() {
+        let doc = ProvDocument::new();
+        let s = to_provn(&doc);
+        assert!(s.starts_with("document\n"));
+        assert!(s.ends_with("endDocument\n"));
+    }
+
+    #[test]
+    fn renders_elements_and_relations() {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("data")).label("input");
+        doc.activity(q("train"))
+            .start_time(XsdDateTime::new(0, 0))
+            .end_time(XsdDateTime::new(60, 0));
+        doc.agent(q("alice"));
+        doc.used(q("train"), q("data"));
+        doc.was_associated_with(q("train"), q("alice"));
+
+        let s = to_provn(&doc);
+        assert!(s.contains("prefix ex <http://ex/>"));
+        assert!(s.contains(r#"entity(ex:data, [prov:label="input"])"#));
+        assert!(s.contains("activity(ex:train, 1970-01-01T00:00:00Z, 1970-01-01T00:01:00Z)"));
+        assert!(s.contains("agent(ex:alice)"));
+        assert!(s.contains("used(ex:train, ex:data)"));
+        assert!(s.contains("wasAssociatedWith(ex:train, ex:alice)"));
+    }
+
+    #[test]
+    fn renders_relation_with_id_and_time() {
+        let mut doc = ProvDocument::new();
+        let rel = Relation::new(crate::RelationKind::Used, q("a"), q("e"))
+            .with_id(q("u1"))
+            .with_time(XsdDateTime::new(42, 0));
+        doc.add_relation(rel);
+        let s = to_provn(&doc);
+        assert!(
+            s.contains("used(ex:u1; ex:a, ex:e, 1970-01-01T00:00:42Z)"),
+            "got: {s}"
+        );
+    }
+
+    #[test]
+    fn escapes_quotes_in_strings() {
+        let mut doc = ProvDocument::new();
+        doc.entity(q("e"))
+            .attr(QName::prov("label"), AttrValue::from(r#"say "hi""#));
+        let s = to_provn(&doc);
+        assert!(s.contains(r#"prov:label="say \"hi\"""#));
+    }
+
+    #[test]
+    fn renders_typed_literals_and_qnames() {
+        let mut doc = ProvDocument::new();
+        doc.entity(q("e"))
+            .attr(QName::yprov("loss"), AttrValue::Double(0.5))
+            .prov_type(q("Model"));
+        let s = to_provn(&doc);
+        assert!(s.contains("yprov4ml:loss=\"0.5\" %% xsd:double"));
+        assert!(s.contains("prov:type='ex:Model'"));
+    }
+
+    #[test]
+    fn renders_bundles() {
+        let mut doc = ProvDocument::new();
+        doc.bundle(q("b")).entity(q("inner"));
+        let s = to_provn(&doc);
+        assert!(s.contains("bundle ex:b"));
+        assert!(s.contains("entity(ex:inner)"));
+        assert!(s.contains("endBundle"));
+    }
+}

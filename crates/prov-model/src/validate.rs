@@ -1,0 +1,248 @@
+//! Structural validation of PROV documents.
+//!
+//! PROV-DM imposes typing constraints on relations (e.g. the subject of a
+//! `used` must be an activity and its object an entity). The validator
+//! walks a document and reports violations as [`ValidationIssue`]s with a
+//! [`Severity`], rather than hard errors: real-world provenance files are
+//! frequently incomplete, and consumers (explorers, lineage queries) can
+//! still work with a partially valid document.
+
+use crate::document::ProvDocument;
+use crate::qname::QName;
+use crate::record::ElementKind;
+use crate::relation::RelationKind;
+
+/// How serious a validation finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: the document is usable but unusual.
+    Warning,
+    /// The document violates PROV-DM constraints.
+    Error,
+}
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// The identifier the finding refers to, when applicable.
+    pub subject: Option<QName>,
+}
+
+impl ValidationIssue {
+    fn error(message: String, subject: Option<QName>) -> Self {
+        ValidationIssue { severity: Severity::Error, message, subject }
+    }
+    fn warning(message: String, subject: Option<QName>) -> Self {
+        ValidationIssue { severity: Severity::Warning, message, subject }
+    }
+}
+
+/// Expected element kinds for each relation argument position.
+///
+/// `None` means the position may hold any element kind (e.g. the trigger
+/// of `wasStartedBy` is an entity, but PROV also allows omission; the
+/// generic `wasInfluencedBy` accepts anything).
+fn expected_kinds(kind: RelationKind) -> (Option<ElementKind>, Option<ElementKind>) {
+    use ElementKind::*;
+    use RelationKind::*;
+    match kind {
+        Used => (Some(Activity), Some(Entity)),
+        WasGeneratedBy => (Some(Entity), Some(Activity)),
+        WasInformedBy => (Some(Activity), Some(Activity)),
+        WasStartedBy => (Some(Activity), Some(Entity)),
+        WasEndedBy => (Some(Activity), Some(Entity)),
+        WasInvalidatedBy => (Some(Entity), Some(Activity)),
+        WasDerivedFrom => (Some(Entity), Some(Entity)),
+        WasAttributedTo => (Some(Entity), Some(Agent)),
+        WasAssociatedWith => (Some(Activity), Some(Agent)),
+        ActedOnBehalfOf => (Some(Agent), Some(Agent)),
+        WasInfluencedBy => (None, None),
+        SpecializationOf => (Some(Entity), Some(Entity)),
+        AlternateOf => (Some(Entity), Some(Entity)),
+        HadMember => (Some(Entity), Some(Entity)),
+    }
+}
+
+/// Validates a document, returning all findings (empty = fully valid).
+pub fn validate(doc: &ProvDocument) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    validate_into(doc, &mut issues);
+    issues
+}
+
+fn validate_into(doc: &ProvDocument, issues: &mut Vec<ValidationIssue>) {
+    // Unregistered prefixes used by identifiers or attribute keys.
+    let check_prefix = |q: &QName, what: &str, issues: &mut Vec<ValidationIssue>| {
+        if !doc.namespaces().contains(q.prefix()) {
+            issues.push(ValidationIssue::warning(
+                format!("{what} {q} uses unregistered prefix {:?}", q.prefix()),
+                Some(q.clone()),
+            ));
+        }
+    };
+
+    for el in doc.iter_elements() {
+        check_prefix(&el.id, "element", issues);
+        for key in el.attributes.keys() {
+            check_prefix(key, "attribute key", issues);
+        }
+        // Activities with end before start.
+        if let (Some(s), Some(e)) = (el.start_time(), el.end_time()) {
+            if e < s {
+                issues.push(ValidationIssue::error(
+                    format!("activity {} ends ({e}) before it starts ({s})", el.id),
+                    Some(el.id.clone()),
+                ));
+            }
+        }
+    }
+
+    for rel in doc.relations() {
+        let (want_subj, want_obj) = expected_kinds(rel.kind);
+        for (role, id, want) in [
+            ("subject", &rel.subject, want_subj),
+            ("object", &rel.object, want_obj),
+        ] {
+            match doc.get(id) {
+                None => issues.push(ValidationIssue::warning(
+                    format!(
+                        "{} {role} {id} is not declared in the document",
+                        rel.kind.json_key()
+                    ),
+                    Some(id.clone()),
+                )),
+                Some(el) => {
+                    if let Some(want) = want {
+                        if el.kind != want {
+                            issues.push(ValidationIssue::error(
+                                format!(
+                                    "{} {role} {id} must be a {want:?} but is a {:?}",
+                                    rel.kind.json_key(),
+                                    el.kind
+                                ),
+                                Some(id.clone()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Self-derivation is suspicious (though not strictly illegal for
+        // alternateOf).
+        if rel.kind == RelationKind::WasDerivedFrom && rel.subject == rel.object {
+            issues.push(ValidationIssue::warning(
+                format!("entity {} is derived from itself", rel.subject),
+                Some(rel.subject.clone()),
+            ));
+        }
+    }
+
+    for (_, bundle) in doc.iter_bundles() {
+        validate_into(bundle, issues);
+    }
+}
+
+/// True when the document has no `Error`-severity findings.
+pub fn is_valid(doc: &ProvDocument) -> bool {
+    validate(doc)
+        .iter()
+        .all(|i| i.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XsdDateTime;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    fn base_doc() -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc
+    }
+
+    #[test]
+    fn valid_document_has_no_findings() {
+        let mut doc = base_doc();
+        doc.entity(q("e"));
+        doc.activity(q("a"));
+        doc.agent(q("g"));
+        doc.used(q("a"), q("e"));
+        doc.was_generated_by(q("e"), q("a"));
+        doc.was_associated_with(q("a"), q("g"));
+        assert!(validate(&doc).is_empty());
+        assert!(is_valid(&doc));
+    }
+
+    #[test]
+    fn wrong_kind_is_an_error() {
+        let mut doc = base_doc();
+        doc.entity(q("e1"));
+        doc.entity(q("e2"));
+        // used(entity, entity) — the subject must be an activity.
+        doc.used(q("e1"), q("e2"));
+        let issues = validate(&doc);
+        assert!(issues.iter().any(|i| i.severity == Severity::Error));
+        assert!(!is_valid(&doc));
+    }
+
+    #[test]
+    fn dangling_reference_is_a_warning() {
+        let mut doc = base_doc();
+        doc.activity(q("a"));
+        doc.used(q("a"), q("ghost"));
+        let issues = validate(&doc);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Warning);
+        assert!(is_valid(&doc), "warnings alone keep the doc valid");
+    }
+
+    #[test]
+    fn unregistered_prefix_is_flagged() {
+        let mut doc = ProvDocument::new(); // no 'ex' registered
+        doc.entity(q("e"));
+        let issues = validate(&doc);
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("unregistered prefix")));
+    }
+
+    #[test]
+    fn backwards_activity_times_are_an_error() {
+        let mut doc = base_doc();
+        doc.activity(q("a"))
+            .start_time(XsdDateTime::new(100, 0))
+            .end_time(XsdDateTime::new(50, 0));
+        let issues = validate(&doc);
+        assert!(issues.iter().any(|i| i.severity == Severity::Error
+            && i.message.contains("before it starts")));
+    }
+
+    #[test]
+    fn self_derivation_warns() {
+        let mut doc = base_doc();
+        doc.entity(q("e"));
+        doc.was_derived_from(q("e"), q("e"));
+        let issues = validate(&doc);
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("derived from itself")));
+    }
+
+    #[test]
+    fn bundles_are_validated_recursively() {
+        let mut doc = base_doc();
+        let bundle = doc.bundle(q("b"));
+        bundle.entity(q("e1"));
+        bundle.entity(q("e2"));
+        bundle.used(q("e1"), q("e2")); // kind error inside the bundle
+        assert!(!is_valid(&doc));
+    }
+}

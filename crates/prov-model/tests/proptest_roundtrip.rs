@@ -1,0 +1,209 @@
+//! Property-based tests: PROV-JSON round-trips are lossless for
+//! arbitrarily generated documents.
+
+use proptest::prelude::*;
+use prov_model::{AttrValue, ProvDocument, QName, RelationKind, XsdDateTime};
+
+fn arb_local() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}"
+}
+
+fn arb_qname() -> impl Strategy<Value = QName> {
+    arb_local().prop_map(|l| QName::new("ex", l))
+}
+
+fn arb_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        "[ -~]{0,24}".prop_map(AttrValue::String),
+        any::<i64>().prop_map(AttrValue::Int),
+        any::<f64>().prop_map(AttrValue::Double),
+        any::<bool>().prop_map(AttrValue::Bool),
+        arb_qname().prop_map(AttrValue::QualifiedName),
+        (-4_000_000_000i64..4_000_000_000i64, 0u32..1_000_000)
+            .prop_map(|(s, us)| AttrValue::DateTime(XsdDateTime::new(s, us))),
+        ("[ -~]{0,16}", arb_local())
+            .prop_map(|(s, t)| AttrValue::Typed(s, QName::new("ex", format!("t{t}")))),
+    ]
+}
+
+fn arb_relation_kind() -> impl Strategy<Value = RelationKind> {
+    prop::sample::select(RelationKind::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn attribute_value_roundtrips(v in arb_value()) {
+        let json = prov_model::json::value_to_json(&v);
+        let back = prov_model::json::value_from_json(&json).unwrap();
+        // NaN breaks PartialEq; compare through the typed lexical form.
+        match (&v, &back) {
+            (AttrValue::Double(a), AttrValue::Double(b)) => {
+                prop_assert!(a.total_cmp(b) == std::cmp::Ordering::Equal,
+                    "double {a:?} -> {b:?}");
+            }
+            _ => prop_assert_eq!(&v, &back),
+        }
+    }
+
+    #[test]
+    fn document_roundtrips(
+        entities in prop::collection::btree_set(arb_local(), 0..8),
+        activities in prop::collection::btree_set(arb_local(), 0..8),
+        attrs in prop::collection::vec((arb_local(), arb_value()), 0..12),
+        rels in prop::collection::vec((arb_relation_kind(), arb_local(), arb_local()), 0..10),
+    ) {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+
+        let entities: Vec<String> = entities.into_iter().map(|e| format!("e_{e}")).collect();
+        let activities: Vec<String> = activities.into_iter().map(|a| format!("a_{a}")).collect();
+        for e in &entities {
+            doc.entity(QName::new("ex", e));
+        }
+        for a in &activities {
+            doc.activity(QName::new("ex", a));
+        }
+        // Attach attributes to the first entity if any.
+        if let Some(first) = entities.first() {
+            for (k, v) in &attrs {
+                // NaN values break Vec::contains-based dedup in absorb();
+                // documents still roundtrip, but equality comparison would
+                // be vacuous, so skip NaN here (covered by the value test).
+                if matches!(v, AttrValue::Double(d) if d.is_nan()) { continue; }
+                doc.entity(QName::new("ex", first))
+                    .attr(QName::new("ex", format!("k_{k}")), v.clone());
+            }
+        }
+        for (kind, s, o) in &rels {
+            doc.add_relation(prov_model::Relation::new(
+                *kind,
+                QName::new("ex", format!("s_{s}")),
+                QName::new("ex", format!("o_{o}")),
+            ));
+        }
+
+        let json = doc.to_json_string().unwrap();
+        let mut back = ProvDocument::from_json_str(&json).unwrap();
+        let mut orig = doc.clone();
+        orig.canonicalize();
+        back.canonicalize();
+        prop_assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn provn_roundtrips_documents(
+        entities in prop::collection::btree_set(arb_local(), 0..8),
+        rels in prop::collection::vec((arb_relation_kind(), arb_local(), arb_local()), 0..8),
+        labels in prop::collection::vec("[ -~&&[^\\\\\"]]{0,16}", 0..4),
+    ) {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        let entities: Vec<String> = entities.into_iter().map(|e| format!("e_{e}")).collect();
+        for (i, e) in entities.iter().enumerate() {
+            let b = doc.entity(QName::new("ex", e));
+            if let Some(l) = labels.get(i % labels.len().max(1)) {
+                if !l.is_empty() {
+                    b.label(l.clone());
+                }
+            }
+        }
+        for (kind, s, o) in &rels {
+            doc.add_relation(prov_model::Relation::new(
+                *kind,
+                QName::new("ex", format!("s_{s}")),
+                QName::new("ex", format!("o_{o}")),
+            ));
+        }
+        let text = prov_model::provn::to_provn(&doc);
+        let mut parsed = prov_model::provn_parse::from_provn(&text).unwrap();
+        let mut orig = doc.clone();
+        orig.canonicalize();
+        parsed.canonicalize();
+        prop_assert_eq!(orig, parsed, "PROV-N text:\n{}", text);
+    }
+
+    #[test]
+    fn turtle_writer_never_panics(
+        entities in prop::collection::btree_set(arb_local(), 0..8),
+        attrs in prop::collection::vec((arb_local(), arb_value()), 0..8),
+        rels in prop::collection::vec((arb_relation_kind(), arb_local(), arb_local()), 0..8),
+    ) {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        for e in &entities {
+            doc.entity(QName::new("ex", format!("e_{e}")));
+        }
+        if let Some(first) = entities.iter().next() {
+            for (k, v) in &attrs {
+                doc.entity(QName::new("ex", format!("e_{first}")))
+                    .attr(QName::new("ex", format!("k_{k}")), v.clone());
+            }
+        }
+        for (kind, s, o) in &rels {
+            doc.add_relation(prov_model::Relation::new(
+                *kind,
+                QName::new("ex", format!("s_{s}")),
+                QName::new("ex", format!("o_{o}")),
+            ));
+        }
+        let ttl = prov_model::turtle::to_turtle(&doc);
+        prop_assert!(ttl.contains("@prefix prov:"));
+    }
+
+    #[test]
+    fn provn_parser_never_panics_on_garbage(text in "[ -~\\n]{0,300}") {
+        let _ = prov_model::provn_parse::from_provn(&text); // must not panic
+    }
+
+    #[test]
+    fn provjson_parser_never_panics_on_arbitrary_json(
+        keys in prop::collection::vec("[a-zA-Z:@$_]{1,12}", 0..8),
+        values in prop::collection::vec(prop_oneof![
+            any::<i64>().prop_map(|i| serde_json::json!(i)),
+            "[ -~]{0,20}".prop_map(|s| serde_json::json!(s)),
+            Just(serde_json::json!(null)),
+            Just(serde_json::json!([1, "x", {}])),
+            Just(serde_json::json!({"$": 5})),
+            Just(serde_json::json!({"$": "x", "type": 7})),
+        ], 0..8),
+    ) {
+        // Structured garbage at both nesting levels.
+        let mut top = serde_json::Map::new();
+        for (k, v) in keys.iter().zip(&values) {
+            top.insert(k.clone(), v.clone());
+        }
+        let _ = ProvDocument::from_json(&serde_json::Value::Object(top.clone()));
+        // And as element blocks with garbage attribute objects.
+        let nested = serde_json::json!({
+            "entity": top,
+            "used": { "_:id1": top },
+        });
+        let _ = ProvDocument::from_json(&nested); // must not panic
+    }
+
+    #[test]
+    fn serialization_is_idempotent(
+        names in prop::collection::btree_set(arb_local(), 1..6),
+    ) {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        let names: Vec<String> = names.into_iter().collect();
+        for w in names.windows(2) {
+            doc.entity(QName::new("ex", &w[0]));
+            doc.entity(QName::new("ex", &w[1]));
+            doc.was_derived_from(QName::new("ex", &w[0]), QName::new("ex", &w[1]));
+        }
+        let j1 = doc.to_json();
+        let j2 = ProvDocument::from_json(&j1).unwrap().to_json();
+        prop_assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn datetime_parse_format_roundtrip(s in -10_000_000_000i64..10_000_000_000, us in 0u32..1_000_000) {
+        let t = XsdDateTime::new(s, us);
+        let back = XsdDateTime::parse(&t.to_string()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}

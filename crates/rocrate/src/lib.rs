@@ -1,0 +1,35 @@
+//! # rocrate
+//!
+//! A from-scratch implementation of [RO-Crate 1.1] research-object
+//! packaging: a directory bundling data together with a JSON-LD
+//! metadata descriptor (`ro-crate-metadata.json`).
+//!
+//! The yProv4ML paper (§4, Table 2) uses RO-Crate as the *packaging*
+//! companion to W3C PROV's *representation*: a run's artifact directory
+//! is wrapped in a crate so a single experiment can be shared as one
+//! self-describing object.
+//!
+//! ```
+//! use rocrate::{RoCrate, EntitySpec};
+//!
+//! let dir = std::env::temp_dir().join("rocrate_doctest");
+//! std::fs::remove_dir_all(&dir).ok();
+//! std::fs::create_dir_all(&dir).unwrap();
+//! std::fs::write(dir.join("model.ckpt"), b"weights").unwrap();
+//!
+//! let mut crate_ = RoCrate::new("MODIS-FM run 1", "A training run");
+//! crate_.add_file(EntitySpec::file("model.ckpt").with_description("final checkpoint"));
+//! crate_.write(&dir).unwrap();
+//!
+//! let back = RoCrate::read(&dir).unwrap();
+//! assert_eq!(back.name(), "MODIS-FM run 1");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
+//! [RO-Crate 1.1]: https://www.researchobject.org/ro-crate/1.1/
+
+pub mod crate_;
+pub mod validate;
+
+pub use crate_::{EntitySpec, RoCrate, RoCrateError};
+pub use validate::{validate_crate, CrateIssue};

@@ -1,0 +1,75 @@
+//! Property tests: RO-Crate metadata round-trips for arbitrary entity
+//! graphs, and the parser never panics on arbitrary JSON.
+
+use proptest::prelude::*;
+use rocrate::{EntitySpec, RoCrate};
+
+fn arb_id() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,12}"
+}
+
+fn arb_entity() -> impl Strategy<Value = EntitySpec> {
+    (
+        arb_id(),
+        prop_oneof![Just("File"), Just("Dataset"), Just("Person"), Just("SoftwareApplication")],
+        prop::collection::btree_map("[a-z]{1,8}", "[ -~&&[^\"\\\\]]{0,20}", 0..4),
+        prop::collection::btree_map("[a-z]{1,8}", prop::collection::vec(arb_id(), 1..3), 0..3),
+    )
+        .prop_map(|(id, ty, props, refs)| {
+            let mut e = EntitySpec::contextual(format!("#{id}"), ty);
+            for (k, v) in props {
+                e = e.with_property(format!("p_{k}"), v);
+            }
+            for (k, targets) in refs {
+                for t in targets {
+                    e = e.with_reference(format!("r_{k}"), format!("#{t}"));
+                }
+            }
+            e
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metadata_roundtrips(
+        name in "[ -~&&[^\"\\\\]]{0,30}",
+        desc in "[ -~&&[^\"\\\\]]{0,60}",
+        entities in prop::collection::vec(arb_entity(), 0..10),
+    ) {
+        let mut crate_ = RoCrate::new(name, desc);
+        // Deduplicate ids: the model allows duplicates but the
+        // round-trip comparison is only meaningful without them.
+        let mut seen = std::collections::BTreeSet::new();
+        for e in entities {
+            if seen.insert(e.id.clone()) {
+                crate_.add_entity(e);
+            }
+        }
+        let json = crate_.to_metadata_json();
+        let back = RoCrate::from_metadata_json(&json).unwrap();
+        prop_assert_eq!(back, crate_);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_json(
+        text in "[ -~]{0,200}",
+    ) {
+        if let Ok(value) = serde_json::from_str::<serde_json::Value>(&text) {
+            let _ = RoCrate::from_metadata_json(&value); // must not panic
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_structured_garbage(
+        keys in prop::collection::vec("[a-z@]{1,8}", 0..8),
+    ) {
+        let mut graph = Vec::new();
+        for k in &keys {
+            graph.push(serde_json::json!({ k.as_str(): 1 }));
+        }
+        let value = serde_json::json!({"@context": "x", "@graph": graph});
+        let _ = RoCrate::from_metadata_json(&value); // must not panic
+    }
+}

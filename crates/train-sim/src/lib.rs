@@ -1,0 +1,47 @@
+//! # train-sim
+//!
+//! A deterministic distributed-training simulator standing in for the
+//! paper's PyTorch/Frontier substrate.
+//!
+//! The yProv4ML use case (§5) trains two foundation-model architectures
+//! (a masked autoencoder with a ViT backbone, and a Swin Transformer V2)
+//! at 100 M – 1.4 B parameters on 8 – 128 GPUs of Frontier with DDP, and
+//! studies the loss × energy trade-off under a 2-hour walltime. This
+//! crate reproduces every moving part of that study as a model:
+//!
+//! * [`model`] — the architecture zoo with parameter counts and
+//!   per-sample FLOP costs;
+//! * [`machine`] — a Frontier-like machine (8 GCDs/node, intra/inter
+//!   node interconnect, per-GCD sustained throughput);
+//! * [`dataset`] — the MODIS-like workload (800 k patches of
+//!   128×128×6);
+//! * [`comm`] — ring/hierarchical all-reduce cost models with DDP
+//!   bucketing and compute/communication overlap;
+//! * [`scaling_law`] — Chinchilla-style loss curves `L(N, D)` with
+//!   per-architecture constants;
+//! * [`ddp`] — a *real* multi-threaded data-parallel executor (one
+//!   thread per simulated GPU, shared-memory ring all-reduce) used to
+//!   exercise concurrent logging paths;
+//! * [`sim`] — the orchestrator that walks simulated time step by step,
+//!   reporting losses, power and progress through an observer trait
+//!   (the hook the provenance library attaches to).
+//!
+//! Nothing here trains a real network: the observable behaviour
+//! (walltime vs. GPU count, loss vs. model/data size, energy vs. both)
+//! follows published cost and scaling models, which is exactly the
+//! signal the provenance layer exists to record.
+
+pub mod comm;
+pub mod dataset;
+pub mod ddp;
+pub mod machine;
+pub mod model;
+pub mod scaling_law;
+pub mod sim;
+
+pub use dataset::DatasetSpec;
+pub use machine::MachineConfig;
+pub use model::{Architecture, ModelConfig};
+pub use sim::{
+    RunResult, SimConfig, StepEvent, TrainObserver, TrainingSimulation, WalltimeCutoff,
+};

@@ -1,0 +1,701 @@
+//! The training-run orchestrator.
+//!
+//! Walks simulated time step by step: computes each DDP step's duration
+//! from the FLOP and communication models, advances the loss along the
+//! architecture's scaling law, integrates node energy with the
+//! `energy-monitor` substrate, and reports everything through a
+//! [`TrainObserver`] — the hook the provenance library attaches to.
+
+use crate::comm::{step_comm_cost, DdpCommConfig};
+use crate::dataset::DatasetSpec;
+use crate::ddp;
+use crate::machine::MachineConfig;
+use crate::model::ModelConfig;
+use crate::scaling_law::LossLaw;
+use energy_monitor::device::{epyc_7a53, mi250x_gcd, node_overhead};
+use energy_monitor::sampler::{PowerSampler, VirtualClock};
+use std::sync::Arc;
+
+/// Which stage of the paper's two-stage recipe a run simulates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// Self-supervised pre-training (MAE masking applies).
+    PreTraining,
+    /// Fine-tuning on labeled data with most layers frozen (paper §5:
+    /// "all layers except for the final prediction head are kept
+    /// frozen").
+    FineTuning {
+        /// Fraction of parameters that stay frozen (0..=1).
+        frozen_fraction: f64,
+    },
+}
+
+/// Walltime budget of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalltimeCutoff {
+    /// No limit: run to the configured number of epochs.
+    Unlimited,
+    /// Abort (mark incomplete) once simulated walltime passes this many
+    /// seconds — the paper uses the Frontier batch limit of 2 hours.
+    Seconds(f64),
+}
+
+impl WalltimeCutoff {
+    /// The paper's two-hour batch-queue limit.
+    pub fn paper_two_hours() -> Self {
+        WalltimeCutoff::Seconds(2.0 * 3600.0)
+    }
+
+    fn exceeded(&self, t: f64) -> bool {
+        match self {
+            WalltimeCutoff::Unlimited => false,
+            WalltimeCutoff::Seconds(s) => t > *s,
+        }
+    }
+}
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The model being trained.
+    pub model: ModelConfig,
+    /// The machine it runs on.
+    pub machine: MachineConfig,
+    /// The dataset it consumes.
+    pub dataset: DatasetSpec,
+    /// Number of data-parallel GPUs (GCDs).
+    pub gpus: u32,
+    /// Per-GPU micro-batch size.
+    pub per_gpu_batch: u32,
+    /// Number of passes over the dataset.
+    pub epochs: u32,
+    /// Communication model tunables.
+    pub comm: DdpCommConfig,
+    /// Walltime budget.
+    pub cutoff: WalltimeCutoff,
+    /// Run a real threaded ring all-reduce on a proxy gradient once per
+    /// epoch, to exercise concurrent code paths (slower; off for sweeps).
+    pub exercise_collective: bool,
+    /// Pre-training or fine-tuning (affects FLOPs, gradient volume and
+    /// masking).
+    pub phase: Phase,
+    /// Gradient-accumulation micro-steps per optimizer step (1 = plain
+    /// DDP). Accumulation amortizes the all-reduce over N forward/
+    /// backward passes at the cost of an N× larger effective batch.
+    pub grad_accumulation: u32,
+    /// Resume from a previous run's checkpoint instead of from scratch.
+    pub resume_from: Option<Checkpoint>,
+}
+
+impl SimConfig {
+    /// A config with paper-style defaults for the given corner.
+    pub fn paper(model: ModelConfig, gpus: u32) -> Self {
+        SimConfig {
+            model,
+            machine: MachineConfig::frontier_like(),
+            dataset: DatasetSpec::modis(),
+            gpus,
+            per_gpu_batch: 32,
+            epochs: 10,
+            comm: DdpCommConfig::default(),
+            cutoff: WalltimeCutoff::paper_two_hours(),
+            exercise_collective: false,
+            phase: Phase::PreTraining,
+            grad_accumulation: 1,
+            resume_from: None,
+        }
+    }
+
+    /// A fine-tuning variant of this configuration: frozen backbone,
+    /// labeled subset of the dataset.
+    pub fn into_finetune(mut self, frozen_fraction: f64, labeled_samples: u64) -> Self {
+        self.phase = Phase::FineTuning { frozen_fraction };
+        self.dataset = self.dataset.with_samples(labeled_samples);
+        self
+    }
+
+    /// Global batch size across all GPUs per *optimizer* step
+    /// (micro-batch × accumulation × GPUs).
+    pub fn global_batch(&self) -> u32 {
+        self.gpus * self.per_gpu_batch * self.grad_accumulation
+    }
+
+    /// Validates the configuration, including the memory-fit check that
+    /// kills real jobs before they start.
+    pub fn validate(&self) -> Result<(), String> {
+        self.machine.validate()?;
+        if self.gpus == 0 {
+            return Err("at least one GPU required".into());
+        }
+        if self.per_gpu_batch == 0 {
+            return Err("per-GPU batch must be positive".into());
+        }
+        if self.grad_accumulation == 0 {
+            return Err("grad_accumulation must be positive".into());
+        }
+        if self.epochs == 0 {
+            return Err("at least one epoch required".into());
+        }
+        let need = self.model.memory_bytes(self.per_gpu_batch);
+        if need > self.machine.gpu_memory_bytes {
+            return Err(format!(
+                "model needs {:.1} GiB per GPU but only {:.1} GiB available",
+                need as f64 / (1u64 << 30) as f64,
+                self.machine.gpu_memory_bytes as f64 / (1u64 << 30) as f64
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A resumable training checkpoint: enough state to continue a run
+/// after a walltime cutoff (the reality behind the paper's 2-hour
+/// queue limit — long studies run as chains of jobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    /// Samples consumed before the checkpoint.
+    pub samples_seen: u64,
+    /// Optimizer steps completed before the checkpoint.
+    pub steps: u64,
+    /// Epochs fully completed before the checkpoint.
+    pub epochs_completed: u32,
+}
+
+/// Per-step telemetry delivered to observers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEvent {
+    /// Global step index (0-based).
+    pub step: u64,
+    /// Epoch this step belongs to (0-based).
+    pub epoch: u32,
+    /// Simulated walltime at step end, seconds.
+    pub sim_time_s: f64,
+    /// Duration of this step, seconds.
+    pub step_time_s: f64,
+    /// Training loss after this step.
+    pub loss: f64,
+    /// Samples consumed so far (all ranks).
+    pub samples_seen: u64,
+    /// Mean per-GPU draw during this step, watts.
+    pub gpu_power_w: f64,
+    /// GPU compute utilization during this step (0..=1).
+    pub gpu_util: f64,
+    /// Throughput in samples/s for this step.
+    pub samples_per_s: f64,
+}
+
+/// End-of-epoch telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochEvent {
+    /// Epoch index (0-based).
+    pub epoch: u32,
+    /// Simulated walltime at epoch end.
+    pub sim_time_s: f64,
+    /// Loss at epoch end.
+    pub loss: f64,
+    /// Energy consumed so far, joules.
+    pub joules_so_far: f64,
+}
+
+/// Observer hook for provenance collection (all methods default to
+/// no-ops so implementors only write what they need).
+pub trait TrainObserver {
+    /// Called once before the first step.
+    fn on_run_start(&mut self, _cfg: &SimConfig) {}
+    /// Called after every optimization step.
+    fn on_step(&mut self, _event: &StepEvent) {}
+    /// Called at each epoch boundary.
+    fn on_epoch_end(&mut self, _event: &EpochEvent) {}
+    /// Called once when the run finishes or is cut off.
+    fn on_run_end(&mut self, _result: &RunResult) {}
+}
+
+/// A no-op observer.
+pub struct NullObserver;
+impl TrainObserver for NullObserver {}
+
+/// Outcome of a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Final training loss.
+    pub final_loss: f64,
+    /// Total energy across all nodes, joules.
+    pub energy_joules: f64,
+    /// Total energy, kWh.
+    pub energy_kwh: f64,
+    /// Simulated walltime, seconds.
+    pub walltime_s: f64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Samples consumed.
+    pub samples_seen: u64,
+    /// Epochs fully completed.
+    pub epochs_completed: u32,
+    /// False when the walltime cutoff aborted the run (the paper's
+    /// "empty cells").
+    pub completed: bool,
+    /// Mean achieved samples/s.
+    pub mean_throughput: f64,
+    /// The paper's Figure 3 metric: loss × total energy (kWh).
+    pub loss_energy_product: f64,
+    /// State to resume from (meaningful when `!completed`; always set).
+    pub checkpoint: Checkpoint,
+}
+
+/// The simulator.
+pub struct TrainingSimulation {
+    cfg: SimConfig,
+    law: LossLaw,
+}
+
+impl TrainingSimulation {
+    /// Builds a simulation after validating the configuration.
+    pub fn new(cfg: SimConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let law = LossLaw::for_architecture(cfg.model.arch);
+        Ok(TrainingSimulation { cfg, law })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Duration of one optimization step in seconds, decomposed as
+    /// `(total, compute, exposed_comm, io)`.
+    pub fn step_time(&self) -> (f64, f64, f64, f64) {
+        let m = &self.cfg.model;
+        let machine = &self.cfg.machine;
+        let (flops_per_sample, grad_bytes) = match self.cfg.phase {
+            Phase::PreTraining => (m.flops_per_sample(), m.gradient_bytes()),
+            Phase::FineTuning { frozen_fraction } => (
+                m.flops_per_sample_finetune(frozen_fraction),
+                m.gradient_bytes_finetune(frozen_fraction),
+            ),
+        };
+        // Compute covers every accumulation micro-step; the all-reduce
+        // fires once per optimizer step regardless of accumulation.
+        let flops = flops_per_sample
+            * self.cfg.per_gpu_batch as f64
+            * self.cfg.grad_accumulation as f64;
+        let effective = machine.gpu_peak_flops * m.arch.mfu();
+        let compute = flops / effective;
+        let comm = step_comm_cost(grad_bytes, self.cfg.gpus, machine, &self.cfg.comm)
+            .exposed_after_overlap;
+        // Data loading: per node, `gpus_per_node` ranks share the node's
+        // I/O bandwidth; loading overlaps compute (prefetch), so only
+        // the excess is exposed.
+        let local_ranks = self.cfg.gpus.min(machine.gpus_per_node) as f64;
+        let io = self.cfg.dataset.bytes_per_sample() as f64
+            * self.cfg.per_gpu_batch as f64
+            * self.cfg.grad_accumulation as f64
+            * local_ranks
+            / machine.io_bw;
+        let total = (compute + comm).max(io);
+        (total, compute, comm, io)
+    }
+
+    /// Runs the simulation, reporting through `observer`.
+    pub fn run(&self, observer: &mut dyn TrainObserver) -> RunResult {
+        let cfg = &self.cfg;
+        observer.on_run_start(cfg);
+
+        let (step_time, compute, comm, _io) = self.step_time();
+        let gpu_util = (compute / step_time).clamp(0.0, 1.0);
+        // Communication keeps the GCD partially busy too.
+        let comm_util = 0.3 * (comm / step_time).clamp(0.0, 1.0);
+        let util = (gpu_util + comm_util).clamp(0.0, 1.0);
+
+        let gcd = mi250x_gcd();
+        let cpu = epyc_7a53();
+        let overhead = node_overhead();
+        let nodes = cfg.machine.nodes_for(cfg.gpus) as f64;
+        let gpu_power = gcd.power_at(util);
+        let node_power = cfg.gpus.min(cfg.machine.gpus_per_node) as f64 * gpu_power
+            + cpu.power_at(0.35)
+            + overhead.power_at(0.5);
+        // Full nodes plus the partial node draw the same per-node power
+        // (allocation is node-granular on Frontier).
+        let total_power = node_power * nodes;
+
+        // Sample power on a virtual clock through the telemetry
+        // substrate, once per step (what the real library does with SMI).
+        let clock = VirtualClock::manual();
+        let sampler = PowerSampler::manual(Arc::clone(&clock));
+        sampler.sample_now(total_power);
+
+        let steps_per_epoch = cfg.dataset.steps_per_epoch(cfg.global_batch());
+        let global_batch = cfg.global_batch() as u64;
+
+        // Step-indexed loop: resume granularity is the optimizer step,
+        // so a chained sequence of cutoff jobs replays the exact same
+        // trajectory as one uncapped run.
+        let start = cfg.resume_from.unwrap_or_default();
+        let total_steps = steps_per_epoch * cfg.epochs as u64;
+        let mut t = 0.0f64;
+        let mut step: u64 = start.steps.min(total_steps);
+        let mut samples: u64 = start.samples_seen;
+        let mut loss = self
+            .law
+            .noisy_loss(cfg.model.params, (samples.max(1)) as f64, step);
+        let mut completed = true;
+        let mut epochs_completed = (step / steps_per_epoch.max(1)) as u32;
+
+        while step < total_steps {
+            let epoch = (step / steps_per_epoch) as u32;
+            t += step_time;
+            step += 1;
+            samples += global_batch;
+            loss = self.law.noisy_loss(cfg.model.params, samples as f64, step);
+
+            clock.set_s(t);
+            sampler.sample_now(total_power);
+
+            observer.on_step(&StepEvent {
+                step: step - 1,
+                epoch,
+                sim_time_s: t,
+                step_time_s: step_time,
+                loss,
+                samples_seen: samples,
+                gpu_power_w: gpu_power,
+                gpu_util: util,
+                samples_per_s: global_batch as f64 / step_time,
+            });
+
+            let epoch_boundary = step % steps_per_epoch == 0;
+            if epoch_boundary {
+                epochs_completed = epoch + 1;
+
+                if cfg.exercise_collective {
+                    // Real threaded ring all-reduce on a proxy gradient:
+                    // the values must agree with the sequential
+                    // reduction, or the simulated cluster is broken.
+                    let ranks = cfg.gpus.min(8) as usize;
+                    let proxy: Vec<Vec<f64>> = (0..ranks)
+                        .map(|r| (0..512).map(|i| (r * 512 + i) as f64).collect())
+                        .collect();
+                    let expect = ddp::sequential_allreduce(&proxy);
+                    let got = ddp::ring_allreduce(proxy);
+                    assert_eq!(got.len(), expect.len());
+                }
+
+                observer.on_epoch_end(&EpochEvent {
+                    epoch,
+                    sim_time_s: t,
+                    loss,
+                    joules_so_far: sampler.joules_so_far(),
+                });
+            }
+
+            if cfg.cutoff.exceeded(t) {
+                completed = step >= total_steps;
+                break;
+            }
+        }
+
+        let (_, energy) = sampler.finish();
+        let result = RunResult {
+            final_loss: loss,
+            energy_joules: energy.joules(),
+            energy_kwh: energy.kwh(),
+            walltime_s: t,
+            steps: step,
+            samples_seen: samples,
+            epochs_completed,
+            completed,
+            mean_throughput: if t > 0.0 {
+                (samples - start.samples_seen) as f64 / t
+            } else {
+                0.0
+            },
+            loss_energy_product: loss * energy.kwh(),
+            checkpoint: Checkpoint { samples_seen: samples, steps: step, epochs_completed },
+        };
+        observer.on_run_end(&result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Architecture;
+
+    fn tiny_cfg(gpus: u32) -> SimConfig {
+        SimConfig {
+            model: ModelConfig::sized(Architecture::SwinV2, 100_000_000),
+            machine: MachineConfig::frontier_like(),
+            dataset: DatasetSpec::tiny(10_000),
+            gpus,
+            per_gpu_batch: 32,
+            epochs: 2,
+            comm: DdpCommConfig::default(),
+            cutoff: WalltimeCutoff::Unlimited,
+            exercise_collective: false,
+            phase: Phase::PreTraining,
+            grad_accumulation: 1,
+            resume_from: None,
+        }
+    }
+
+    struct CountingObserver {
+        steps: u64,
+        epochs: u32,
+        started: bool,
+        ended: bool,
+        last_loss: f64,
+    }
+
+    impl TrainObserver for CountingObserver {
+        fn on_run_start(&mut self, _cfg: &SimConfig) {
+            self.started = true;
+        }
+        fn on_step(&mut self, e: &StepEvent) {
+            self.steps += 1;
+            self.last_loss = e.loss;
+        }
+        fn on_epoch_end(&mut self, _e: &EpochEvent) {
+            self.epochs += 1;
+        }
+        fn on_run_end(&mut self, _r: &RunResult) {
+            self.ended = true;
+        }
+    }
+
+    #[test]
+    fn observer_sees_all_events() {
+        let sim = TrainingSimulation::new(tiny_cfg(8)).unwrap();
+        let mut obs = CountingObserver {
+            steps: 0,
+            epochs: 0,
+            started: false,
+            ended: false,
+            last_loss: 0.0,
+        };
+        let result = sim.run(&mut obs);
+        assert!(obs.started && obs.ended);
+        assert_eq!(obs.epochs, 2);
+        assert_eq!(obs.steps, result.steps);
+        assert_eq!(obs.last_loss, result.final_loss);
+        assert!(result.completed);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let sim = TrainingSimulation::new(tiny_cfg(8)).unwrap();
+        let r1 = sim.run(&mut NullObserver);
+        let mut long_cfg = tiny_cfg(8);
+        long_cfg.epochs = 20;
+        let r2 = TrainingSimulation::new(long_cfg).unwrap().run(&mut NullObserver);
+        assert!(r2.final_loss < r1.final_loss);
+    }
+
+    #[test]
+    fn more_gpus_finish_faster_but_burn_more_power() {
+        let r8 = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        let r64 = TrainingSimulation::new(tiny_cfg(64)).unwrap().run(&mut NullObserver);
+        assert!(r64.walltime_s < r8.walltime_s, "scale-out reduces walltime");
+        assert!(r64.mean_throughput > r8.mean_throughput);
+    }
+
+    #[test]
+    fn walltime_cutoff_marks_incomplete() {
+        let mut cfg = tiny_cfg(8);
+        cfg.model = ModelConfig::sized(Architecture::SwinV2, 1_400_000_000);
+        cfg.dataset = DatasetSpec::modis();
+        cfg.cutoff = WalltimeCutoff::Seconds(60.0);
+        let r = TrainingSimulation::new(cfg).unwrap().run(&mut NullObserver);
+        assert!(!r.completed);
+        assert!(r.walltime_s >= 60.0);
+        assert_eq!(r.epochs_completed, 0);
+    }
+
+    #[test]
+    fn energy_matches_power_times_time() {
+        let sim = TrainingSimulation::new(tiny_cfg(8)).unwrap();
+        let r = sim.run(&mut NullObserver);
+        // Constant power per step → energy ≈ mean power × walltime.
+        let implied_power = r.energy_joules / r.walltime_s;
+        assert!(
+            implied_power > 1_000.0 && implied_power < 4_000.0,
+            "one-node draw {implied_power} W"
+        );
+        assert!((r.loss_energy_product - r.final_loss * r.energy_kwh).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oom_configs_rejected() {
+        let mut cfg = tiny_cfg(8);
+        cfg.model = ModelConfig::sized(Architecture::SwinV2, 1_400_000_000);
+        cfg.per_gpu_batch = 10_000; // activation blow-up
+        assert!(TrainingSimulation::new(cfg).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = tiny_cfg(0);
+        cfg.gpus = 0;
+        assert!(TrainingSimulation::new(cfg).is_err());
+        let mut cfg = tiny_cfg(8);
+        cfg.per_gpu_batch = 0;
+        assert!(TrainingSimulation::new(cfg).is_err());
+        let mut cfg = tiny_cfg(8);
+        cfg.epochs = 0;
+        assert!(TrainingSimulation::new(cfg).is_err());
+    }
+
+    #[test]
+    fn collective_exercise_mode_runs() {
+        let mut cfg = tiny_cfg(8);
+        cfg.dataset = DatasetSpec::tiny(500);
+        cfg.epochs = 1;
+        cfg.exercise_collective = true;
+        let r = TrainingSimulation::new(cfg).unwrap().run(&mut NullObserver);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn step_time_decomposition_is_consistent() {
+        let sim = TrainingSimulation::new(tiny_cfg(16)).unwrap();
+        let (total, compute, comm, io) = sim.step_time();
+        assert!(total >= compute);
+        assert!(total >= io);
+        assert!(compute > 0.0 && comm >= 0.0 && io > 0.0);
+        assert!((total - (compute + comm).max(io)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn finetuning_is_cheaper_than_pretraining() {
+        let pre = tiny_cfg(8);
+        let (pre_total, pre_compute, ..) =
+            TrainingSimulation::new(pre.clone()).unwrap().step_time();
+
+        // Freeze everything but the head: backward nearly free, but the
+        // full (unmasked for MAE: Swin unaffected) forward remains.
+        let ft = pre.clone().into_finetune(0.99, 1_000);
+        let (ft_total, ft_compute, ..) = TrainingSimulation::new(ft).unwrap().step_time();
+        assert!(ft_compute < pre_compute, "frozen backward must be cheaper");
+        let _ = (pre_total, ft_total);
+
+        // Fully trainable "fine-tune" on SwinV2 costs the same as
+        // pre-training (no masking difference for Swin).
+        let full = tiny_cfg(8).into_finetune(0.0, 1_000);
+        let (_, full_compute, ..) = TrainingSimulation::new(full).unwrap().step_time();
+        assert!((full_compute - pre_compute).abs() / pre_compute < 1e-9);
+    }
+
+    #[test]
+    fn finetune_gradient_traffic_shrinks() {
+        use crate::model::ModelConfig;
+        let m = ModelConfig::sized(Architecture::SwinV2, 1_000_000_000);
+        assert_eq!(m.gradient_bytes(), 4_000_000_000);
+        assert_eq!(m.gradient_bytes_finetune(1.0), 0);
+        assert_eq!(m.gradient_bytes_finetune(0.75), 1_000_000_000);
+        // Comm time drops accordingly.
+        let mut cfg = tiny_cfg(64);
+        cfg.model = ModelConfig::sized(Architecture::SwinV2, 600_000_000);
+        let (_, _, pre_comm, _) = TrainingSimulation::new(cfg.clone()).unwrap().step_time();
+        let ft = cfg.into_finetune(0.95, 1_000);
+        let (_, _, ft_comm, _) = TrainingSimulation::new(ft).unwrap().step_time();
+        assert!(ft_comm < pre_comm / 2.0);
+    }
+
+    #[test]
+    fn finetune_runs_complete() {
+        let cfg = tiny_cfg(8).into_finetune(0.98, 2_000);
+        let r = TrainingSimulation::new(cfg).unwrap().run(&mut NullObserver);
+        assert!(r.completed);
+        assert!(r.samples_seen >= 2_000);
+    }
+
+    #[test]
+    fn gradient_accumulation_amortizes_communication() {
+        // Same samples per optimizer step (batch 32×4 vs 128×1), same
+        // gradient volume — but 4× fewer all-reduces per sample.
+        let mut accum = tiny_cfg(64);
+        accum.per_gpu_batch = 8;
+        accum.grad_accumulation = 4;
+        let mut plain = tiny_cfg(64);
+        plain.per_gpu_batch = 32;
+        plain.grad_accumulation = 1;
+        assert_eq!(accum.global_batch(), plain.global_batch());
+
+        let (at, ac, acomm, _) = TrainingSimulation::new(accum).unwrap().step_time();
+        let (pt, pc, pcomm, _) = TrainingSimulation::new(plain).unwrap().step_time();
+        assert!((ac - pc).abs() < 1e-12, "same compute per optimizer step");
+        assert!((acomm - pcomm).abs() < 1e-12, "same comm per optimizer step");
+        let _ = (at, pt);
+
+        // Against the *same micro-batch*, accumulation reduces exposed
+        // comm per sample.
+        let mut micro = tiny_cfg(64);
+        micro.per_gpu_batch = 8;
+        micro.grad_accumulation = 1;
+        let (mt, _, mcomm, _) = TrainingSimulation::new(micro.clone()).unwrap().step_time();
+        let per_sample_micro = (mt) / (8.0 * 64.0);
+        let mut micro4 = micro;
+        micro4.grad_accumulation = 4;
+        let (m4t, _, m4comm, _) = TrainingSimulation::new(micro4).unwrap().step_time();
+        let per_sample_accum = m4t / (8.0 * 4.0 * 64.0);
+        assert!(per_sample_accum < per_sample_micro, "accumulation amortizes comm");
+        assert!((m4comm - mcomm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_accumulation_rejected() {
+        let mut cfg = tiny_cfg(8);
+        cfg.grad_accumulation = 0;
+        assert!(TrainingSimulation::new(cfg).is_err());
+    }
+
+    #[test]
+    fn resumed_chain_matches_single_run() {
+        // One uncapped run...
+        let full = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        // ...equals a chain of runs resumed epoch by epoch.
+        let mut ckpt = None;
+        let mut last = None;
+        loop {
+            let mut cfg = tiny_cfg(8);
+            cfg.resume_from = ckpt;
+            // One epoch of walltime per "job".
+            let (step_time, ..) = TrainingSimulation::new(cfg.clone()).unwrap().step_time();
+            let steps_per_epoch = cfg.dataset.steps_per_epoch(cfg.global_batch());
+            cfg.cutoff = WalltimeCutoff::Seconds(step_time * steps_per_epoch as f64 + 1e-6);
+            let r = TrainingSimulation::new(cfg).unwrap().run(&mut NullObserver);
+            let done = r.completed;
+            ckpt = Some(r.checkpoint);
+            last = Some(r);
+            if done {
+                break;
+            }
+        }
+        let chained = last.unwrap();
+        assert_eq!(chained.final_loss, full.final_loss, "same loss trajectory");
+        assert_eq!(chained.samples_seen, full.samples_seen);
+        assert_eq!(chained.steps, full.steps);
+    }
+
+    #[test]
+    fn resume_skips_completed_epochs() {
+        let full = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        let mut cfg = tiny_cfg(8);
+        cfg.resume_from = Some(Checkpoint {
+            samples_seen: full.samples_seen,
+            steps: full.steps,
+            epochs_completed: cfg.epochs,
+        });
+        let resumed = TrainingSimulation::new(cfg).unwrap().run(&mut NullObserver);
+        assert_eq!(resumed.steps, full.steps, "nothing left to do");
+        assert_eq!(resumed.walltime_s, 0.0);
+        assert!(resumed.completed);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        let b = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        assert_eq!(a, b);
+    }
+}

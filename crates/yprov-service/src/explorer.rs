@@ -1,0 +1,242 @@
+//! Explorer-style cross-document summaries.
+//!
+//! The yProv Explorer's landing view shows, for each stored provenance
+//! file, what kind of process it describes and how big it is. This
+//! module computes those summaries over a [`DocumentStore`].
+
+use crate::store::DocumentStore;
+use prov_model::{AttrValue, ElementKind, QName};
+
+/// One row of the explorer's document listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentSummary {
+    /// Store handle.
+    pub id: String,
+    /// Element counts.
+    pub entities: usize,
+    /// Activity count.
+    pub activities: usize,
+    /// Agent count.
+    pub agents: usize,
+    /// Relation count.
+    pub relations: usize,
+    /// The run activity's label, when the document came from yProv4ML.
+    pub run_label: Option<String>,
+    /// Number of metric entities.
+    pub metrics: usize,
+    /// Number of artifact entities.
+    pub artifacts: usize,
+    /// Serialized size of the document in bytes.
+    pub json_bytes: usize,
+}
+
+/// Summarizes every document in the store, sorted by id.
+pub fn summarize(store: &DocumentStore) -> Vec<DocumentSummary> {
+    let run_ty = QName::yprov("RunExecution");
+    let metric_ty = QName::yprov("Metric");
+    let artifact_ty = QName::yprov("Artifact");
+
+    store
+        .list()
+        .into_iter()
+        .filter_map(|id| {
+            let doc = store.get(&id)?;
+            let stats = doc.stats();
+            let run_label = doc
+                .iter_elements()
+                .find(|e| e.has_type(&run_ty))
+                .and_then(|e| e.label().map(str::to_string));
+            let metrics = doc
+                .iter_kind(ElementKind::Entity)
+                .filter(|e| e.has_type(&metric_ty))
+                .count();
+            let artifacts = doc
+                .iter_kind(ElementKind::Entity)
+                .filter(|e| e.has_type(&artifact_ty))
+                .count();
+            let json_bytes = doc.to_json_string().map(|s| s.len()).unwrap_or(0);
+            Some(DocumentSummary {
+                id,
+                entities: stats.entities,
+                activities: stats.activities,
+                agents: stats.agents,
+                relations: stats.relations,
+                run_label,
+                metrics,
+                artifacts,
+                json_bytes,
+            })
+        })
+        .collect()
+}
+
+/// Documents whose run produced an artifact carrying the given SHA-256
+/// digest — "which runs produced this exact model?"
+pub fn find_by_artifact_digest(store: &DocumentStore, sha256: &str) -> Vec<String> {
+    let artifact_ty = QName::yprov("Artifact");
+    let key = QName::yprov("sha256");
+    store
+        .list()
+        .into_iter()
+        .filter(|id| {
+            store.get(id).is_some_and(|doc| {
+                doc.iter_elements().any(|e| {
+                    e.has_type(&artifact_ty)
+                        && e.attr(&key)
+                            .is_some_and(|v| matches!(v, AttrValue::String(s) if s == sha256))
+                })
+            })
+        })
+        .collect()
+}
+
+/// A self-contained HTML page listing the stored documents, in the
+/// spirit of the yProv Explorer's landing view. Served by the HTTP
+/// layer at `GET /explorer`.
+pub fn render_html(summaries: &[DocumentSummary]) -> String {
+    let mut rows = String::new();
+    for s in summaries {
+        rows.push_str(&format!(
+            "<tr><td><a href=\"/api/v0/documents/{id}\">{id}</a></td><td>{run}</td>\
+             <td>{entities}</td><td>{activities}</td><td>{agents}</td><td>{relations}</td>\
+             <td>{metrics}</td><td>{artifacts}</td><td>{bytes}</td>\
+             <td><a href=\"/api/v0/documents/{id}/provn\">provn</a> \
+                 <a href=\"/api/v0/documents/{id}/turtle\">ttl</a> \
+                 <a href=\"/api/v0/documents/{id}/dot\">dot</a></td></tr>\n",
+            id = html_escape(&s.id),
+            run = html_escape(s.run_label.as_deref().unwrap_or("-")),
+            entities = s.entities,
+            activities = s.activities,
+            agents = s.agents,
+            relations = s.relations,
+            metrics = s.metrics,
+            artifacts = s.artifacts,
+            bytes = s.json_bytes,
+        ));
+    }
+    format!(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+         <title>yProv Explorer</title>\
+         <style>body{{font-family:sans-serif;margin:2em}}table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #ccc;padding:4px 10px;text-align:left}}\
+         th{{background:#f0f0f0}}</style></head><body>\
+         <h1>yProv Explorer</h1><p>{n} provenance document(s)</p>\
+         <table><tr><th>id</th><th>run</th><th>entities</th><th>activities</th>\
+         <th>agents</th><th>relations</th><th>metrics</th><th>artifacts</th>\
+         <th>bytes</th><th>exports</th></tr>\n{rows}</table></body></html>",
+        n = summaries.len(),
+    )
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// A plain-text table of the summaries, explorer style.
+pub fn render_table(summaries: &[DocumentSummary]) -> String {
+    let mut out = String::from(
+        "id          run                entities  activities  relations  metrics  artifacts  bytes\n",
+    );
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<11} {:<18} {:>8}  {:>10}  {:>9}  {:>7}  {:>9}  {:>5}\n",
+            s.id,
+            s.run_label.as_deref().unwrap_or("-"),
+            s.entities,
+            s.activities,
+            s.relations,
+            s.metrics,
+            s.artifacts,
+            s.json_bytes,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::ProvDocument;
+
+    fn yprov_style_doc(run: &str, digest: &str) -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.activity(QName::new("ex", run))
+            .prov_type(QName::yprov("RunExecution"))
+            .label(run);
+        doc.entity(QName::new("ex", format!("{run}/metric/loss")))
+            .prov_type(QName::yprov("Metric"));
+        doc.entity(QName::new("ex", format!("{run}/artifact/m.ckpt")))
+            .prov_type(QName::yprov("Artifact"))
+            .attr(QName::yprov("sha256"), AttrValue::from(digest));
+        doc.was_generated_by(
+            QName::new("ex", format!("{run}/artifact/m.ckpt")),
+            QName::new("ex", run),
+        );
+        doc
+    }
+
+    #[test]
+    fn summaries_capture_shape() {
+        let store = DocumentStore::new();
+        store.upload(yprov_style_doc("run-1", "aa"));
+        store.upload(yprov_style_doc("run-2", "bb"));
+        let summaries = summarize(&store);
+        assert_eq!(summaries.len(), 2);
+        let s = &summaries[0];
+        assert_eq!(s.run_label.as_deref(), Some("run-1"));
+        assert_eq!(s.metrics, 1);
+        assert_eq!(s.artifacts, 1);
+        assert_eq!(s.activities, 1);
+        assert!(s.json_bytes > 0);
+    }
+
+    #[test]
+    fn digest_search_finds_producing_runs() {
+        let store = DocumentStore::new();
+        let a = store.upload(yprov_style_doc("run-1", "digest-a"));
+        store.upload(yprov_style_doc("run-2", "digest-b"));
+        let hits = find_by_artifact_digest(&store, "digest-a");
+        assert_eq!(hits, vec![a]);
+        assert!(find_by_artifact_digest(&store, "nope").is_empty());
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let store = DocumentStore::new();
+        store.upload(yprov_style_doc("run-1", "aa"));
+        let table = render_table(&summarize(&store));
+        assert!(table.contains("run-1"));
+        assert!(table.lines().count() >= 2);
+    }
+
+    #[test]
+    fn html_page_renders_and_escapes() {
+        let store = DocumentStore::new();
+        let mut doc = ProvDocument::new();
+        doc.activity(QName::new("ex", "run"))
+            .prov_type(QName::yprov("RunExecution"))
+            .label("<script>alert(1)</script>");
+        store.upload(doc);
+        let html = render_html(&summarize(&store));
+        assert!(html.contains("<table>"));
+        assert!(html.contains("doc-1"));
+        assert!(!html.contains("<script>alert"), "labels must be escaped");
+        assert!(html.contains("&lt;script&gt;"));
+        assert!(html.contains("/api/v0/documents/doc-1/provn"));
+    }
+
+    #[test]
+    fn plain_documents_summarize_without_run_label() {
+        let store = DocumentStore::new();
+        let mut doc = ProvDocument::new();
+        doc.entity(QName::new("ex", "thing"));
+        store.upload(doc);
+        let summaries = summarize(&store);
+        assert_eq!(summaries[0].run_label, None);
+        assert_eq!(summaries[0].entities, 1);
+    }
+}

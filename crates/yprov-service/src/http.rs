@@ -1,0 +1,659 @@
+//! A from-scratch HTTP/1.1 server exposing the store.
+//!
+//! No frameworks: a listener thread accepts TCP connections and hands
+//! them to a fixed pool of workers over a crossbeam channel. Each worker
+//! parses one request (request line, headers, `Content-Length` body),
+//! routes it, and writes one response with `Connection: close`
+//! semantics — plenty for a provenance API whose clients are scripts
+//! and the explorer.
+//!
+//! ## Routes (yProv-style)
+//!
+//! | Method | Path | Effect |
+//! |---|---|---|
+//! | GET    | `/healthz` | liveness |
+//! | GET    | `/api/v0/documents` | list handle ids |
+//! | POST   | `/api/v0/documents` | upload PROV-JSON, returns `{"id"}` |
+//! | GET    | `/api/v0/documents/{id}` | the PROV-JSON document |
+//! | DELETE | `/api/v0/documents/{id}` | remove |
+//! | GET    | `/api/v0/documents/{id}/stats` | element/relation counts |
+//! | GET    | `/api/v0/documents/{id}/ancestors?focus=<qname>` | lineage |
+//! | GET    | `/api/v0/documents/{id}/subgraph?focus=<qname>` | focused sub-document |
+//! | GET    | `/api/v0/documents/{id}/provn` | PROV-N rendering (text) |
+//! | GET    | `/api/v0/documents/{id}/turtle` | PROV-O / Turtle rendering |
+//! | GET    | `/api/v0/documents/{id}/dot` | Graphviz DOT of the graph |
+//! | GET    | `/api/v0/ledger` | the tamper-evident upload chain |
+
+use crate::store::DocumentStore;
+use crossbeam::channel::{bounded, Sender};
+use prov_model::{ProvDocument, QName};
+use serde_json::json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4, max_body: 256 * 1024 * 1024 }
+    }
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`])
+/// stops the listener and workers.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `store`.
+    pub fn bind(
+        addr: &str,
+        store: DocumentStore,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = bounded::<TcpStream>(64);
+        for i in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let store = store.clone();
+            let cfg = config.clone();
+            std::thread::Builder::new()
+                .name(format!("yprov-http-{i}"))
+                .spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        let _ = handle_connection(stream, &store, &cfg);
+                    }
+                })
+                .expect("spawn http worker");
+        }
+
+        let stop_l = Arc::clone(&stop);
+        let listener_thread = std::thread::Builder::new()
+            .name("yprov-http-accept".into())
+            .spawn(move || accept_loop(listener, tx, stop_l))
+            .expect("spawn http accept thread");
+
+        Ok(Server { addr: local, stop, listener_thread: Some(listener_thread) })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the listener.
+    pub fn shutdown(mut self) {
+        self.stop_internal();
+    }
+
+    fn stop_internal(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Nudge the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.listener_thread.is_some() {
+            self.stop_internal();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    store: &DocumentStore,
+    cfg: &ServerConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let request = match parse_request(&mut reader, cfg.max_body) {
+        Ok(Some(r)) => r,
+        Ok(None) => return Ok(()), // empty connection (shutdown nudge)
+        Err(msg) => {
+            return write_response(stream, 400, &json!({"error": msg}).to_string());
+        }
+    };
+
+    let (status, body) = route(&request, store);
+    let content_type = match request.path.rsplit('/').next() {
+        Some("provn") | Some("turtle") | Some("dot") if status == 200 => "text/plain; charset=utf-8",
+        Some("") | Some("explorer") if status == 200 && request.path.len() <= "/explorer".len() => {
+            "text/html; charset=utf-8"
+        }
+        _ => "application/json",
+    };
+    write_response_typed(stream, status, content_type, &body)
+}
+
+fn parse_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Option<Request>, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read error: {e}"))?;
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing path")?.to_string();
+    let version = parts.next().ok_or("missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read error: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (url_decode(k), url_decode(v)))
+        .collect();
+
+    Ok(Some(Request { method, path, query, body }))
+}
+
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 3 <= bytes.len() {
+            if let Some(b) = std::str::from_utf8(&bytes[i + 1..i + 3])
+                .ok()
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+            {
+                out.push(b);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(if bytes[i] == b'+' { b' ' } else { bytes[i] });
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn route(req: &Request, store: &DocumentStore) -> (u16, String) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let focus = |req: &Request| -> Option<QName> {
+        let raw = req
+            .query
+            .iter()
+            .find(|(k, _)| k == "focus")
+            .map(|(_, v)| v.clone())?;
+        QName::parse(&raw).ok()
+    };
+
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (200, json!({"status": "ok"}).to_string()),
+
+        ("GET", []) | ("GET", ["explorer"]) => (
+            200,
+            crate::explorer::render_html(&crate::explorer::summarize(store)),
+        ),
+
+        ("GET", ["api", "v0", "documents"]) => {
+            (200, json!({"documents": store.list()}).to_string())
+        }
+
+        ("GET", ["api", "v0", "ledger"]) => {
+            let entries: Vec<serde_json::Value> = store
+                .ledger_entries()
+                .into_iter()
+                .map(|e| {
+                    json!({
+                        "index": e.index,
+                        "document_id": e.document_id,
+                        "document_digest": e.document_digest,
+                        "prev_hash": e.prev_hash,
+                        "entry_hash": e.entry_hash,
+                    })
+                })
+                .collect();
+            (200, json!({"entries": entries}).to_string())
+        }
+
+        ("POST", ["api", "v0", "documents"]) => {
+            let text = match std::str::from_utf8(&req.body) {
+                Ok(t) => t,
+                Err(_) => return (400, json!({"error": "body is not UTF-8"}).to_string()),
+            };
+            match ProvDocument::from_json_str(text) {
+                Ok(doc) => {
+                    let id = store.upload(doc);
+                    (201, json!({"id": id}).to_string())
+                }
+                Err(e) => (400, json!({"error": e.to_string()}).to_string()),
+            }
+        }
+
+        ("GET", ["api", "v0", "documents", id]) => match store.get(id) {
+            Some(doc) => (200, doc.to_json().to_string()),
+            None => not_found(id),
+        },
+
+        ("DELETE", ["api", "v0", "documents", id]) => {
+            if store.delete(id) {
+                (200, json!({"deleted": id}).to_string())
+            } else {
+                not_found(id)
+            }
+        }
+
+        ("GET", ["api", "v0", "documents", id, "stats"]) => match store.get(id) {
+            Some(doc) => {
+                let s = doc.stats();
+                (
+                    200,
+                    json!({
+                        "entities": s.entities,
+                        "activities": s.activities,
+                        "agents": s.agents,
+                        "relations": s.relations,
+                        "bundles": s.bundles,
+                    })
+                    .to_string(),
+                )
+            }
+            None => not_found(id),
+        },
+
+        ("GET", ["api", "v0", "documents", id, "ancestors"]) => match focus(req) {
+            None => (400, json!({"error": "missing or invalid ?focus=prefix:local"}).to_string()),
+            Some(q) => match store.ancestors(id, &q) {
+                Some(anc) => (
+                    200,
+                    json!({"focus": q.to_string(),
+                           "ancestors": anc.iter().map(|a| a.to_string()).collect::<Vec<_>>()})
+                    .to_string(),
+                ),
+                None => not_found(id),
+            },
+        },
+
+        ("GET", ["api", "v0", "documents", id, "provn"]) => match store.get(id) {
+            Some(doc) => (200, prov_model::provn::to_provn(&doc)),
+            None => not_found(id),
+        },
+
+        ("GET", ["api", "v0", "documents", id, "turtle"]) => match store.get(id) {
+            Some(doc) => (200, prov_model::turtle::to_turtle(&doc)),
+            None => not_found(id),
+        },
+
+        ("GET", ["api", "v0", "documents", id, "dot"]) => match store.get(id) {
+            Some(doc) => (
+                200,
+                prov_graph::to_dot(&doc, &prov_graph::DotOptions::default()),
+            ),
+            None => not_found(id),
+        },
+
+        ("GET", ["api", "v0", "documents", id, "subgraph"]) => match focus(req) {
+            None => (400, json!({"error": "missing or invalid ?focus=prefix:local"}).to_string()),
+            Some(q) => match store.subgraph(id, &q) {
+                Some(sub) => (200, sub.to_json().to_string()),
+                None => not_found(id),
+            },
+        },
+
+        (_, _) => (404, json!({"error": "no such route"}).to_string()),
+    }
+}
+
+fn not_found(id: &str) -> (u16, String) {
+    (404, json!({"error": format!("document {id:?} not found")}).to_string())
+}
+
+fn write_response(stream: TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+fn write_response_typed(
+    mut stream: TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// A tiny blocking client, used by tests and examples.
+// ---------------------------------------------------------------------------
+
+/// Sends one HTTP request and returns `(status, body)`.
+pub fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc_json() -> String {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(QName::new("ex", "data"));
+        doc.activity(QName::new("ex", "train"));
+        doc.entity(QName::new("ex", "model"));
+        doc.used(QName::new("ex", "train"), QName::new("ex", "data"));
+        doc.was_generated_by(QName::new("ex", "model"), QName::new("ex", "train"));
+        doc.to_json_string().unwrap()
+    }
+
+    fn start() -> Server {
+        Server::bind("127.0.0.1:0", DocumentStore::new(), ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn health_endpoint() {
+        let server = start();
+        let (status, body) = request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("ok"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn upload_fetch_delete_cycle() {
+        let server = start();
+        let (status, body) =
+            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
+                .unwrap();
+        assert_eq!(status, 201, "{body}");
+        let id: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let id = id["id"].as_str().unwrap().to_string();
+
+        let (status, listing) =
+            request(server.addr(), "GET", "/api/v0/documents", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(listing.contains(&id));
+
+        let (status, fetched) =
+            request(server.addr(), "GET", &format!("/api/v0/documents/{id}"), None).unwrap();
+        assert_eq!(status, 200);
+        let parsed = ProvDocument::from_json_str(&fetched).unwrap();
+        assert_eq!(parsed.element_count(), 3);
+
+        let (status, _) =
+            request(server.addr(), "DELETE", &format!("/api/v0/documents/{id}"), None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) =
+            request(server.addr(), "GET", &format!("/api/v0/documents/{id}"), None).unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_and_lineage_endpoints() {
+        let server = start();
+        let (_, body) =
+            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
+                .unwrap();
+        let id: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let id = id["id"].as_str().unwrap().to_string();
+
+        let (status, stats) =
+            request(server.addr(), "GET", &format!("/api/v0/documents/{id}/stats"), None)
+                .unwrap();
+        assert_eq!(status, 200);
+        let stats: serde_json::Value = serde_json::from_str(&stats).unwrap();
+        assert_eq!(stats["entities"], 2);
+        assert_eq!(stats["activities"], 1);
+
+        let (status, anc) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}/ancestors?focus=ex:model"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert!(anc.contains("ex:data"), "{anc}");
+
+        let (status, sub) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}/subgraph?focus=ex:train"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert!(ProvDocument::from_json_str(&sub).unwrap().element_count() == 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn ledger_endpoint_exposes_chain() {
+        let dir = std::env::temp_dir().join(format!("ysvc_http_ledger_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = DocumentStore::persistent(&dir).unwrap();
+        let server = Server::bind("127.0.0.1:0", store, ServerConfig::default()).unwrap();
+        request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json())).unwrap();
+        let (status, body) = request(server.addr(), "GET", "/api/v0/ledger", None).unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let entries = v["entries"].as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0]["index"], 0);
+        assert!(entries[0]["entry_hash"].as_str().unwrap().len() == 64);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explorer_page_served_at_root() {
+        let server = start();
+        let (_, body) =
+            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
+                .unwrap();
+        let _ = body;
+        for path in ["/", "/explorer"] {
+            let (status, html) = request(server.addr(), "GET", path, None).unwrap();
+            assert_eq!(status, 200, "{path}");
+            assert!(html.contains("yProv Explorer"), "{path}");
+            assert!(html.contains("doc-1"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn export_endpoints_render_all_serializations() {
+        let server = start();
+        let (_, body) =
+            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
+                .unwrap();
+        let id: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let id = id["id"].as_str().unwrap().to_string();
+
+        let (status, provn) =
+            request(server.addr(), "GET", &format!("/api/v0/documents/{id}/provn"), None)
+                .unwrap();
+        assert_eq!(status, 200);
+        assert!(provn.contains("wasGeneratedBy(ex:model, ex:train)"));
+
+        let (status, ttl) =
+            request(server.addr(), "GET", &format!("/api/v0/documents/{id}/turtle"), None)
+                .unwrap();
+        assert_eq!(status, 200);
+        assert!(ttl.contains("ex:model prov:wasGeneratedBy ex:train ."));
+
+        let (status, dot) =
+            request(server.addr(), "GET", &format!("/api/v0/documents/{id}/dot"), None)
+                .unwrap();
+        assert_eq!(status, 200);
+        assert!(dot.starts_with("digraph"));
+
+        let (status, _) =
+            request(server.addr(), "GET", "/api/v0/documents/ghost/provn", None).unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        let server = start();
+        let (status, _) =
+            request(server.addr(), "POST", "/api/v0/documents", Some("{not json")).unwrap();
+        assert_eq!(status, 400);
+        let (status, _) =
+            request(server.addr(), "GET", "/api/v0/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = request(
+            server.addr(),
+            "GET",
+            "/api/v0/documents/doc-1/ancestors",
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 400, "missing focus");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = start();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let doc = sample_doc_json();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let (status, _) =
+                        request(addr, "POST", "/api/v0/documents", Some(&doc)).unwrap();
+                    assert_eq!(status, 201);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (_, listing) = request(addr, "GET", "/api/v0/documents", None).unwrap();
+        let listing: serde_json::Value = serde_json::from_str(&listing).unwrap();
+        assert_eq!(listing["documents"].as_array().unwrap().len(), 80);
+        server.shutdown();
+    }
+
+    #[test]
+    fn url_decoding() {
+        assert_eq!(url_decode("ex%3Amodel"), "ex:model");
+        assert_eq!(url_decode("a+b"), "a b");
+        assert_eq!(url_decode("plain"), "plain");
+        assert_eq!(url_decode("bad%"), "bad%");
+        assert_eq!(url_decode("%zz"), "%zz");
+    }
+}

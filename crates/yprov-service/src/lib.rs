@@ -1,0 +1,35 @@
+//! # yprov-service
+//!
+//! The *consumer* side of the yProv ecosystem: a provenance document
+//! store with lineage queries, exposed over a REST API — the role the
+//! paper's yProv web service (Neo4J + RESTful API) plays for files
+//! produced by yProv4ML.
+//!
+//! * [`store`] — an in-process, thread-safe document store keyed by
+//!   handle ids, with merge, per-document statistics and graph queries
+//!   running on `prov-graph`;
+//! * [`http`] — a from-scratch HTTP/1.1 server (std TCP + a small
+//!   thread pool) serving the yProv-style endpoints
+//!   (`/api/v0/documents`, `/api/v0/documents/{id}`, `.../subgraph`,
+//!   `.../ancestors`, `.../stats`);
+//! * [`explorer`] — cross-document summaries like the yProv Explorer's
+//!   landing view.
+//!
+//! ```
+//! use yprov_service::store::DocumentStore;
+//! use prov_model::{ProvDocument, QName};
+//!
+//! let store = DocumentStore::new();
+//! let mut doc = ProvDocument::new();
+//! doc.entity(QName::new("ex", "model"));
+//! let id = store.upload(doc);
+//! assert!(store.get(&id).is_some());
+//! ```
+
+pub mod explorer;
+pub mod ledger;
+pub mod http;
+pub mod store;
+
+pub use http::{Server, ServerConfig};
+pub use store::DocumentStore;

@@ -1,0 +1,338 @@
+//! The in-process provenance document store.
+
+use crate::ledger::Ledger;
+use parking_lot::{Mutex, RwLock};
+use prov_graph::ProvGraph;
+use prov_model::{ProvDocument, QName};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe store of provenance documents keyed by handle ids
+/// (`doc-1`, `doc-2`, ...). Cheap to clone (shared state).
+#[derive(Clone, Default)]
+pub struct DocumentStore {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    docs: RwLock<BTreeMap<String, Arc<ProvDocument>>>,
+    next_id: AtomicU64,
+    /// Directory for on-disk persistence, when enabled.
+    dir: Option<PathBuf>,
+    /// Tamper-evident hash chain over uploads (persistent mode only).
+    ledger: Mutex<Ledger>,
+}
+
+impl DocumentStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store persisted under `dir`: documents live as `<id>.json`
+    /// files, uploads append to a tamper-evident [`Ledger`]
+    /// (`ledger.txt`), and reopening the directory restores both. The
+    /// ledger is verified against the reloaded documents on open, so a
+    /// provenance file edited behind the service's back fails loudly.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+
+        let ledger_path = dir.join("ledger.txt");
+        let ledger = if ledger_path.is_file() {
+            let text = std::fs::read_to_string(&ledger_path).map_err(|e| e.to_string())?;
+            Ledger::from_text(&text)?
+        } else {
+            Ledger::new()
+        };
+
+        let mut docs = BTreeMap::new();
+        let mut max_id = 0u64;
+        for entry in std::fs::read_dir(&dir).map_err(|e| e.to_string())? {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                let id = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+                let doc = ProvDocument::from_json_str(&text)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                if let Some(n) = id.strip_prefix("doc-").and_then(|n| n.parse::<u64>().ok()) {
+                    max_id = max_id.max(n);
+                }
+                docs.insert(id, Arc::new(doc));
+            }
+        }
+
+        // Integrity: the chain must be sound and surviving documents
+        // must hash as recorded.
+        ledger
+            .verify_against(|id| {
+                std::fs::read(dir.join(format!("{id}.json"))).ok()
+            })
+            .map_err(|issue| format!("ledger verification failed: {issue:?}"))?;
+
+        Ok(DocumentStore {
+            inner: Arc::new(Inner {
+                docs: RwLock::new(docs),
+                next_id: AtomicU64::new(max_id),
+                dir: Some(dir),
+                ledger: Mutex::new(ledger),
+            }),
+        })
+    }
+
+    /// The ledger entries (empty for in-memory stores).
+    pub fn ledger_entries(&self) -> Vec<crate::ledger::LedgerEntry> {
+        self.inner.ledger.lock().entries().to_vec()
+    }
+
+    fn persist(&self, id: &str, doc: &ProvDocument) {
+        if let Some(dir) = &self.inner.dir {
+            if let Ok(json) = doc.to_json_string() {
+                let _ = std::fs::write(dir.join(format!("{id}.json")), &json);
+                let mut ledger = self.inner.ledger.lock();
+                ledger.append(id, json.as_bytes());
+                let _ = std::fs::write(dir.join("ledger.txt"), ledger.to_text());
+            }
+        }
+    }
+
+    /// Stores a document, returning its handle id.
+    pub fn upload(&self, doc: ProvDocument) -> String {
+        let id = format!("doc-{}", self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        self.persist(&id, &doc);
+        self.inner.docs.write().insert(id.clone(), Arc::new(doc));
+        id
+    }
+
+    /// Stores a document under a caller-chosen id (replacing any
+    /// previous document with that id).
+    pub fn upload_as(&self, id: impl Into<String>, doc: ProvDocument) -> String {
+        let id = id.into();
+        self.persist(&id, &doc);
+        self.inner.docs.write().insert(id.clone(), Arc::new(doc));
+        id
+    }
+
+    /// Fetches a document.
+    pub fn get(&self, id: &str) -> Option<Arc<ProvDocument>> {
+        self.inner.docs.read().get(id).cloned()
+    }
+
+    /// Removes a document; true when it existed. In persistent mode the
+    /// file is removed but the ledger keeps its record — deletions stay
+    /// visible in history.
+    pub fn delete(&self, id: &str) -> bool {
+        if let Some(dir) = &self.inner.dir {
+            let _ = std::fs::remove_file(dir.join(format!("{id}.json")));
+        }
+        self.inner.docs.write().remove(id).is_some()
+    }
+
+    /// All handle ids, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.inner.docs.read().keys().cloned().collect()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.inner.docs.read().len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Provenance ancestors of `focus` inside document `id` (the
+    /// lineage query of the yProv API).
+    pub fn ancestors(&self, id: &str, focus: &QName) -> Option<Vec<QName>> {
+        let doc = self.get(id)?;
+        let graph = ProvGraph::new(&doc);
+        Some(graph.ancestors(focus).into_iter().collect())
+    }
+
+    /// The sub-document induced by `focus` and everything connected to
+    /// it (ancestors + descendants).
+    pub fn subgraph(&self, id: &str, focus: &QName) -> Option<ProvDocument> {
+        let doc = self.get(id)?;
+        let graph = ProvGraph::new(&doc);
+        let mut keep = graph.ancestors(focus);
+        keep.extend(graph.descendants(focus));
+        keep.insert(focus.clone());
+        Some(prov_graph::subgraph(&doc, &keep))
+    }
+
+    /// Merges every stored document into one (cross-run lineage), or
+    /// `None` when a namespace conflict prevents it.
+    pub fn merged(&self) -> Option<ProvDocument> {
+        let docs = self.inner.docs.read();
+        let mut merged = ProvDocument::new();
+        for doc in docs.values() {
+            merged.merge(doc).ok()?;
+        }
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(local: &str) -> QName {
+        QName::new("ex", local)
+    }
+
+    fn pipeline_doc() -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(q("data"));
+        doc.activity(q("train"));
+        doc.entity(q("model"));
+        doc.used(q("train"), q("data"));
+        doc.was_generated_by(q("model"), q("train"));
+        doc
+    }
+
+    #[test]
+    fn upload_get_delete() {
+        let store = DocumentStore::new();
+        let id = store.upload(pipeline_doc());
+        assert_eq!(id, "doc-1");
+        assert!(store.get(&id).is_some());
+        assert_eq!(store.list(), vec!["doc-1"]);
+        assert!(store.delete(&id));
+        assert!(!store.delete(&id));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_under_concurrency() {
+        let store = DocumentStore::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .map(|_| store.upload(ProvDocument::new()))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<String> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 800);
+        assert_eq!(store.len(), 800);
+    }
+
+    #[test]
+    fn lineage_queries() {
+        let store = DocumentStore::new();
+        let id = store.upload(pipeline_doc());
+        let anc = store.ancestors(&id, &q("model")).unwrap();
+        assert!(anc.contains(&q("train")));
+        assert!(anc.contains(&q("data")));
+        assert!(store.ancestors("nope", &q("model")).is_none());
+
+        let sub = store.subgraph(&id, &q("train")).unwrap();
+        assert_eq!(sub.element_count(), 3);
+    }
+
+    #[test]
+    fn upload_as_replaces() {
+        let store = DocumentStore::new();
+        store.upload_as("run-1", pipeline_doc());
+        store.upload_as("run-1", ProvDocument::new());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("run-1").unwrap().element_count(), 0);
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("ysvc_persist_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let id;
+        {
+            let store = DocumentStore::persistent(&dir).unwrap();
+            id = store.upload(pipeline_doc());
+            store.upload(ProvDocument::new());
+            assert_eq!(store.ledger_entries().len(), 2);
+        }
+        let reopened = DocumentStore::persistent(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        let doc = reopened.get(&id).unwrap();
+        assert_eq!(doc.element_count(), 3);
+        // Ids keep counting past the reloaded maximum.
+        let new_id = reopened.upload(ProvDocument::new());
+        assert_eq!(new_id, "doc-3");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_store_detects_tampering() {
+        let dir = std::env::temp_dir().join(format!("ysvc_tamper_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let store = DocumentStore::persistent(&dir).unwrap();
+            store.upload(pipeline_doc());
+        }
+        // Edit the stored provenance behind the service's back.
+        let path = dir.join("doc-1.json");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("ex:model", "ex:fudged");
+        std::fs::write(&path, text).unwrap();
+        let err = match DocumentStore::persistent(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("tampered store must fail to open"),
+        };
+        assert!(err.contains("ledger verification failed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistent_delete_keeps_ledger_history() {
+        let dir = std::env::temp_dir().join(format!("ysvc_del_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let store = DocumentStore::persistent(&dir).unwrap();
+            let id = store.upload(pipeline_doc());
+            assert!(store.delete(&id));
+        }
+        // Reopen: document gone, history intact and verifiable.
+        let reopened = DocumentStore::persistent(&dir).unwrap();
+        assert_eq!(reopened.len(), 0);
+        assert_eq!(reopened.ledger_entries().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merged_combines_documents() {
+        let store = DocumentStore::new();
+        store.upload(pipeline_doc());
+        let mut other = ProvDocument::new();
+        other.namespaces_mut().register("ex", "http://ex/").unwrap();
+        other.entity(q("report"));
+        store.upload(other);
+        let merged = store.merged().unwrap();
+        assert_eq!(merged.element_count(), 4);
+    }
+
+    #[test]
+    fn merged_fails_on_conflicting_namespaces() {
+        let store = DocumentStore::new();
+        store.upload(pipeline_doc());
+        let mut other = ProvDocument::new();
+        other.namespaces_mut().register("ex", "http://other/").unwrap();
+        other.entity(q("x"));
+        store.upload(other);
+        assert!(store.merged().is_none());
+    }
+}

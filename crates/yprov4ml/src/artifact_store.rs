@@ -1,0 +1,259 @@
+//! Content-addressed artifact storage shared across runs.
+//!
+//! Scaling studies log the *same* input dataset manifest, config files
+//! and base checkpoints into dozens of runs; copying them per run
+//! multiplies storage for no provenance value (the SHA-256 already
+//! identifies the content). An [`ArtifactStore`] keeps one object per
+//! digest under `objects/ab/cdef...` (git-style fan-out) and lets runs
+//! reference objects instead of duplicating bytes.
+//!
+//! The store is safe for concurrent writers: objects are written to a
+//! temp file and renamed into place, and an existing object is never
+//! rewritten (content-addressing makes overwrites idempotent anyway).
+
+use crate::error::ProvMLError;
+use crate::hash::sha256_hex;
+use std::path::{Path, PathBuf};
+
+/// A content-addressed object store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Creates (or opens) a store at `root`.
+    pub fn create(root: impl AsRef<Path>) -> Result<Self, ProvMLError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join("objects"))?;
+        Ok(ArtifactStore { root })
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn object_path(&self, digest: &str) -> PathBuf {
+        let (fan, rest) = digest.split_at(2.min(digest.len()));
+        self.root.join("objects").join(fan).join(rest)
+    }
+
+    /// Stores bytes, returning their digest. Idempotent: storing the
+    /// same content twice writes once.
+    pub fn put(&self, bytes: &[u8]) -> Result<String, ProvMLError> {
+        let digest = sha256_hex(bytes);
+        let path = self.object_path(&digest);
+        if path.is_file() {
+            return Ok(digest);
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename keeps concurrent writers from exposing
+        // partial objects. The temp name is unique per call (process id
+        // + global counter), so concurrent writers of the same digest
+        // never share a temp file; the final rename atomically replaces
+        // any object a racing writer installed first — harmless, since
+        // content-addressing makes both byte-identical.
+        static PUT_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let nonce = PUT_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp{}-{nonce}", std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => {}
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                if !path.is_file() {
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(digest)
+    }
+
+    /// Stores a file's contents.
+    pub fn put_file(&self, path: impl AsRef<Path>) -> Result<String, ProvMLError> {
+        let bytes = std::fs::read(path)?;
+        self.put(&bytes)
+    }
+
+    /// Fetches an object's bytes.
+    pub fn get(&self, digest: &str) -> Result<Vec<u8>, ProvMLError> {
+        let path = self.object_path(digest);
+        if !path.is_file() {
+            return Err(ProvMLError::Store(metric_store::StoreError::NotFound(
+                format!("object {digest}"),
+            )));
+        }
+        let bytes = std::fs::read(&path)?;
+        // Verify on read: a provenance store that silently serves
+        // corrupted artifacts is worse than none.
+        let actual = sha256_hex(&bytes);
+        if actual != digest {
+            return Err(ProvMLError::Store(metric_store::StoreError::Corrupt(
+                format!("object {digest} has digest {actual}"),
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// True when the object exists.
+    pub fn contains(&self, digest: &str) -> bool {
+        self.object_path(digest).is_file()
+    }
+
+    /// Materializes an object at `dest` (copy).
+    pub fn checkout(&self, digest: &str, dest: impl AsRef<Path>) -> Result<(), ProvMLError> {
+        let bytes = self.get(digest)?;
+        if let Some(parent) = dest.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(dest, bytes)?;
+        Ok(())
+    }
+
+    /// Number of objects and their total bytes.
+    pub fn stats(&self) -> Result<(usize, u64), ProvMLError> {
+        let mut count = 0usize;
+        let mut bytes = 0u64;
+        let objects = self.root.join("objects");
+        for fan in std::fs::read_dir(&objects)? {
+            let fan = fan?.path();
+            if !fan.is_dir() {
+                continue;
+            }
+            for obj in std::fs::read_dir(&fan)? {
+                let meta = obj?.metadata()?;
+                if meta.is_file() {
+                    count += 1;
+                    bytes += meta.len();
+                }
+            }
+        }
+        Ok((count, bytes))
+    }
+
+    /// Removes objects not in `referenced` (garbage collection after
+    /// runs are deleted). Returns the number of objects removed.
+    pub fn gc(&self, referenced: &std::collections::BTreeSet<String>) -> Result<usize, ProvMLError> {
+        let mut removed = 0usize;
+        let objects = self.root.join("objects");
+        for fan in std::fs::read_dir(&objects)? {
+            let fan = fan?.path();
+            if !fan.is_dir() {
+                continue;
+            }
+            let fan_name = fan.file_name().map(|n| n.to_string_lossy().into_owned());
+            for obj in std::fs::read_dir(&fan)? {
+                let obj = obj?.path();
+                let digest = match (&fan_name, obj.file_name()) {
+                    (Some(f), Some(rest)) => format!("{f}{}", rest.to_string_lossy()),
+                    _ => continue,
+                };
+                if !referenced.contains(&digest) {
+                    std::fs::remove_file(&obj)?;
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("yobj_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = ArtifactStore::create(tmp("roundtrip")).unwrap();
+        let digest = store.put(b"model weights").unwrap();
+        assert_eq!(digest.len(), 64);
+        assert!(store.contains(&digest));
+        assert_eq!(store.get(&digest).unwrap(), b"model weights");
+        assert!(!store.contains("00".repeat(32).as_str()));
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn deduplication() {
+        let store = ArtifactStore::create(tmp("dedup")).unwrap();
+        let payload = vec![42u8; 100_000];
+        for _ in 0..10 {
+            store.put(&payload).unwrap();
+        }
+        let (count, bytes) = store.stats().unwrap();
+        assert_eq!(count, 1, "ten identical puts, one object");
+        assert_eq!(bytes, 100_000);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn corruption_detected_on_read() {
+        let store = ArtifactStore::create(tmp("corrupt")).unwrap();
+        let digest = store.put(b"honest bytes").unwrap();
+        let path = store.object_path(&digest);
+        std::fs::write(&path, b"tampered bytes").unwrap();
+        assert!(store.get(&digest).is_err());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn checkout_materializes() {
+        let store = ArtifactStore::create(tmp("checkout")).unwrap();
+        let digest = store.put(b"dataset").unwrap();
+        let dest = store.root().join("work/data.bin");
+        store.checkout(&digest, &dest).unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"dataset");
+        assert!(store.checkout(&"ff".repeat(32), store.root().join("x")).is_err());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        let store = ArtifactStore::create(tmp("concurrent")).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    // Half shared content, half unique.
+                    let content = if i % 2 == 0 {
+                        format!("shared-{i}")
+                    } else {
+                        format!("unique-{t}-{i}")
+                    };
+                    store.put(content.as_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (count, _) = store.stats().unwrap();
+        assert_eq!(count, 25 + 8 * 25, "25 shared + 200 unique");
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn gc_removes_unreferenced() {
+        let store = ArtifactStore::create(tmp("gc")).unwrap();
+        let keep = store.put(b"keep me").unwrap();
+        let _drop1 = store.put(b"drop me 1").unwrap();
+        let _drop2 = store.put(b"drop me 2").unwrap();
+        let referenced: BTreeSet<String> = [keep.clone()].into_iter().collect();
+        let removed = store.gc(&referenced).unwrap();
+        assert_eq!(removed, 2);
+        assert!(store.contains(&keep));
+        assert_eq!(store.stats().unwrap().0, 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}

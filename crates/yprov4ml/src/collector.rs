@@ -1,0 +1,321 @@
+//! The concurrent log collector.
+//!
+//! Logging must never stall the training loop (the paper's "minimal
+//! overhead" requirement), so the default collector pushes records onto
+//! an unbounded lock-free channel drained by a background thread that
+//! folds them into the run state. A synchronous mode (mutex around the
+//! state) exists for tests and for workloads where determinism matters
+//! more than latency; the overhead benchmark (E7) compares the two.
+
+use crate::error::ProvMLError;
+use crate::model::{ArtifactMeta, Direction, LogRecord, ParamValue};
+use crossbeam::channel::{unbounded, Sender};
+use metric_store::series::{MetricPoint, MetricSeries};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Aggregated state of one run, built from the record stream.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RunState {
+    /// Parameters (later same-name records override earlier ones).
+    pub params: BTreeMap<String, (ParamValue, Direction)>,
+    /// Metric series keyed by `(metric name, context name)`.
+    pub metrics: BTreeMap<(String, String), MetricSeries>,
+    /// Logged artifacts.
+    pub artifacts: Vec<ArtifactMeta>,
+    /// Observed context spans: name → (first start µs, last end µs).
+    pub context_spans: BTreeMap<String, (Option<i64>, Option<i64>)>,
+    /// Highest epoch seen per context.
+    pub max_epoch: BTreeMap<String, u32>,
+    /// Total metric samples folded in.
+    pub metric_samples: usize,
+}
+
+impl RunState {
+    /// Folds one record into the state.
+    pub fn apply(&mut self, record: LogRecord) {
+        match record {
+            LogRecord::Param { name, value, direction } => {
+                self.params.insert(name, (value, direction));
+            }
+            LogRecord::Metric { name, context, step, epoch, time_us, value } => {
+                let ctx_name = context.name();
+                let key = (name.clone(), ctx_name.clone());
+                let series = self
+                    .metrics
+                    .entry(key)
+                    .or_insert_with(|| MetricSeries::new(name, ctx_name.clone()));
+                series.push(MetricPoint { step, epoch, time_us, value });
+                let slot = self.max_epoch.entry(ctx_name).or_insert(0);
+                *slot = (*slot).max(epoch);
+                self.metric_samples += 1;
+            }
+            LogRecord::Artifact(meta) => self.artifacts.push(meta),
+            LogRecord::ContextStart { context, time_us } => {
+                let span = self
+                    .context_spans
+                    .entry(context.name())
+                    .or_insert((None, None));
+                if span.0.is_none() {
+                    span.0 = Some(time_us);
+                }
+            }
+            LogRecord::ContextEnd { context, time_us } => {
+                let span = self
+                    .context_spans
+                    .entry(context.name())
+                    .or_insert((None, None));
+                span.1 = Some(time_us);
+            }
+        }
+    }
+
+    /// Names of contexts that logged anything.
+    pub fn context_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .metrics
+            .keys()
+            .map(|(_, c)| c.clone())
+            .chain(self.context_spans.keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+enum Msg {
+    Record(Box<LogRecord>),
+    Flush(Sender<()>),
+    /// Final message: fold nothing more, ship the state back and exit.
+    Shutdown(Sender<RunState>),
+}
+
+enum Inner {
+    Sync(Mutex<RunState>),
+    Buffered {
+        tx: Sender<Msg>,
+        handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    },
+}
+
+/// The collector: accepts records from any thread and folds them into a
+/// [`RunState`]. Shared behind an `Arc`; all methods take `&self`.
+pub struct Collector {
+    inner: Inner,
+    accepted: AtomicUsize,
+}
+
+impl Collector {
+    /// A synchronous collector (records folded inline under a mutex).
+    pub fn synchronous() -> Arc<Self> {
+        Arc::new(Collector {
+            inner: Inner::Sync(Mutex::new(RunState::default())),
+            accepted: AtomicUsize::new(0),
+        })
+    }
+
+    /// A buffered collector with a background folding thread.
+    pub fn buffered() -> Arc<Self> {
+        let (tx, rx) = unbounded::<Msg>();
+        let handle = std::thread::Builder::new()
+            .name("yprov4ml-collector".into())
+            .spawn(move || {
+                let mut state = RunState::default();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Record(r) => state.apply(*r),
+                        Msg::Flush(ack) => {
+                            let _ = ack.send(());
+                        }
+                        Msg::Shutdown(out) => {
+                            let _ = out.send(std::mem::take(&mut state));
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawn collector thread");
+        Arc::new(Collector {
+            inner: Inner::Buffered { tx, handle: Mutex::new(Some(handle)) },
+            accepted: AtomicUsize::new(0),
+        })
+    }
+
+    /// Submits a record. Non-blocking in buffered mode.
+    pub fn log(&self, record: LogRecord) -> Result<(), ProvMLError> {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        match &self.inner {
+            Inner::Sync(state) => {
+                state.lock().apply(record);
+                Ok(())
+            }
+            Inner::Buffered { tx, .. } => tx
+                .send(Msg::Record(Box::new(record)))
+                .map_err(|_| ProvMLError::CollectorGone),
+        }
+    }
+
+    /// Blocks until all records submitted so far are folded in.
+    pub fn flush(&self) -> Result<(), ProvMLError> {
+        match &self.inner {
+            Inner::Sync(_) => Ok(()),
+            Inner::Buffered { tx, .. } => {
+                let (ack_tx, ack_rx) = unbounded();
+                tx.send(Msg::Flush(ack_tx))
+                    .map_err(|_| ProvMLError::CollectorGone)?;
+                ack_rx.recv().map_err(|_| ProvMLError::CollectorGone)
+            }
+        }
+    }
+
+    /// Number of records accepted (submitted) so far.
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Shuts the collector down and returns the final state.
+    ///
+    /// Idempotence: the first call wins; later calls (or logging after
+    /// close, in buffered mode) report [`ProvMLError::CollectorGone`].
+    pub fn close(&self) -> Result<RunState, ProvMLError> {
+        match &self.inner {
+            Inner::Sync(state) => Ok(std::mem::take(&mut *state.lock())),
+            Inner::Buffered { tx, handle } => {
+                let joined = handle.lock().take().ok_or(ProvMLError::CollectorGone)?;
+                let (out_tx, out_rx) = unbounded();
+                tx.send(Msg::Shutdown(out_tx))
+                    .map_err(|_| ProvMLError::CollectorGone)?;
+                let state = out_rx.recv().map_err(|_| ProvMLError::CollectorGone)?;
+                joined.join().map_err(|_| ProvMLError::CollectorGone)?;
+                Ok(state)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Context;
+
+    fn metric(name: &str, step: u64, value: f64) -> LogRecord {
+        LogRecord::Metric {
+            name: name.into(),
+            context: Context::Training,
+            step,
+            epoch: (step / 10) as u32,
+            time_us: step as i64,
+            value,
+        }
+    }
+
+    #[test]
+    fn sync_collector_folds_records() {
+        let c = Collector::synchronous();
+        c.log(LogRecord::Param {
+            name: "lr".into(),
+            value: ParamValue::Float(0.001),
+            direction: Direction::Input,
+        })
+        .unwrap();
+        for i in 0..100 {
+            c.log(metric("loss", i, 1.0 / (i + 1) as f64)).unwrap();
+        }
+        let state = c.close().unwrap();
+        assert_eq!(state.params.len(), 1);
+        assert_eq!(state.metric_samples, 100);
+        let series = &state.metrics[&("loss".to_string(), "training".to_string())];
+        assert_eq!(series.len(), 100);
+        assert_eq!(state.max_epoch["training"], 9);
+    }
+
+    #[test]
+    fn buffered_collector_reaches_same_state_as_sync() {
+        let records: Vec<LogRecord> = (0..1000).map(|i| metric("loss", i, i as f64)).collect();
+        let sync = Collector::synchronous();
+        let buf = Collector::buffered();
+        for r in &records {
+            sync.log(r.clone()).unwrap();
+            buf.log(r.clone()).unwrap();
+        }
+        assert_eq!(sync.close().unwrap(), buf.close().unwrap());
+    }
+
+    #[test]
+    fn flush_makes_submissions_visible() {
+        let c = Collector::buffered();
+        for i in 0..500 {
+            c.log(metric("m", i, 0.0)).unwrap();
+        }
+        c.flush().unwrap();
+        assert_eq!(c.accepted(), 500);
+        let state = c.close().unwrap();
+        assert_eq!(state.metric_samples, 500);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let c = Collector::buffered();
+        let mut handles = Vec::new();
+        for rank in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    c.log(metric(&format!("rank{rank}"), i, i as f64)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let state = c.close().unwrap();
+        assert_eq!(state.metric_samples, 8000);
+        for rank in 0..8 {
+            let s = &state.metrics[&(format!("rank{rank}"), "training".to_string())];
+            assert_eq!(s.len(), 1000);
+            // Per-producer order is preserved by the channel.
+            for (i, p) in s.points.iter().enumerate() {
+                assert_eq!(p.step, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn double_close_errors() {
+        let c = Collector::buffered();
+        c.log(metric("m", 0, 1.0)).unwrap();
+        assert!(c.close().is_ok());
+        assert!(matches!(c.close(), Err(ProvMLError::CollectorGone)));
+        assert!(matches!(c.log(metric("m", 1, 1.0)), Err(ProvMLError::CollectorGone)));
+    }
+
+    #[test]
+    fn context_spans_recorded() {
+        let c = Collector::synchronous();
+        c.log(LogRecord::ContextStart { context: Context::Training, time_us: 100 })
+            .unwrap();
+        c.log(LogRecord::ContextEnd { context: Context::Training, time_us: 900 })
+            .unwrap();
+        let state = c.close().unwrap();
+        assert_eq!(state.context_spans["training"], (Some(100), Some(900)));
+        assert_eq!(state.context_names(), vec!["training"]);
+    }
+
+    #[test]
+    fn param_override_keeps_latest() {
+        let c = Collector::synchronous();
+        for v in [1.0, 2.0, 3.0] {
+            c.log(LogRecord::Param {
+                name: "lr".into(),
+                value: ParamValue::Float(v),
+                direction: Direction::Input,
+            })
+            .unwrap();
+        }
+        let state = c.close().unwrap();
+        assert_eq!(state.params["lr"].0, ParamValue::Float(3.0));
+    }
+}

@@ -1,0 +1,308 @@
+//! Write-ahead journal and crash recovery.
+//!
+//! Provenance whose collection dies with the job is worth little — the
+//! runs most in need of auditing are the ones that crashed (§3.1, and
+//! the trustworthy-provenance direction of §4). With journaling enabled
+//! ([`crate::run::RunOptions::journal`]), every [`LogRecord`] is
+//! appended to `journal.jsonl` in the run directory *before* it enters
+//! the in-memory collector. [`recover`] rebuilds the run state from
+//! that journal and writes the provenance files a crashed process never
+//! got to write.
+//!
+//! Format: line 1 is a JSON header (`experiment`, `run`, `user`,
+//! `started_us`, `version`); every further line is one serialized
+//! [`LogRecord`]. Torn trailing lines (the usual crash artifact) are
+//! skipped with a count, never an error.
+
+use crate::collector::RunState;
+use crate::error::ProvMLError;
+use crate::model::{LogRecord, RunReport, RunStatus};
+use crate::prov_emit::{build_document, RunIdentity};
+use crate::spill::{spill_metrics, SpillPolicy};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside a run directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// The journal header (first line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Format version.
+    pub version: u32,
+    /// Experiment name.
+    pub experiment: String,
+    /// Run name.
+    pub run: String,
+    /// Responsible user.
+    pub user: String,
+    /// Run start, µs since the epoch.
+    pub started_us: i64,
+}
+
+/// An append-only journal writer shared across logging threads.
+pub struct JournalWriter {
+    file: Mutex<std::io::BufWriter<std::fs::File>>,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates the journal and writes its header.
+    pub fn create(run_dir: &Path, header: &JournalHeader) -> Result<Self, ProvMLError> {
+        let path = run_dir.join(JOURNAL_FILE);
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        serde_json::to_writer(&mut file, header).map_err(metric_store::StoreError::Json)?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        Ok(JournalWriter { file: Mutex::new(file), path })
+    }
+
+    /// Appends one record (flushing so a crash loses at most the
+    /// in-flight line).
+    pub fn append(&self, record: &LogRecord) -> Result<(), ProvMLError> {
+        let mut file = self.file.lock();
+        serde_json::to_writer(&mut *file, record).map_err(metric_store::StoreError::Json)?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Result of reading a journal back.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// The parsed header.
+    pub header: JournalHeader,
+    /// The reconstructed run state.
+    pub state: RunState,
+    /// Number of complete records recovered.
+    pub records: usize,
+    /// Number of torn/corrupt lines skipped (normally 0 or 1).
+    pub skipped: usize,
+}
+
+/// Reads a journal file into a [`JournalReplay`].
+pub fn read_journal(run_dir: &Path) -> Result<JournalReplay, ProvMLError> {
+    let path = run_dir.join(JOURNAL_FILE);
+    let file = std::fs::File::open(&path)?;
+    let mut lines = BufReader::new(file).lines();
+
+    let header_line = lines
+        .next()
+        .ok_or_else(|| ProvMLError::BadName(format!("{}: empty journal", path.display())))??;
+    let header: JournalHeader =
+        serde_json::from_str(&header_line).map_err(metric_store::StoreError::Json)?;
+
+    let mut state = RunState::default();
+    let mut records = 0usize;
+    let mut skipped = 0usize;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<LogRecord>(&line) {
+            Ok(record) => {
+                state.apply(record);
+                records += 1;
+            }
+            Err(_) => skipped += 1, // torn tail from the crash
+        }
+    }
+    Ok(JournalReplay { header, state, records, skipped })
+}
+
+/// Recovers a crashed run: rebuilds its state from the journal, spills
+/// metrics per `spill`, and writes `prov.json` / `prov.provn` marked
+/// with `yprov4ml:status = "recovered"`.
+pub fn recover(run_dir: &Path, spill: &SpillPolicy) -> Result<RunReport, ProvMLError> {
+    let replay = read_journal(run_dir)?;
+    let state = replay.state;
+
+    let series: Vec<&metric_store::series::MetricSeries> = state.metrics.values().collect();
+    let outcome = spill_metrics(run_dir, spill, &series)?;
+
+    // End time: the latest timestamp the journal saw.
+    let ended_us = state
+        .metrics
+        .values()
+        .filter_map(|s| s.points.last().map(|p| p.time_us))
+        .chain(state.artifacts.iter().map(|a| a.logged_at_us))
+        .max()
+        .unwrap_or(replay.header.started_us);
+
+    let identity = RunIdentity {
+        experiment: replay.header.experiment.clone(),
+        run: replay.header.run.clone(),
+        user: replay.header.user.clone(),
+        started_us: replay.header.started_us,
+        ended_us,
+    };
+    let mut doc = build_document(&identity, &state, &outcome, spill.is_inline());
+    doc.activity(prov_model::QName::new("exp", replay.header.run.clone()))
+        .attr(
+            prov_model::QName::yprov("status"),
+            prov_model::AttrValue::from("recovered"),
+        )
+        .attr(
+            prov_model::QName::yprov("journal_records"),
+            prov_model::AttrValue::Int(replay.records as i64),
+        );
+
+    let prov_json_path = run_dir.join("prov.json");
+    let provn_path = run_dir.join("prov.provn");
+    std::fs::write(&prov_json_path, doc.to_json_string_pretty()?)?;
+    std::fs::write(&provn_path, prov_model::provn::to_provn(&doc))?;
+
+    Ok(RunReport {
+        experiment: replay.header.experiment,
+        run: replay.header.run,
+        status: RunStatus::Failed,
+        prov_json_bytes: std::fs::metadata(&prov_json_path)?.len(),
+        prov_json_path,
+        provn_path,
+        metric_store_path: outcome.store_path,
+        params: state.params.len(),
+        metric_samples: state.metric_samples,
+        artifacts: state.artifacts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Context, Direction, ParamValue};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("yjournal_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            version: 1,
+            experiment: "exp".into(),
+            run: "crashed-run".into(),
+            user: "tester".into(),
+            started_us: 1_000,
+        }
+    }
+
+    fn write_records(dir: &Path, n: u64) {
+        let writer = JournalWriter::create(dir, &header()).unwrap();
+        writer
+            .append(&LogRecord::Param {
+                name: "lr".into(),
+                value: ParamValue::Float(0.01),
+                direction: Direction::Input,
+            })
+            .unwrap();
+        for i in 0..n {
+            writer
+                .append(&LogRecord::Metric {
+                    name: "loss".into(),
+                    context: Context::Training,
+                    step: i,
+                    epoch: 0,
+                    time_us: 1_000 + i as i64,
+                    value: 1.0 / (i + 1) as f64,
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips() {
+        let dir = tmp("roundtrip");
+        write_records(&dir, 100);
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(replay.header, header());
+        assert_eq!(replay.records, 101);
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.state.metric_samples, 100);
+        assert_eq!(replay.state.params.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped() {
+        let dir = tmp("torn");
+        write_records(&dir, 50);
+        // Simulate a crash mid-write: append half a record.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(b"{\"Metric\":{\"name\":\"loss\",\"conte").unwrap();
+        drop(f);
+
+        let replay = read_journal(&dir).unwrap();
+        assert_eq!(replay.records, 51);
+        assert_eq!(replay.skipped, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_writes_provenance() {
+        let dir = tmp("recover");
+        write_records(&dir, 200);
+        // No prov.json exists — the "process" died before finish().
+        assert!(!dir.join("prov.json").exists());
+
+        let report = recover(&dir, &SpillPolicy::Inline).unwrap();
+        assert_eq!(report.status, RunStatus::Failed);
+        assert_eq!(report.metric_samples, 200);
+        assert!(report.prov_json_path.is_file());
+
+        let doc = prov_model::ProvDocument::from_json_str(
+            &std::fs::read_to_string(&report.prov_json_path).unwrap(),
+        )
+        .unwrap();
+        let act = doc
+            .get(&prov_model::QName::new("exp", "crashed-run"))
+            .unwrap();
+        assert_eq!(
+            act.attr(&prov_model::QName::yprov("status"))
+                .and_then(|v| v.as_str()),
+            Some("recovered")
+        );
+        assert!(prov_model::validate::is_valid(&doc));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_with_spill() {
+        let dir = tmp("recover_spill");
+        write_records(&dir, 300);
+        let report = recover(&dir, &SpillPolicy::Zarr(Default::default())).unwrap();
+        assert!(report.metric_store_path.is_some());
+        let series = crate::spill::read_spilled(&dir, "loss", "training").unwrap();
+        assert_eq!(series.len(), 300);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_journal_errors() {
+        let dir = tmp("missing");
+        assert!(read_journal(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_journal_errors() {
+        let dir = tmp("empty");
+        std::fs::write(dir.join(JOURNAL_FILE), "").unwrap();
+        assert!(read_journal(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

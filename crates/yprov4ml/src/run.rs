@@ -1,0 +1,518 @@
+//! The run handle: the MLflow-style logging surface.
+
+use crate::collector::Collector;
+use crate::error::ProvMLError;
+use crate::journal::{JournalHeader, JournalWriter};
+use crate::hash::sha256_hex;
+use crate::model::{
+    ArtifactMeta, Context, Direction, LogRecord, ParamValue, RunReport, RunStatus,
+};
+use crate::plugins::{PluginSink, ProvPlugin};
+use crate::prov_emit::{build_document, RunIdentity};
+use crate::spill::{spill_metrics, SpillPolicy};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Options controlling a run's collection behaviour.
+#[derive(Default)]
+pub struct RunOptions {
+    /// Metric spill policy (inline by default — the paper's "normal"
+    /// single-file output).
+    pub spill: SpillPolicy,
+    /// Use the synchronous collector instead of the buffered one.
+    pub synchronous: bool,
+    /// User recorded as the responsible agent.
+    pub user: Option<String>,
+    /// Plugins activated for this run.
+    pub plugins: Vec<Box<dyn ProvPlugin>>,
+    /// Write every record to a crash-recovery journal
+    /// (`journal.jsonl`) before buffering it. See [`crate::journal`].
+    /// Plugin-emitted records bypass the journal (they are
+    /// reconstructible from their sources).
+    pub journal: bool,
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("spill", &self.spill)
+            .field("synchronous", &self.synchronous)
+            .field("user", &self.user)
+            .field("plugins", &self.plugins.len())
+            .field("journal", &self.journal)
+            .finish()
+    }
+}
+
+/// An active run. Logging methods take `&self` and are safe to call
+/// from any thread; [`Run::finish`] consumes the run and writes the
+/// provenance files.
+pub struct Run {
+    experiment: String,
+    name: String,
+    dir: PathBuf,
+    collector: Arc<Collector>,
+    spill: SpillPolicy,
+    user: String,
+    started_us: i64,
+    plugins: Mutex<Vec<Box<dyn ProvPlugin>>>,
+    journal: Option<JournalWriter>,
+}
+
+fn now_us() -> i64 {
+    prov_model::XsdDateTime::now().epoch_micros()
+}
+
+impl Run {
+    pub(crate) fn start(
+        experiment: String,
+        name: String,
+        experiment_dir: &Path,
+        options: RunOptions,
+    ) -> Result<Run, ProvMLError> {
+        let dir = experiment_dir.join(&name);
+        std::fs::create_dir_all(dir.join("artifacts"))?;
+        let collector = if options.synchronous {
+            Collector::synchronous()
+        } else {
+            Collector::buffered()
+        };
+        let user = options.user.unwrap_or_else(|| "unknown".to_string());
+        let started_us = now_us();
+        let journal = if options.journal {
+            Some(JournalWriter::create(
+                &dir,
+                &JournalHeader {
+                    version: 1,
+                    experiment: experiment.clone(),
+                    run: name.clone(),
+                    user: user.clone(),
+                    started_us,
+                },
+            )?)
+        } else {
+            None
+        };
+        let run = Run {
+            experiment,
+            name,
+            dir,
+            collector,
+            spill: options.spill,
+            user,
+            started_us,
+            plugins: Mutex::new(options.plugins),
+            journal,
+        };
+        // Give plugins a chance to record environment parameters.
+        {
+            let mut plugins = run.plugins.lock();
+            let mut sink = PluginSink::new(&run.collector);
+            for p in plugins.iter_mut() {
+                p.on_run_start(&mut sink);
+            }
+        }
+        Ok(run)
+    }
+
+    /// The run name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The experiment this run belongs to.
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Journals (when enabled) and submits one record.
+    fn submit(&self, record: LogRecord) -> Result<(), ProvMLError> {
+        if let Some(journal) = &self.journal {
+            journal.append(&record)?;
+        }
+        self.collector.log(record)
+    }
+
+    // ----- parameters ---------------------------------------------------
+
+    /// Logs a parameter (input by default, like hyperparameters).
+    pub fn log_param(&self, name: impl Into<String>, value: impl Into<ParamValue>) {
+        self.log_param_dir(name, value, Direction::Input);
+    }
+
+    /// Logs an explicitly-input parameter.
+    pub fn log_input_param(&self, name: impl Into<String>, value: impl Into<ParamValue>) {
+        self.log_param_dir(name, value, Direction::Input);
+    }
+
+    /// Logs an output parameter (a derived one-time result).
+    pub fn log_output_param(&self, name: impl Into<String>, value: impl Into<ParamValue>) {
+        self.log_param_dir(name, value, Direction::Output);
+    }
+
+    fn log_param_dir(
+        &self,
+        name: impl Into<String>,
+        value: impl Into<ParamValue>,
+        direction: Direction,
+    ) {
+        let _ = self.submit(LogRecord::Param {
+            name: name.into(),
+            value: value.into(),
+            direction,
+        });
+    }
+
+    // ----- metrics ------------------------------------------------------
+
+    /// Logs one metric sample with the current wall time.
+    pub fn log_metric(
+        &self,
+        name: impl Into<String>,
+        context: Context,
+        step: u64,
+        epoch: u32,
+        value: f64,
+    ) {
+        self.log_metric_at(name, context, step, epoch, now_us(), value);
+    }
+
+    /// Logs one metric sample with an explicit timestamp (µs since the
+    /// Unix epoch) — used by simulators running on virtual clocks.
+    pub fn log_metric_at(
+        &self,
+        name: impl Into<String>,
+        context: Context,
+        step: u64,
+        epoch: u32,
+        time_us: i64,
+        value: f64,
+    ) {
+        let _ = self.submit(LogRecord::Metric {
+            name: name.into(),
+            context,
+            step,
+            epoch,
+            time_us,
+            value,
+        });
+    }
+
+    // ----- contexts -------------------------------------------------------
+
+    /// Marks a context as started.
+    pub fn start_context(&self, context: Context) {
+        let _ = self.submit(LogRecord::ContextStart { context, time_us: now_us() });
+    }
+
+    /// Marks a context as ended.
+    pub fn end_context(&self, context: Context) {
+        let _ = self.submit(LogRecord::ContextEnd { context, time_us: now_us() });
+    }
+
+    // ----- artifacts -------------------------------------------------------
+
+    /// Stores bytes as an artifact in the run directory and logs it.
+    pub fn log_artifact_bytes(
+        &self,
+        name: impl Into<String>,
+        bytes: &[u8],
+        direction: Direction,
+    ) -> Result<ArtifactMeta, ProvMLError> {
+        self.log_artifact_bytes_in(name, bytes, direction, None)
+    }
+
+    /// Stores bytes as an artifact attached to a specific context.
+    pub fn log_artifact_bytes_in(
+        &self,
+        name: impl Into<String>,
+        bytes: &[u8],
+        direction: Direction,
+        context: Option<Context>,
+    ) -> Result<ArtifactMeta, ProvMLError> {
+        let name = name.into();
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let stored_path = self.dir.join("artifacts").join(&safe);
+        std::fs::write(&stored_path, bytes)?;
+        let meta = ArtifactMeta {
+            name,
+            stored_path,
+            sha256: sha256_hex(bytes),
+            bytes: bytes.len() as u64,
+            direction,
+            context,
+            logged_at_us: now_us(),
+        };
+        self.submit(LogRecord::Artifact(meta.clone()))?;
+        Ok(meta)
+    }
+
+    /// Copies a file into the run directory and logs it as an artifact.
+    pub fn log_artifact_file(
+        &self,
+        path: impl AsRef<Path>,
+        direction: Direction,
+    ) -> Result<ArtifactMeta, ProvMLError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "artifact".to_string());
+        self.log_artifact_bytes(name, &bytes, direction)
+    }
+
+    /// Logs a model checkpoint (an output artifact in the training
+    /// context, typed as a model).
+    pub fn log_model(
+        &self,
+        name: impl Into<String>,
+        bytes: &[u8],
+    ) -> Result<ArtifactMeta, ProvMLError> {
+        self.log_artifact_bytes_in(name, bytes, Direction::Output, Some(Context::Training))
+    }
+
+    // ----- plugins ----------------------------------------------------------
+
+    /// Invokes every plugin's periodic hook (call once per step or on a
+    /// timer; plugins emit extra metrics through their sink).
+    pub fn plugin_tick(&self) {
+        let mut plugins = self.plugins.lock();
+        let mut sink = PluginSink::new(&self.collector);
+        for p in plugins.iter_mut() {
+            p.on_tick(&mut sink);
+        }
+    }
+
+    /// Number of log records accepted so far.
+    pub fn records_accepted(&self) -> usize {
+        self.collector.accepted()
+    }
+
+    /// Blocks until all submitted records are folded into the state.
+    pub fn flush(&self) -> Result<(), ProvMLError> {
+        self.collector.flush()
+    }
+
+    // ----- finish -------------------------------------------------------------
+
+    /// Finishes the run: drains the collector, spills metrics, writes
+    /// `prov.json` + `prov.provn`, and returns a report.
+    pub fn finish(self) -> Result<RunReport, ProvMLError> {
+        self.finish_with_status(RunStatus::Finished)
+    }
+
+    /// Finishes the run with a failure marker (still writes provenance —
+    /// failed runs are exactly the ones worth auditing).
+    pub fn fail(self) -> Result<RunReport, ProvMLError> {
+        self.finish_with_status(RunStatus::Failed)
+    }
+
+    fn finish_with_status(self, status: RunStatus) -> Result<RunReport, ProvMLError> {
+        {
+            let mut plugins = self.plugins.lock();
+            let mut sink = PluginSink::new(&self.collector);
+            for p in plugins.iter_mut() {
+                p.on_run_end(&mut sink);
+            }
+        }
+        let state = self.collector.close()?;
+        let ended_us = now_us();
+
+        let series: Vec<&metric_store::series::MetricSeries> = state.metrics.values().collect();
+        let spill = spill_metrics(&self.dir, &self.spill, &series)?;
+
+        let identity = RunIdentity {
+            experiment: self.experiment.clone(),
+            run: self.name.clone(),
+            user: self.user.clone(),
+            started_us: self.started_us,
+            ended_us,
+        };
+        let mut doc = build_document(&identity, &state, &spill, self.spill.is_inline());
+        if status == RunStatus::Failed {
+            doc.activity(prov_model::QName::new("exp", self.name.clone())).attr(
+                prov_model::QName::yprov("status"),
+                prov_model::AttrValue::from("failed"),
+            );
+        }
+
+        let prov_json_path = self.dir.join("prov.json");
+        let provn_path = self.dir.join("prov.provn");
+        std::fs::write(&prov_json_path, doc.to_json_string_pretty()?)?;
+        std::fs::write(&provn_path, prov_model::provn::to_provn(&doc))?;
+
+        Ok(RunReport {
+            experiment: self.experiment,
+            run: self.name,
+            status,
+            prov_json_bytes: std::fs::metadata(&prov_json_path)?.len(),
+            prov_json_path,
+            provn_path,
+            metric_store_path: spill.store_path,
+            params: state.params.len(),
+            metric_samples: state.metric_samples,
+            artifacts: state.artifacts.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+
+    fn base(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("yrun_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn full_run_lifecycle() {
+        let b = base("lifecycle");
+        let exp = Experiment::new("e", &b).unwrap();
+        let run = exp.start_run("r1").unwrap();
+        run.log_param("lr", 0.001);
+        run.log_output_param("best_acc", 0.93);
+        run.start_context(Context::Training);
+        for step in 0..50u64 {
+            run.log_metric("loss", Context::Training, step, (step / 10) as u32, 1.0);
+        }
+        run.end_context(Context::Training);
+        run.log_artifact_bytes("data.bin", b"input bytes", Direction::Input).unwrap();
+        run.log_model("model.ckpt", b"weights").unwrap();
+
+        let report = run.finish().unwrap();
+        assert_eq!(report.status, RunStatus::Finished);
+        assert_eq!(report.params, 2);
+        assert_eq!(report.metric_samples, 50);
+        assert_eq!(report.artifacts, 2);
+        assert!(report.prov_json_path.is_file());
+        assert!(report.provn_path.is_file());
+        assert!(report.prov_json_bytes > 0);
+
+        // The provenance file parses and validates.
+        let doc = exp.load_run_document("r1").unwrap();
+        assert!(prov_model::validate::is_valid(&doc));
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn artifact_content_addressing() {
+        let b = base("artifacts");
+        let exp = Experiment::new("e", &b).unwrap();
+        let run = exp.start_run("r1").unwrap();
+        let m1 = run.log_artifact_bytes("a.bin", b"same", Direction::Output).unwrap();
+        let m2 = run.log_artifact_bytes("b.bin", b"same", Direction::Output).unwrap();
+        let m3 = run.log_artifact_bytes("c.bin", b"different", Direction::Output).unwrap();
+        assert_eq!(m1.sha256, m2.sha256);
+        assert_ne!(m1.sha256, m3.sha256);
+        assert!(m1.stored_path.is_file());
+        run.finish().unwrap();
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn spilled_run_writes_store_and_small_prov() {
+        let b = base("spill");
+        let exp = Experiment::new("e", &b).unwrap();
+
+        let mk = |name: &str, spill: SpillPolicy| {
+            let run = exp
+                .start_run_with(name, RunOptions { spill, ..Default::default() })
+                .unwrap();
+            for step in 0..5000u64 {
+                run.log_metric_at("loss", Context::Training, step, 0, step as i64, 0.5);
+            }
+            run.finish().unwrap()
+        };
+
+        let inline = mk("inline", SpillPolicy::Inline);
+        let zarr = mk("zarr", SpillPolicy::Zarr(Default::default()));
+        assert!(inline.metric_store_path.is_none());
+        assert!(zarr.metric_store_path.as_ref().unwrap().exists());
+        assert!(
+            inline.prov_json_bytes > zarr.prov_json_bytes * 5,
+            "inline {} vs spilled {}",
+            inline.prov_json_bytes,
+            zarr.prov_json_bytes
+        );
+        // Spilled data reads back.
+        let series =
+            crate::spill::read_spilled(&exp.dir().join("zarr"), "loss", "training").unwrap();
+        assert_eq!(series.len(), 5000);
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn concurrent_ranks_log_safely() {
+        let b = base("concurrent");
+        let exp = Experiment::new("e", &b).unwrap();
+        let run = Arc::new(exp.start_run("ddp").unwrap());
+        let mut handles = Vec::new();
+        for rank in 0..8u32 {
+            let run = Arc::clone(&run);
+            handles.push(std::thread::spawn(move || {
+                for step in 0..500u64 {
+                    run.log_metric(
+                        format!("loss/rank{rank}"),
+                        Context::Training,
+                        step,
+                        0,
+                        step as f64,
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let run = Arc::try_unwrap(run).ok().expect("all threads joined");
+        let report = run.finish().unwrap();
+        assert_eq!(report.metric_samples, 8 * 500);
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn failed_run_is_marked() {
+        let b = base("failed");
+        let exp = Experiment::new("e", &b).unwrap();
+        let run = exp.start_run("crash").unwrap();
+        run.log_param("lr", 10.0);
+        let report = run.fail().unwrap();
+        assert_eq!(report.status, RunStatus::Failed);
+        let doc = exp.load_run_document("crash").unwrap();
+        let act = doc.get(&prov_model::QName::new("exp", "crash")).unwrap();
+        assert_eq!(
+            act.attr(&prov_model::QName::yprov("status"))
+                .and_then(|v| v.as_str()),
+            Some("failed")
+        );
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn synchronous_mode_works() {
+        let b = base("sync");
+        let exp = Experiment::new("e", &b).unwrap();
+        let run = exp
+            .start_run_with("r", RunOptions { synchronous: true, ..Default::default() })
+            .unwrap();
+        run.log_metric("m", Context::Testing, 0, 0, 1.0);
+        assert_eq!(run.records_accepted(), 1);
+        run.flush().unwrap();
+        let report = run.finish().unwrap();
+        assert_eq!(report.metric_samples, 1);
+        std::fs::remove_dir_all(&b).ok();
+    }
+}

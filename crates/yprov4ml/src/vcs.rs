@@ -1,0 +1,200 @@
+//! Content-addressed source-tree snapshots.
+//!
+//! Stands in for the paper's git-diff tracking (§3.1): a [`Snapshot`]
+//! hashes every file under a root (SHA-256) plus a combined tree hash,
+//! and two snapshots diff into added/removed/modified sets. Unlike git,
+//! there is no object store — provenance only needs to *identify*
+//! versions, the artifacts themselves are logged separately.
+
+use crate::hash::{sha256_hex, Sha256};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A point-in-time content snapshot of a file tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    root: PathBuf,
+    /// Relative path → (content hash, size).
+    files: BTreeMap<PathBuf, (String, u64)>,
+}
+
+/// Differences between two snapshots.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TreeDiff {
+    /// Files present only in the newer snapshot.
+    pub added: Vec<PathBuf>,
+    /// Files present only in the older snapshot.
+    pub removed: Vec<PathBuf>,
+    /// Files whose content hash changed.
+    pub modified: Vec<PathBuf>,
+}
+
+impl TreeDiff {
+    /// Total number of changed paths.
+    pub fn total_changes(&self) -> usize {
+        self.added.len() + self.removed.len() + self.modified.len()
+    }
+
+    /// True when the trees are identical.
+    pub fn is_empty(&self) -> bool {
+        self.total_changes() == 0
+    }
+}
+
+impl Snapshot {
+    /// Walks `root` and hashes every regular file. Hidden directories
+    /// (starting with `.`) and common build-output directories are
+    /// skipped, mirroring what a `.gitignore` usually excludes.
+    pub fn take(root: impl AsRef<Path>) -> std::io::Result<Snapshot> {
+        let root = root.as_ref().to_path_buf();
+        let mut files = BTreeMap::new();
+        walk(&root, &root, &mut files)?;
+        Ok(Snapshot { root, files })
+    }
+
+    /// The snapshot root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of files captured.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The hash of one file, if captured.
+    pub fn file_hash(&self, rel: impl AsRef<Path>) -> Option<&str> {
+        self.files.get(rel.as_ref()).map(|(h, _)| h.as_str())
+    }
+
+    /// A combined hash over all `(path, hash)` pairs — two trees with
+    /// the same tree hash have identical content.
+    pub fn tree_hash(&self) -> String {
+        let mut hasher = Sha256::new();
+        for (path, (hash, size)) in &self.files {
+            hasher.update(path.to_string_lossy().as_bytes());
+            hasher.update(b"\0");
+            hasher.update(hash.as_bytes());
+            hasher.update(&size.to_le_bytes());
+        }
+        crate::hash::to_hex(&hasher.finish())
+    }
+
+    /// Changes from `self` (older) to `newer`.
+    pub fn diff(&self, newer: &Snapshot) -> TreeDiff {
+        let mut diff = TreeDiff::default();
+        for (path, (hash, _)) in &self.files {
+            match newer.files.get(path) {
+                None => diff.removed.push(path.clone()),
+                Some((new_hash, _)) if new_hash != hash => diff.modified.push(path.clone()),
+                _ => {}
+            }
+        }
+        for path in newer.files.keys() {
+            if !self.files.contains_key(path) {
+                diff.added.push(path.clone());
+            }
+        }
+        diff
+    }
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    files: &mut BTreeMap<PathBuf, (String, u64)>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') || name == "target" || name == "__pycache__" {
+            continue;
+        }
+        let ftype = entry.file_type()?;
+        if ftype.is_dir() {
+            walk(root, &path, files)?;
+        } else if ftype.is_file() {
+            let bytes = std::fs::read(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            files.insert(rel, (sha256_hex(&bytes), bytes.len() as u64));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("yvcs_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(d.join("src")).unwrap();
+        std::fs::write(d.join("train.py"), "lr = 0.001").unwrap();
+        std::fs::write(d.join("src/model.py"), "class Model: pass").unwrap();
+        d
+    }
+
+    #[test]
+    fn snapshot_captures_tree() {
+        let d = fixture("capture");
+        let snap = Snapshot::take(&d).unwrap();
+        assert_eq!(snap.file_count(), 2);
+        assert!(snap.file_hash("train.py").is_some());
+        assert!(snap.file_hash("src/model.py").is_some());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn identical_trees_have_equal_hash_and_empty_diff() {
+        let d = fixture("identical");
+        let a = Snapshot::take(&d).unwrap();
+        let b = Snapshot::take(&d).unwrap();
+        assert_eq!(a.tree_hash(), b.tree_hash());
+        assert!(a.diff(&b).is_empty());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn diff_classifies_changes() {
+        let d = fixture("classify");
+        let before = Snapshot::take(&d).unwrap();
+        std::fs::write(d.join("train.py"), "lr = 0.01  # tuned").unwrap();
+        std::fs::write(d.join("eval.py"), "print('new')").unwrap();
+        std::fs::remove_file(d.join("src/model.py")).unwrap();
+        let after = Snapshot::take(&d).unwrap();
+
+        let diff = before.diff(&after);
+        assert_eq!(diff.modified, vec![PathBuf::from("train.py")]);
+        assert_eq!(diff.added, vec![PathBuf::from("eval.py")]);
+        assert_eq!(diff.removed, vec![PathBuf::from("src/model.py")]);
+        assert_eq!(diff.total_changes(), 3);
+        assert_ne!(before.tree_hash(), after.tree_hash());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn hidden_and_build_dirs_skipped() {
+        let d = fixture("skips");
+        std::fs::create_dir_all(d.join(".git")).unwrap();
+        std::fs::write(d.join(".git/config"), "noise").unwrap();
+        std::fs::create_dir_all(d.join("target")).unwrap();
+        std::fs::write(d.join("target/out.bin"), "artifact").unwrap();
+        let snap = Snapshot::take(&d).unwrap();
+        assert_eq!(snap.file_count(), 2, "only source files counted");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn tree_hash_depends_on_paths_too() {
+        let d1 = fixture("paths1");
+        let d2 = fixture("paths2");
+        std::fs::rename(d2.join("train.py"), d2.join("renamed.py")).unwrap();
+        let h1 = Snapshot::take(&d1).unwrap().tree_hash();
+        let h2 = Snapshot::take(&d2).unwrap().tree_hash();
+        assert_ne!(h1, h2, "same contents, different layout");
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d2).ok();
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests over the provenance pipeline: arbitrary record
+//! streams must fold identically through the sync and buffered
+//! collectors, survive the journal, and always produce valid PROV.
+
+use proptest::prelude::*;
+use yprov4ml::collector::{Collector, RunState};
+use yprov4ml::journal::{read_journal, JournalHeader, JournalWriter};
+use yprov4ml::model::{Context, Direction, LogRecord, ParamValue};
+use yprov4ml::prov_emit::{build_document, RunIdentity};
+use yprov4ml::spill::SpillOutcome;
+
+fn arb_context() -> impl Strategy<Value = Context> {
+    prop_oneof![
+        Just(Context::Training),
+        Just(Context::Validation),
+        Just(Context::Testing),
+        "[a-z]{1,8}".prop_map(Context::Custom),
+    ]
+}
+
+fn arb_param_value() -> impl Strategy<Value = ParamValue> {
+    prop_oneof![
+        any::<i64>().prop_map(ParamValue::Int),
+        // Finite doubles: NaN params would break state comparison
+        // without testing anything new (NaN behaviour is covered in
+        // metric values below).
+        (-1e15f64..1e15).prop_map(ParamValue::Float),
+        "[ -~]{0,16}".prop_map(ParamValue::Text),
+        any::<bool>().prop_map(ParamValue::Bool),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = LogRecord> {
+    prop_oneof![
+        ("[a-z]{1,10}", arb_param_value(), any::<bool>()).prop_map(|(name, value, input)| {
+            LogRecord::Param {
+                name,
+                value,
+                direction: if input { Direction::Input } else { Direction::Output },
+            }
+        }),
+        ("[a-z]{1,10}", arb_context(), any::<u64>(), any::<u32>(), any::<i64>(), any::<f64>())
+            .prop_map(|(name, context, step, epoch, time_us, value)| LogRecord::Metric {
+                name,
+                context,
+                step,
+                epoch,
+                time_us,
+                value,
+            }),
+        (arb_context(), any::<i64>())
+            .prop_map(|(context, time_us)| LogRecord::ContextStart { context, time_us }),
+        (arb_context(), any::<i64>())
+            .prop_map(|(context, time_us)| LogRecord::ContextEnd { context, time_us }),
+    ]
+}
+
+fn states_equal_modulo_nan(a: &RunState, b: &RunState) -> bool {
+    // MetricSeries PartialEq fails on NaN values; compare bitwise.
+    if a.params != b.params
+        || a.artifacts != b.artifacts
+        || a.context_spans != b.context_spans
+        || a.max_epoch != b.max_epoch
+        || a.metric_samples != b.metric_samples
+        || a.metrics.len() != b.metrics.len()
+    {
+        return false;
+    }
+    a.metrics.iter().zip(b.metrics.iter()).all(|((ka, sa), (kb, sb))| {
+        ka == kb
+            && sa.points.len() == sb.points.len()
+            && sa.points.iter().zip(&sb.points).all(|(x, y)| {
+                x.step == y.step
+                    && x.epoch == y.epoch
+                    && x.time_us == y.time_us
+                    && x.value.to_bits() == y.value.to_bits()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sync_and_buffered_collectors_agree(
+        records in prop::collection::vec(arb_record(), 0..200),
+    ) {
+        let sync = Collector::synchronous();
+        let buffered = Collector::buffered();
+        for r in &records {
+            sync.log(r.clone()).unwrap();
+            buffered.log(r.clone()).unwrap();
+        }
+        let a = sync.close().unwrap();
+        let b = buffered.close().unwrap();
+        prop_assert!(states_equal_modulo_nan(&a, &b));
+    }
+
+    #[test]
+    fn journal_replay_reproduces_state(
+        records in prop::collection::vec(arb_record(), 0..150),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "yprop_journal_{}_{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let header = JournalHeader {
+            version: 1,
+            experiment: "prop".into(),
+            run: "r".into(),
+            user: "u".into(),
+            started_us: 0,
+        };
+        let writer = JournalWriter::create(&dir, &header).unwrap();
+        let mut direct = RunState::default();
+        for r in &records {
+            writer.append(r).unwrap();
+            direct.apply(r.clone());
+        }
+        drop(writer);
+        let replay = read_journal(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(replay.records, records.len());
+        prop_assert_eq!(replay.skipped, 0);
+        prop_assert!(states_equal_modulo_nan(&replay.state, &direct));
+    }
+
+    #[test]
+    fn emitted_documents_always_validate(
+        records in prop::collection::vec(arb_record(), 0..120),
+    ) {
+        let mut state = RunState::default();
+        for r in records {
+            state.apply(r);
+        }
+        let identity = RunIdentity {
+            experiment: "prop".into(),
+            run: "r".into(),
+            user: "u".into(),
+            started_us: 0,
+            ended_us: 1,
+        };
+        let spill = SpillOutcome { store_path: None, links: Vec::new(), external_bytes: 0 };
+        let doc = build_document(&identity, &state, &spill, false);
+        let issues = prov_model::validate(&doc);
+        prop_assert!(
+            prov_model::validate::is_valid(&doc),
+            "invalid doc from arbitrary state: {issues:?}"
+        );
+        // And it survives the JSON round trip.
+        let json = doc.to_json_string().unwrap();
+        prop_assert!(prov_model::ProvDocument::from_json_str(&json).is_ok());
+    }
+}

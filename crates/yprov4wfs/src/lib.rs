@@ -1,0 +1,37 @@
+//! # yprov4wfs
+//!
+//! The workflow counterpart of the run-level logger — the paper's
+//! *yProv4WFs*, which "allows for higher level pairing in tasks run
+//! also through workflow management systems".
+//!
+//! A [`Workflow`] is a DAG of named tasks. The [`executor`] runs ready
+//! tasks in parallel (one thread per ready task, gated by a
+//! dependency counter), pipes each task's named output artifacts to its
+//! dependents, and records the whole execution as one W3C PROV
+//! document: the workflow is an activity, every task a sub-activity
+//! `wasInformedBy` its dependencies, every artifact an entity with
+//! `used` / `wasGeneratedBy` edges and a SHA-256 digest — the same
+//! vocabulary yProv4ML uses at run level, so workflow- and run-level
+//! provenance merge into one lineage graph.
+//!
+//! ```
+//! use yprov4wfs::{Workflow, TaskOutcome};
+//!
+//! let mut wf = Workflow::new("etl");
+//! wf.task("extract", [], |_ctx| {
+//!     Ok(TaskOutcome::new().output("raw.csv", b"a,b\n1,2".to_vec()))
+//! });
+//! wf.task("transform", ["extract"], |ctx| {
+//!     let raw = ctx.input("extract", "raw.csv").expect("dependency output");
+//!     Ok(TaskOutcome::new().output("clean.csv", raw.to_ascii_uppercase()))
+//! });
+//! let report = yprov4wfs::executor::run(wf).unwrap();
+//! assert!(report.succeeded());
+//! assert!(report.document.relation_count() > 0);
+//! ```
+
+pub mod executor;
+pub mod workflow;
+
+pub use executor::{run, TaskStatus, WorkflowError, WorkflowReport};
+pub use workflow::{TaskCtx, TaskOutcome, Workflow};

@@ -1,0 +1,110 @@
+//! Development tracking (paper §3.1).
+//!
+//! Simulates a developer iterating on a training script: each edit is
+//! followed by a run whose provenance records the source-tree hash (via
+//! the snapshot plugin), so every result is pinned to the exact code
+//! version that produced it. Finally the two runs' provenance documents
+//! are diffed to show what changed between them, and the run directory
+//! is packaged as an RO-Crate for sharing.
+//!
+//! ```text
+//! cargo run -p integration --example development_tracking
+//! ```
+
+use prov_graph::diff;
+use yprov4ml::model::{Context, Direction};
+use yprov4ml::plugins::SourceSnapshotPlugin;
+use yprov4ml::run::RunOptions;
+use yprov4ml::Experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = std::env::temp_dir().join("yprov4ml_dev_tracking");
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::create_dir_all(&base)?;
+
+    // The "project" being developed.
+    let project = base.join("project");
+    std::fs::create_dir_all(&project)?;
+    std::fs::write(project.join("train.py"), "lr = 0.01\nepochs = 5\n")?;
+
+    let experiment = Experiment::new("dev-tracking", &base)?;
+
+    // Run 1: the original script.
+    let run_v1 = do_run(&experiment, "v1", &project, 0.01)?;
+
+    // The developer edits the script...
+    std::fs::write(project.join("train.py"), "lr = 0.001  # lowered\nepochs = 5\n")?;
+
+    // Run 2: after the edit.
+    let run_v2 = do_run(&experiment, "v2", &project, 0.001)?;
+
+    // What changed between the two runs, according to provenance alone?
+    let doc1 = experiment.load_run_document(&run_v1)?;
+    let doc2 = experiment.load_run_document(&run_v2)?;
+    let d = diff(&doc1, &doc2);
+    println!("--- provenance diff v1 -> v2 ---");
+    for line in d.summary().lines() {
+        // Element ids embed the run name, so the diff is verbose; show
+        // the informative attribute-level lines.
+        if line.contains("param/") || line.contains("tree_hash") || line.contains("loss") {
+            println!("{line}");
+        }
+    }
+
+    // The source hashes prove which code version each result came from.
+    for (name, doc) in [(&run_v1, &doc1), (&run_v2, &doc2)] {
+        let s = yprov4ml::compare::RunSummary::from_document(doc).unwrap();
+        println!(
+            "{name}: source tree {}..., learning_rate {}, final loss {}",
+            &s.params["source.tree_hash"][..12],
+            s.params["learning_rate"],
+            s.metrics
+                .get("training/loss")
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_default()
+        );
+    }
+
+    // Package run v2 for sharing: artifacts + provenance as an RO-Crate.
+    let run_dir = experiment.dir().join(&run_v2);
+    let crate_ = rocrate::validate::wrap_directory(
+        &run_dir,
+        "dev-tracking v2",
+        "Training run with full development provenance",
+    )?;
+    let issues = rocrate::validate_crate(&run_dir)?;
+    println!(
+        "\nRO-Crate written: {} files described, {} validation issues",
+        crate_.file_ids().len(),
+        issues.len()
+    );
+
+    Ok(())
+}
+
+/// One development iteration: snapshot the source, train, log results.
+fn do_run(
+    experiment: &Experiment,
+    name: &str,
+    project: &std::path::Path,
+    lr: f64,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let run = experiment.start_run_with(
+        name,
+        RunOptions {
+            plugins: vec![Box::new(SourceSnapshotPlugin::new(project))],
+            ..Default::default()
+        },
+    )?;
+    run.log_param("learning_rate", lr);
+    run.log_artifact_file(project.join("train.py"), Direction::Input)?;
+
+    // A toy "training" whose outcome depends on the learning rate.
+    for step in 0..100u64 {
+        let loss = 1.0 / (1.0 + step as f64 * lr * 10.0);
+        run.log_metric("loss", Context::Training, step, 0, loss);
+    }
+    run.log_model("model.ckpt", format!("weights@lr={lr}").as_bytes())?;
+    run.finish()?;
+    Ok(name.to_string())
+}

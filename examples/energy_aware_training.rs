@@ -1,0 +1,102 @@
+//! Energy-aware training with online guidance (paper §3.2).
+//!
+//! Attaches the energy plugin to a run, feeds the training monitor the
+//! same loss/energy stream the provenance collector sees, and stops the
+//! moment the configured energy budget or loss plateau is hit — "the
+//! process could be stopped when a specific threshold of energy,
+//! compute, or performance is achieved, removing unnecessary
+//! iterations".
+//!
+//! ```text
+//! cargo run -p integration --example energy_aware_training
+//! ```
+
+use energy_monitor::device::mi250x_gcd;
+use energy_monitor::sampler::{PowerSource, VirtualClock};
+use std::sync::Arc;
+use yprov4ml::model::Context;
+use yprov4ml::monitor::{Advice, StopPolicy, TrainingMonitor};
+use yprov4ml::plugins::EnergyPlugin;
+use yprov4ml::run::RunOptions;
+use yprov4ml::Experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = std::env::temp_dir().join("yprov4ml_energy_aware");
+    std::fs::remove_dir_all(&base).ok();
+    let experiment = Experiment::new("energy-aware", &base)?;
+
+    // A virtual clock drives both the "training" and the power sampling.
+    let clock = VirtualClock::manual();
+    let gcd = mi250x_gcd();
+    let watts = gcd.power_at(0.9) * 8.0; // 8 busy GCDs
+    let source: Arc<dyn PowerSource> = Arc::new(move || watts);
+
+    let run = experiment.start_run_with(
+        "budgeted",
+        RunOptions {
+            plugins: vec![Box::new(EnergyPlugin::new(source, Arc::clone(&clock)))],
+            ..Default::default()
+        },
+    )?;
+    run.log_param("energy_budget_kwh", 0.5);
+
+    // The guidance policy: 0.5 kWh budget, plateau patience of 200.
+    let mut monitor = TrainingMonitor::new(StopPolicy {
+        energy_budget_j: Some(0.5 * 3.6e6),
+        patience: Some(200),
+        min_delta: 1e-4,
+        ..Default::default()
+    });
+
+    let step_seconds = 1.2;
+    let mut joules = 0.0;
+    let mut stopped: Option<Advice> = None;
+    for step in 0..100_000u64 {
+        // One simulated training step.
+        clock.advance(step_seconds);
+        joules += watts * step_seconds;
+        let loss = 2.0 / (1.0 + step as f64 * 0.01);
+
+        run.log_metric("loss", Context::Training, step, 0, loss);
+        run.plugin_tick(); // energy plugin samples power + integrates
+
+        let advice = monitor.observe(loss, joules, clock.now_s());
+        if advice.should_stop() {
+            stopped = Some(advice);
+            run.log_output_param("stopped_at_step", step);
+            break;
+        }
+    }
+
+    let advice = stopped.expect("budget must trigger");
+    match &advice {
+        Advice::EnergyExhausted { joules } => {
+            println!(
+                "stopped: energy budget reached ({:.2} kWh consumed)",
+                joules / 3.6e6
+            );
+            run.log_output_param("stop_reason", "energy_budget");
+        }
+        Advice::Plateaued { best_loss, stale_for } => {
+            println!("stopped: loss plateaued at {best_loss:.4} for {stale_for} steps");
+            run.log_output_param("stop_reason", "plateau");
+        }
+        other => println!("stopped: {other:?}"),
+    }
+
+    let report = run.finish()?;
+    println!(
+        "provenance with {} metric samples at {}",
+        report.metric_samples,
+        report.prov_json_path.display()
+    );
+
+    // The recorded energy totals agree with the budget decision.
+    let doc = experiment.load_run_document("budgeted")?;
+    let summary = yprov4ml::compare::RunSummary::from_document(&doc).unwrap();
+    println!(
+        "recorded total: {} kWh (device {})",
+        summary.params["energy.total_kwh"], summary.params["energy.device"]
+    );
+    Ok(())
+}

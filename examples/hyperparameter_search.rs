@@ -1,0 +1,117 @@
+//! Hyperparameter tuning over provenance (paper §3.4).
+//!
+//! Sweeps batch size and communication overlap on the simulator, logs
+//! every run with yProv4ML, then answers the §3.4 questions *from the
+//! stored provenance alone*: which parameters varied, which run was
+//! best, and which previous run is most similar to a planned one.
+//!
+//! ```text
+//! cargo run -p integration --example hyperparameter_search --release
+//! ```
+
+use integration::simulate_with_provenance;
+use train_sim::comm::DdpCommConfig;
+use train_sim::model::{Architecture, ModelConfig};
+use train_sim::sim::{SimConfig, WalltimeCutoff};
+use train_sim::{DatasetSpec, MachineConfig};
+use yprov4ml::compare::{best_run, compare_runs, most_similar, RunSummary};
+use yprov4ml::Experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = std::env::temp_dir().join("yprov4ml_hparam_search");
+    std::fs::remove_dir_all(&base).ok();
+    let experiment = Experiment::new("hparam-search", &base)?;
+
+    let batches = [16u32, 32, 64];
+    let overlaps = [0.0f64, 0.6];
+
+    // Run the grid, keeping only the provenance files.
+    for &batch in &batches {
+        for &overlap in &overlaps {
+            let cfg = SimConfig {
+                model: ModelConfig::sized(Architecture::SwinV2, 200_000_000),
+                machine: MachineConfig::frontier_like(),
+                dataset: DatasetSpec::tiny(20_000),
+                gpus: 16,
+                per_gpu_batch: batch,
+                epochs: 3,
+                comm: DdpCommConfig { overlap_fraction: overlap, ..Default::default() },
+                cutoff: WalltimeCutoff::Unlimited,
+                exercise_collective: false,
+                phase: train_sim::sim::Phase::PreTraining,
+                grad_accumulation: 1,
+                resume_from: None,
+            };
+            let name = format!("b{batch}-ov{}", (overlap * 100.0) as u32);
+            let run = experiment.start_run(&name)?;
+            run.log_param("comm_overlap", overlap);
+            simulate_with_provenance(cfg, &run, 10).map_err(std::io::Error::other)?;
+            run.finish()?;
+        }
+    }
+
+    // Reload everything from disk — the knowledge base of §3.2.
+    let mut summaries = Vec::new();
+    for name in experiment.list_runs()? {
+        let doc = experiment.load_run_document(&name)?;
+        if let Some(mut s) = RunSummary::from_document(&doc) {
+            // Score = walltime × energy from the logged output params.
+            let walltime: f64 = s.params.get("walltime_s").and_then(|v| v.parse().ok()).unwrap_or(f64::NAN);
+            let energy: f64 = s.params.get("energy_kwh").and_then(|v| v.parse().ok()).unwrap_or(f64::NAN);
+            s.metrics.insert("cost".into(), walltime * energy);
+            summaries.push(s);
+        }
+    }
+
+    // Which parameters actually varied, and how did the cost respond?
+    let table = compare_runs(&summaries, "cost");
+    println!("varying parameters: {:?}", table.varying_params);
+    println!("{:<12} {:<24} {:>12}", "run", "varying values", "s·kWh");
+    for (run, values, metric) in &table.rows {
+        println!(
+            "{:<12} {:<24} {:>12}",
+            run,
+            values.join(", "),
+            metric.map(|m| format!("{m:.2}")).unwrap_or_else(|| "-".into())
+        );
+    }
+
+    if let Some(best) = best_run(&summaries, "cost") {
+        println!(
+            "\nbest configuration: {} (batch {}, overlap {})",
+            best.run, best.params["per_gpu_batch"], best.params["comm_overlap"]
+        );
+    }
+
+    // §3.3: a planned run — find the most similar stored one.
+    let planned = RunSummary {
+        run: "planned".into(),
+        input_params: Default::default(),
+        params: summaries[0]
+            .params
+            .clone()
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "per_gpu_batch" {
+                    (k, "64".to_string())
+                } else {
+                    (k, v)
+                }
+            })
+            .collect(),
+        metrics: Default::default(),
+        outputs: Vec::new(),
+    };
+    let ranked = most_similar(&planned, &summaries);
+    if let Some((closest, score)) = ranked.first() {
+        println!(
+            "\nmost similar prior run to the planned config: {} (similarity {:.2})",
+            closest.run, score
+        );
+        if let Some(loss) = closest.metrics.get("training/loss") {
+            println!("  its final loss was {loss:.4} — a free estimate before spending node-hours");
+        }
+    }
+
+    Ok(())
+}
