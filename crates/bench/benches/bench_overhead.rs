@@ -27,7 +27,7 @@ fn bench_single_producer(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
 
     group.bench_function(BenchmarkId::from_parameter("buffered"), |b| {
-        let collector = Collector::buffered();
+        let collector = Collector::buffered().unwrap();
         let mut step = 0u64;
         b.iter(|| {
             collector.log(metric_record(step)).unwrap();
@@ -53,7 +53,7 @@ fn bench_concurrent_producers(c: &mut Criterion) {
     group.throughput(Throughput::Elements(8 * 1_000));
     group.bench_function("buffered", |b| {
         b.iter_batched(
-            Collector::buffered,
+            || Collector::buffered().unwrap(),
             |collector| {
                 let mut handles = Vec::new();
                 for _ in 0..8 {
@@ -79,7 +79,7 @@ fn bench_plugin_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("overhead/plugin_tick");
     group.throughput(Throughput::Elements(1));
     group.bench_function("system_stats", |b| {
-        let collector = Collector::buffered();
+        let collector = Collector::buffered().unwrap();
         let mut plugin =
             SystemStatsPlugin::new(|| SystemStats { memory_bytes: 1 << 30, cpu_util: 0.4 });
         b.iter(|| {
@@ -92,32 +92,36 @@ fn bench_plugin_tick(c: &mut Criterion) {
 }
 
 fn bench_journal(c: &mut Criterion) {
-    use yprov4ml::journal::{JournalHeader, JournalWriter};
+    use yprov4ml::journal::{JournalConfig, JournalHeader, JournalWriter, SyncPolicy};
     let mut group = c.benchmark_group("overhead/journaled_log");
     group.throughput(Throughput::Elements(1));
-    group.bench_function("journal_append", |b| {
-        let dir = std::env::temp_dir().join(format!("ybench_journal_{}", std::process::id()));
-        std::fs::remove_dir_all(&dir).ok();
-        std::fs::create_dir_all(&dir).unwrap();
-        let writer = JournalWriter::create(
-            &dir,
-            &JournalHeader {
-                version: 1,
-                experiment: "bench".into(),
-                run: "r".into(),
-                user: "u".into(),
-                started_us: 0,
-            },
-        )
-        .unwrap();
-        let mut step = 0u64;
-        b.iter(|| {
-            writer.append(&metric_record(step)).unwrap();
-            step += 1;
+    // The journal hot path under each durability level: no fsync
+    // (OnFlush), amortized fsync (EveryN), fsync per record (Always).
+    for (tag, sync) in [
+        ("journal_append_onflush", SyncPolicy::OnFlush),
+        ("journal_append_every100", SyncPolicy::EveryN(100)),
+        ("journal_append_always", SyncPolicy::Always),
+    ] {
+        group.bench_function(tag, |b| {
+            let dir = std::env::temp_dir()
+                .join(format!("ybench_journal_{tag}_{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            let writer = JournalWriter::create_with(
+                &dir,
+                &JournalHeader::new("bench", "r", "u", 0),
+                JournalConfig { sync, ..Default::default() },
+            )
+            .unwrap();
+            let mut step = 0u64;
+            b.iter(|| {
+                writer.append(&metric_record(step)).unwrap();
+                step += 1;
+            });
+            writer.close().unwrap();
+            std::fs::remove_dir_all(&dir).ok();
         });
-        drop(writer);
-        std::fs::remove_dir_all(&dir).ok();
-    });
+    }
     group.finish();
 }
 

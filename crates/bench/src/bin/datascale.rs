@@ -29,6 +29,7 @@ fn run(samples: u64, gpus: u32) -> train_sim::RunResult {
         phase: Phase::PreTraining,
         grad_accumulation: 1,
         resume_from: None,
+        faults: Default::default(),
     };
     TrainingSimulation::new(cfg)
         .expect("valid config")

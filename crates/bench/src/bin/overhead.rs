@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 use yprov4ml::collector::Collector;
-use yprov4ml::journal::{JournalHeader, JournalWriter};
+use yprov4ml::journal::{JournalConfig, JournalHeader, JournalWriter, SyncPolicy};
 use yprov4ml::model::{Context, LogRecord};
 
 const N: u64 = 200_000;
@@ -38,7 +38,7 @@ fn main() {
     println!("E7: logging hot-path overhead ({N} records per mode)\n");
     println!("{:<34} {:>12}", "mode", "ns/record");
 
-    let buffered = Collector::buffered();
+    let buffered = Collector::buffered().unwrap();
     let ns = time_per_record(|| {
         for i in 0..N {
             buffered.log(record(i)).unwrap();
@@ -59,7 +59,7 @@ fn main() {
     println!("{:<34} {:>12.0}", "synchronous", ns);
 
     // 8 concurrent producers into one buffered collector.
-    let collector = Collector::buffered();
+    let collector = Collector::buffered().unwrap();
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..8 {
@@ -76,31 +76,36 @@ fn main() {
     collector.close().unwrap();
     println!("{:<34} {:>12.0}", "buffered, 8 producers (per rec)", ns);
 
-    // Journaled (write-ahead log + buffered): the durability price.
-    let dir = std::env::temp_dir().join(format!("yoverhead_{}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    std::fs::create_dir_all(&dir).unwrap();
-    let writer = JournalWriter::create(
-        &dir,
-        &JournalHeader {
-            version: 1,
-            experiment: "bench".into(),
-            run: "r".into(),
-            user: "u".into(),
-            started_us: 0,
-        },
-    )
-    .unwrap();
-    let journaled = Collector::buffered();
-    let ns = time_per_record(|| {
-        for i in 0..N {
+    // Journaled (write-ahead log + buffered): the durability price at
+    // each sync policy. `Always` fsyncs per record, so it runs a
+    // smaller sample to keep the table quick.
+    for (label, sync, n) in [
+        ("journaled (no fsync) + buffered", SyncPolicy::OnFlush, N),
+        ("journaled (fsync/100) + buffered", SyncPolicy::EveryN(100), N),
+        ("journaled (fsync always) + buffered", SyncPolicy::Always, N / 100),
+    ] {
+        let dir = std::env::temp_dir()
+            .join(format!("yoverhead_{}_{}", label.len(), std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer = JournalWriter::create_with(
+            &dir,
+            &JournalHeader::new("bench", "r", "u", 0),
+            JournalConfig { sync, ..Default::default() },
+        )
+        .unwrap();
+        let journaled = Collector::buffered().unwrap();
+        let t0 = Instant::now();
+        for i in 0..n {
             writer.append(&record(i)).unwrap();
             journaled.log(record(i)).unwrap();
         }
-    });
-    journaled.close().unwrap();
-    std::fs::remove_dir_all(&dir).ok();
-    println!("{:<34} {:>12.0}", "journaled + buffered", ns);
+        let ns = t0.elapsed().as_nanos() as f64 / n as f64;
+        journaled.close().unwrap();
+        writer.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        println!("{label:<34} {ns:>12.0}");
+    }
 
     // Context: what fraction of a real step does logging cost?
     // The fastest Figure-3 step (100M MAE, io-bound) is ~20 ms; a run

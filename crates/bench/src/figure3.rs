@@ -63,6 +63,7 @@ pub fn cell_config(arch: Architecture, params: u64, gpus: u32) -> SimConfig {
         phase: train_sim::sim::Phase::PreTraining,
         grad_accumulation: 1,
         resume_from: None,
+        faults: Default::default(),
     }
 }
 

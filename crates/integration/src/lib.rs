@@ -171,6 +171,7 @@ pub fn config_from_provenance(doc: &prov_model::ProvDocument) -> Result<SimConfi
         phase: train_sim::sim::Phase::PreTraining,
         grad_accumulation: 1,
         resume_from: None,
+        faults: Default::default(),
     })
 }
 
@@ -229,6 +230,7 @@ mod tests {
             phase: train_sim::sim::Phase::PreTraining,
             grad_accumulation: 1,
             resume_from: None,
+            faults: Default::default(),
         }
     }
 

@@ -28,6 +28,7 @@ fn cfg() -> SimConfig {
         phase: train_sim::sim::Phase::PreTraining,
         grad_accumulation: 1,
         resume_from: None,
+        faults: Default::default(),
     }
 }
 

@@ -25,6 +25,7 @@ fn cfg(params: u64, gpus: u32, samples: u64) -> SimConfig {
         phase: Phase::PreTraining,
         grad_accumulation: 1,
         resume_from: None,
+        faults: Default::default(),
     }
 }
 

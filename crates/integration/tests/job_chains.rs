@@ -28,6 +28,7 @@ fn base_cfg() -> SimConfig {
         phase: Phase::PreTraining,
         grad_accumulation: 1,
         resume_from: None,
+        faults: Default::default(),
     }
 }
 

@@ -36,6 +36,7 @@ proptest! {
             phase: Phase::PreTraining,
             grad_accumulation: 1,
             resume_from: None,
+            faults: Default::default(),
         };
 
         let base = std::env::temp_dir().join(format!(

@@ -98,6 +98,22 @@ pub fn ring_allreduce(shards: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// Runs the ring all-reduce under injected transient failures: each of
+/// the `failed_attempts` aborted collectives performs (and discards) a
+/// full ring pass — modeling NCCL's abort-and-retry, where the time is
+/// spent even though the result is thrown away — before the surviving
+/// attempt produces the reduction. Returns the reduced shards and the
+/// number of attempts actually executed (`failed_attempts + 1`).
+pub fn ring_allreduce_with_retry(
+    shards: Vec<Vec<f64>>,
+    failed_attempts: u32,
+) -> (Vec<Vec<f64>>, u32) {
+    for _ in 0..failed_attempts {
+        let _ = ring_allreduce(shards.clone());
+    }
+    (ring_allreduce(shards), failed_attempts + 1)
+}
+
 /// Reference all-reduce: sequential element-wise sum, replicated.
 pub fn sequential_allreduce(shards: &[Vec<f64>]) -> Vec<Vec<f64>> {
     assert!(!shards.is_empty());
@@ -181,6 +197,18 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn mismatched_lengths_panic() {
         ring_allreduce(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn retry_wrapper_matches_plain_reduce() {
+        let s = shards(4, 257);
+        let expect = sequential_allreduce(&s);
+        let (got, attempts) = ring_allreduce_with_retry(s.clone(), 2);
+        assert_eq!(attempts, 3);
+        assert_close(&got, &expect);
+        let (got0, attempts0) = ring_allreduce_with_retry(s, 0);
+        assert_eq!(attempts0, 1);
+        assert_close(&got0, &expect);
     }
 
     #[test]

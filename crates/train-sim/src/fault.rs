@@ -1,0 +1,317 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! Long Frontier-class jobs fail — GPUs drop off the bus, one slow node
+//! stretches every collective, a transient NCCL error forces a retry.
+//! The provenance layer exists precisely for those runs (§3.1, §4), so
+//! the simulator must be able to *produce* them, reproducibly: a
+//! [`FaultPlan`] is either hand-built or derived from a seed, and the
+//! same plan always yields the byte-identical event stream.
+//!
+//! The plan is consulted by [`crate::sim::TrainingSimulation::run`]:
+//! stragglers and transient all-reduce errors stretch walltime (and
+//! therefore energy), a GPU failure aborts the run at the faulty step
+//! with the last epoch-boundary [`crate::sim::Checkpoint`] to resume
+//! from. [`crate::sim::run_with_recovery`] drives the restart loop.
+
+use std::fmt;
+
+/// `splitmix64`: the tiny, high-quality PRNG step used wherever the
+/// crate needs seeded determinism without external dependencies.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A GPU (GCD) drops out: the run aborts at this step and must be
+    /// restarted from its last checkpoint, optionally with a shrunk
+    /// (elastic) world size.
+    GpuFailure {
+        /// Ranks lost to the failure.
+        ranks_lost: u32,
+    },
+    /// One slow node stretches every step in a window — DDP runs at the
+    /// pace of its slowest rank.
+    Straggler {
+        /// Multiplier on step duration (> 1.0).
+        slowdown: f64,
+        /// Number of consecutive steps affected, starting at the
+        /// event's step.
+        steps: u64,
+    },
+    /// A transient collective error: the all-reduce is retried and the
+    /// whole step repeated, costing `retries` extra step times.
+    AllReduceTransient {
+        /// Failed attempts before the collective succeeds.
+        retries: u32,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Global optimizer step (0-based) at which the fault fires.
+    pub step: u64,
+    /// The failure mode.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::GpuFailure { ranks_lost } => {
+                write!(f, "gpu failure at step {} ({ranks_lost} ranks lost)", self.step)
+            }
+            FaultKind::Straggler { slowdown, steps } => write!(
+                f,
+                "straggler at step {} ({slowdown:.2}x for {steps} steps)",
+                self.step
+            ),
+            FaultKind::AllReduceTransient { retries } => {
+                write!(f, "transient all-reduce error at step {} ({retries} retries)", self.step)
+            }
+        }
+    }
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled faults, sorted by step.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A single fatal GPU failure (one rank) at `step`.
+    pub fn single_gpu_failure(step: u64) -> Self {
+        FaultPlan {
+            events: vec![FaultEvent { step, kind: FaultKind::GpuFailure { ranks_lost: 1 } }],
+        }
+    }
+
+    /// Derives a representative plan from a seed: one straggler window
+    /// in the first half of the run, one transient all-reduce error in
+    /// the third quarter, and a GPU failure in the final quarter — all
+    /// positions and magnitudes drawn from `splitmix64(seed)`. The same
+    /// `(seed, horizon_steps)` always yields the same plan.
+    pub fn seeded(seed: u64, horizon_steps: u64) -> Self {
+        let h = horizon_steps.max(4);
+        let mut s = seed;
+        let quarter = (h / 4).max(1);
+
+        let straggler_start = splitmix64(&mut s) % (h / 2).max(1);
+        let straggler_len = 1 + splitmix64(&mut s) % quarter;
+        let slowdown = 1.5 + (splitmix64(&mut s) % 1000) as f64 / 500.0; // 1.5..3.5
+        let ar_step = h / 2 + splitmix64(&mut s) % quarter;
+        let retries = 1 + (splitmix64(&mut s) % 3) as u32;
+        let fail_step = h / 2 + quarter + splitmix64(&mut s) % quarter;
+
+        let mut events = vec![
+            FaultEvent {
+                step: straggler_start,
+                kind: FaultKind::Straggler { slowdown, steps: straggler_len },
+            },
+            FaultEvent {
+                step: ar_step,
+                kind: FaultKind::AllReduceTransient { retries },
+            },
+            FaultEvent {
+                step: fail_step,
+                kind: FaultKind::GpuFailure { ranks_lost: 1 },
+            },
+        ];
+        events.sort_by_key(|e| e.step);
+        FaultPlan { events }
+    }
+
+    /// Checks the plan for nonsense (non-finite or non-positive
+    /// slowdowns, zero-length windows).
+    pub fn validate(&self) -> Result<(), String> {
+        for e in &self.events {
+            match e.kind {
+                FaultKind::Straggler { slowdown, steps } => {
+                    if !slowdown.is_finite() || slowdown < 1.0 {
+                        return Err(format!("straggler slowdown {slowdown} must be >= 1"));
+                    }
+                    if steps == 0 {
+                        return Err("straggler window must cover at least one step".into());
+                    }
+                }
+                FaultKind::GpuFailure { ranks_lost } => {
+                    if ranks_lost == 0 {
+                        return Err("gpu failure must lose at least one rank".into());
+                    }
+                }
+                FaultKind::AllReduceTransient { retries } => {
+                    if retries == 0 {
+                        return Err("transient all-reduce fault needs >= 1 retry".into());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The first fatal (GPU-failure) event scheduled exactly at `step`.
+    pub fn fatal_at(&self, step: u64) -> Option<FaultEvent> {
+        self.events
+            .iter()
+            .find(|e| e.step == step && matches!(e.kind, FaultKind::GpuFailure { .. }))
+            .copied()
+    }
+
+    /// Combined straggler slowdown covering `step` (1.0 = none).
+    pub fn slowdown_at(&self, step: u64) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Straggler { slowdown, steps }
+                    if step >= e.step && step < e.step.saturating_add(steps) =>
+                {
+                    Some(slowdown)
+                }
+                _ => None,
+            })
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// Total transient all-reduce retries scheduled exactly at `step`.
+    pub fn allreduce_retries_at(&self, step: u64) -> u32 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::AllReduceTransient { retries } if e.step == step => retries,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total transient all-reduce retries with `from <= step < to`
+    /// (used at epoch boundaries to drive the real collective).
+    pub fn allreduce_retries_between(&self, from: u64, to: u64) -> u32 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::AllReduceTransient { retries } if e.step >= from && e.step < to => {
+                    retries
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Count of events with `from <= step < to` (how many faults a run
+    /// segment actually hit).
+    pub fn fired_between(&self, from: u64, to: u64) -> u32 {
+        self.events.iter().filter(|e| e.step >= from && e.step < to).count() as u32
+    }
+
+    /// The plan with every event at or before `step` dropped — what a
+    /// restarted run should carry so consumed faults do not re-fire.
+    pub fn after(&self, step: u64) -> FaultPlan {
+        FaultPlan {
+            events: self.events.iter().filter(|e| e.step > step).copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 1000);
+        let b = FaultPlan::seeded(42, 1000);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43, 1000);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn seeded_plans_are_valid_and_in_horizon() {
+        for seed in 0..50u64 {
+            for horizon in [4u64, 10, 100, 10_000] {
+                let plan = FaultPlan::seeded(seed, horizon);
+                plan.validate().unwrap();
+                assert_eq!(plan.events.len(), 3);
+                assert!(plan.events.iter().all(|e| e.step < horizon));
+                assert!(plan.events.windows(2).all(|w| w[0].step <= w[1].step));
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent { step: 5, kind: FaultKind::Straggler { slowdown: 2.0, steps: 3 } },
+                FaultEvent { step: 10, kind: FaultKind::AllReduceTransient { retries: 2 } },
+                FaultEvent { step: 20, kind: FaultKind::GpuFailure { ranks_lost: 1 } },
+            ],
+        };
+        assert_eq!(plan.slowdown_at(4), 1.0);
+        assert_eq!(plan.slowdown_at(5), 2.0);
+        assert_eq!(plan.slowdown_at(7), 2.0);
+        assert_eq!(plan.slowdown_at(8), 1.0);
+        assert_eq!(plan.allreduce_retries_at(10), 2);
+        assert_eq!(plan.allreduce_retries_at(11), 0);
+        assert_eq!(plan.allreduce_retries_between(0, 100), 2);
+        assert!(plan.fatal_at(20).is_some());
+        assert!(plan.fatal_at(19).is_none());
+        assert_eq!(plan.fired_between(0, 11), 2);
+        assert_eq!(plan.after(10).events.len(), 1);
+        assert_eq!(plan.after(20).events.len(), 0);
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let bad = FaultPlan {
+            events: vec![FaultEvent {
+                step: 0,
+                kind: FaultKind::Straggler { slowdown: 0.5, steps: 1 },
+            }],
+        };
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan {
+            events: vec![FaultEvent { step: 0, kind: FaultKind::GpuFailure { ranks_lost: 0 } }],
+        };
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan {
+            events: vec![FaultEvent {
+                step: 0,
+                kind: FaultKind::AllReduceTransient { retries: 0 },
+            }],
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn overlapping_stragglers_compound() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent { step: 0, kind: FaultKind::Straggler { slowdown: 2.0, steps: 10 } },
+                FaultEvent { step: 5, kind: FaultKind::Straggler { slowdown: 3.0, steps: 10 } },
+            ],
+        };
+        assert_eq!(plan.slowdown_at(2), 2.0);
+        assert_eq!(plan.slowdown_at(7), 6.0);
+        assert_eq!(plan.slowdown_at(12), 3.0);
+    }
+}

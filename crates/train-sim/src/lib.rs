@@ -22,6 +22,9 @@
 //! * [`ddp`] — a *real* multi-threaded data-parallel executor (one
 //!   thread per simulated GPU, shared-memory ring all-reduce) used to
 //!   exercise concurrent logging paths;
+//! * [`fault`] — seeded, deterministic fault injection (GPU failures,
+//!   stragglers, transient all-reduce errors) with checkpoint-restart
+//!   driven by [`sim::run_with_recovery`];
 //! * [`sim`] — the orchestrator that walks simulated time step by step,
 //!   reporting losses, power and progress through an observer trait
 //!   (the hook the provenance library attaches to).
@@ -34,14 +37,17 @@
 pub mod comm;
 pub mod dataset;
 pub mod ddp;
+pub mod fault;
 pub mod machine;
 pub mod model;
 pub mod scaling_law;
 pub mod sim;
 
 pub use dataset::DatasetSpec;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use machine::MachineConfig;
 pub use model::{Architecture, ModelConfig};
 pub use sim::{
-    RunResult, SimConfig, StepEvent, TrainObserver, TrainingSimulation, WalltimeCutoff,
+    run_with_recovery, RecoveryOutcome, RunResult, SimConfig, StepEvent, TrainObserver,
+    TrainingSimulation, WalltimeCutoff,
 };

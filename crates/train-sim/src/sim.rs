@@ -9,6 +9,7 @@
 use crate::comm::{step_comm_cost, DdpCommConfig};
 use crate::dataset::DatasetSpec;
 use crate::ddp;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::machine::MachineConfig;
 use crate::model::ModelConfig;
 use crate::scaling_law::LossLaw;
@@ -85,6 +86,8 @@ pub struct SimConfig {
     pub grad_accumulation: u32,
     /// Resume from a previous run's checkpoint instead of from scratch.
     pub resume_from: Option<Checkpoint>,
+    /// Deterministic fault schedule (empty = fault-free).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -103,6 +106,7 @@ impl SimConfig {
             phase: Phase::PreTraining,
             grad_accumulation: 1,
             resume_from: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -136,6 +140,7 @@ impl SimConfig {
         if self.epochs == 0 {
             return Err("at least one epoch required".into());
         }
+        self.faults.validate()?;
         let need = self.model.memory_bytes(self.per_gpu_batch);
         if need > self.machine.gpu_memory_bytes {
             return Err(format!(
@@ -239,7 +244,14 @@ pub struct RunResult {
     /// The paper's Figure 3 metric: loss × total energy (kWh).
     pub loss_energy_product: f64,
     /// State to resume from (meaningful when `!completed`; always set).
+    /// After a fatal fault this is the last epoch-boundary checkpoint —
+    /// step-granular state died with the process.
     pub checkpoint: Checkpoint,
+    /// The fatal fault that aborted the run, if any.
+    pub fault: Option<FaultEvent>,
+    /// Non-fatal faults (stragglers, transient collective errors) that
+    /// fired during the executed step range.
+    pub faults_injected: u32,
 }
 
 /// The simulator.
@@ -340,10 +352,30 @@ impl TrainingSimulation {
             .noisy_loss(cfg.model.params, (samples.max(1)) as f64, step);
         let mut completed = true;
         let mut epochs_completed = (step / steps_per_epoch.max(1)) as u32;
+        let start_step = step;
+        let mut fatal: Option<FaultEvent> = None;
+        // Epoch-boundary checkpoint: what survives a fatal fault
+        // (step-granular state dies with the process).
+        let mut last_ckpt =
+            Checkpoint { samples_seen: samples, steps: step, epochs_completed };
 
         while step < total_steps {
+            // A GPU failure scheduled for the step we are about to
+            // execute kills the run before the step completes.
+            if let Some(ev) = cfg.faults.fatal_at(step) {
+                fatal = Some(ev);
+                completed = false;
+                break;
+            }
+
             let epoch = (step / steps_per_epoch) as u32;
-            t += step_time;
+            // Non-fatal faults stretch the step: DDP runs at the pace
+            // of its slowest rank, and a transient collective error
+            // repeats the whole step once per retry.
+            let slowdown = cfg.faults.slowdown_at(step);
+            let retries = cfg.faults.allreduce_retries_at(step);
+            let this_step = step_time * slowdown * (1 + retries) as f64;
+            t += this_step;
             step += 1;
             samples += global_batch;
             loss = self.law.noisy_loss(cfg.model.params, samples as f64, step);
@@ -355,17 +387,19 @@ impl TrainingSimulation {
                 step: step - 1,
                 epoch,
                 sim_time_s: t,
-                step_time_s: step_time,
+                step_time_s: this_step,
                 loss,
                 samples_seen: samples,
                 gpu_power_w: gpu_power,
                 gpu_util: util,
-                samples_per_s: global_batch as f64 / step_time,
+                samples_per_s: global_batch as f64 / this_step,
             });
 
             let epoch_boundary = step % steps_per_epoch == 0;
             if epoch_boundary {
                 epochs_completed = epoch + 1;
+                last_ckpt =
+                    Checkpoint { samples_seen: samples, steps: step, epochs_completed };
 
                 if cfg.exercise_collective {
                     // Real threaded ring all-reduce on a proxy gradient:
@@ -376,8 +410,13 @@ impl TrainingSimulation {
                         .map(|r| (0..512).map(|i| (r * 512 + i) as f64).collect())
                         .collect();
                     let expect = ddp::sequential_allreduce(&proxy);
-                    let got = ddp::ring_allreduce(proxy);
+                    let epoch_retries = cfg
+                        .faults
+                        .allreduce_retries_between(step.saturating_sub(steps_per_epoch), step);
+                    let (got, attempts) =
+                        ddp::ring_allreduce_with_retry(proxy, epoch_retries);
                     assert_eq!(got.len(), expect.len());
+                    debug_assert!(attempts >= 1);
                 }
 
                 observer.on_epoch_end(&EpochEvent {
@@ -395,6 +434,11 @@ impl TrainingSimulation {
         }
 
         let (_, energy) = sampler.finish();
+        let checkpoint = if fatal.is_some() {
+            last_ckpt
+        } else {
+            Checkpoint { samples_seen: samples, steps: step, epochs_completed }
+        };
         let result = RunResult {
             final_loss: loss,
             energy_joules: energy.joules(),
@@ -410,10 +454,89 @@ impl TrainingSimulation {
                 0.0
             },
             loss_energy_product: loss * energy.kwh(),
-            checkpoint: Checkpoint { samples_seen: samples, steps: step, epochs_completed },
+            checkpoint,
+            fault: fatal,
+            faults_injected: cfg.faults.fired_between(start_step, step),
         };
         observer.on_run_end(&result);
         result
+    }
+}
+
+/// Outcome of [`run_with_recovery`]: the final run plus the restart
+/// accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// Result of the last (surviving) attempt.
+    pub result: RunResult,
+    /// Attempts executed (1 = no restart needed).
+    pub attempts: u32,
+    /// Walltime summed over every attempt, seconds — failures are not
+    /// free, and this is what counts against the queue limit.
+    pub total_walltime_s: f64,
+    /// Energy summed over every attempt, joules.
+    pub total_energy_joules: f64,
+    /// Steps redone because fatal faults land between checkpoints.
+    pub lost_steps: u64,
+    /// World size of the final attempt (shrunk under elastic restart).
+    pub final_gpus: u32,
+}
+
+/// Runs `cfg` to completion through fatal faults: each GPU failure
+/// restarts the run from its last epoch-boundary checkpoint, up to
+/// `max_restarts` times, with the walltime and energy of every failed
+/// attempt charged against the original cutoff budget. With
+/// `shrink_on_failure` the restart proceeds elastically on the
+/// surviving ranks instead of waiting for a replacement.
+pub fn run_with_recovery(
+    base: &SimConfig,
+    observer: &mut dyn TrainObserver,
+    max_restarts: u32,
+    shrink_on_failure: bool,
+) -> Result<RecoveryOutcome, String> {
+    let budget = base.cutoff;
+    let mut cfg = base.clone();
+    let mut attempts = 0u32;
+    let mut total_walltime = 0.0f64;
+    let mut total_energy = 0.0f64;
+    let mut lost_steps = 0u64;
+
+    loop {
+        attempts += 1;
+        // Failed attempts already consumed part of the budget.
+        cfg.cutoff = match budget {
+            WalltimeCutoff::Unlimited => WalltimeCutoff::Unlimited,
+            WalltimeCutoff::Seconds(s) => {
+                WalltimeCutoff::Seconds((s - total_walltime).max(0.0))
+            }
+        };
+        let result = TrainingSimulation::new(cfg.clone())?.run(observer);
+        total_walltime += result.walltime_s;
+        total_energy += result.energy_joules;
+
+        match result.fault {
+            Some(ev) if attempts <= max_restarts => {
+                lost_steps += result.steps - result.checkpoint.steps;
+                // Consumed faults must not re-fire on the restart.
+                cfg.faults = cfg.faults.after(ev.step);
+                if shrink_on_failure {
+                    if let FaultKind::GpuFailure { ranks_lost } = ev.kind {
+                        cfg.gpus = cfg.gpus.saturating_sub(ranks_lost).max(1);
+                    }
+                }
+                cfg.resume_from = Some(result.checkpoint);
+            }
+            _ => {
+                return Ok(RecoveryOutcome {
+                    result,
+                    attempts,
+                    total_walltime_s: total_walltime,
+                    total_energy_joules: total_energy,
+                    lost_steps,
+                    final_gpus: cfg.gpus,
+                });
+            }
+        }
     }
 }
 
@@ -436,6 +559,7 @@ mod tests {
             phase: Phase::PreTraining,
             grad_accumulation: 1,
             resume_from: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -697,5 +821,170 @@ mod tests {
         let a = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
         let b = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
         assert_eq!(a, b);
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// Observer recording the full step-event stream for byte-identical
+    /// determinism checks.
+    struct RecordingObserver {
+        events: Vec<StepEvent>,
+    }
+    impl TrainObserver for RecordingObserver {
+        fn on_step(&mut self, e: &StepEvent) {
+            self.events.push(*e);
+        }
+    }
+
+    #[test]
+    fn gpu_failure_aborts_with_epoch_checkpoint() {
+        let mut cfg = tiny_cfg(8);
+        let steps_per_epoch = cfg.dataset.steps_per_epoch(cfg.global_batch());
+        // Fail mid-way through epoch 1.
+        let fail_step = steps_per_epoch + steps_per_epoch / 2;
+        cfg.faults = FaultPlan::single_gpu_failure(fail_step);
+        let r = TrainingSimulation::new(cfg).unwrap().run(&mut NullObserver);
+        assert!(!r.completed);
+        assert_eq!(r.steps, fail_step, "stopped at the faulty step");
+        assert_eq!(r.fault.unwrap().step, fail_step);
+        assert_eq!(
+            r.checkpoint.steps, steps_per_epoch,
+            "checkpoint rolls back to the epoch boundary"
+        );
+        assert_eq!(r.checkpoint.epochs_completed, 1);
+    }
+
+    #[test]
+    fn straggler_and_transient_faults_stretch_walltime() {
+        let clean = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+
+        let mut slow = tiny_cfg(8);
+        slow.faults = FaultPlan {
+            events: vec![FaultEvent {
+                step: 0,
+                kind: FaultKind::Straggler { slowdown: 2.0, steps: 10 },
+            }],
+        };
+        let r_slow = TrainingSimulation::new(slow).unwrap().run(&mut NullObserver);
+        assert!(r_slow.walltime_s > clean.walltime_s);
+        assert!(r_slow.energy_joules > clean.energy_joules, "slow steps burn energy");
+        assert_eq!(r_slow.steps, clean.steps, "no work lost");
+        assert_eq!(r_slow.faults_injected, 1);
+
+        let mut flaky = tiny_cfg(8);
+        flaky.faults = FaultPlan {
+            events: vec![FaultEvent {
+                step: 3,
+                kind: FaultKind::AllReduceTransient { retries: 2 },
+            }],
+        };
+        let r_flaky = TrainingSimulation::new(flaky).unwrap().run(&mut NullObserver);
+        let (step_time, ..) = TrainingSimulation::new(tiny_cfg(8)).unwrap().step_time();
+        let extra = r_flaky.walltime_s - clean.walltime_s;
+        assert!(
+            (extra - 2.0 * step_time).abs() < 1e-9,
+            "2 retries cost 2 extra step times, got {extra}"
+        );
+        assert!(r_flaky.completed);
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic() {
+        let mk = || {
+            let mut cfg = tiny_cfg(8);
+            let total =
+                cfg.dataset.steps_per_epoch(cfg.global_batch()) * cfg.epochs as u64;
+            cfg.faults = FaultPlan::seeded(1234, total);
+            cfg
+        };
+        let mut obs_a = RecordingObserver { events: Vec::new() };
+        let mut obs_b = RecordingObserver { events: Vec::new() };
+        let a = TrainingSimulation::new(mk()).unwrap().run(&mut obs_a);
+        let b = TrainingSimulation::new(mk()).unwrap().run(&mut obs_b);
+        assert_eq!(a, b, "identical RunResult");
+        assert_eq!(obs_a.events, obs_b.events, "byte-identical event stream");
+        assert!(a.fault.is_some(), "the seeded plan includes a GPU failure");
+    }
+
+    #[test]
+    fn recovery_completes_after_gpu_failure() {
+        let mut cfg = tiny_cfg(8);
+        let steps_per_epoch = cfg.dataset.steps_per_epoch(cfg.global_batch());
+        cfg.faults = FaultPlan::single_gpu_failure(steps_per_epoch + 2);
+        let clean = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+
+        let out = run_with_recovery(&cfg, &mut NullObserver, 3, false).unwrap();
+        assert!(out.result.completed);
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.lost_steps, 2, "steps past the checkpoint were redone");
+        assert_eq!(out.final_gpus, 8);
+        assert_eq!(out.result.final_loss, clean.final_loss, "same trajectory");
+        assert_eq!(out.result.samples_seen, clean.samples_seen);
+        assert!(
+            out.total_walltime_s > clean.walltime_s,
+            "the failed attempt is not free"
+        );
+    }
+
+    #[test]
+    fn elastic_recovery_shrinks_world_size() {
+        let mut cfg = tiny_cfg(8);
+        let steps_per_epoch = cfg.dataset.steps_per_epoch(cfg.global_batch());
+        cfg.faults = FaultPlan::single_gpu_failure(steps_per_epoch + 1);
+        let out = run_with_recovery(&cfg, &mut NullObserver, 3, true).unwrap();
+        assert!(out.result.completed);
+        assert_eq!(out.final_gpus, 7, "one rank lost, run continues elastically");
+        assert_eq!(out.attempts, 2);
+    }
+
+    #[test]
+    fn recovery_respects_walltime_budget() {
+        let mut cfg = tiny_cfg(8);
+        let (step_time, ..) = TrainingSimulation::new(cfg.clone()).unwrap().step_time();
+        let steps_per_epoch = cfg.dataset.steps_per_epoch(cfg.global_batch());
+        cfg.faults = FaultPlan::single_gpu_failure(steps_per_epoch + 1);
+        // Budget covers barely more than the failed attempt: the retry
+        // must be cut off, not run to completion.
+        cfg.cutoff = WalltimeCutoff::Seconds(step_time * (steps_per_epoch + 3) as f64);
+        let out = run_with_recovery(&cfg, &mut NullObserver, 3, false).unwrap();
+        assert!(!out.result.completed, "budget exhausted mid-retry");
+        let budget = step_time * (steps_per_epoch + 3) as f64;
+        assert!(
+            out.total_walltime_s <= budget + step_time * 2.0,
+            "total {} must stay near budget {budget}",
+            out.total_walltime_s
+        );
+    }
+
+    #[test]
+    fn exhausted_restarts_return_failed_result() {
+        let mut cfg = tiny_cfg(8);
+        cfg.faults = FaultPlan {
+            events: vec![
+                FaultEvent { step: 1, kind: FaultKind::GpuFailure { ranks_lost: 1 } },
+                FaultEvent { step: 2, kind: FaultKind::GpuFailure { ranks_lost: 1 } },
+            ],
+        };
+        let out = run_with_recovery(&cfg, &mut NullObserver, 1, false).unwrap();
+        assert!(!out.result.completed);
+        assert!(out.result.fault.is_some(), "second failure was terminal");
+        assert_eq!(out.attempts, 2);
+    }
+
+    #[test]
+    fn faulty_collective_exercise_still_agrees() {
+        let mut cfg = tiny_cfg(8);
+        cfg.dataset = DatasetSpec::tiny(500);
+        cfg.epochs = 1;
+        cfg.exercise_collective = true;
+        cfg.faults = FaultPlan {
+            events: vec![FaultEvent {
+                step: 0,
+                kind: FaultKind::AllReduceTransient { retries: 1 },
+            }],
+        };
+        let r = TrainingSimulation::new(cfg).unwrap().run(&mut NullObserver);
+        assert!(r.completed);
+        assert_eq!(r.faults_injected, 1);
     }
 }

@@ -25,6 +25,7 @@ fn config(arch: Architecture, params: u64, gpus: u32, samples: u64, batch: u32) 
         phase: Phase::PreTraining,
         grad_accumulation: 1,
         resume_from: None,
+        faults: Default::default(),
     }
 }
 

@@ -1,0 +1,296 @@
+//! A retrying HTTP client for the provenance service.
+//!
+//! The one-shot [`crate::http::request`] helper is fine for tests; real
+//! upload paths (a training job shipping its provenance at the end of a
+//! run) must survive transient server trouble — connection refused
+//! during a restart, 503 while overloaded. [`Client`] wraps the same
+//! wire format in bounded, deterministic exponential backoff: delays
+//! double from [`RetryPolicy::base_delay`] up to
+//! [`RetryPolicy::max_delay`], each scaled by a jitter factor in
+//! [0.5, 1.0) derived from [`RetryPolicy::jitter_seed`] — so tests and
+//! replayed runs see identical schedules, while distinct seeds decorrelate
+//! real clients.
+//!
+//! Only transport errors and 502/503/504 (and unparseable responses)
+//! are retried; any other status is a definitive answer and is returned
+//! as-is.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// splitmix64: the same tiny deterministic generator the simulator's
+/// fault planner uses.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Retry/backoff/timeout knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); clamped to at least 1.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on the exponential delay (before jitter).
+    pub max_delay: Duration,
+    /// Per-request connect/read/write timeout.
+    pub request_timeout: Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0 = first retry):
+    /// `min(max_delay, base_delay · 2^attempt)` scaled by a
+    /// deterministic jitter factor in [0.5, 1.0).
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        let exp = self.base_delay.saturating_mul(factor).min(self.max_delay);
+        let mut s = self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let frac = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        exp.mul_f64(0.5 + 0.5 * frac)
+    }
+}
+
+/// A completed (non-retried-away) HTTP exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// Attempts it took (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// Why a request ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt failed; `last` describes the final failure.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking client with retries.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+}
+
+impl Client {
+    /// A client for the server at `addr`.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy) -> Client {
+        Client { addr, policy }
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Sends `method path` with an optional body, retrying transport
+    /// errors and 502/503/504 with backoff. Any other status — success
+    /// or definitive client error — is returned as-is.
+    pub fn send(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ClientError> {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.policy.backoff_delay(attempt - 1));
+            }
+            match self.once(method, path, body) {
+                // Status 0 = unparseable response; treat like a
+                // transport failure.
+                Ok((status, resp_body)) if !matches!(status, 0 | 502 | 503 | 504) => {
+                    return Ok(Response { status, body: resp_body, attempts: attempt + 1 });
+                }
+                Ok((status, _)) => last = format!("HTTP {status}"),
+                Err(e) => last = format!("i/o error: {e}"),
+            }
+        }
+        Err(ClientError::Exhausted { attempts: max_attempts, last })
+    }
+
+    /// One wire exchange, under the per-request timeouts.
+    fn once(&self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<(u16, String)> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.policy.request_timeout)?;
+        stream.set_read_timeout(Some(self.policy.request_timeout))?;
+        stream.set_write_timeout(Some(self.policy.request_timeout))?;
+        let body = body.unwrap_or("");
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let mut stream = stream;
+        stream.write_all(req.as_bytes())?;
+        let mut response = String::new();
+        BufReader::new(stream).read_to_string(&mut response)?;
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let payload = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        Ok((status, payload))
+    }
+
+    /// GET convenience.
+    pub fn get(&self, path: &str) -> Result<Response, ClientError> {
+        self.send("GET", path, None)
+    }
+
+    /// Liveness probe.
+    pub fn health(&self) -> Result<Response, ClientError> {
+        self.get("/healthz")
+    }
+
+    /// Uploads a PROV-JSON document; on 201 the body carries `{"id"}`.
+    pub fn upload_document(&self, prov_json: &str) -> Result<Response, ClientError> {
+        self.send("POST", "/api/v0/documents", Some(prov_json))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Server, ServerConfig};
+    use crate::store::DocumentStore;
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(40),
+            request_timeout: Duration::from_secs(5),
+            jitter_seed: 42,
+        }
+    }
+
+    fn sample_doc_json() -> String {
+        let mut doc = prov_model::ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(prov_model::QName::new("ex", "data"));
+        doc.to_json_string().unwrap()
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 0..8u32 {
+            let d1 = p.backoff_delay(attempt);
+            let d2 = p.backoff_delay(attempt);
+            assert_eq!(d1, d2, "same attempt, same delay");
+            let envelope = p
+                .base_delay
+                .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .min(p.max_delay);
+            assert!(d1 <= envelope, "attempt {attempt}: {d1:?} > {envelope:?}");
+            assert!(d1 >= envelope / 2, "attempt {attempt}: {d1:?} < half envelope");
+        }
+        // A different seed gives a different (but still bounded) schedule.
+        let other = RetryPolicy { jitter_seed: 1, ..p };
+        assert_ne!(p.backoff_delay(0), other.backoff_delay(0));
+    }
+
+    #[test]
+    fn retries_through_injected_upload_faults() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            DocumentStore::new(),
+            ServerConfig { chaos_fail_uploads: 2, ..Default::default() },
+        )
+        .unwrap();
+        let client = Client::new(server.addr(), fast_policy());
+        let resp = client.upload_document(&sample_doc_json()).unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.attempts, 3, "two 503s, then success");
+        server.shutdown();
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            DocumentStore::new(),
+            ServerConfig { chaos_fail_uploads: 100, ..Default::default() },
+        )
+        .unwrap();
+        let client = Client::new(
+            server.addr(),
+            RetryPolicy { max_attempts: 2, ..fast_policy() },
+        );
+        let err = client.upload_document(&sample_doc_json()).unwrap_err();
+        match err {
+            ClientError::Exhausted { attempts, ref last } => {
+                assert_eq!(attempts, 2);
+                assert!(last.contains("503"), "{last}");
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_retryable_statuses_return_immediately() {
+        let server =
+            Server::bind("127.0.0.1:0", DocumentStore::new(), ServerConfig::default()).unwrap();
+        let client = Client::new(server.addr(), fast_policy());
+        let resp = client.upload_document("{not json").unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(resp.attempts, 1, "4xx is definitive, no retry");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_server_exhausts_with_io_error() {
+        // Bind then drop a listener to get a port that refuses.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = Client::new(addr, RetryPolicy { max_attempts: 2, ..fast_policy() });
+        let err = client.health().unwrap_err();
+        assert!(err.to_string().contains("after 2 attempts"), "{err}");
+    }
+}

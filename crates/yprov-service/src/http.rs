@@ -25,13 +25,14 @@
 //! | GET    | `/api/v0/ledger` | the tamper-evident upload chain |
 
 use crate::store::DocumentStore;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use prov_model::{ProvDocument, QName};
 use serde_json::json;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -40,11 +41,31 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum accepted request-body size in bytes.
     pub max_body: usize,
+    /// Socket read timeout: a peer that stops sending mid-request gets
+    /// a 400 after this long instead of pinning a worker forever.
+    pub read_timeout: Duration,
+    /// Socket write timeout: a peer that stops reading its response
+    /// frees the worker after this long.
+    pub write_timeout: Duration,
+    /// Accepted connections queued between the listener and the
+    /// workers; beyond this the server sheds load with 503 instead of
+    /// letting the backlog (and client latency) grow without bound.
+    pub queue_depth: usize,
+    /// Fault injection: fail this many document uploads with 503 before
+    /// serving normally (exercises client retry; 0 in production).
+    pub chaos_fail_uploads: u32,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, max_body: 256 * 1024 * 1024 }
+        ServerConfig {
+            workers: 4,
+            max_body: 256 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            queue_depth: 64,
+            chaos_fail_uploads: 0,
+        }
     }
 }
 
@@ -67,27 +88,27 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let chaos = Arc::new(AtomicU32::new(config.chaos_fail_uploads));
 
-        let (tx, rx) = bounded::<TcpStream>(64);
+        let (tx, rx) = bounded::<TcpStream>(config.queue_depth.max(1));
         for i in 0..config.workers.max(1) {
             let rx = rx.clone();
             let store = store.clone();
             let cfg = config.clone();
+            let chaos = Arc::clone(&chaos);
             std::thread::Builder::new()
                 .name(format!("yprov-http-{i}"))
                 .spawn(move || {
                     while let Ok(stream) = rx.recv() {
-                        let _ = handle_connection(stream, &store, &cfg);
+                        let _ = handle_connection(stream, &store, &cfg, &chaos);
                     }
-                })
-                .expect("spawn http worker");
+                })?;
         }
 
         let stop_l = Arc::clone(&stop);
         let listener_thread = std::thread::Builder::new()
             .name("yprov-http-accept".into())
-            .spawn(move || accept_loop(listener, tx, stop_l))
-            .expect("spawn http accept thread");
+            .spawn(move || accept_loop(listener, tx, stop_l))?;
 
         Ok(Server { addr: local, stop, listener_thread: Some(listener_thread) })
     }
@@ -126,11 +147,22 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBoo
             break;
         }
         match stream {
-            Ok(s) => {
-                if tx.send(s).is_err() {
-                    break;
+            Ok(s) => match tx.try_send(s) {
+                Ok(()) => {}
+                Err(TrySendError::Full(s)) => {
+                    // All workers busy and the queue is at capacity:
+                    // shed load immediately rather than queue without
+                    // bound. Best effort — a peer that won't read its
+                    // 503 is dropped by the short write timeout.
+                    let _ = s.set_write_timeout(Some(Duration::from_millis(500)));
+                    let _ = write_response(
+                        s,
+                        503,
+                        &json!({"error": "server overloaded, retry later"}).to_string(),
+                    );
                 }
-            }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
             Err(_) => continue,
         }
     }
@@ -147,8 +179,10 @@ fn handle_connection(
     stream: TcpStream,
     store: &DocumentStore,
     cfg: &ServerConfig,
+    chaos: &AtomicU32,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
 
     let request = match parse_request(&mut reader, cfg.max_body) {
@@ -159,7 +193,7 @@ fn handle_connection(
         }
     };
 
-    let (status, body) = route(&request, store);
+    let (status, body) = route(&request, store, chaos);
     let content_type = match request.path.rsplit('/').next() {
         Some("provn") | Some("turtle") | Some("dot") if status == 200 => "text/plain; charset=utf-8",
         Some("") | Some("explorer") if status == 200 && request.path.len() <= "/explorer".len() => {
@@ -251,7 +285,7 @@ fn url_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-fn route(req: &Request, store: &DocumentStore) -> (u16, String) {
+fn route(req: &Request, store: &DocumentStore, chaos: &AtomicU32) -> (u16, String) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let focus = |req: &Request| -> Option<QName> {
         let raw = req
@@ -292,6 +326,14 @@ fn route(req: &Request, store: &DocumentStore) -> (u16, String) {
         }
 
         ("POST", ["api", "v0", "documents"]) => {
+            // Injected fault: pretend to be overloaded for the first
+            // `chaos_fail_uploads` uploads (decrement-if-positive).
+            if chaos
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+                .is_ok()
+            {
+                return (503, json!({"error": "injected fault: upload unavailable"}).to_string());
+            }
             let text = match std::str::from_utf8(&req.body) {
                 Ok(t) => t,
                 Err(_) => return (400, json!({"error": "body is not UTF-8"}).to_string()),
@@ -398,6 +440,7 @@ fn write_response_typed(
         201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let response = format!(
@@ -645,6 +688,88 @@ mod tests {
         let (_, listing) = request(addr, "GET", "/api/v0/documents", None).unwrap();
         let listing: serde_json::Value = serde_json::from_str(&listing).unwrap();
         assert_eq!(listing["documents"].as_array().unwrap().len(), 80);
+        server.shutdown();
+    }
+
+    #[test]
+    fn chaos_config_fails_first_uploads_then_recovers() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            DocumentStore::new(),
+            ServerConfig { chaos_fail_uploads: 2, ..Default::default() },
+        )
+        .unwrap();
+        let doc = sample_doc_json();
+        let mut statuses = Vec::new();
+        for _ in 0..4 {
+            let (status, _) =
+                request(server.addr(), "POST", "/api/v0/documents", Some(&doc)).unwrap();
+            statuses.push(status);
+        }
+        assert_eq!(statuses, vec![503, 503, 201, 201]);
+        // Reads were never affected.
+        let (status, _) = request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_peer_times_out_and_overload_sheds_503() {
+        // One worker, queue depth 1: a peer that stalls mid-request pins
+        // the worker until the read timeout, and further connections
+        // beyond the queue are shed with 503 instead of hanging.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            DocumentStore::new(),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                read_timeout: Duration::from_secs(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        // The stalled peer: opens a connection, sends half a request
+        // line, never finishes.
+        let started = std::time::Instant::now();
+        let mut stall = TcpStream::connect(addr).unwrap();
+        stall.write_all(b"GET /healthz HT").unwrap();
+        std::thread::sleep(Duration::from_millis(200)); // let the worker pick it up
+
+        // Burst while the worker is pinned: more requests than worker +
+        // queue can hold, so at least one must be shed.
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            handles.push(std::thread::spawn(move || {
+                request(addr, "GET", "/healthz", None).map(|(s, _)| s)
+            }));
+        }
+        let statuses: Vec<u16> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap_or(0))
+            .collect();
+        assert!(
+            statuses.iter().any(|&s| s == 503),
+            "expected load shedding, got {statuses:?}"
+        );
+
+        // The stalled connection is cut loose by the read timeout — the
+        // server answers 400 instead of blocking forever.
+        stall.set_read_timeout(Some(Duration::from_secs(8))).unwrap();
+        let mut response = String::new();
+        BufReader::new(&stall).read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(
+            started.elapsed() < Duration::from_secs(8),
+            "server held a dead peer too long: {:?}",
+            started.elapsed()
+        );
+
+        // After the stall clears, service is healthy again.
+        let (status, _) = request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
         server.shutdown();
     }
 

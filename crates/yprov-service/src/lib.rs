@@ -11,7 +11,10 @@
 //! * [`http`] — a from-scratch HTTP/1.1 server (std TCP + a small
 //!   thread pool) serving the yProv-style endpoints
 //!   (`/api/v0/documents`, `/api/v0/documents/{id}`, `.../subgraph`,
-//!   `.../ancestors`, `.../stats`);
+//!   `.../ancestors`, `.../stats`), with socket timeouts and bounded
+//!   load shedding;
+//! * [`client`] — a blocking client with deterministic exponential
+//!   backoff for transient failures (connection refused, 502/503/504);
 //! * [`explorer`] — cross-document summaries like the yProv Explorer's
 //!   landing view.
 //!
@@ -26,10 +29,12 @@
 //! assert!(store.get(&id).is_some());
 //! ```
 
+pub mod client;
 pub mod explorer;
 pub mod ledger;
 pub mod http;
 pub mod store;
 
+pub use client::{Client, ClientError, Response, RetryPolicy};
 pub use http::{Server, ServerConfig};
 pub use store::DocumentStore;

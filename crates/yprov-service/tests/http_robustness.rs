@@ -61,7 +61,7 @@ fn rejects_oversized_bodies_without_dying() {
     let server = Server::bind(
         "127.0.0.1:0",
         DocumentStore::new(),
-        ServerConfig { workers: 2, max_body: 1024 },
+        ServerConfig { workers: 2, max_body: 1024, ..Default::default() },
     )
     .unwrap();
     let big = "x".repeat(10_000);

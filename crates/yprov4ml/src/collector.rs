@@ -118,7 +118,10 @@ impl Collector {
     }
 
     /// A buffered collector with a background folding thread.
-    pub fn buffered() -> Arc<Self> {
+    ///
+    /// Errors if the OS refuses to spawn the thread (resource
+    /// exhaustion) — a library should report that, not panic.
+    pub fn buffered() -> Result<Arc<Self>, ProvMLError> {
         let (tx, rx) = unbounded::<Msg>();
         let handle = std::thread::Builder::new()
             .name("yprov4ml-collector".into())
@@ -136,12 +139,11 @@ impl Collector {
                         }
                     }
                 }
-            })
-            .expect("spawn collector thread");
-        Arc::new(Collector {
+            })?;
+        Ok(Arc::new(Collector {
             inner: Inner::Buffered { tx, handle: Mutex::new(Some(handle)) },
             accepted: AtomicUsize::new(0),
-        })
+        }))
     }
 
     /// Submits a record. Non-blocking in buffered mode.
@@ -236,7 +238,7 @@ mod tests {
     fn buffered_collector_reaches_same_state_as_sync() {
         let records: Vec<LogRecord> = (0..1000).map(|i| metric("loss", i, i as f64)).collect();
         let sync = Collector::synchronous();
-        let buf = Collector::buffered();
+        let buf = Collector::buffered().unwrap();
         for r in &records {
             sync.log(r.clone()).unwrap();
             buf.log(r.clone()).unwrap();
@@ -246,7 +248,7 @@ mod tests {
 
     #[test]
     fn flush_makes_submissions_visible() {
-        let c = Collector::buffered();
+        let c = Collector::buffered().unwrap();
         for i in 0..500 {
             c.log(metric("m", i, 0.0)).unwrap();
         }
@@ -258,7 +260,7 @@ mod tests {
 
     #[test]
     fn concurrent_producers_lose_nothing() {
-        let c = Collector::buffered();
+        let c = Collector::buffered().unwrap();
         let mut handles = Vec::new();
         for rank in 0..8u64 {
             let c = Arc::clone(&c);
@@ -285,7 +287,7 @@ mod tests {
 
     #[test]
     fn double_close_errors() {
-        let c = Collector::buffered();
+        let c = Collector::buffered().unwrap();
         c.log(metric("m", 0, 1.0)).unwrap();
         assert!(c.close().is_ok());
         assert!(matches!(c.close(), Err(ProvMLError::CollectorGone)));

@@ -17,6 +17,14 @@ pub enum ProvMLError {
     BadName(String),
     /// The background collector thread died.
     CollectorGone,
+    /// A journal already exists where one would be created; pick
+    /// [`crate::journal::JournalMode::Overwrite`] or
+    /// [`crate::journal::JournalMode::Resume`] explicitly.
+    JournalExists(std::path::PathBuf),
+    /// The journal on disk is structurally unusable (empty file, bad
+    /// header, mismatched rotation segments). Torn or corrupt *records*
+    /// are never an error — they are skipped with a count.
+    Journal(String),
 }
 
 impl fmt::Display for ProvMLError {
@@ -28,6 +36,12 @@ impl fmt::Display for ProvMLError {
             ProvMLError::RunClosed(name) => write!(f, "run {name:?} is already finished"),
             ProvMLError::BadName(n) => write!(f, "invalid name: {n:?}"),
             ProvMLError::CollectorGone => write!(f, "collector thread terminated unexpectedly"),
+            ProvMLError::JournalExists(p) => write!(
+                f,
+                "journal {} already exists; choose JournalMode::Overwrite or JournalMode::Resume",
+                p.display()
+            ),
+            ProvMLError::Journal(msg) => write!(f, "journal error: {msg}"),
         }
     }
 }
@@ -70,5 +84,9 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         assert!(ProvMLError::RunClosed("r1".into()).to_string().contains("r1"));
         assert!(std::error::Error::source(&ProvMLError::CollectorGone).is_none());
+        assert!(ProvMLError::JournalExists("/tmp/j.jsonl".into())
+            .to_string()
+            .contains("Overwrite"));
+        assert!(ProvMLError::Journal("empty".into()).to_string().contains("empty"));
     }
 }

@@ -51,6 +51,7 @@
 pub mod artifact_store;
 pub mod collector;
 pub mod compare;
+pub mod crc32;
 pub mod error;
 pub mod experiment;
 pub mod forecast;
@@ -67,6 +68,9 @@ pub mod vcs;
 
 pub use error::ProvMLError;
 pub use experiment::Experiment;
+pub use journal::{
+    recover, recover_detailed, JournalConfig, JournalMode, RecoveryReport, SyncPolicy,
+};
 pub use model::{Context, Direction, LogRecord, ParamValue, RunReport, RunStatus};
 pub use run::Run;
 pub use spill::SpillPolicy;

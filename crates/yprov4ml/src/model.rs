@@ -214,6 +214,11 @@ pub enum RunStatus {
     Finished,
     /// Finished with a failure marker.
     Failed,
+    /// Died without writing provenance (detected, not chosen: a journal
+    /// with no `prov.json` next to it).
+    Crashed,
+    /// Rebuilt from the write-ahead journal after a crash.
+    Recovered,
 }
 
 /// What `Run::finish` returns: where everything was written.

@@ -2,7 +2,7 @@
 
 use crate::collector::Collector;
 use crate::error::ProvMLError;
-use crate::journal::{JournalHeader, JournalWriter};
+use crate::journal::{JournalConfig, JournalHeader, JournalWriter};
 use crate::hash::sha256_hex;
 use crate::model::{
     ArtifactMeta, Context, Direction, LogRecord, ParamValue, RunReport, RunStatus,
@@ -31,6 +31,9 @@ pub struct RunOptions {
     /// Plugin-emitted records bypass the journal (they are
     /// reconstructible from their sources).
     pub journal: bool,
+    /// Durability and rotation knobs for the journal (ignored unless
+    /// `journal` is set).
+    pub journal_config: JournalConfig,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -41,6 +44,7 @@ impl std::fmt::Debug for RunOptions {
             .field("user", &self.user)
             .field("plugins", &self.plugins.len())
             .field("journal", &self.journal)
+            .field("journal_config", &self.journal_config)
             .finish()
     }
 }
@@ -76,20 +80,15 @@ impl Run {
         let collector = if options.synchronous {
             Collector::synchronous()
         } else {
-            Collector::buffered()
+            Collector::buffered()?
         };
         let user = options.user.unwrap_or_else(|| "unknown".to_string());
         let started_us = now_us();
         let journal = if options.journal {
-            Some(JournalWriter::create(
+            Some(JournalWriter::create_with(
                 &dir,
-                &JournalHeader {
-                    version: 1,
-                    experiment: experiment.clone(),
-                    run: name.clone(),
-                    user: user.clone(),
-                    started_us,
-                },
+                &JournalHeader::new(&experiment, &name, &user, started_us),
+                options.journal_config,
             )?)
         } else {
             None
@@ -317,7 +316,7 @@ impl Run {
         self.finish_with_status(RunStatus::Failed)
     }
 
-    fn finish_with_status(self, status: RunStatus) -> Result<RunReport, ProvMLError> {
+    fn finish_with_status(mut self, status: RunStatus) -> Result<RunReport, ProvMLError> {
         {
             let mut plugins = self.plugins.lock();
             let mut sink = PluginSink::new(&self.collector);
@@ -326,6 +325,12 @@ impl Run {
             }
         }
         let state = self.collector.close()?;
+        // The journal is complete once the collector has drained; fsync
+        // it (and its directory entry) so the WAL is durable even if
+        // writing the provenance files below fails.
+        if let Some(journal) = self.journal.take() {
+            journal.close()?;
+        }
         let ended_us = now_us();
 
         let series: Vec<&metric_store::series::MetricSeries> = state.metrics.values().collect();

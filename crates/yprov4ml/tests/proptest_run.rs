@@ -86,7 +86,7 @@ proptest! {
         records in prop::collection::vec(arb_record(), 0..200),
     ) {
         let sync = Collector::synchronous();
-        let buffered = Collector::buffered();
+        let buffered = Collector::buffered().unwrap();
         for r in &records {
             sync.log(r.clone()).unwrap();
             buffered.log(r.clone()).unwrap();

@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 phase: train_sim::sim::Phase::PreTraining,
                 grad_accumulation: 1,
                 resume_from: None,
+                faults: Default::default(),
             };
             let name = format!("b{batch}-ov{}", (overlap * 100.0) as u32);
             let run = experiment.start_run(&name)?;

@@ -65,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             phase: Phase::PreTraining,
             grad_accumulation: 1,
             resume_from: None,
+            faults: Default::default(),
         };
         let result = simulate_with_provenance(cfg, &run, 10)?;
         run.log_model("model.ckpt", b"trained on normalized patches")
