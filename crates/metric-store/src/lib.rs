@@ -48,11 +48,13 @@ pub mod codec;
 pub mod error;
 pub mod json_store;
 pub mod netcdf;
+pub mod pool;
 pub mod series;
 pub mod store;
 pub mod zarr;
 
 pub use error::StoreError;
+pub use pool::WorkerPool;
 pub use series::{MetricPoint, MetricSeries, SeriesStats};
 pub use store::{MetricStore, StorageFormat};
 

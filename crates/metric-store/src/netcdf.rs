@@ -24,6 +24,7 @@
 use crate::checksum::crc32;
 use crate::codec::{self, deflate_like, inflate_like};
 use crate::error::StoreError;
+use crate::pool::WorkerPool;
 use crate::series::MetricSeries;
 use crate::store::{path_size_bytes, MetricStore};
 use parking_lot::Mutex;
@@ -162,11 +163,22 @@ impl NcStore {
 
     /// Writes the whole file from the in-memory cache.
     fn flush(&self) -> Result<(), StoreError> {
+        self.flush_with(&WorkerPool::serial())
+    }
+
+    /// Writes the whole file, encoding the per-series column blobs on
+    /// `pool` workers. The body is assembled serially in cache
+    /// (`BTreeMap`) order from the index-ordered blobs, so the file
+    /// bytes are identical for every pool size.
+    fn flush_with(&self, pool: &WorkerPool) -> Result<(), StoreError> {
         let cache = self.cache.lock();
+        let ordered: Vec<&MetricSeries> = cache.values().collect();
+        let encoded: Vec<[Vec<u8>; 4]> =
+            pool.map(ordered.len(), |i| self.encode_columns(ordered[i]));
+
         let mut body = Vec::new();
         let mut vars = Vec::new();
-        for series in cache.values() {
-            let blobs = self.encode_columns(series);
+        for (series, blobs) in ordered.into_iter().zip(encoded) {
             let columns = blobs.map(|b| {
                 let desc = ColumnDesc {
                     offset: body.len() as u64,
@@ -252,6 +264,22 @@ impl MetricStore for NcStore {
             .lock()
             .insert((series.name.clone(), series.context.clone()), series.clone());
         self.flush()
+    }
+
+    fn write_many(
+        &self,
+        series: &[&MetricSeries],
+        pool: &WorkerPool,
+    ) -> Result<(), StoreError> {
+        // Insert everything, then rewrite the file once: a batch of N
+        // series costs one flush instead of N wholesale rewrites.
+        {
+            let mut cache = self.cache.lock();
+            for s in series {
+                cache.insert((s.name.clone(), s.context.clone()), (*s).clone());
+            }
+        }
+        self.flush_with(pool)
     }
 
     fn read_series(&self, name: &str, context: &str) -> Result<MetricSeries, StoreError> {

@@ -4,6 +4,7 @@
 use crate::checksum::crc32;
 use crate::codec::{decode_pipeline, encode_pipeline, CodecId};
 use crate::error::StoreError;
+use crate::pool::WorkerPool;
 use crate::series::MetricSeries;
 
 /// Which on-disk representation a run uses for its bulky metrics.
@@ -42,6 +43,25 @@ pub trait MetricStore {
     /// Persists one series (replacing any previous series with the same
     /// name and context).
     fn write_series(&self, series: &MetricSeries) -> Result<(), StoreError>;
+
+    /// Persists a batch of series, encoding through `pool` where the
+    /// backend supports it.
+    ///
+    /// The default implementation is the plain serial loop; backends
+    /// with parallel-safe layouts override it. Every override must keep
+    /// the on-disk bytes identical to the serial loop for any pool size
+    /// — the finalize pipeline's determinism guarantee rests on it.
+    fn write_many(
+        &self,
+        series: &[&MetricSeries],
+        pool: &WorkerPool,
+    ) -> Result<(), StoreError> {
+        let _ = pool;
+        for s in series {
+            self.write_series(s)?;
+        }
+        Ok(())
+    }
 
     /// Reads one series back.
     fn read_series(&self, name: &str, context: &str) -> Result<MetricSeries, StoreError>;

@@ -23,7 +23,8 @@
 use crate::checksum::crc32;
 use crate::codec::{self, CodecId};
 use crate::error::StoreError;
-use crate::series::MetricSeries;
+use crate::pool::WorkerPool;
+use crate::series::{MetricPoint, MetricSeries};
 use crate::store::{frame_chunk, path_size_bytes, unframe_chunk, MetricStore};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -181,10 +182,7 @@ impl ZarrStore {
 
         meta.chunk_step_ranges.truncate(full_chunks);
         for (ci, chunk) in (full_chunks..).zip(pending.chunks(chunk_points)) {
-            for (col, payload) in self.encode_columns(chunk) {
-                let framed = frame_chunk(&payload, &self.opts.byte_codecs);
-                std::fs::write(dir.join(format!("{col}.{ci}")), framed)?;
-            }
+            self.write_chunk(&dir, ci, chunk)?;
             meta.chunk_step_ranges.push(step_range(chunk));
         }
         meta.points += new_points.len();
@@ -255,6 +253,51 @@ impl ZarrStore {
         Ok(out)
     }
 
+    /// Removes any previous data for the series and writes its
+    /// `.zarray` metadata, returning the directory ready for chunks.
+    fn prepare_series_dir(&self, series: &MetricSeries) -> Result<PathBuf, StoreError> {
+        let dir = self.series_dir(&series.name, &series.context);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        std::fs::create_dir_all(&dir)?;
+
+        let chunk_step_ranges: Vec<(u64, u64)> = series
+            .points
+            .chunks(self.opts.chunk_points)
+            .map(step_range)
+            .collect();
+        let meta = ArrayMeta {
+            format: "yzarr-1".into(),
+            name: series.name.clone(),
+            context: series.context.clone(),
+            points: series.len(),
+            chunk_points: self.opts.chunk_points,
+            float_encoding: self.opts.float_encoding,
+            chunk_step_ranges,
+        };
+        std::fs::write(dir.join(".zarray"), serde_json::to_string_pretty(&meta)?)?;
+        Ok(dir)
+    }
+
+    /// Encodes and writes the four column files of one chunk. A chunk's
+    /// bytes depend only on its points and the store options, so chunks
+    /// can be written from any thread in any order.
+    fn write_chunk(
+        &self,
+        dir: &Path,
+        ci: usize,
+        chunk: &[MetricPoint],
+    ) -> Result<(), StoreError> {
+        for (col, payload) in self.encode_columns(chunk) {
+            // The values column may already be bit-packed (XOR);
+            // shuffle only helps raw fixed-width data.
+            let framed = frame_chunk(&payload, &self.opts.byte_codecs);
+            std::fs::write(dir.join(format!("{col}.{ci}")), framed)?;
+        }
+        Ok(())
+    }
+
     fn encode_columns(
         &self,
         chunk: &[crate::series::MetricPoint],
@@ -289,49 +332,44 @@ impl ZarrStore {
 
 impl MetricStore for ZarrStore {
     fn write_series(&self, series: &MetricSeries) -> Result<(), StoreError> {
-        let dir = self.series_dir(&series.name, &series.context);
-        if dir.exists() {
-            std::fs::remove_dir_all(&dir)?;
-        }
-        std::fs::create_dir_all(&dir)?;
-
-        let chunk_step_ranges: Vec<(u64, u64)> = series
-            .points
-            .chunks(self.opts.chunk_points)
-            .map(step_range)
-            .collect();
-        let meta = ArrayMeta {
-            format: "yzarr-1".into(),
-            name: series.name.clone(),
-            context: series.context.clone(),
-            points: series.len(),
-            chunk_points: self.opts.chunk_points,
-            float_encoding: self.opts.float_encoding,
-            chunk_step_ranges,
-        };
-        std::fs::write(dir.join(".zarray"), serde_json::to_string_pretty(&meta)?)?;
+        let dir = self.prepare_series_dir(series)?;
 
         // Chunks encode and write in parallel; each is independent.
-        let chunks: Vec<(usize, &[crate::series::MetricPoint])> = series
+        let chunks: Vec<(usize, &[MetricPoint])> = series
             .points
             .chunks(self.opts.chunk_points)
             .enumerate()
             .collect();
         let results: Vec<Result<(), StoreError>> = chunks
             .par_iter()
-            .map(|(ci, chunk)| {
-                for (col, payload) in self.encode_columns(chunk) {
-                    // The values column may already be bit-packed (XOR);
-                    // shuffle only helps raw fixed-width data.
-                    let framed = frame_chunk(&payload, &self.opts.byte_codecs);
-                    std::fs::write(dir.join(format!("{col}.{ci}")), framed)?;
-                }
-                Ok(())
-            })
+            .map(|(ci, chunk)| self.write_chunk(&dir, *ci, chunk))
             .collect();
         for r in results {
             r?;
         }
+        Ok(())
+    }
+
+    fn write_many(
+        &self,
+        series: &[&MetricSeries],
+        pool: &WorkerPool,
+    ) -> Result<(), StoreError> {
+        // Metadata is cheap and order-sensitive, so it goes first,
+        // serially; then every (series, chunk) pair becomes one
+        // independent encode+write task in a single flat pool run, so
+        // short series don't serialize behind long ones.
+        let mut tasks: Vec<(PathBuf, usize, &[MetricPoint])> = Vec::new();
+        for s in series {
+            let dir = self.prepare_series_dir(s)?;
+            for (ci, chunk) in s.points.chunks(self.opts.chunk_points).enumerate() {
+                tasks.push((dir.clone(), ci, chunk));
+            }
+        }
+        pool.try_map(tasks.len(), |i| {
+            let (dir, ci, chunk) = &tasks[i];
+            self.write_chunk(dir, *ci, chunk)
+        })?;
         Ok(())
     }
 

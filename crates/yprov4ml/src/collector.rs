@@ -6,10 +6,21 @@
 //! folds them into the run state. A synchronous mode (mutex around the
 //! state) exists for tests and for workloads where determinism matters
 //! more than latency; the overhead benchmark (E7) compares the two.
+//!
+//! For high metric volumes the fold itself becomes the bottleneck, so a
+//! third mode shards the fold across N background threads keyed by a
+//! stable hash of the metric name ([`Collector::sharded`]): a metric
+//! series never spans shards, every non-metric record routes to shard 0,
+//! and [`Collector::close`] merges the shard states in shard order — a
+//! deterministic reduction that reproduces the single-thread state for
+//! any workload whose per-series record order is deterministic.
+//! [`Collector::log_many`] complements it by batching many records into
+//! one channel hop.
 
+use crate::crc32::crc32;
 use crate::error::ProvMLError;
 use crate::model::{ArtifactMeta, Direction, LogRecord, ParamValue};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use metric_store::series::{MetricPoint, MetricSeries};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -41,15 +52,20 @@ impl RunState {
                 self.params.insert(name, (value, direction));
             }
             LogRecord::Metric { name, context, step, epoch, time_us, value } => {
-                let ctx_name = context.name();
-                let key = (name.clone(), ctx_name.clone());
+                // The record's own strings key the map; clones happen
+                // only on first sight of a series / context, not per
+                // sample.
+                let key = (name, context.name());
                 let series = self
                     .metrics
                     .entry(key)
-                    .or_insert_with(|| MetricSeries::new(name, ctx_name.clone()));
+                    .or_insert_with_key(|k| MetricSeries::new(k.0.clone(), k.1.clone()));
                 series.push(MetricPoint { step, epoch, time_us, value });
-                let slot = self.max_epoch.entry(ctx_name).or_insert(0);
-                *slot = (*slot).max(epoch);
+                if let Some(slot) = self.max_epoch.get_mut(&series.context) {
+                    *slot = (*slot).max(epoch);
+                } else {
+                    self.max_epoch.insert(series.context.clone(), epoch);
+                }
                 self.metric_samples += 1;
             }
             LogRecord::Artifact(meta) => self.artifacts.push(meta),
@@ -72,6 +88,44 @@ impl RunState {
         }
     }
 
+    /// Merges another state into this one, consuming it — the reduction
+    /// step of the sharded collector's `close`.
+    ///
+    /// Same-key metric series concatenate (`other` after `self`; shards
+    /// key by metric name, so in sharded use the key sets are disjoint
+    /// and this never happens); params keep `other`'s value on
+    /// collision, preserving the last-write-wins rule when all params
+    /// route to one shard; epochs merge by max; context spans keep the
+    /// earliest start and the latest observed end.
+    pub fn merge(&mut self, other: RunState) {
+        self.params.extend(other.params);
+        for (key, series) in other.metrics {
+            match self.metrics.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(series);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().points.extend(series.points);
+                }
+            }
+        }
+        self.artifacts.extend(other.artifacts);
+        for (name, (start, end)) in other.context_spans {
+            let span = self.context_spans.entry(name).or_insert((None, None));
+            if span.0.is_none() {
+                span.0 = start;
+            }
+            if end.is_some() {
+                span.1 = end;
+            }
+        }
+        for (name, epoch) in other.max_epoch {
+            let slot = self.max_epoch.entry(name).or_insert(0);
+            *slot = (*slot).max(epoch);
+        }
+        self.metric_samples += other.metric_samples;
+    }
+
     /// Names of contexts that logged anything.
     pub fn context_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
@@ -88,6 +142,8 @@ impl RunState {
 
 enum Msg {
     Record(Box<LogRecord>),
+    /// Many records folded off one channel hop (`log_many`).
+    Batch(Vec<LogRecord>),
     Flush(Sender<()>),
     /// Final message: fold nothing more, ship the state back and exit.
     Shutdown(Sender<RunState>),
@@ -99,6 +155,45 @@ enum Inner {
         tx: Sender<Msg>,
         handle: Mutex<Option<std::thread::JoinHandle<()>>>,
     },
+    /// N folding threads; metric records route by a stable hash of the
+    /// metric name, everything else to shard 0.
+    Sharded {
+        txs: Vec<Sender<Msg>>,
+        handles: Mutex<Option<Vec<std::thread::JoinHandle<()>>>>,
+    },
+}
+
+/// The drain loop every folding thread runs (buffered and sharded).
+fn fold_loop(rx: Receiver<Msg>) {
+    let mut state = RunState::default();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Record(r) => state.apply(*r),
+            Msg::Batch(records) => {
+                for r in records {
+                    state.apply(r);
+                }
+            }
+            Msg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+            Msg::Shutdown(out) => {
+                let _ = out.send(std::mem::take(&mut state));
+                return;
+            }
+        }
+    }
+}
+
+/// Which shard a record folds on. Metric records spread by name so one
+/// series never spans shards (keeping per-series order intact); all
+/// state with cross-record ordering semantics (param overrides,
+/// artifact order, context spans) stays on shard 0.
+fn shard_index(record: &LogRecord, shards: usize) -> usize {
+    match record {
+        LogRecord::Metric { name, .. } => crc32(name.as_bytes()) as usize % shards,
+        _ => 0,
+    }
 }
 
 /// The collector: accepts records from any thread and folds them into a
@@ -125,39 +220,99 @@ impl Collector {
         let (tx, rx) = unbounded::<Msg>();
         let handle = std::thread::Builder::new()
             .name("yprov4ml-collector".into())
-            .spawn(move || {
-                let mut state = RunState::default();
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        Msg::Record(r) => state.apply(*r),
-                        Msg::Flush(ack) => {
-                            let _ = ack.send(());
-                        }
-                        Msg::Shutdown(out) => {
-                            let _ = out.send(std::mem::take(&mut state));
-                            return;
-                        }
-                    }
-                }
-            })?;
+            .spawn(move || fold_loop(rx))?;
         Ok(Arc::new(Collector {
             inner: Inner::Buffered { tx, handle: Mutex::new(Some(handle)) },
             accepted: AtomicUsize::new(0),
         }))
     }
 
-    /// Submits a record. Non-blocking in buffered mode.
+    /// A collector folding on `shards` background threads, for runs
+    /// whose metric volume outgrows a single folding thread.
+    ///
+    /// `shards <= 1` falls back to [`Collector::buffered`]. Determinism:
+    /// records for one metric always fold on the same shard (stable
+    /// name hash) and `close` merges shard states in shard order, so the
+    /// final [`RunState`] equals the buffered collector's whenever the
+    /// per-series submission order is deterministic — concurrent
+    /// producers logging disjoint metrics included.
+    pub fn sharded(shards: usize) -> Result<Arc<Self>, ProvMLError> {
+        if shards <= 1 {
+            return Collector::buffered();
+        }
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = unbounded::<Msg>();
+            // On spawn failure the already-started shards exit on their
+            // own once `txs` drops and their channels disconnect.
+            let handle = std::thread::Builder::new()
+                .name(format!("yprov4ml-collector-{i}"))
+                .spawn(move || fold_loop(rx))?;
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Ok(Arc::new(Collector {
+            inner: Inner::Sharded { txs, handles: Mutex::new(Some(handles)) },
+            accepted: AtomicUsize::new(0),
+        }))
+    }
+
+    /// Submits a record. Non-blocking in buffered and sharded modes.
     pub fn log(&self, record: LogRecord) -> Result<(), ProvMLError> {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
         match &self.inner {
-            Inner::Sync(state) => {
-                state.lock().apply(record);
-                Ok(())
-            }
+            Inner::Sync(state) => state.lock().apply(record),
             Inner::Buffered { tx, .. } => tx
                 .send(Msg::Record(Box::new(record)))
-                .map_err(|_| ProvMLError::CollectorGone),
+                .map_err(|_| ProvMLError::CollectorGone)?,
+            Inner::Sharded { txs, .. } => {
+                let shard = shard_index(&record, txs.len());
+                txs[shard]
+                    .send(Msg::Record(Box::new(record)))
+                    .map_err(|_| ProvMLError::CollectorGone)?;
+            }
         }
+        // Counted only after a successful submit: a record rejected
+        // with `CollectorGone` was never accepted.
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Submits a batch of records with one channel operation per shard,
+    /// amortizing the per-record send and box of [`Collector::log`].
+    pub fn log_many(&self, records: Vec<LogRecord>) -> Result<(), ProvMLError> {
+        let count = records.len();
+        if count == 0 {
+            return Ok(());
+        }
+        match &self.inner {
+            Inner::Sync(state) => {
+                let mut state = state.lock();
+                for r in records {
+                    state.apply(r);
+                }
+            }
+            Inner::Buffered { tx, .. } => tx
+                .send(Msg::Batch(records))
+                .map_err(|_| ProvMLError::CollectorGone)?,
+            Inner::Sharded { txs, .. } => {
+                let shards = txs.len();
+                let mut per_shard: Vec<Vec<LogRecord>> =
+                    (0..shards).map(|_| Vec::new()).collect();
+                for r in records {
+                    per_shard[shard_index(&r, shards)].push(r);
+                }
+                for (tx, batch) in txs.iter().zip(per_shard) {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    tx.send(Msg::Batch(batch))
+                        .map_err(|_| ProvMLError::CollectorGone)?;
+                }
+            }
+        }
+        self.accepted.fetch_add(count, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Blocks until all records submitted so far are folded in.
@@ -169,6 +324,20 @@ impl Collector {
                 tx.send(Msg::Flush(ack_tx))
                     .map_err(|_| ProvMLError::CollectorGone)?;
                 ack_rx.recv().map_err(|_| ProvMLError::CollectorGone)
+            }
+            Inner::Sharded { txs, .. } => {
+                // Fan the barrier out first, then collect every ack.
+                let mut acks = Vec::with_capacity(txs.len());
+                for tx in txs {
+                    let (ack_tx, ack_rx) = unbounded();
+                    tx.send(Msg::Flush(ack_tx))
+                        .map_err(|_| ProvMLError::CollectorGone)?;
+                    acks.push(ack_rx);
+                }
+                for ack in acks {
+                    ack.recv().map_err(|_| ProvMLError::CollectorGone)?;
+                }
+                Ok(())
             }
         }
     }
@@ -192,6 +361,26 @@ impl Collector {
                     .map_err(|_| ProvMLError::CollectorGone)?;
                 let state = out_rx.recv().map_err(|_| ProvMLError::CollectorGone)?;
                 joined.join().map_err(|_| ProvMLError::CollectorGone)?;
+                Ok(state)
+            }
+            Inner::Sharded { txs, handles } => {
+                let joined = handles.lock().take().ok_or(ProvMLError::CollectorGone)?;
+                // All shards drain concurrently; the merge then runs in
+                // shard order, which makes the reduction deterministic.
+                let mut outs = Vec::with_capacity(txs.len());
+                for tx in txs {
+                    let (out_tx, out_rx) = unbounded();
+                    tx.send(Msg::Shutdown(out_tx))
+                        .map_err(|_| ProvMLError::CollectorGone)?;
+                    outs.push(out_rx);
+                }
+                let mut state = RunState::default();
+                for out in outs {
+                    state.merge(out.recv().map_err(|_| ProvMLError::CollectorGone)?);
+                }
+                for h in joined {
+                    h.join().map_err(|_| ProvMLError::CollectorGone)?;
+                }
                 Ok(state)
             }
         }
@@ -304,6 +493,138 @@ mod tests {
         let state = c.close().unwrap();
         assert_eq!(state.context_spans["training"], (Some(100), Some(900)));
         assert_eq!(state.context_names(), vec!["training"]);
+    }
+
+    #[test]
+    fn sharded_close_equals_sync_state_on_concurrent_producers() {
+        // Non-metric records go in deterministically from this thread;
+        // 8 producers then log disjoint metric names concurrently.
+        let fixed: Vec<LogRecord> = vec![
+            LogRecord::Param {
+                name: "lr".into(),
+                value: ParamValue::Float(0.1),
+                direction: Direction::Input,
+            },
+            LogRecord::Param {
+                name: "lr".into(),
+                value: ParamValue::Float(0.01),
+                direction: Direction::Input,
+            },
+            LogRecord::ContextStart { context: Context::Training, time_us: 5 },
+        ];
+        let reference = Collector::synchronous();
+        let sharded = Collector::sharded(4).unwrap();
+        for r in &fixed {
+            reference.log(r.clone()).unwrap();
+            sharded.log(r.clone()).unwrap();
+        }
+        for rank in 0..8u64 {
+            for i in 0..500 {
+                reference.log(metric(&format!("rank{rank}"), i, i as f64)).unwrap();
+            }
+        }
+        let mut handles = Vec::new();
+        for rank in 0..8u64 {
+            let c = Arc::clone(&sharded);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    c.log(metric(&format!("rank{rank}"), i, i as f64)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let end = LogRecord::ContextEnd { context: Context::Training, time_us: 999 };
+        reference.log(end.clone()).unwrap();
+        sharded.log(end).unwrap();
+        assert_eq!(sharded.accepted(), reference.accepted());
+        assert_eq!(sharded.close().unwrap(), reference.close().unwrap());
+    }
+
+    #[test]
+    fn log_many_reaches_same_state_as_individual_logs() {
+        let records: Vec<LogRecord> = (0..300)
+            .flat_map(|i| {
+                ["loss", "accuracy", "power"]
+                    .into_iter()
+                    .map(move |m| metric(m, i, i as f64))
+            })
+            .collect();
+        let reference = Collector::synchronous();
+        for r in &records {
+            reference.log(r.clone()).unwrap();
+        }
+        let expected = reference.close().unwrap();
+
+        for collector in [
+            Collector::synchronous(),
+            Collector::buffered().unwrap(),
+            Collector::sharded(3).unwrap(),
+        ] {
+            collector.log_many(records.clone()).unwrap();
+            collector.log_many(Vec::new()).unwrap();
+            assert_eq!(collector.accepted(), records.len());
+            assert_eq!(collector.close().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn rejected_records_are_not_counted_as_accepted() {
+        let c = Collector::buffered().unwrap();
+        c.log(metric("m", 0, 1.0)).unwrap();
+        c.close().unwrap();
+        assert!(c.log(metric("m", 1, 1.0)).is_err());
+        assert!(c.log_many(vec![metric("m", 2, 1.0)]).is_err());
+        assert_eq!(c.accepted(), 1, "rejected records must not count");
+    }
+
+    #[test]
+    fn sharded_flush_makes_submissions_visible() {
+        let c = Collector::sharded(4).unwrap();
+        for i in 0..500 {
+            c.log(metric(&format!("m{}", i % 7), i, 0.0)).unwrap();
+        }
+        c.flush().unwrap();
+        assert_eq!(c.accepted(), 500);
+        let state = c.close().unwrap();
+        assert_eq!(state.metric_samples, 500);
+        assert!(matches!(c.close(), Err(ProvMLError::CollectorGone)));
+    }
+
+    #[test]
+    fn single_shard_falls_back_to_buffered() {
+        let c = Collector::sharded(1).unwrap();
+        for i in 0..100 {
+            c.log(metric("loss", i, i as f64)).unwrap();
+        }
+        assert_eq!(c.close().unwrap().metric_samples, 100);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_states() {
+        let a = Collector::synchronous();
+        a.log(metric("loss", 0, 1.0)).unwrap();
+        a.log(LogRecord::ContextStart { context: Context::Training, time_us: 10 })
+            .unwrap();
+        let b = Collector::synchronous();
+        b.log(LogRecord::Metric {
+            name: "power".into(),
+            context: Context::Training,
+            step: 0,
+            epoch: 7,
+            time_us: 0,
+            value: 250.0,
+        })
+        .unwrap();
+        b.log(LogRecord::ContextEnd { context: Context::Training, time_us: 90 })
+            .unwrap();
+        let mut merged = a.close().unwrap();
+        merged.merge(b.close().unwrap());
+        assert_eq!(merged.metric_samples, 2);
+        assert_eq!(merged.metrics.len(), 2);
+        assert_eq!(merged.max_epoch["training"], 7);
+        assert_eq!(merged.context_spans["training"], (Some(10), Some(90)));
     }
 
     #[test]

@@ -8,11 +8,40 @@ use crate::model::{
     ArtifactMeta, Context, Direction, LogRecord, ParamValue, RunReport, RunStatus,
 };
 use crate::plugins::{PluginSink, ProvPlugin};
-use crate::prov_emit::{build_document, RunIdentity};
-use crate::spill::{spill_metrics, SpillPolicy};
+use crate::prov_emit::{build_document, write_prov_files, RunIdentity};
+use crate::spill::{spill_metrics_pooled, SpillPolicy};
+use metric_store::WorkerPool;
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Knobs for the finalize pipeline (collector drain, metric spill,
+/// provenance emission).
+///
+/// `threads == 1` (the default) reproduces the serial pipeline exactly:
+/// single-threaded collector fold, serial chunk encoding, streaming
+/// emission. Higher values shard the buffered collector across that
+/// many folding threads and encode spill chunks on a work-stealing
+/// pool of the same width. Output artifacts are byte-identical at any
+/// thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinalizeOptions {
+    /// Folding/encoding threads used by the collector and spill pool.
+    pub threads: usize,
+}
+
+impl Default for FinalizeOptions {
+    fn default() -> Self {
+        FinalizeOptions { threads: 1 }
+    }
+}
+
+impl FinalizeOptions {
+    /// Convenience constructor.
+    pub fn with_threads(threads: usize) -> Self {
+        FinalizeOptions { threads: threads.max(1) }
+    }
+}
 
 /// Options controlling a run's collection behaviour.
 #[derive(Default)]
@@ -34,6 +63,9 @@ pub struct RunOptions {
     /// Durability and rotation knobs for the journal (ignored unless
     /// `journal` is set).
     pub journal_config: JournalConfig,
+    /// Finalize-pipeline parallelism (collector sharding + spill
+    /// encoding). Ignored when `synchronous` is set.
+    pub finalize: FinalizeOptions,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -45,6 +77,7 @@ impl std::fmt::Debug for RunOptions {
             .field("plugins", &self.plugins.len())
             .field("journal", &self.journal)
             .field("journal_config", &self.journal_config)
+            .field("finalize", &self.finalize)
             .finish()
     }
 }
@@ -58,6 +91,7 @@ pub struct Run {
     dir: PathBuf,
     collector: Arc<Collector>,
     spill: SpillPolicy,
+    finalize: FinalizeOptions,
     user: String,
     started_us: i64,
     plugins: Mutex<Vec<Box<dyn ProvPlugin>>>,
@@ -80,7 +114,7 @@ impl Run {
         let collector = if options.synchronous {
             Collector::synchronous()
         } else {
-            Collector::buffered()?
+            Collector::sharded(options.finalize.threads)?
         };
         let user = options.user.unwrap_or_else(|| "unknown".to_string());
         let started_us = now_us();
@@ -99,6 +133,7 @@ impl Run {
             dir,
             collector,
             spill: options.spill,
+            finalize: options.finalize,
             user,
             started_us,
             plugins: Mutex::new(options.plugins),
@@ -201,6 +236,21 @@ impl Run {
             time_us,
             value,
         });
+    }
+
+    /// Journals (when enabled) and submits a batch of records in one
+    /// collector round-trip.
+    ///
+    /// With the buffered or sharded collector this pays one channel
+    /// send per shard instead of one per record — the fast path for
+    /// tight logging loops and replay tools.
+    pub fn log_many(&self, records: Vec<LogRecord>) -> Result<(), ProvMLError> {
+        if let Some(journal) = &self.journal {
+            for record in &records {
+                journal.append(record)?;
+            }
+        }
+        self.collector.log_many(records)
     }
 
     // ----- contexts -------------------------------------------------------
@@ -333,8 +383,9 @@ impl Run {
         }
         let ended_us = now_us();
 
+        let pool = WorkerPool::new(self.finalize.threads);
         let series: Vec<&metric_store::series::MetricSeries> = state.metrics.values().collect();
-        let spill = spill_metrics(&self.dir, &self.spill, &series)?;
+        let spill = spill_metrics_pooled(&self.dir, &self.spill, &series, &pool)?;
 
         let identity = RunIdentity {
             experiment: self.experiment.clone(),
@@ -353,8 +404,7 @@ impl Run {
 
         let prov_json_path = self.dir.join("prov.json");
         let provn_path = self.dir.join("prov.provn");
-        std::fs::write(&prov_json_path, doc.to_json_string_pretty()?)?;
-        std::fs::write(&provn_path, prov_model::provn::to_provn(&doc))?;
+        write_prov_files(&doc, &prov_json_path, &provn_path)?;
 
         Ok(RunReport {
             experiment: self.experiment,
@@ -503,6 +553,47 @@ mod tests {
                 .and_then(|v| v.as_str()),
             Some("failed")
         );
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn parallel_finalize_run_works() {
+        let b = base("parallel");
+        let exp = Experiment::new("e", &b).unwrap();
+        let run = exp
+            .start_run_with(
+                "r",
+                RunOptions {
+                    spill: SpillPolicy::Zarr(Default::default()),
+                    finalize: FinalizeOptions::with_threads(8),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        run.log_param("lr", 0.01);
+        run.start_context(Context::Training);
+        let mut batch = Vec::new();
+        for step in 0..4000u64 {
+            for metric in ["loss", "acc", "grad_norm"] {
+                batch.push(LogRecord::Metric {
+                    name: metric.to_string(),
+                    context: Context::Training,
+                    step,
+                    epoch: (step / 1000) as u32,
+                    time_us: step as i64,
+                    value: step as f64 * 0.25,
+                });
+            }
+        }
+        run.log_many(batch).unwrap();
+        run.end_context(Context::Training);
+        let report = run.finish().unwrap();
+        assert_eq!(report.metric_samples, 3 * 4000);
+        assert_eq!(report.params, 1);
+        let series = crate::spill::read_spilled(&exp.dir().join("r"), "acc", "training").unwrap();
+        assert_eq!(series.len(), 4000);
+        let doc = exp.load_run_document("r").unwrap();
+        assert!(prov_model::validate::is_valid(&doc));
         std::fs::remove_dir_all(&b).ok();
     }
 

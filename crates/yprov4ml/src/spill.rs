@@ -11,7 +11,7 @@ use metric_store::netcdf::{NcOptions, NcStore};
 use metric_store::series::MetricSeries;
 use metric_store::store::MetricStore;
 use metric_store::zarr::{ZarrOptions, ZarrStore};
-use metric_store::StorageFormat;
+use metric_store::{StorageFormat, WorkerPool};
 use std::path::{Path, PathBuf};
 
 /// Where metric series are persisted at run finish.
@@ -59,11 +59,27 @@ pub struct SpillOutcome {
     pub external_bytes: u64,
 }
 
-/// Writes all series per the policy, rooted at the run directory.
+/// Writes all series per the policy, rooted at the run directory,
+/// encoding serially.
 pub fn spill_metrics(
     run_dir: &Path,
     policy: &SpillPolicy,
     series: &[&MetricSeries],
+) -> Result<SpillOutcome, ProvMLError> {
+    spill_metrics_pooled(run_dir, policy, series, &WorkerPool::serial())
+}
+
+/// Writes all series per the policy, encoding through `pool` where the
+/// backend supports it.
+///
+/// The on-disk bytes are identical for any pool size — the backends'
+/// `write_many` overrides guarantee it (see the parity tests in the
+/// integration crate).
+pub fn spill_metrics_pooled(
+    run_dir: &Path,
+    policy: &SpillPolicy,
+    series: &[&MetricSeries],
+    pool: &WorkerPool,
 ) -> Result<SpillOutcome, ProvMLError> {
     match policy {
         SpillPolicy::Inline => Ok(SpillOutcome {
@@ -74,29 +90,22 @@ pub fn spill_metrics(
         SpillPolicy::Zarr(opts) => {
             let path = run_dir.join("metrics.zarr");
             let store = ZarrStore::create(&path, opts.clone())?;
-            write_all(&store, series)?;
+            store.write_many(series, pool)?;
             finish_outcome(path, series, &store)
         }
         SpillPolicy::NetCdf(opts) => {
             let path = run_dir.join("metrics.nc");
             let store = NcStore::create(&path, opts.clone())?;
-            write_all(&store, series)?;
+            store.write_many(series, pool)?;
             finish_outcome(path, series, &store)
         }
         SpillPolicy::JsonFiles => {
             let path = run_dir.join("metrics.json.d");
             let store = JsonStore::create(&path)?;
-            write_all(&store, series)?;
+            store.write_many(series, pool)?;
             finish_outcome(path, series, &store)
         }
     }
-}
-
-fn write_all(store: &dyn MetricStore, series: &[&MetricSeries]) -> Result<(), ProvMLError> {
-    for s in series {
-        store.write_series(s)?;
-    }
-    Ok(())
 }
 
 fn finish_outcome(
