@@ -59,14 +59,37 @@ impl VirtualClock {
     }
 
     /// Advances the clock (manual mode).
+    ///
+    /// Non-finite `seconds` is a caller bug: it panics under
+    /// `debug_assertions` and is dropped (no movement) in release
+    /// builds — the previous behaviour cast `NaN as u64` to `0`
+    /// silently, and `+inf` wrapped the counter. The reading saturates
+    /// at `u64::MAX` microseconds instead of wrapping.
     pub fn advance(&self, seconds: f64) {
+        debug_assert!(seconds.is_finite(), "non-finite clock advance: {seconds}");
+        if !seconds.is_finite() {
+            return;
+        }
         assert!(seconds >= 0.0, "clock cannot go backwards");
-        self.micros
-            .fetch_add((seconds * 1e6) as u64, Ordering::AcqRel);
+        let delta = (seconds * 1e6) as u64; // saturating float-to-int cast
+        let _ = self
+            .micros
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                Some(cur.saturating_add(delta))
+            });
     }
 
-    /// Sets an absolute reading, which must not move backwards.
+    /// Sets an absolute reading, which must not move backwards
+    /// (backwards sets are ignored, keeping the clock monotonic).
+    ///
+    /// Non-finite `seconds` panics under `debug_assertions` and is
+    /// dropped in release builds; negative readings clamp to zero and
+    /// the conversion saturates at `u64::MAX` microseconds.
     pub fn set_s(&self, seconds: f64) {
+        debug_assert!(seconds.is_finite(), "non-finite clock reading: {seconds}");
+        if !seconds.is_finite() {
+            return;
+        }
         let new = (seconds * 1e6) as u64;
         let mut cur = self.micros.load(Ordering::Acquire);
         loop {
@@ -216,6 +239,45 @@ mod tests {
     #[should_panic(expected = "clock cannot go backwards")]
     fn negative_advance_panics() {
         VirtualClock::manual().advance(-1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite clock advance")]
+    fn nan_advance_panics_in_debug() {
+        VirtualClock::manual().advance(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite clock reading")]
+    fn infinite_set_panics_in_debug() {
+        VirtualClock::manual().set_s(f64::INFINITY);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn non_finite_input_dropped_in_release() {
+        let clock = VirtualClock::manual();
+        clock.advance(1.0);
+        clock.advance(f64::NAN);
+        clock.advance(f64::INFINITY);
+        clock.set_s(f64::NAN);
+        clock.set_s(f64::NEG_INFINITY);
+        assert!((clock.now_s() - 1.0).abs() < 1e-9, "dropped, not applied");
+    }
+
+    #[test]
+    fn advance_saturates_instead_of_wrapping() {
+        let clock = VirtualClock::manual();
+        // Two huge finite advances would wrap a fetch_add; the clock
+        // must pin at u64::MAX micros instead.
+        let huge = (u64::MAX / 2) as f64 / 1e6 * 1.5;
+        clock.advance(huge);
+        let once = clock.now_s();
+        clock.advance(huge);
+        assert!(clock.now_s() >= once, "saturation must not go backwards");
+        assert!((clock.now_s() - u64::MAX as f64 / 1e6).abs() < 1e6);
     }
 
     #[test]

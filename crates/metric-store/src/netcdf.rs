@@ -77,6 +77,14 @@ pub struct NcStore {
     /// All series live in memory and the file is rewritten on change,
     /// mirroring how classic NetCDF writers rewrite the header section.
     cache: Mutex<BTreeMap<(String, String), MetricSeries>>,
+    /// Per-series column-encode timing; fetched once at construction so
+    /// pool workers never touch the registry mutex.
+    encode_hist: std::sync::Arc<obs::Histogram>,
+}
+
+/// Chunk-encode timing, shared with the Zarr store under one name.
+fn encode_histogram() -> std::sync::Arc<obs::Histogram> {
+    obs::global().histogram("metric_store_chunk_encode_seconds")
 }
 
 impl NcStore {
@@ -88,7 +96,8 @@ impl NcStore {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let store = NcStore { path, opts, cache: Mutex::new(BTreeMap::new()) };
+        let store =
+            NcStore { path, opts, cache: Mutex::new(BTreeMap::new()), encode_hist: encode_histogram() };
         if store.path.is_file() {
             let loaded = store.load()?;
             *store.cache.lock() = loaded;
@@ -106,6 +115,7 @@ impl NcStore {
             path,
             opts: NcOptions::default(),
             cache: Mutex::new(BTreeMap::new()),
+            encode_hist: encode_histogram(),
         };
         let loaded = store.load()?;
         *store.cache.lock() = loaded;
@@ -173,8 +183,9 @@ impl NcStore {
     fn flush_with(&self, pool: &WorkerPool) -> Result<(), StoreError> {
         let cache = self.cache.lock();
         let ordered: Vec<&MetricSeries> = cache.values().collect();
-        let encoded: Vec<[Vec<u8>; 4]> =
-            pool.map(ordered.len(), |i| self.encode_columns(ordered[i]));
+        let encoded: Vec<[Vec<u8>; 4]> = pool.map(ordered.len(), |i| {
+            self.encode_hist.time(|| self.encode_columns(ordered[i]))
+        });
 
         let mut body = Vec::new();
         let mut vars = Vec::new();

@@ -91,6 +91,14 @@ const COLUMNS: [&str; 4] = ["steps", "epochs", "times", "values"];
 pub struct ZarrStore {
     root: PathBuf,
     opts: ZarrOptions,
+    /// Per-chunk column-encode timing; fetched once at construction so
+    /// pool workers never touch the registry mutex.
+    encode_hist: std::sync::Arc<obs::Histogram>,
+}
+
+/// Chunk-encode timing, shared with the NetCDF store under one name.
+fn encode_histogram() -> std::sync::Arc<obs::Histogram> {
+    obs::global().histogram("metric_store_chunk_encode_seconds")
 }
 
 impl ZarrStore {
@@ -107,7 +115,7 @@ impl ZarrStore {
         if opts.chunk_points == 0 {
             return Err(StoreError::BadMetadata("chunk_points must be > 0".into()));
         }
-        Ok(ZarrStore { root, opts })
+        Ok(ZarrStore { root, opts, encode_hist: encode_histogram() })
     }
 
     /// Opens an existing store with default options (reads are driven by
@@ -120,7 +128,7 @@ impl ZarrStore {
                 root.display()
             )));
         }
-        Ok(ZarrStore { root, opts: ZarrOptions::default() })
+        Ok(ZarrStore { root, opts: ZarrOptions::default(), encode_hist: encode_histogram() })
     }
 
     /// The store's root directory.
@@ -289,7 +297,8 @@ impl ZarrStore {
         ci: usize,
         chunk: &[MetricPoint],
     ) -> Result<(), StoreError> {
-        for (col, payload) in self.encode_columns(chunk) {
+        let encoded = self.encode_hist.time(|| self.encode_columns(chunk));
+        for (col, payload) in encoded {
             // The values column may already be bit-packed (XOR);
             // shuffle only helps raw fixed-width data.
             let framed = frame_chunk(&payload, &self.opts.byte_codecs);

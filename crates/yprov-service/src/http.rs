@@ -7,11 +7,19 @@
 //! semantics — plenty for a provenance API whose clients are scripts
 //! and the explorer.
 //!
+//! The parser is defensive: the header section is capped in total bytes
+//! and field count (431 beyond either limit), and `Transfer-Encoding:
+//! chunked` — which this server does not implement — is rejected with
+//! 501 instead of being silently misread as an empty body. Path
+//! segments are percent-decoded (without the `+`-to-space query rule),
+//! so percent-encoded document ids round-trip.
+//!
 //! ## Routes (yProv-style)
 //!
 //! | Method | Path | Effect |
 //! |---|---|---|
 //! | GET    | `/healthz` | liveness |
+//! | GET    | `/metrics` | Prometheus text exposition of server metrics |
 //! | GET    | `/api/v0/documents` | list handle ids |
 //! | POST   | `/api/v0/documents` | upload PROV-JSON, returns `{"id"}` |
 //! | GET    | `/api/v0/documents/{id}` | the PROV-JSON document |
@@ -32,7 +40,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -41,6 +49,12 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum accepted request-body size in bytes.
     pub max_body: usize,
+    /// Maximum total bytes in the request line + header section; a peer
+    /// streaming endless headers gets 431 once the budget is spent
+    /// instead of growing a worker's memory without bound.
+    pub max_header_bytes: usize,
+    /// Maximum number of header fields (431 beyond it).
+    pub max_headers: usize,
     /// Socket read timeout: a peer that stops sending mid-request gets
     /// a 400 after this long instead of pinning a worker forever.
     pub read_timeout: Duration,
@@ -61,6 +75,8 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             max_body: 256 * 1024 * 1024,
+            max_header_bytes: 32 * 1024,
+            max_headers: 128,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             queue_depth: 64,
@@ -75,6 +91,7 @@ pub struct Server {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     listener_thread: Option<std::thread::JoinHandle<()>>,
+    registry: Arc<obs::Registry>,
 }
 
 impl Server {
@@ -89,6 +106,10 @@ impl Server {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let chaos = Arc::new(AtomicU32::new(config.chaos_fail_uploads));
+        // Per-server registry (always on): request metrics are the
+        // server's own concern and stay out of the process-global
+        // tracker registry.
+        let registry = Arc::new(obs::Registry::new());
 
         let (tx, rx) = bounded::<TcpStream>(config.queue_depth.max(1));
         for i in 0..config.workers.max(1) {
@@ -96,11 +117,12 @@ impl Server {
             let store = store.clone();
             let cfg = config.clone();
             let chaos = Arc::clone(&chaos);
+            let registry = Arc::clone(&registry);
             std::thread::Builder::new()
                 .name(format!("yprov-http-{i}"))
                 .spawn(move || {
                     while let Ok(stream) = rx.recv() {
-                        let _ = handle_connection(stream, &store, &cfg, &chaos);
+                        let _ = handle_connection(stream, &store, &cfg, &chaos, &registry);
                     }
                 })?;
         }
@@ -110,12 +132,17 @@ impl Server {
             .name("yprov-http-accept".into())
             .spawn(move || accept_loop(listener, tx, stop_l))?;
 
-        Ok(Server { addr: local, stop, listener_thread: Some(listener_thread) })
+        Ok(Server { addr: local, stop, listener_thread: Some(listener_thread), registry })
     }
 
     /// The bound address (useful with ephemeral ports).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
+    }
+
+    /// The server's metrics registry (what `GET /metrics` renders).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// Stops accepting connections and joins the listener.
@@ -180,22 +207,35 @@ fn handle_connection(
     store: &DocumentStore,
     cfg: &ServerConfig,
     chaos: &AtomicU32,
+    registry: &obs::Registry,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(cfg.read_timeout))?;
     stream.set_write_timeout(Some(cfg.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
 
-    let request = match parse_request(&mut reader, cfg.max_body) {
+    let started = Instant::now();
+    let request = match parse_request(&mut reader, cfg) {
         Ok(Some(r)) => r,
         Ok(None) => return Ok(()), // empty connection (shutdown nudge)
-        Err(msg) => {
-            return write_response(stream, 400, &json!({"error": msg}).to_string());
+        Err((status, msg)) => {
+            registry.counter("http_parse_errors_total").inc();
+            count_request(registry, "-", "unparsed", status);
+            return write_response(stream, status, &json!({"error": msg}).to_string());
         }
     };
 
-    let (status, body) = route(&request, store, chaos);
+    let (status, body) = route(&request, store, chaos, registry);
+    let label = route_label(&request.path);
+    count_request(registry, &request.method, label, status);
+    registry
+        .histogram(&format!("http_request_duration_seconds{{route=\"{label}\"}}"))
+        .record(started.elapsed());
+
     let content_type = match request.path.rsplit('/').next() {
         Some("provn") | Some("turtle") | Some("dot") if status == 200 => "text/plain; charset=utf-8",
+        Some("metrics") if status == 200 && request.path == "/metrics" => {
+            "text/plain; version=0.0.4; charset=utf-8"
+        }
         Some("") | Some("explorer") if status == 200 && request.path.len() <= "/explorer".len() => {
             "text/html; charset=utf-8"
         }
@@ -204,51 +244,140 @@ fn handle_connection(
     write_response_typed(stream, status, content_type, &body)
 }
 
+/// Records one request in the per-route counter family. The method is a
+/// peer-supplied string, so it is sanitized before being interpolated
+/// into a Prometheus label; route labels come from the fixed
+/// [`route_label`] template set.
+fn count_request(registry: &obs::Registry, method: &str, route: &str, status: u16) {
+    let method: String = method
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .take(16)
+        .collect();
+    registry
+        .counter(&format!(
+            "http_requests_total{{method=\"{method}\",route=\"{route}\",status=\"{status}\"}}"
+        ))
+        .inc();
+}
+
+/// Maps a request path onto its route template, so metrics aggregate
+/// per route rather than per document id.
+fn route_label(path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        [] | ["explorer"] => "/explorer",
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["api", "v0", "ledger"] => "/api/v0/ledger",
+        ["api", "v0", "documents"] => "/api/v0/documents",
+        ["api", "v0", "documents", _] => "/api/v0/documents/{id}",
+        ["api", "v0", "documents", _, "stats"] => "/api/v0/documents/{id}/stats",
+        ["api", "v0", "documents", _, "ancestors"] => "/api/v0/documents/{id}/ancestors",
+        ["api", "v0", "documents", _, "subgraph"] => "/api/v0/documents/{id}/subgraph",
+        ["api", "v0", "documents", _, "provn"] => "/api/v0/documents/{id}/provn",
+        ["api", "v0", "documents", _, "turtle"] => "/api/v0/documents/{id}/turtle",
+        ["api", "v0", "documents", _, "dot"] => "/api/v0/documents/{id}/dot",
+        _ => "unmatched",
+    }
+}
+
+/// Parses one request. `Err((status, message))` distinguishes plain
+/// malformed input (400) from the header budget (431) and unimplemented
+/// transfer encodings (501).
 fn parse_request(
     reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Option<Request>, String> {
+    cfg: &ServerConfig,
+) -> Result<Option<Request>, (u16, String)> {
+    // The request line and headers share one byte budget, enforced by
+    // reading through a `Take`: a header flood hits the limit and gets
+    // 431 instead of growing buffers without bound.
+    let mut head = (&mut *reader).take(cfg.max_header_bytes as u64);
+    let over_budget = || {
+        (431, format!("header section exceeds {} bytes", cfg.max_header_bytes))
+    };
+
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read error: {e}"))?;
+    head.read_line(&mut line)
+        .map_err(|e| (400, format!("read error: {e}")))?;
     if line.trim().is_empty() {
         return Ok(None);
     }
+    if !line.ends_with('\n') && head.limit() == 0 {
+        return Err(over_budget());
+    }
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_string();
-    let target = parts.next().ok_or("missing path")?.to_string();
-    let version = parts.next().ok_or("missing version")?;
+    let method = parts
+        .next()
+        .ok_or((400, "missing method".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or((400, "missing path".to_string()))?
+        .to_string();
+    let version = parts.next().ok_or((400, "missing version".to_string()))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported version {version}"));
+        return Err((400, format!("unsupported version {version}")));
     }
 
     let mut content_length = 0usize;
+    let mut chunked = false;
+    let mut header_count = 0usize;
     loop {
         let mut header = String::new();
-        reader
+        let n = head
             .read_line(&mut header)
-            .map_err(|e| format!("read error: {e}"))?;
-        let header = header.trim_end();
-        if header.is_empty() {
+            .map_err(|e| (400, format!("read error: {e}")))?;
+        if n == 0 {
+            // No blank line ever arrived: either the byte budget ran
+            // out exactly at a line boundary, or the peer closed early.
+            // Both are rejections — not a complete header section.
+            return Err(if head.limit() == 0 {
+                over_budget()
+            } else {
+                (400, "header section ended without a blank line".to_string())
+            });
+        }
+        let text = header.trim_end();
+        if text.is_empty() {
             break;
         }
-        if let Some((name, value)) = header.split_once(':') {
+        header_count += 1;
+        if header_count > cfg.max_headers {
+            return Err((431, format!("more than {} header fields", cfg.max_headers)));
+        }
+        if !header.ends_with('\n') && head.limit() == 0 {
+            return Err(over_budget());
+        }
+        if let Some((name, value)) = text.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "bad content-length".to_string())?;
+                    .map_err(|_| (400, "bad content-length".to_string()))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.to_ascii_lowercase().contains("chunked")
+            {
+                // Flagged here, rejected after the header section: the
+                // old parser ignored it and misread the body as empty.
+                chunked = true;
             }
         }
     }
-    if content_length > max_body {
-        return Err(format!("body of {content_length} bytes exceeds limit"));
+    drop(head);
+    if chunked {
+        return Err((
+            501,
+            "Transfer-Encoding: chunked is not supported; send Content-Length".to_string(),
+        ));
+    }
+    if content_length > cfg.max_body {
+        return Err((400, format!("body of {content_length} bytes exceeds limit")));
     }
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|e| format!("short body: {e}"))?;
+        .map_err(|e| (400, format!("short body: {e}")))?;
 
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
@@ -264,7 +393,11 @@ fn parse_request(
     Ok(Some(Request { method, path, query, body }))
 }
 
-fn url_decode(s: &str) -> String {
+/// Decodes `%XX` escapes; with `plus_is_space`, also maps `+` to a
+/// space. Plus-as-space is query-string/form semantics only — in a path
+/// segment `+` is a literal plus, so callers decoding paths pass
+/// `false`.
+fn percent_decode(s: &str, plus_is_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -279,14 +412,33 @@ fn url_decode(s: &str) -> String {
                 continue;
             }
         }
-        out.push(if bytes[i] == b'+' { b' ' } else { bytes[i] });
+        out.push(if plus_is_space && bytes[i] == b'+' { b' ' } else { bytes[i] });
         i += 1;
     }
     String::from_utf8_lossy(&out).into_owned()
 }
 
-fn route(req: &Request, store: &DocumentStore, chaos: &AtomicU32) -> (u16, String) {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+/// Query-string decoding (`%XX` plus `+` → space).
+fn url_decode(s: &str) -> String {
+    percent_decode(s, true)
+}
+
+fn route(
+    req: &Request,
+    store: &DocumentStore,
+    chaos: &AtomicU32,
+    registry: &obs::Registry,
+) -> (u16, String) {
+    // Path segments are percent-decoded individually so encoded
+    // document ids round-trip; '/' produced by %2F stays inside its
+    // segment and cannot change the route shape.
+    let decoded: Vec<String> = req
+        .path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| percent_decode(s, false))
+        .collect();
+    let segments: Vec<&str> = decoded.iter().map(String::as_str).collect();
     let focus = |req: &Request| -> Option<QName> {
         let raw = req
             .query
@@ -298,6 +450,8 @@ fn route(req: &Request, store: &DocumentStore, chaos: &AtomicU32) -> (u16, Strin
 
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => (200, json!({"status": "ok"}).to_string()),
+
+        ("GET", ["metrics"]) => (200, registry.render_prometheus()),
 
         ("GET", []) | ("GET", ["explorer"]) => (
             200,
@@ -440,6 +594,8 @@ fn write_response_typed(
         201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
@@ -500,6 +656,25 @@ mod tests {
 
     fn start() -> Server {
         Server::bind("127.0.0.1:0", DocumentStore::new(), ServerConfig::default()).unwrap()
+    }
+
+    /// Writes raw bytes and reads whatever comes back, tolerating a
+    /// reset after the response (the server may close with unread
+    /// request bytes still queued, which turns its close into an RST).
+    fn raw_request(addr: std::net::SocketAddr, raw: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(raw);
+        let _ = s.flush();
+        let mut out = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(_) => break,
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
     }
 
     #[test]
@@ -780,5 +955,139 @@ mod tests {
         assert_eq!(url_decode("plain"), "plain");
         assert_eq!(url_decode("bad%"), "bad%");
         assert_eq!(url_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn plus_stays_literal_in_path_segments() {
+        assert_eq!(percent_decode("a+b", false), "a+b");
+        assert_eq!(percent_decode("a+b", true), "a b");
+        assert_eq!(percent_decode("doc%2D1", false), "doc-1");
+        assert_eq!(percent_decode("bad%", false), "bad%");
+    }
+
+    #[test]
+    fn percent_encoded_document_ids_round_trip() {
+        let server = start();
+        let (status, body) =
+            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
+                .unwrap();
+        assert_eq!(status, 201, "{body}");
+        // The store names it "doc-1"; fetch, stat, and delete it through
+        // its percent-encoded spelling.
+        let (status, fetched) =
+            request(server.addr(), "GET", "/api/v0/documents/doc%2D1", None).unwrap();
+        assert_eq!(status, 200, "{fetched}");
+        assert_eq!(ProvDocument::from_json_str(&fetched).unwrap().element_count(), 3);
+        let (status, _) =
+            request(server.addr(), "GET", "/api/v0/documents/doc%2D1/stats", None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) =
+            request(server.addr(), "DELETE", "/api/v0/documents/doc%2D1", None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) =
+            request(server.addr(), "GET", "/api/v0/documents/doc-1", None).unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn header_byte_flood_rejected_with_431() {
+        let server = start();
+        let mut flood = String::from("GET /healthz HTTP/1.1\r\n");
+        while flood.len() < 48 * 1024 {
+            flood.push_str("X-Flood: aaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        flood.push_str("\r\n");
+        let resp = raw_request(server.addr(), flood.as_bytes());
+        // The server closes with flood bytes still unread, so the 431
+        // may be lost to a reset on some stacks — but it is always
+        // counted, and the server always survives.
+        assert!(
+            resp.is_empty() || resp.starts_with("HTTP/1.1 431"),
+            "unexpected response: {}",
+            &resp[..resp.len().min(120)]
+        );
+        let scrape = server.registry().render_prometheus();
+        assert!(scrape.contains("status=\"431\""), "{scrape}");
+        let (status, _) = request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200, "server must survive the flood");
+        server.shutdown();
+    }
+
+    #[test]
+    fn too_many_header_fields_rejected_with_431() {
+        let server = start();
+        // Exactly one header past the cap, and no terminating blank
+        // line: the server consumes every byte sent before rejecting,
+        // so the close is clean and the 431 always arrives.
+        let mut flood = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..=ServerConfig::default().max_headers {
+            flood.push_str(&format!("X-{i}: v\r\n"));
+        }
+        let resp = raw_request(server.addr(), flood.as_bytes());
+        assert!(
+            resp.starts_with("HTTP/1.1 431"),
+            "unexpected response: {}",
+            &resp[..resp.len().min(120)]
+        );
+        let (status, _) = request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_rejected_with_501() {
+        let server = start();
+        let resp = raw_request(
+            server.addr(),
+            b"POST /api/v0/documents HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        );
+        assert!(
+            resp.starts_with("HTTP/1.1 501"),
+            "unexpected response: {}",
+            &resp[..resp.len().min(120)]
+        );
+        assert!(resp.contains("not supported"), "{resp}");
+        let (status, _) = request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_route_counters() {
+        let server = start();
+        let (status, first) = request(server.addr(), "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        let _ = first; // the first scrape may predate any instrument
+
+        let (status, _) =
+            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
+                .unwrap();
+        assert_eq!(status, 201);
+
+        let (status, scrape) = request(server.addr(), "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(scrape.contains("# TYPE http_requests_total counter"), "{scrape}");
+        assert!(
+            scrape.contains(
+                "http_requests_total{method=\"POST\",route=\"/api/v0/documents\",status=\"201\"} 1"
+            ),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains(
+                "http_requests_total{method=\"GET\",route=\"/metrics\",status=\"200\"} 1"
+            ),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains("http_request_duration_seconds_count{route=\"/api/v0/documents\"} 1"),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains("http_request_duration_seconds_bucket{route=\"/api/v0/documents\","),
+            "{scrape}"
+        );
+        server.shutdown();
     }
 }

@@ -165,15 +165,18 @@ enum Inner {
 
 /// The drain loop every folding thread runs (buffered and sharded).
 fn fold_loop(rx: Receiver<Msg>) {
+    // Fold time is tracked per message, not per blocking recv, so the
+    // histogram reflects work rather than idle waiting.
+    let fold = obs::global().histogram("yprov4ml_collector_fold_seconds");
     let mut state = RunState::default();
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Record(r) => state.apply(*r),
-            Msg::Batch(records) => {
+            Msg::Record(r) => fold.time(|| state.apply(*r)),
+            Msg::Batch(records) => fold.time(|| {
                 for r in records {
                     state.apply(r);
                 }
-            }
+            }),
             Msg::Flush(ack) => {
                 let _ = ack.send(());
             }
@@ -201,6 +204,13 @@ fn shard_index(record: &LogRecord, shards: usize) -> usize {
 pub struct Collector {
     inner: Inner,
     accepted: AtomicUsize,
+    /// Submit-side latency (inline fold in sync mode, channel send
+    /// otherwise) — the tracker cost the training loop actually feels.
+    enqueue: Arc<obs::Histogram>,
+}
+
+fn enqueue_histogram() -> Arc<obs::Histogram> {
+    obs::global().histogram("yprov4ml_collector_enqueue_seconds")
 }
 
 impl Collector {
@@ -209,6 +219,7 @@ impl Collector {
         Arc::new(Collector {
             inner: Inner::Sync(Mutex::new(RunState::default())),
             accepted: AtomicUsize::new(0),
+            enqueue: enqueue_histogram(),
         })
     }
 
@@ -224,6 +235,7 @@ impl Collector {
         Ok(Arc::new(Collector {
             inner: Inner::Buffered { tx, handle: Mutex::new(Some(handle)) },
             accepted: AtomicUsize::new(0),
+            enqueue: enqueue_histogram(),
         }))
     }
 
@@ -255,11 +267,13 @@ impl Collector {
         Ok(Arc::new(Collector {
             inner: Inner::Sharded { txs, handles: Mutex::new(Some(handles)) },
             accepted: AtomicUsize::new(0),
+            enqueue: enqueue_histogram(),
         }))
     }
 
     /// Submits a record. Non-blocking in buffered and sharded modes.
     pub fn log(&self, record: LogRecord) -> Result<(), ProvMLError> {
+        let _span = self.enqueue.start_span();
         match &self.inner {
             Inner::Sync(state) => state.lock().apply(record),
             Inner::Buffered { tx, .. } => tx
@@ -285,6 +299,7 @@ impl Collector {
         if count == 0 {
             return Ok(());
         }
+        let _span = self.enqueue.start_span();
         match &self.inner {
             Inner::Sync(state) => {
                 let mut state = state.lock();
@@ -374,9 +389,11 @@ impl Collector {
                         .map_err(|_| ProvMLError::CollectorGone)?;
                     outs.push(out_rx);
                 }
+                let merge = obs::global().histogram("yprov4ml_collector_merge_seconds");
                 let mut state = RunState::default();
                 for out in outs {
-                    state.merge(out.recv().map_err(|_| ProvMLError::CollectorGone)?);
+                    let shard_state = out.recv().map_err(|_| ProvMLError::CollectorGone)?;
+                    merge.time(|| state.merge(shard_state));
                 }
                 for h in joined {
                     h.join().map_err(|_| ProvMLError::CollectorGone)?;

@@ -148,6 +148,10 @@ pub struct JournalWriter {
     path0: PathBuf,
     config: JournalConfig,
     header_line: String,
+    /// Full append latency (serialize + write + any fsync).
+    append_hist: std::sync::Arc<obs::Histogram>,
+    /// fsync latency alone, the dominant durability cost.
+    fsync_hist: std::sync::Arc<obs::Histogram>,
 }
 
 /// Best-effort directory fsync so a freshly created file's name entry
@@ -289,6 +293,8 @@ impl JournalWriter {
             path0,
             config,
             header_line,
+            append_hist: obs::global().histogram("yprov4ml_journal_append_seconds"),
+            fsync_hist: obs::global().histogram("yprov4ml_journal_fsync_seconds"),
         })
     }
 
@@ -310,6 +316,7 @@ impl JournalWriter {
     /// returning (a process crash loses at most the in-flight line);
     /// whether it is also fsynced is governed by [`SyncPolicy`].
     pub fn append(&self, record: &LogRecord) -> Result<(), ProvMLError> {
+        let _span = self.append_hist.start_span();
         let json = serde_json::to_vec(record).map_err(metric_store::StoreError::Json)?;
         let mut st = self.inner.lock();
         if let Some(limit) = self.config.rotate_bytes {
@@ -329,13 +336,13 @@ impl JournalWriter {
         st.segment_bytes += written;
         match self.config.sync {
             SyncPolicy::Always => {
-                st.file.get_ref().sync_all()?;
+                self.fsync_hist.time(|| st.file.get_ref().sync_all())?;
                 st.unsynced = 0;
             }
             SyncPolicy::EveryN(n) => {
                 st.unsynced += 1;
                 if st.unsynced >= n.max(1) {
-                    st.file.get_ref().sync_all()?;
+                    self.fsync_hist.time(|| st.file.get_ref().sync_all())?;
                     st.unsynced = 0;
                 }
             }
@@ -348,7 +355,7 @@ impl JournalWriter {
     pub fn flush(&self) -> Result<(), ProvMLError> {
         let mut st = self.inner.lock();
         st.file.flush()?;
-        st.file.get_ref().sync_all()?;
+        self.fsync_hist.time(|| st.file.get_ref().sync_all())?;
         st.unsynced = 0;
         Ok(())
     }

@@ -8,7 +8,7 @@ use crate::model::{
     ArtifactMeta, Context, Direction, LogRecord, ParamValue, RunReport, RunStatus,
 };
 use crate::plugins::{PluginSink, ProvPlugin};
-use crate::prov_emit::{build_document, write_prov_files, RunIdentity};
+use crate::prov_emit::{build_document, emit_overhead, write_prov_files, RunIdentity};
 use crate::spill::{spill_metrics_pooled, SpillPolicy};
 use metric_store::WorkerPool;
 use parking_lot::Mutex;
@@ -96,6 +96,10 @@ pub struct Run {
     started_us: i64,
     plugins: Mutex<Vec<Box<dyn ProvPlugin>>>,
     journal: Option<JournalWriter>,
+    /// Global observability registry at run start; subtracted at finish
+    /// to isolate this run's tracker overhead (approximate when several
+    /// runs share the process, since the registry is process-wide).
+    obs_start: obs::Snapshot,
 }
 
 fn now_us() -> i64 {
@@ -138,6 +142,7 @@ impl Run {
             started_us,
             plugins: Mutex::new(options.plugins),
             journal,
+            obs_start: obs::global().snapshot(),
         };
         // Give plugins a chance to record environment parameters.
         {
@@ -374,18 +379,34 @@ impl Run {
                 p.on_run_end(&mut sink);
             }
         }
-        let state = self.collector.close()?;
+        let reg = obs::global();
+        let state = reg
+            .histogram("yprov4ml_finalize_drain_seconds")
+            .time(|| self.collector.close())?;
         // The journal is complete once the collector has drained; fsync
         // it (and its directory entry) so the WAL is durable even if
         // writing the provenance files below fails.
         if let Some(journal) = self.journal.take() {
-            journal.close()?;
+            reg.histogram("yprov4ml_finalize_journal_close_seconds")
+                .time(|| journal.close())?;
         }
         let ended_us = now_us();
 
         let pool = WorkerPool::new(self.finalize.threads);
         let series: Vec<&metric_store::series::MetricSeries> = state.metrics.values().collect();
-        let spill = spill_metrics_pooled(&self.dir, &self.spill, &series, &pool)?;
+        let spill = reg
+            .histogram("yprov4ml_finalize_spill_seconds")
+            .time(|| spill_metrics_pooled(&self.dir, &self.spill, &series, &pool))?;
+
+        // Snapshot before document building so the delta covers every
+        // hot path the run exercised (collector, journal, spill); the
+        // emit/write stages below time into the registry for the *next*
+        // run's delta rather than their own.
+        let overhead = if reg.is_enabled() {
+            Some(reg.snapshot().delta_since(&self.obs_start))
+        } else {
+            None
+        };
 
         let identity = RunIdentity {
             experiment: self.experiment.clone(),
@@ -394,17 +415,23 @@ impl Run {
             started_us: self.started_us,
             ended_us,
         };
-        let mut doc = build_document(&identity, &state, &spill, self.spill.is_inline());
+        let mut doc = reg
+            .histogram("yprov4ml_finalize_emit_seconds")
+            .time(|| build_document(&identity, &state, &spill, self.spill.is_inline()));
         if status == RunStatus::Failed {
             doc.activity(prov_model::QName::new("exp", self.name.clone())).attr(
                 prov_model::QName::yprov("status"),
                 prov_model::AttrValue::from("failed"),
             );
         }
+        if let Some(delta) = overhead.filter(|d| !d.is_empty()) {
+            emit_overhead(&mut doc, &identity, &delta);
+        }
 
         let prov_json_path = self.dir.join("prov.json");
         let provn_path = self.dir.join("prov.provn");
-        write_prov_files(&doc, &prov_json_path, &provn_path)?;
+        reg.histogram("yprov4ml_finalize_write_seconds")
+            .time(|| write_prov_files(&doc, &prov_json_path, &provn_path))?;
 
         Ok(RunReport {
             experiment: self.experiment,
