@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::sync::Arc;
 use yprov4ml::collector::Collector;
 use yprov4ml::model::{Context, LogRecord};
-use yprov4ml::plugins::{PluginSink, ProvPlugin, SystemStatsPlugin, SystemStats};
+use yprov4ml::plugins::{PluginSink, ProvPlugin, SystemStats, SystemStatsPlugin};
 
 fn metric_record(step: u64) -> LogRecord {
     LogRecord::Metric {
@@ -80,8 +80,10 @@ fn bench_plugin_tick(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     group.bench_function("system_stats", |b| {
         let collector = Collector::buffered().unwrap();
-        let mut plugin =
-            SystemStatsPlugin::new(|| SystemStats { memory_bytes: 1 << 30, cpu_util: 0.4 });
+        let mut plugin = SystemStatsPlugin::new(|| SystemStats {
+            memory_bytes: 1 << 30,
+            cpu_util: 0.4,
+        });
         b.iter(|| {
             let mut sink = PluginSink::new(&collector);
             plugin.on_tick(&mut sink);
@@ -103,14 +105,17 @@ fn bench_journal(c: &mut Criterion) {
         ("journal_append_always", SyncPolicy::Always),
     ] {
         group.bench_function(tag, |b| {
-            let dir = std::env::temp_dir()
-                .join(format!("ybench_journal_{tag}_{}", std::process::id()));
+            let dir =
+                std::env::temp_dir().join(format!("ybench_journal_{tag}_{}", std::process::id()));
             std::fs::remove_dir_all(&dir).ok();
             std::fs::create_dir_all(&dir).unwrap();
             let writer = JournalWriter::create_with(
                 &dir,
                 &JournalHeader::new("bench", "r", "u", 0),
-                JournalConfig { sync, ..Default::default() },
+                JournalConfig {
+                    sync,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let mut step = 0u64;
@@ -125,7 +130,7 @@ fn bench_journal(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -14,9 +14,15 @@ fn chain_doc(n: usize) -> ProvDocument {
         doc.entity(QName::new("ex", format!("e{i}")));
         doc.activity(QName::new("ex", format!("a{i}")));
         if i > 0 {
-            doc.used(QName::new("ex", format!("a{i}")), QName::new("ex", format!("e{}", i - 1)));
+            doc.used(
+                QName::new("ex", format!("a{i}")),
+                QName::new("ex", format!("e{}", i - 1)),
+            );
         }
-        doc.was_generated_by(QName::new("ex", format!("e{i}")), QName::new("ex", format!("a{i}")));
+        doc.was_generated_by(
+            QName::new("ex", format!("e{i}")),
+            QName::new("ex", format!("a{i}")),
+        );
     }
     doc
 }
@@ -63,7 +69,7 @@ fn bench_validation(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

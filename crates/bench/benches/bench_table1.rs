@@ -79,7 +79,7 @@ fn bench_reads(c: &mut Criterion) {
     std::fs::remove_file(&nc_path).ok();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)

@@ -37,10 +37,8 @@ fn parallel_scaling_ablation() {
             .num_threads(threads)
             .build()
             .expect("build pool");
-        let dir = std::env::temp_dir().join(format!(
-            "yablate_par_{threads}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("yablate_par_{threads}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let store = ZarrStore::create(&dir, ZarrOptions::default()).expect("create");
         let t0 = std::time::Instant::now();
@@ -65,9 +63,15 @@ fn codec_ablation() {
     let variants: Vec<(&str, Vec<u8>)> = vec![
         ("raw f64", raw.clone()),
         ("xor only", codec::xor::encode(&values)),
-        ("raw + shuffle + rle", codec::encode_pipeline(&raw, &[CodecId::Shuffle8, CodecId::Rle])),
+        (
+            "raw + shuffle + rle",
+            codec::encode_pipeline(&raw, &[CodecId::Shuffle8, CodecId::Rle]),
+        ),
         ("raw + lz77", codec::encode_pipeline(&raw, &[CodecId::Lz77])),
-        ("raw + huffman", codec::encode_pipeline(&raw, &[CodecId::Huffman])),
+        (
+            "raw + huffman",
+            codec::encode_pipeline(&raw, &[CodecId::Huffman]),
+        ),
         (
             "raw + lz77 + huffman",
             codec::encode_pipeline(&raw, &[CodecId::Lz77, CodecId::Huffman]),
@@ -78,7 +82,10 @@ fn codec_ablation() {
         ),
         (
             "xor + lz77 + huffman (default)",
-            codec::encode_pipeline(&codec::xor::encode(&values), &[CodecId::Lz77, CodecId::Huffman]),
+            codec::encode_pipeline(
+                &codec::xor::encode(&values),
+                &[CodecId::Lz77, CodecId::Huffman],
+            ),
         ),
     ];
     println!("{:<34} {:>12} {:>8}", "pipeline", "bytes", "ratio");
@@ -97,13 +104,21 @@ fn codec_ablation() {
 fn chunk_size_ablation() {
     println!("=== ablation 2: zarr chunk size (100k-sample series) ===");
     let series = table1_series("loss", "training", 100_000, 7);
-    println!("{:<14} {:>12} {:>10}", "chunk_points", "store bytes", "files");
+    println!(
+        "{:<14} {:>12} {:>10}",
+        "chunk_points", "store bytes", "files"
+    );
     for chunk in [512usize, 2048, 8192, 32_768, 131_072] {
-        let dir = std::env::temp_dir().join(format!("yablate_chunk_{chunk}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("yablate_chunk_{chunk}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: chunk, float_encoding: FloatEncoding::Xor, ..Default::default() },
+            ZarrOptions {
+                chunk_points: chunk,
+                float_encoding: FloatEncoding::Xor,
+                ..Default::default()
+            },
         )
         .expect("create store");
         store.write_series(&series).expect("write");
@@ -134,9 +149,15 @@ fn bucket_size_ablation() {
     println!("=== ablation 3: DDP gradient bucket size (1.4B params, 128 GPUs) ===");
     let machine = MachineConfig::frontier_like();
     let grad_bytes = 1_400_000_000u64 * 4;
-    println!("{:<14} {:>9} {:>16} {:>18}", "bucket", "buckets", "full allreduce s", "exposed (60% ov) s");
+    println!(
+        "{:<14} {:>9} {:>16} {:>18}",
+        "bucket", "buckets", "full allreduce s", "exposed (60% ov) s"
+    );
     for mib in [1u64, 5, 25, 100, 400] {
-        let cfg = DdpCommConfig { bucket_bytes: mib * 1024 * 1024, overlap_fraction: 0.6 };
+        let cfg = DdpCommConfig {
+            bucket_bytes: mib * 1024 * 1024,
+            overlap_fraction: 0.6,
+        };
         let cost = step_comm_cost(grad_bytes, 128, &machine, &cfg);
         println!(
             "{:<14} {:>9} {:>16.4} {:>18.4}",
@@ -156,7 +177,11 @@ fn sampling_period_ablation() {
     // A bursty trace: compute phases at 270 W, comm dips to 150 W.
     let power_at = |t: f64| -> f64 {
         let phase = t % 1.4;
-        if phase < 1.0 { 270.0 } else { 150.0 }
+        if phase < 1.0 {
+            270.0
+        } else {
+            150.0
+        }
     };
     let horizon = 600.0; // 10 minutes
 

@@ -42,7 +42,10 @@ fn main() {
 
     println!("Data scaling at fixed model (SwinT-V2 600M), 10 epochs, 2 h walltime\n");
     println!("loss × energy (kWh); '—' = over walltime");
-    println!("{:>10} | {:>12} {:>12} {:>12}", "samples", "8 GPUs", "32 GPUs", "128 GPUs");
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12}",
+        "samples", "8 GPUs", "32 GPUs", "128 GPUs"
+    );
     println!("{}", "-".repeat(54));
 
     let mut best_gpus_per_row = Vec::new();

@@ -33,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let preprocessing = Context::Custom("preprocessing".into());
     run.start_context(preprocessing.clone());
     for step in 0..20u64 {
-        run.log_metric("patches_normalized", preprocessing.clone(), step, 0, step as f64 * 40_000.0);
+        run.log_metric(
+            "patches_normalized",
+            preprocessing.clone(),
+            step,
+            0,
+            step as f64 * 40_000.0,
+        );
     }
     run.end_context(preprocessing.clone());
     run.log_artifact_bytes_in(
@@ -46,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run.start_context(Context::Training);
     for step in 0..100u64 {
         let epoch = (step / 50) as u32;
-        run.log_metric("loss", Context::Training, step, epoch, 2.0 / (1.0 + step as f64 * 0.1));
+        run.log_metric(
+            "loss",
+            Context::Training,
+            step,
+            epoch,
+            2.0 / (1.0 + step as f64 * 0.1),
+        );
         run.log_metric("gpu_power_w", Context::Training, step, epoch, 265.0);
     }
     run.log_artifact_bytes_in(
@@ -59,7 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     run.start_context(Context::Validation);
     for epoch in 0..2u32 {
-        run.log_metric("val_loss", Context::Validation, epoch as u64, epoch, 0.4 - epoch as f64 * 0.1);
+        run.log_metric(
+            "val_loss",
+            Context::Validation,
+            epoch as u64,
+            epoch,
+            0.4 - epoch as f64 * 0.1,
+        );
     }
     run.end_context(Context::Validation);
 
@@ -69,7 +87,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Render the graph.
     let doc = experiment.load_run_document("example-run")?;
-    let dot = to_dot(&doc, &DotOptions { show_attributes: false, ..Default::default() });
+    let dot = to_dot(
+        &doc,
+        &DotOptions {
+            show_attributes: false,
+            ..Default::default()
+        },
+    );
     let dot_path = out_dir.join("figure1.dot");
     std::fs::write(&dot_path, &dot)?;
 
@@ -77,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Figure 1 example provenance generated:");
     println!("  PROV-JSON: {}", report.prov_json_path.display());
     println!("  PROV-N:    {}", report.provn_path.display());
-    println!("  DOT:       {}   (render: dot -Tpng -o figure1.png)", dot_path.display());
+    println!(
+        "  DOT:       {}   (render: dot -Tpng -o figure1.png)",
+        dot_path.display()
+    );
     println!(
         "\ndocument: {} entities, {} activities, {} agents, {} relations",
         stats.entities, stats.activities, stats.agents, stats.relations

@@ -14,19 +14,15 @@ fn main() {
     println!("Figure 3: energy and performance trade-off (loss × total energy)");
     println!("2 architectures × 4 sizes × 5 GPU counts, DDP, MODIS workload, 2 h walltime\n");
 
-    let mut csv = String::from("arch,params,gpus,completed,loss,energy_kwh,walltime_s,loss_energy\n");
+    let mut csv =
+        String::from("arch,params,gpus,completed,loss,energy_kwh,walltime_s,loss_energy\n");
     for arch in [Architecture::MaeVit, Architecture::SwinV2] {
         let grid = run_grid(arch);
         println!("{}", grid.render());
         csv.push_str(&grid.to_csv());
 
         // Narrate the qualitative findings the paper reports.
-        let completed: Vec<_> = grid
-            .rows
-            .iter()
-            .flatten()
-            .filter(|c| c.completed)
-            .collect();
+        let completed: Vec<_> = grid.rows.iter().flatten().filter(|c| c.completed).collect();
         let empty = grid.rows.iter().flatten().filter(|c| !c.completed).count();
         if let Some(best) = completed
             .iter()

@@ -34,9 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::remove_dir_all(&base).ok();
     let experiment = Experiment::new("figure3", &base)?;
 
-    println!(
-        "running the scaling grid under provenance collection ({samples} samples/cell)...\n"
-    );
+    println!("running the scaling grid under provenance collection ({samples} samples/cell)...\n");
 
     // Phase 1: run every cell, keeping nothing but provenance.
     let mut run_names = Vec::new();
@@ -57,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         ..Default::default()
                     },
                 )?;
-                let _result = simulate_with_provenance(cfg, &run, 100)
-                    .map_err(std::io::Error::other)?;
+                let _result =
+                    simulate_with_provenance(cfg, &run, 100).map_err(std::io::Error::other)?;
                 run.finish()?;
                 run_names.push((arch, model.params, gpus, name));
             }
@@ -116,7 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("all 40 cells match the direct simulation exactly — the provenance");
     println!("pipeline is lossless for the quantities Figure 3 plots.");
-    println!("\nprovenance for every cell under {}", experiment.dir().display());
+    println!(
+        "\nprovenance for every cell under {}",
+        experiment.dir().display()
+    );
 
     // Bonus: the combined experiment document (paper future work).
     let combined = experiment.write_combined_document()?;

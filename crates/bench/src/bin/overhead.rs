@@ -81,17 +81,28 @@ fn main() {
     // smaller sample to keep the table quick.
     for (label, sync, n) in [
         ("journaled (no fsync) + buffered", SyncPolicy::OnFlush, N),
-        ("journaled (fsync/100) + buffered", SyncPolicy::EveryN(100), N),
-        ("journaled (fsync always) + buffered", SyncPolicy::Always, N / 100),
+        (
+            "journaled (fsync/100) + buffered",
+            SyncPolicy::EveryN(100),
+            N,
+        ),
+        (
+            "journaled (fsync always) + buffered",
+            SyncPolicy::Always,
+            N / 100,
+        ),
     ] {
-        let dir = std::env::temp_dir()
-            .join(format!("yoverhead_{}_{}", label.len(), std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("yoverhead_{}_{}", label.len(), std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         let writer = JournalWriter::create_with(
             &dir,
             &JournalHeader::new("bench", "r", "u", 0),
-            JournalConfig { sync, ..Default::default() },
+            JournalConfig {
+                sync,
+                ..Default::default()
+            },
         )
         .unwrap();
         let journaled = Collector::buffered().unwrap();

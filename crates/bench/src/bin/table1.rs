@@ -96,7 +96,10 @@ fn main() {
     // --- The table ---------------------------------------------------------
     println!("\nTable 1: Provenance file size comparison (measurements include the");
     println!("PROV-JSON and the additional metric files)\n");
-    println!("| {:<22} | {:>11} | {:>15} |", "File", "Normal Size", "Compressed Size");
+    println!(
+        "| {:<22} | {:>11} | {:>15} |",
+        "File", "Normal Size", "Compressed Size"
+    );
     println!("|{:-<24}|{:->13}|{:->17}|", "", "", "");
     for (name, normal, compressed) in [
         ("Original_file.json", inline_normal, inline_compressed),
@@ -115,8 +118,6 @@ fn main() {
     let zarr_gain = 100.0 * (1.0 - zarr_normal as f64 / inline_normal as f64);
     let nc_gain = 100.0 * (1.0 - nc_normal as f64 / inline_normal as f64);
     println!("\nsize reduction vs inline JSON: zarr {zarr_gain:.1} %, nc {nc_gain:.1} %");
-    println!(
-        "paper reference: 39.82 -> 2.74 MB (93.1 %) and 39.82 -> 2.35 MB (94.1 %)"
-    );
+    println!("paper reference: 39.82 -> 2.74 MB (93.1 %) and 39.82 -> 2.35 MB (94.1 %)");
     println!("\n(outputs kept under {})", out_dir.display());
 }

@@ -54,7 +54,13 @@ fn main() {
         c.to_metadata_json().to_string().contains("prov-o")
     };
 
-    let yes_no = |b: bool| if b { "Yes".to_string() } else { "No".to_string() };
+    let yes_no = |b: bool| {
+        if b {
+            "Yes".to_string()
+        } else {
+            "No".to_string()
+        }
+    };
 
     let rows = vec![
         Row {
@@ -72,9 +78,20 @@ fn main() {
             prov: format!(
                 "PROV-N{}, PROV-JSON{} (PROV-O via RDF)",
                 if provn_ok { " [verified]" } else { " [FAILED]" },
-                if prov_json_ok { " [verified]" } else { " [FAILED]" },
+                if prov_json_ok {
+                    " [verified]"
+                } else {
+                    " [FAILED]"
+                },
             ),
-            rocrate: format!("JSON-LD{}", if jsonld_ok { " [verified]" } else { " [FAILED]" }),
+            rocrate: format!(
+                "JSON-LD{}",
+                if jsonld_ok {
+                    " [verified]"
+                } else {
+                    " [FAILED]"
+                }
+            ),
         },
         Row {
             feature: "Focus",
@@ -96,7 +113,11 @@ fn main() {
             prov: "Native".into(),
             rocrate: format!(
                 "Optional (via PROV-O){}",
-                if prov_in_crate { " [verified]" } else { " [FAILED]" }
+                if prov_in_crate {
+                    " [verified]"
+                } else {
+                    " [FAILED]"
+                }
             ),
         },
         Row {
@@ -108,7 +129,10 @@ fn main() {
 
     println!("Table 2: Comparison between the W3C PROV standard and RO-Crate,");
     println!("probed against this repository's implementations\n");
-    println!("| {:<16} | {:<44} | {:<44} |", "Feature", "W3C PROV", "RO-Crate");
+    println!(
+        "| {:<16} | {:<44} | {:<44} |",
+        "Feature", "W3C PROV", "RO-Crate"
+    );
     println!("|{:-<18}|{:-<46}|{:-<46}|", "", "", "");
     for r in &rows {
         println!("| {:<16} | {:<44} | {:<44} |", r.feature, r.prov, r.rocrate);

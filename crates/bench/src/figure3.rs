@@ -155,7 +155,10 @@ mod tests {
     fn small_model_completes_everywhere() {
         for &gpus in &GPU_COUNTS {
             let cell = run_figure3_cell(Architecture::MaeVit, 100_000_000, gpus);
-            assert!(cell.completed, "100M MAE must fit the 2h budget at {gpus} GPUs");
+            assert!(
+                cell.completed,
+                "100M MAE must fit the 2h budget at {gpus} GPUs"
+            );
             assert!(cell.loss_energy > 0.0);
         }
     }
@@ -163,7 +166,10 @@ mod tests {
     #[test]
     fn biggest_swin_fails_at_low_gpu_counts() {
         let low = run_figure3_cell(Architecture::SwinV2, 1_400_000_000, 8);
-        assert!(!low.completed, "1.4B SwinV2 on 8 GPUs must blow the 2h budget");
+        assert!(
+            !low.completed,
+            "1.4B SwinV2 on 8 GPUs must blow the 2h budget"
+        );
         let high = run_figure3_cell(Architecture::SwinV2, 1_400_000_000, 128);
         assert!(high.completed, "1.4B SwinV2 on 128 GPUs must finish");
     }

@@ -123,10 +123,8 @@ mod tests {
     #[test]
     fn loss_curves_decrease() {
         let s = table1_series("loss", "training", 10_000, 1);
-        let early: f64 =
-            s.points[..100].iter().map(|p| p.value).sum::<f64>() / 100.0;
-        let late: f64 =
-            s.points[9_900..].iter().map(|p| p.value).sum::<f64>() / 100.0;
+        let early: f64 = s.points[..100].iter().map(|p| p.value).sum::<f64>() / 100.0;
+        let late: f64 = s.points[9_900..].iter().map(|p| p.value).sum::<f64>() / 100.0;
         assert!(late < early / 2.0);
     }
 }

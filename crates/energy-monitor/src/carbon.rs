@@ -73,8 +73,7 @@ mod tests {
     fn presets_are_ordered_sensibly() {
         assert!(CarbonIntensity::hydro().g_per_kwh < CarbonIntensity::eu_average().g_per_kwh);
         assert!(
-            CarbonIntensity::eu_average().g_per_kwh
-                < CarbonIntensity::tennessee_valley().g_per_kwh
+            CarbonIntensity::eu_average().g_per_kwh < CarbonIntensity::tennessee_valley().g_per_kwh
         );
     }
 

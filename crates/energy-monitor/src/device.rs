@@ -28,7 +28,12 @@ impl PowerModel {
     pub fn new(name: impl Into<String>, idle_w: f64, peak_w: f64, gamma: f64) -> Self {
         assert!(idle_w >= 0.0 && peak_w >= idle_w, "peak must dominate idle");
         assert!(gamma > 0.0, "gamma must be positive");
-        PowerModel { name: name.into(), idle_w, peak_w, gamma }
+        PowerModel {
+            name: name.into(),
+            idle_w,
+            peak_w,
+            gamma,
+        }
     }
 
     /// Instantaneous draw at a utilization in `[0, 1]` (clamped).

@@ -33,6 +33,6 @@ pub mod energy;
 pub mod sampler;
 
 pub use counters::{FlopsCounter, UtilizationGauge};
-pub use device::{mi250x_gcd, epyc_7a53, PowerModel};
+pub use device::{epyc_7a53, mi250x_gcd, PowerModel};
 pub use energy::{joules_to_kwh, EnergyAccumulator};
 pub use sampler::{PowerSample, PowerSampler, PowerSource, VirtualClock};

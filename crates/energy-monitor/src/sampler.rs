@@ -96,12 +96,10 @@ impl VirtualClock {
             if new < cur {
                 return;
             }
-            match self.micros.compare_exchange_weak(
-                cur,
-                new,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .micros
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
@@ -153,12 +151,19 @@ impl PowerSampler {
                         watts: source.watts(),
                     };
                     thread_shared.samples.lock().push(sample);
-                    thread_shared.energy.lock().add_sample(sample.t_s, sample.watts);
+                    thread_shared
+                        .energy
+                        .lock()
+                        .add_sample(sample.t_s, sample.watts);
                     std::thread::sleep(interval);
                 }
             })
             .expect("spawn sampler thread");
-        PowerSampler { shared, thread: Some(thread), clock }
+        PowerSampler {
+            shared,
+            thread: Some(thread),
+            clock,
+        }
     }
 
     /// A sampler with no background thread: call [`Self::sample_now`]
@@ -177,9 +182,15 @@ impl PowerSampler {
 
     /// Takes one sample immediately (works in both modes).
     pub fn sample_now(&self, watts: f64) {
-        let sample = PowerSample { t_s: self.clock.now_s(), watts };
+        let sample = PowerSample {
+            t_s: self.clock.now_s(),
+            watts,
+        };
         self.shared.samples.lock().push(sample);
-        self.shared.energy.lock().add_sample(sample.t_s, sample.watts);
+        self.shared
+            .energy
+            .lock()
+            .add_sample(sample.t_s, sample.watts);
     }
 
     /// Stops the background thread (if any) and returns all samples with

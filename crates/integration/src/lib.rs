@@ -25,12 +25,20 @@ pub struct ProvenanceObserver<'a> {
 impl<'a> ProvenanceObserver<'a> {
     /// Logs every step.
     pub fn new(run: &'a Run) -> Self {
-        ProvenanceObserver { run, log_every: 1, steps_seen: 0 }
+        ProvenanceObserver {
+            run,
+            log_every: 1,
+            steps_seen: 0,
+        }
     }
 
     /// Logs one step out of every `log_every` (plus all epoch events).
     pub fn with_stride(run: &'a Run, log_every: u64) -> Self {
-        ProvenanceObserver { run, log_every: log_every.max(1), steps_seen: 0 }
+        ProvenanceObserver {
+            run,
+            log_every: log_every.max(1),
+            steps_seen: 0,
+        }
     }
 }
 
@@ -60,8 +68,22 @@ impl TrainObserver for ProvenanceObserver<'_> {
         let t = (e.sim_time_s * 1e6) as i64;
         let run = self.run;
         run.log_metric_at("loss", Context::Training, e.step, e.epoch, t, e.loss);
-        run.log_metric_at("gpu_power_w", Context::Training, e.step, e.epoch, t, e.gpu_power_w);
-        run.log_metric_at("gpu_util", Context::Training, e.step, e.epoch, t, e.gpu_util);
+        run.log_metric_at(
+            "gpu_power_w",
+            Context::Training,
+            e.step,
+            e.epoch,
+            t,
+            e.gpu_power_w,
+        );
+        run.log_metric_at(
+            "gpu_util",
+            Context::Training,
+            e.step,
+            e.epoch,
+            t,
+            e.gpu_util,
+        );
         run.log_metric_at(
             "samples_per_s",
             Context::Training,
@@ -108,7 +130,11 @@ impl TrainObserver for ProvenanceObserver<'_> {
 
 /// Runs one simulated training job under provenance collection and
 /// returns the simulator result (the provenance lives in `run`).
-pub fn simulate_with_provenance(cfg: SimConfig, run: &Run, log_every: u64) -> Result<RunResult, String> {
+pub fn simulate_with_provenance(
+    cfg: SimConfig,
+    run: &Run,
+    log_every: u64,
+) -> Result<RunResult, String> {
     let sim = TrainingSimulation::new(cfg)?;
     let mut observer = ProvenanceObserver::with_stride(run, log_every);
     Ok(sim.run(&mut observer))
@@ -126,8 +152,8 @@ pub fn config_from_provenance(doc: &prov_model::ProvDocument) -> Result<SimConfi
     use train_sim::{DatasetSpec, MachineConfig};
     use yprov4ml::compare::RunSummary;
 
-    let summary = RunSummary::from_document(doc)
-        .ok_or("document does not contain a yprov4ml run")?;
+    let summary =
+        RunSummary::from_document(doc).ok_or("document does not contain a yprov4ml run")?;
     let get = |key: &str| -> Result<&String, String> {
         summary
             .params

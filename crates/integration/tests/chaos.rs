@@ -51,7 +51,13 @@ fn fast_retries(seed: u64) -> RetryPolicy {
 fn crash_and_recover(base: &std::path::Path, faults: FaultPlan) -> (usize, RecoveryReport, String) {
     let experiment = Experiment::new("chaos", base).unwrap();
     let run = experiment
-        .start_run_with("victim", RunOptions { journal: true, ..Default::default() })
+        .start_run_with(
+            "victim",
+            RunOptions {
+                journal: true,
+                ..Default::default()
+            },
+        )
         .unwrap();
     let result = simulate_with_provenance(cfg(faults), &run, 1).unwrap();
     assert!(result.fault.is_some(), "the fault plan must kill the run");
@@ -68,14 +74,18 @@ fn crash_and_recover(base: &std::path::Path, faults: FaultPlan) -> (usize, Recov
         .append(true)
         .open(run_dir.join(JOURNAL_FILE))
         .unwrap();
-    f.write_all(b"0badc0de {\"Metric\":{\"name\":\"loss\",\"conte").unwrap();
+    f.write_all(b"0badc0de {\"Metric\":{\"name\":\"loss\",\"conte")
+        .unwrap();
     drop(f);
 
     let (report, recovery) = recover_detailed(&run_dir, &SpillPolicy::Inline).unwrap();
     assert_eq!(report.status, RunStatus::Recovered);
     // Zero accepted-record loss: every record the API accepted is in
     // the recovered state; the torn tail is counted, not lost silently.
-    assert_eq!(recovery.records, accepted, "accepted records must all recover");
+    assert_eq!(
+        recovery.records, accepted,
+        "accepted records must all recover"
+    );
     assert_eq!(recovery.skipped, 1, "exactly the torn tail");
 
     let prov_json = std::fs::read_to_string(&report.prov_json_path).unwrap();
@@ -104,7 +114,10 @@ fn crashed_run_recovers_and_uploads_through_flaky_server() {
     let server = Server::bind(
         "127.0.0.1:0",
         DocumentStore::new(),
-        ServerConfig { chaos_fail_uploads: 2, ..Default::default() },
+        ServerConfig {
+            chaos_fail_uploads: 2,
+            ..Default::default()
+        },
     )
     .unwrap();
     let client = Client::new(server.addr(), fast_retries(7));
@@ -158,7 +171,9 @@ fn seeded_chaos_is_fully_deterministic() {
     };
     let plan = FaultPlan::seeded(0xC0FFEE, total_steps);
     assert!(
-        plan.events.iter().any(|e| matches!(e.kind, FaultKind::GpuFailure { .. })),
+        plan.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::GpuFailure { .. })),
         "seeded plans include a fatal fault"
     );
 
@@ -167,10 +182,19 @@ fn seeded_chaos_is_fully_deterministic() {
         std::fs::remove_dir_all(&base).ok();
         let experiment = Experiment::new("chaos", &base).unwrap();
         let run = experiment
-            .start_run_with("victim", RunOptions { journal: true, ..Default::default() })
+            .start_run_with(
+                "victim",
+                RunOptions {
+                    journal: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let sim = TrainingSimulation::new(cfg(plan.clone())).unwrap();
-        let mut observer = Recording { inner: ProvenanceObserver::new(&run), events: Vec::new() };
+        let mut observer = Recording {
+            inner: ProvenanceObserver::new(&run),
+            events: Vec::new(),
+        };
         let result = sim.run(&mut observer);
         run.flush().unwrap();
         let run_dir = run.dir().to_path_buf();
@@ -196,7 +220,10 @@ fn elastic_restart_completes_after_gpu_failure() {
     };
     let base = cfg(FaultPlan::single_gpu_failure(steps_per_epoch + 2));
     let outcome = run_with_recovery(&base, &mut NullObserver, 2, true).unwrap();
-    assert!(outcome.result.completed, "restart from checkpoint finishes the job");
+    assert!(
+        outcome.result.completed,
+        "restart from checkpoint finishes the job"
+    );
     assert_eq!(outcome.attempts, 2);
     assert_eq!(outcome.final_gpus, 7, "elastic restart shed the lost rank");
     assert!(outcome.lost_steps > 0);

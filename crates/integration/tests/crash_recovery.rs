@@ -28,10 +28,17 @@ fn journaled_run_survives_a_crash() {
     let run_dir;
     {
         let run = experiment
-            .start_run_with("victim", RunOptions { journal: true, ..Default::default() })
+            .start_run_with(
+                "victim",
+                RunOptions {
+                    journal: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         run.log_param("learning_rate", 0.01);
-        run.log_artifact_bytes("dataset.bin", b"input", Direction::Input).unwrap();
+        run.log_artifact_bytes("dataset.bin", b"input", Direction::Input)
+            .unwrap();
         for step in 0..500u64 {
             run.log_metric("loss", Context::Training, step, 0, 2.0 / (step + 1) as f64);
         }
@@ -41,7 +48,10 @@ fn journaled_run_survives_a_crash() {
         drop(run);
     }
     assert!(run_dir.join(JOURNAL_FILE).is_file());
-    assert!(!run_dir.join("prov.json").exists(), "no provenance was written");
+    assert!(
+        !run_dir.join("prov.json").exists(),
+        "no provenance was written"
+    );
 
     // Recover from the journal alone.
     let report = recover(&run_dir, &SpillPolicy::Inline).unwrap();
@@ -65,7 +75,10 @@ fn journaled_run_survives_a_crash() {
     let combined = experiment.combined_document().unwrap();
     let run_ty = prov_model::QName::yprov("RunExecution");
     assert_eq!(
-        combined.iter_elements().filter(|e| e.has_type(&run_ty)).count(),
+        combined
+            .iter_elements()
+            .filter(|e| e.has_type(&run_ty))
+            .count(),
         2
     );
 
@@ -81,7 +94,13 @@ fn recovery_after_torn_write() {
     let run_dir;
     {
         let run = experiment
-            .start_run_with("victim", RunOptions { journal: true, ..Default::default() })
+            .start_run_with(
+                "victim",
+                RunOptions {
+                    journal: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         for step in 0..100u64 {
             run.log_metric("loss", Context::Training, step, 0, step as f64);

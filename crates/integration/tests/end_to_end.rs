@@ -40,8 +40,12 @@ fn full_pipeline() {
     // 1. Produce: simulate with provenance, plus an input artifact.
     let experiment = Experiment::new("e2e", &base).unwrap();
     let run = experiment.start_run("pipeline-run").unwrap();
-    run.log_artifact_bytes("dataset_manifest.json", b"{\"patches\": 5000}", Direction::Input)
-        .unwrap();
+    run.log_artifact_bytes(
+        "dataset_manifest.json",
+        b"{\"patches\": 5000}",
+        Direction::Input,
+    )
+    .unwrap();
     let result = simulate_with_provenance(cfg(), &run, 5).unwrap();
     run.log_model("final.ckpt", b"trained weights").unwrap();
     let report = run.finish().unwrap();
@@ -70,8 +74,7 @@ fn full_pipeline() {
     let store = DocumentStore::new();
     let server = Server::bind("127.0.0.1:0", store.clone(), ServerConfig::default()).unwrap();
     let json = std::fs::read_to_string(&report.prov_json_path).unwrap();
-    let (status, body) =
-        request(server.addr(), "POST", "/api/v0/documents", Some(&json)).unwrap();
+    let (status, body) = request(server.addr(), "POST", "/api/v0/documents", Some(&json)).unwrap();
     assert_eq!(status, 201, "{body}");
     let id: serde_json::Value = serde_json::from_str(&body).unwrap();
     let id = id["id"].as_str().unwrap();
@@ -123,7 +126,10 @@ fn combined_experiment_document_spans_runs() {
     assert!(prov_model::validate::is_valid(&combined));
     let run_ty = QName::yprov("RunExecution");
     assert_eq!(
-        combined.iter_elements().filter(|e| e.has_type(&run_ty)).count(),
+        combined
+            .iter_elements()
+            .filter(|e| e.has_type(&run_ty))
+            .count(),
         2
     );
     // Both runs share the experiment entity — one node, two wasStartedBy.

@@ -81,9 +81,7 @@ fn zarr_write_many_is_byte_identical_across_pool_sizes() {
     for threads in [1usize, 2, 8] {
         let dir = base.join(format!("t{threads}"));
         let store = ZarrStore::create(&dir, ZarrOptions::default()).unwrap();
-        store
-            .write_many(&refs, &WorkerPool::new(threads))
-            .unwrap();
+        store.write_many(&refs, &WorkerPool::new(threads)).unwrap();
         images.push((threads, dir_bytes(&dir)));
     }
     let (_, reference) = &images[0];
@@ -107,9 +105,7 @@ fn netcdf_write_many_is_byte_identical_across_pool_sizes() {
     for threads in [1usize, 2, 8] {
         let path = base.join(format!("t{threads}.nc"));
         let store = NcStore::create(&path, NcOptions::default()).unwrap();
-        store
-            .write_many(&refs, &WorkerPool::new(threads))
-            .unwrap();
+        store.write_many(&refs, &WorkerPool::new(threads)).unwrap();
         images.push((threads, std::fs::read(&path).unwrap()));
     }
     let (_, reference) = &images[0];
@@ -128,7 +124,9 @@ fn uncompressed_netcdf_write_many_stays_identical() {
     let base = tmpdir("ncz");
     let series = sample_series();
     let refs: Vec<&MetricSeries> = series.iter().collect();
-    let opts = NcOptions { compress_columns: false };
+    let opts = NcOptions {
+        compress_columns: false,
+    };
 
     let serial_path = base.join("serial.nc");
     NcStore::create(&serial_path, opts.clone())
@@ -198,6 +196,9 @@ fn whole_run_finalize_is_byte_identical_at_1_and_8_threads() {
     assert_eq!(n_serial, 8 * 600);
     assert_eq!(n_parallel, 8 * 600);
     assert!(!serial.is_empty());
-    assert_eq!(serial, parallel, "finalized stores differ across thread counts");
+    assert_eq!(
+        serial, parallel,
+        "finalized stores differ across thread counts"
+    );
     std::fs::remove_dir_all(&base).ok();
 }

@@ -53,9 +53,7 @@ fn forecast_unseen_configuration_from_provenance() {
         .list_runs()
         .unwrap()
         .iter()
-        .filter_map(|name| {
-            RunSummary::from_document(&experiment.load_run_document(name).unwrap())
-        })
+        .filter_map(|name| RunSummary::from_document(&experiment.load_run_document(name).unwrap()))
         .collect();
     assert_eq!(summaries.len(), 8);
     let walltime_model = LogLinearModel::fit_from_summaries(&summaries, "walltime_s").unwrap();
@@ -77,7 +75,9 @@ fn forecast_unseen_configuration_from_provenance() {
     let predicted_energy = energy_model.predict(&planned);
 
     // 4. Ground truth: actually run it.
-    let actual = TrainingSimulation::new(planned_cfg).unwrap().run(&mut NullObserver);
+    let actual = TrainingSimulation::new(planned_cfg)
+        .unwrap()
+        .run(&mut NullObserver);
     let walltime_err = (predicted_walltime - actual.walltime_s).abs() / actual.walltime_s;
     let energy_err = (predicted_energy - actual.energy_kwh).abs() / actual.energy_kwh;
     assert!(

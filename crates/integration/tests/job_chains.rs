@@ -9,7 +9,9 @@ use integration::ProvenanceObserver;
 use prov_graph::ProvGraph;
 use prov_model::QName;
 use train_sim::model::{Architecture, ModelConfig};
-use train_sim::sim::{Checkpoint, NullObserver, Phase, SimConfig, TrainingSimulation, WalltimeCutoff};
+use train_sim::sim::{
+    Checkpoint, NullObserver, Phase, SimConfig, TrainingSimulation, WalltimeCutoff,
+};
 use train_sim::{DatasetSpec, MachineConfig, TrainObserver};
 use yprov4ml::model::Direction;
 use yprov4ml::Experiment;
@@ -35,7 +37,9 @@ fn base_cfg() -> SimConfig {
 #[test]
 fn chained_jobs_reproduce_the_uncapped_run_with_full_lineage() {
     // Ground truth: the whole training in one job.
-    let full = TrainingSimulation::new(base_cfg()).unwrap().run(&mut NullObserver);
+    let full = TrainingSimulation::new(base_cfg())
+        .unwrap()
+        .run(&mut NullObserver);
     assert!(full.completed);
 
     let base = std::env::temp_dir().join(format!("ychain_{}", std::process::id()));
@@ -73,8 +77,11 @@ fn chained_jobs_reproduce_the_uncapped_run_with_full_lineage() {
         let ckpt_name = format!("ckpt-after-job-{job}.bin");
         run.log_artifact_bytes(
             &ckpt_name,
-            format!("steps={},samples={}", result.checkpoint.steps, result.checkpoint.samples_seen)
-                .as_bytes(),
+            format!(
+                "steps={},samples={}",
+                result.checkpoint.steps, result.checkpoint.samples_seen
+            )
+            .as_bytes(),
             Direction::Output,
         )
         .unwrap();
@@ -90,7 +97,11 @@ fn chained_jobs_reproduce_the_uncapped_run_with_full_lineage() {
     };
 
     // 1. The chain reproduces the uncapped run exactly.
-    assert!(job >= 2, "the budget must actually force a chain (got {} jobs)", job + 1);
+    assert!(
+        job >= 2,
+        "the budget must actually force a chain (got {} jobs)",
+        job + 1
+    );
     assert_eq!(final_result.final_loss, full.final_loss);
     assert_eq!(final_result.steps, full.steps);
     assert_eq!(final_result.samples_seen, full.samples_seen);
@@ -122,7 +133,11 @@ fn chained_jobs_reproduce_the_uncapped_run_with_full_lineage() {
         chained_energy += summary.params["energy_kwh"].parse::<f64>().unwrap();
     }
     let rel = (chained_energy - full.energy_kwh).abs() / full.energy_kwh;
-    assert!(rel < 0.05, "chained {chained_energy} vs full {} ({rel:.3})", full.energy_kwh);
+    assert!(
+        rel < 0.05,
+        "chained {chained_energy} vs full {} ({rel:.3})",
+        full.energy_kwh
+    );
 
     std::fs::remove_dir_all(&base).ok();
 }

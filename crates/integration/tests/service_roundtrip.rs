@@ -12,11 +12,19 @@ fn produce_runs(base: &std::path::Path, n: usize) -> Experiment {
     for i in 0..n {
         let run = experiment.start_run(format!("run-{i}")).unwrap();
         run.log_param("learning_rate", 10f64.powi(-(i as i32 + 2)));
-        run.log_artifact_bytes("data.bin", b"shared input", Direction::Input).unwrap();
+        run.log_artifact_bytes("data.bin", b"shared input", Direction::Input)
+            .unwrap();
         for step in 0..30u64 {
-            run.log_metric("loss", Context::Training, step, 0, (i + 1) as f64 / (step + 1) as f64);
+            run.log_metric(
+                "loss",
+                Context::Training,
+                step,
+                0,
+                (i + 1) as f64 / (step + 1) as f64,
+            );
         }
-        run.log_model("model.ckpt", format!("weights-{i}").as_bytes()).unwrap();
+        run.log_model("model.ckpt", format!("weights-{i}").as_bytes())
+            .unwrap();
         run.finish().unwrap();
     }
     experiment

@@ -12,13 +12,33 @@ const STEPS: u64 = 8_000;
 
 fn make_run(experiment: &Experiment, name: &str, spill: SpillPolicy) -> u64 {
     let run = experiment
-        .start_run_with(name, RunOptions { spill, ..Default::default() })
+        .start_run_with(
+            name,
+            RunOptions {
+                spill,
+                ..Default::default()
+            },
+        )
         .unwrap();
     for step in 0..STEPS {
         let epoch = (step / 1_000) as u32;
         let t = step as i64 * 500_000;
-        run.log_metric_at("loss", Context::Training, step, epoch, t, 2.0 / (1.0 + step as f64 * 0.001));
-        run.log_metric_at("gpu_power_w", Context::Training, step, epoch, t, 265.0 + (step % 7) as f64);
+        run.log_metric_at(
+            "loss",
+            Context::Training,
+            step,
+            epoch,
+            t,
+            2.0 / (1.0 + step as f64 * 0.001),
+        );
+        run.log_metric_at(
+            "gpu_power_w",
+            Context::Training,
+            step,
+            epoch,
+            t,
+            265.0 + (step % 7) as f64,
+        );
     }
     let report = run.finish().unwrap();
     // Total footprint: PROV-JSON + any side store.
@@ -66,7 +86,10 @@ fn formats_hold_identical_data_with_table1_size_ordering() {
     // Inline mode embeds values in the PROV document itself.
     let doc = experiment.load_run_document("inline").unwrap();
     let metric = doc
-        .get(&prov_model::QName::new("exp", "inline/metric/training/loss"))
+        .get(&prov_model::QName::new(
+            "exp",
+            "inline/metric/training/loss",
+        ))
         .unwrap();
     let inline_values = metric
         .attr(&prov_model::QName::yprov("values"))
@@ -95,7 +118,11 @@ fn corrupted_spill_store_is_detected_on_read() {
     let base = std::env::temp_dir().join(format!("yspillcorrupt_{}", std::process::id()));
     std::fs::remove_dir_all(&base).ok();
     let experiment = Experiment::new("corrupt", &base).unwrap();
-    make_run(&experiment, "victim", SpillPolicy::NetCdf(Default::default()));
+    make_run(
+        &experiment,
+        "victim",
+        SpillPolicy::NetCdf(Default::default()),
+    );
 
     let nc = experiment.dir().join("victim").join("metrics.nc");
     let mut bytes = std::fs::read(&nc).unwrap();

@@ -53,7 +53,10 @@ fn code_lengths(freq: &[u64; SYMBOLS]) -> [u8; SYMBOLS] {
     let mut heap = std::collections::BinaryHeap::new();
     for &s in &present {
         children.push((usize::MAX, s));
-        heap.push(Node { weight: freq[s], index: children.len() - 1 });
+        heap.push(Node {
+            weight: freq[s],
+            index: children.len() - 1,
+        });
     }
     while heap.len() > 1 {
         let a = heap.pop().expect("len > 1");
@@ -218,7 +221,9 @@ mod tests {
 
     #[test]
     fn two_symbols() {
-        let data: Vec<u8> = (0..1000).map(|i| if i % 3 == 0 { 0 } else { 255 }).collect();
+        let data: Vec<u8> = (0..1000)
+            .map(|i| if i % 3 == 0 { 0 } else { 255 })
+            .collect();
         roundtrip(&data);
     }
 

@@ -198,7 +198,12 @@ mod tests {
 
     #[test]
     fn codec_ids_roundtrip() {
-        for id in [CodecId::Rle, CodecId::Shuffle8, CodecId::Lz77, CodecId::Huffman] {
+        for id in [
+            CodecId::Rle,
+            CodecId::Shuffle8,
+            CodecId::Lz77,
+            CodecId::Huffman,
+        ] {
             assert_eq!(CodecId::from_u8(id as u8).unwrap(), id);
         }
         assert!(CodecId::from_u8(0).is_err());
@@ -229,7 +234,10 @@ mod tests {
             .repeat(200)
             .into_bytes();
         let compressed = deflate_like(&text);
-        assert!(compressed.len() < text.len() / 4, "repetitive text must shrink");
+        assert!(
+            compressed.len() < text.len() / 4,
+            "repetitive text must shrink"
+        );
         assert_eq!(inflate_like(&compressed).unwrap(), text);
     }
 
@@ -239,7 +247,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let data: Vec<u8> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();
@@ -288,9 +298,18 @@ mod tests {
 
     #[test]
     fn empty_columns() {
-        assert_eq!(decode_u64_column(&encode_u64_column(&[])).unwrap(), Vec::<u64>::new());
-        assert_eq!(decode_i64_column(&encode_i64_column(&[])).unwrap(), Vec::<i64>::new());
-        assert_eq!(decode_f64_raw(&encode_f64_raw(&[])).unwrap(), Vec::<f64>::new());
+        assert_eq!(
+            decode_u64_column(&encode_u64_column(&[])).unwrap(),
+            Vec::<u64>::new()
+        );
+        assert_eq!(
+            decode_i64_column(&encode_i64_column(&[])).unwrap(),
+            Vec::<i64>::new()
+        );
+        assert_eq!(
+            decode_f64_raw(&encode_f64_raw(&[])).unwrap(),
+            Vec::<f64>::new()
+        );
         let empty = deflate_like(&[]);
         assert_eq!(inflate_like(&empty).unwrap(), Vec::<u8>::new());
     }

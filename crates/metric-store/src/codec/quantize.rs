@@ -61,7 +61,9 @@ mod tests {
         for bits in [8u8, 12, 16, 24, 40] {
             let bound = relative_error_bound(bits);
             for _ in 0..10_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = ((x >> 11) as f64 / (1u64 << 53) as f64) * 2e6 - 1e6;
                 if v == 0.0 {
                     continue;
@@ -107,7 +109,9 @@ mod tests {
         let mut x = 7u64;
         let mut values: Vec<f64> = (0..50_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 260.0 + ((x >> 40) as f64 / 65_536.0) * 10.0
             })
             .collect();

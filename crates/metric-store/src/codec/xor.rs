@@ -94,7 +94,9 @@ pub fn decode(data: &[u8]) -> Result<Vec<f64>, StoreError> {
             if len == 0 {
                 // A `10` control pair before any `11` header defined a
                 // window — only possible in corrupt streams.
-                return Err(StoreError::Corrupt("xor window reused before defined".into()));
+                return Err(StoreError::Corrupt(
+                    "xor window reused before defined".into(),
+                ));
             }
             if lead as u32 + len as u32 > 64 {
                 return Err(StoreError::Corrupt("xor window exceeds 64 bits".into()));
@@ -169,7 +171,13 @@ mod tests {
     #[test]
     fn alternating_extremes_roundtrip() {
         let values: Vec<f64> = (0..1000)
-            .map(|i| if i % 2 == 0 { f64::MAX } else { f64::MIN_POSITIVE })
+            .map(|i| {
+                if i % 2 == 0 {
+                    f64::MAX
+                } else {
+                    f64::MIN_POSITIVE
+                }
+            })
             .collect();
         roundtrip(&values);
     }

@@ -32,7 +32,13 @@ impl JsonStore {
     fn file(&self, name: &str, context: &str) -> PathBuf {
         let safe: String = format!("{name}@{context}")
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '@' || c == '.' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '@' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.root.join(format!("{safe}.json"))
     }
@@ -190,8 +196,16 @@ mod tests {
         let dir = tmpdir("specials");
         let store = JsonStore::create(&dir).unwrap();
         let mut s = MetricSeries::new("m", "c");
-        for (i, v) in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY].into_iter().enumerate() {
-            s.push(MetricPoint { step: i as u64, epoch: 0, time_us: 0, value: v });
+        for (i, v) in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY]
+            .into_iter()
+            .enumerate()
+        {
+            s.push(MetricPoint {
+                step: i as u64,
+                epoch: 0,
+                time_us: 0,
+                value: v,
+            });
         }
         store.write_series(&s).unwrap();
         let back = store.read_series("m", "c").unwrap();

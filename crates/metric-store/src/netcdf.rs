@@ -44,7 +44,9 @@ pub struct NcOptions {
 
 impl Default for NcOptions {
     fn default() -> Self {
-        NcOptions { compress_columns: true }
+        NcOptions {
+            compress_columns: true,
+        }
     }
 }
 
@@ -96,8 +98,12 @@ impl NcStore {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let store =
-            NcStore { path, opts, cache: Mutex::new(BTreeMap::new()), encode_hist: encode_histogram() };
+        let store = NcStore {
+            path,
+            opts,
+            cache: Mutex::new(BTreeMap::new()),
+            encode_hist: encode_histogram(),
+        };
         if store.path.is_file() {
             let loaded = store.load()?;
             *store.cache.lock() = loaded;
@@ -151,7 +157,11 @@ impl NcStore {
     ) -> Result<MetricSeries, StoreError> {
         let mut raw: [Vec<u8>; 4] = Default::default();
         for (i, blob) in blobs.into_iter().enumerate() {
-            raw[i] = if compressed { inflate_like(blob)? } else { blob.to_vec() };
+            raw[i] = if compressed {
+                inflate_like(blob)?
+            } else {
+                blob.to_vec()
+            };
         }
         let steps = codec::decode_u64_column(&raw[0])?;
         let epochs = codec::decode_u32_column(&raw[1])?;
@@ -206,12 +216,19 @@ impl NcStore {
                 columns,
             });
         }
-        let header = Header { format: "ync-1".into(), vars };
+        let header = Header {
+            format: "ync-1".into(),
+            vars,
+        };
         let header_json = serde_json::to_vec(&header)?;
 
         let mut out = Vec::with_capacity(body.len() + header_json.len() + 16);
         out.extend_from_slice(&MAGIC);
-        out.push(if self.opts.compress_columns { FLAG_COMPRESSED } else { 0 });
+        out.push(if self.opts.compress_columns {
+            FLAG_COMPRESSED
+        } else {
+            0
+        });
         out.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
         out.extend_from_slice(&header_json);
         out.extend_from_slice(&body);
@@ -233,8 +250,7 @@ impl NcStore {
             )));
         }
         let compressed = data[4] & FLAG_COMPRESSED != 0;
-        let header_len =
-            u32::from_le_bytes(data[5..9].try_into().expect("len checked")) as usize;
+        let header_len = u32::from_le_bytes(data[5..9].try_into().expect("len checked")) as usize;
         let header_end = 9 + header_len;
         let header_bytes = data
             .get(9..header_end)
@@ -271,17 +287,14 @@ impl NcStore {
 
 impl MetricStore for NcStore {
     fn write_series(&self, series: &MetricSeries) -> Result<(), StoreError> {
-        self.cache
-            .lock()
-            .insert((series.name.clone(), series.context.clone()), series.clone());
+        self.cache.lock().insert(
+            (series.name.clone(), series.context.clone()),
+            series.clone(),
+        );
         self.flush()
     }
 
-    fn write_many(
-        &self,
-        series: &[&MetricSeries],
-        pool: &WorkerPool,
-    ) -> Result<(), StoreError> {
+    fn write_many(&self, series: &[&MetricSeries], pool: &WorkerPool) -> Result<(), StoreError> {
         // Insert everything, then rewrite the file once: a batch of N
         // series costs one flush instead of N wholesale rewrites.
         {
@@ -371,7 +384,13 @@ mod tests {
     #[test]
     fn uncompressed_mode_roundtrips() {
         let path = tmpfile("uncompressed");
-        let store = NcStore::create(&path, NcOptions { compress_columns: false }).unwrap();
+        let store = NcStore::create(
+            &path,
+            NcOptions {
+                compress_columns: false,
+            },
+        )
+        .unwrap();
         let a = series("loss", "training", 2000);
         store.write_series(&a).unwrap();
         assert_eq!(store.read_series("loss", "training").unwrap(), a);
@@ -383,9 +402,21 @@ mod tests {
         let path_c = tmpfile("size_c");
         let path_u = tmpfile("size_u");
         let a = series("loss", "training", 50_000);
-        let sc = NcStore::create(&path_c, NcOptions { compress_columns: true }).unwrap();
+        let sc = NcStore::create(
+            &path_c,
+            NcOptions {
+                compress_columns: true,
+            },
+        )
+        .unwrap();
         sc.write_series(&a).unwrap();
-        let su = NcStore::create(&path_u, NcOptions { compress_columns: false }).unwrap();
+        let su = NcStore::create(
+            &path_u,
+            NcOptions {
+                compress_columns: false,
+            },
+        )
+        .unwrap();
         su.write_series(&a).unwrap();
         assert!(sc.size_bytes().unwrap() < su.size_bytes().unwrap());
         std::fs::remove_file(&path_c).ok();
@@ -408,7 +439,9 @@ mod tests {
     fn corruption_is_detected() {
         let path = tmpfile("corrupt");
         let store = NcStore::create(&path, NcOptions::default()).unwrap();
-        store.write_series(&series("loss", "training", 3000)).unwrap();
+        store
+            .write_series(&series("loss", "training", 3000))
+            .unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let n = bytes.len();
         bytes[n - 10] ^= 0xA5; // flip a bit inside the body
@@ -429,7 +462,9 @@ mod tests {
     fn overwrite_same_key_replaces() {
         let path = tmpfile("overwrite");
         let store = NcStore::create(&path, NcOptions::default()).unwrap();
-        store.write_series(&series("loss", "training", 100)).unwrap();
+        store
+            .write_series(&series("loss", "training", 100))
+            .unwrap();
         let short = series("loss", "training", 7);
         store.write_series(&short).unwrap();
         assert_eq!(store.read_series("loss", "training").unwrap(), short);

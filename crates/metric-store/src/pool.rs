@@ -34,7 +34,9 @@ impl WorkerPool {
     /// A pool running tasks on up to `threads` worker threads
     /// (`0` is treated as `1`).
     pub fn new(threads: usize) -> Self {
-        WorkerPool { threads: threads.max(1) }
+        WorkerPool {
+            threads: threads.max(1),
+        }
     }
 
     /// The serial pool: every task runs inline on the caller's thread.

@@ -91,7 +91,12 @@ impl MetricSeries {
             .zip(epochs)
             .zip(times)
             .zip(values)
-            .map(|(((step, epoch), time_us), value)| MetricPoint { step, epoch, time_us, value })
+            .map(|(((step, epoch), time_us), value)| MetricPoint {
+                step,
+                epoch,
+                time_us,
+                value,
+            })
             .collect();
         Some(MetricSeries {
             name: name.into(),

@@ -51,11 +51,7 @@ pub trait MetricStore {
     /// with parallel-safe layouts override it. Every override must keep
     /// the on-disk bytes identical to the serial loop for any pool size
     /// — the finalize pipeline's determinism guarantee rests on it.
-    fn write_many(
-        &self,
-        series: &[&MetricSeries],
-        pool: &WorkerPool,
-    ) -> Result<(), StoreError> {
+    fn write_many(&self, series: &[&MetricSeries], pool: &WorkerPool) -> Result<(), StoreError> {
         let _ = pool;
         for s in series {
             self.write_series(s)?;

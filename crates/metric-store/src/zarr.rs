@@ -108,14 +108,21 @@ impl ZarrStore {
         std::fs::create_dir_all(&root)?;
         let group = root.join(".zgroup");
         if !group.exists() {
-            std::fs::write(&group, serde_json::to_string(&serde_json::json!({
-                "format": "yzarr-1"
-            }))?)?;
+            std::fs::write(
+                &group,
+                serde_json::to_string(&serde_json::json!({
+                    "format": "yzarr-1"
+                }))?,
+            )?;
         }
         if opts.chunk_points == 0 {
             return Err(StoreError::BadMetadata("chunk_points must be > 0".into()));
         }
-        Ok(ZarrStore { root, opts, encode_hist: encode_histogram() })
+        Ok(ZarrStore {
+            root,
+            opts,
+            encode_hist: encode_histogram(),
+        })
     }
 
     /// Opens an existing store with default options (reads are driven by
@@ -128,7 +135,11 @@ impl ZarrStore {
                 root.display()
             )));
         }
-        Ok(ZarrStore { root, opts: ZarrOptions::default(), encode_hist: encode_histogram() })
+        Ok(ZarrStore {
+            root,
+            opts: ZarrOptions::default(),
+            encode_hist: encode_histogram(),
+        })
     }
 
     /// The store's root directory.
@@ -179,9 +190,8 @@ impl ZarrStore {
         let chunk_points = meta.chunk_points;
         let full_chunks = meta.points / chunk_points;
         let tail_len = meta.points % chunk_points;
-        let mut pending: Vec<crate::series::MetricPoint> = Vec::with_capacity(
-            tail_len + new_points.len(),
-        );
+        let mut pending: Vec<crate::series::MetricPoint> =
+            Vec::with_capacity(tail_len + new_points.len());
         if tail_len > 0 {
             let tail = self.read_chunk(&dir, full_chunks, meta.float_encoding)?;
             pending.extend(tail);
@@ -291,12 +301,7 @@ impl ZarrStore {
     /// Encodes and writes the four column files of one chunk. A chunk's
     /// bytes depend only on its points and the store options, so chunks
     /// can be written from any thread in any order.
-    fn write_chunk(
-        &self,
-        dir: &Path,
-        ci: usize,
-        chunk: &[MetricPoint],
-    ) -> Result<(), StoreError> {
+    fn write_chunk(&self, dir: &Path, ci: usize, chunk: &[MetricPoint]) -> Result<(), StoreError> {
         let encoded = self.encode_hist.time(|| self.encode_columns(chunk));
         for (col, payload) in encoded {
             // The values column may already be bit-packed (XOR);
@@ -307,10 +312,7 @@ impl ZarrStore {
         Ok(())
     }
 
-    fn encode_columns(
-        &self,
-        chunk: &[crate::series::MetricPoint],
-    ) -> [(String, Vec<u8>); 4] {
+    fn encode_columns(&self, chunk: &[crate::series::MetricPoint]) -> [(String, Vec<u8>); 4] {
         let mut steps = Vec::with_capacity(chunk.len());
         let mut epochs = Vec::with_capacity(chunk.len());
         let mut times = Vec::with_capacity(chunk.len());
@@ -359,11 +361,7 @@ impl MetricStore for ZarrStore {
         Ok(())
     }
 
-    fn write_many(
-        &self,
-        series: &[&MetricSeries],
-        pool: &WorkerPool,
-    ) -> Result<(), StoreError> {
+    fn write_many(&self, series: &[&MetricSeries], pool: &WorkerPool) -> Result<(), StoreError> {
         // Metadata is cheap and order-sensitive, so it goes first,
         // serially; then every (series, chunk) pair becomes one
         // independent encode+write task in a single flat pool run, so
@@ -423,9 +421,7 @@ impl MetricStore for ZarrStore {
             epochs.extend(codec::decode_u32_column(&e)?);
             times.extend(codec::decode_i64_column(&t)?);
             let vals = match meta.float_encoding {
-                FloatEncoding::Xor | FloatEncoding::XorQuantized { .. } => {
-                    codec::xor::decode(&v)?
-                }
+                FloatEncoding::Xor | FloatEncoding::XorQuantized { .. } => codec::xor::decode(&v)?,
                 FloatEncoding::Raw => codec::decode_f64_raw(&v)?,
             };
             values.extend(vals);
@@ -447,8 +443,7 @@ impl MetricStore for ZarrStore {
             let path = entry?.path();
             let meta_path = path.join(".zarray");
             if meta_path.is_file() {
-                let meta: ArrayMeta =
-                    serde_json::from_str(&std::fs::read_to_string(&meta_path)?)?;
+                let meta: ArrayMeta = serde_json::from_str(&std::fs::read_to_string(&meta_path)?)?;
                 out.push((meta.name, meta.context));
             }
         }
@@ -469,7 +464,11 @@ fn step_range(chunk: &[crate::series::MetricPoint]) -> (u64, u64) {
         lo = lo.min(p.step);
         hi = hi.max(p.step);
     }
-    if chunk.is_empty() { (0, 0) } else { (lo, hi) }
+    if chunk.is_empty() {
+        (0, 0)
+    } else {
+        (lo, hi)
+    }
 }
 
 /// Produces a filesystem-safe directory name for a series key, with a
@@ -478,7 +477,13 @@ fn sanitize_key(name: &str, context: &str) -> String {
     let key = format!("{name}@{context}");
     let safe: String = key
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     format!("{safe}_{:08x}", crc32(key.as_bytes()))
 }
@@ -489,10 +494,7 @@ mod tests {
     use crate::series::MetricPoint;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "yzarr_test_{tag}_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("yzarr_test_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -515,7 +517,10 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 1000, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 1000,
+                ..Default::default()
+            },
         )
         .unwrap();
         let s = series(10_500); // 11 chunks, last partial
@@ -558,7 +563,10 @@ mod tests {
         let dir = tmpdir("overwrite");
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 100, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         store.write_series(&series(1000)).unwrap();
@@ -603,7 +611,10 @@ mod tests {
         let dir = tmpdir("corrupt");
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 100, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         store.write_series(&series(300)).unwrap();
@@ -627,7 +638,12 @@ mod tests {
             .into_iter()
             .enumerate()
         {
-            s.push(MetricPoint { step: i as u64, epoch: 0, time_us: i as i64, value: v });
+            s.push(MetricPoint {
+                step: i as u64,
+                epoch: 0,
+                time_us: i as i64,
+                value: v,
+            });
         }
         store.write_series(&s).unwrap();
         let back = store.read_series("weird", "training").unwrap();
@@ -658,7 +674,10 @@ mod tests {
         let dir = tmpdir("zerochunk");
         assert!(ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 0, ..Default::default() }
+            ZarrOptions {
+                chunk_points: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -667,7 +686,10 @@ mod tests {
     #[test]
     fn append_equals_bulk_write() {
         let dir = tmpdir("append_eq");
-        let opts = ZarrOptions { chunk_points: 100, ..Default::default() };
+        let opts = ZarrOptions {
+            chunk_points: 100,
+            ..Default::default()
+        };
         let store = ZarrStore::create(&dir, opts).unwrap();
         let full = series(1_050);
 
@@ -690,7 +712,10 @@ mod tests {
         let dir = tmpdir("append_new");
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 64, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 64,
+                ..Default::default()
+            },
         )
         .unwrap();
         let s = series(10);
@@ -705,7 +730,10 @@ mod tests {
     #[test]
     fn append_only_touches_tail_chunks() {
         let dir = tmpdir("append_tail");
-        let opts = ZarrOptions { chunk_points: 100, ..Default::default() };
+        let opts = ZarrOptions {
+            chunk_points: 100,
+            ..Default::default()
+        };
         let store = ZarrStore::create(&dir, opts).unwrap();
         let full = series(1_000);
         store.write_series(&full).unwrap();
@@ -726,17 +754,25 @@ mod tests {
         let dir = tmpdir("append_mismatch");
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 100, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         store.write_series(&series(50)).unwrap();
         let other = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 7, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 7,
+                ..Default::default()
+            },
         )
         .unwrap();
         let extra = series(1);
-        assert!(other.append_series("loss", "training", &extra.points).is_err());
+        assert!(other
+            .append_series("loss", "training", &extra.points)
+            .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -748,7 +784,9 @@ mod tests {
             &dir,
             ZarrOptions {
                 chunk_points: 1000,
-                float_encoding: FloatEncoding::XorQuantized { mantissa_bits: bits },
+                float_encoding: FloatEncoding::XorQuantized {
+                    mantissa_bits: bits,
+                },
                 ..Default::default()
             },
         )
@@ -757,7 +795,9 @@ mod tests {
         let mut s = MetricSeries::new("power", "telemetry");
         let mut x = 3u64;
         for i in 0..5_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s.push(crate::series::MetricPoint {
                 step: i,
                 epoch: 0,
@@ -777,7 +817,10 @@ mod tests {
         let exact_dir = tmpdir("quantized_exact");
         let exact = ZarrStore::create(
             &exact_dir,
-            ZarrOptions { chunk_points: 1000, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 1000,
+                ..Default::default()
+            },
         )
         .unwrap();
         exact.write_series(&s).unwrap();
@@ -796,7 +839,10 @@ mod tests {
         let dir = tmpdir("range");
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 100, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         let s = series(1_000);
@@ -820,7 +866,10 @@ mod tests {
         let dir = tmpdir("range_skip");
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 100, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         store.write_series(&series(1_000)).unwrap();
@@ -846,12 +895,19 @@ mod tests {
         let dir = tmpdir("range_append");
         let store = ZarrStore::create(
             &dir,
-            ZarrOptions { chunk_points: 64, ..Default::default() },
+            ZarrOptions {
+                chunk_points: 64,
+                ..Default::default()
+            },
         )
         .unwrap();
         let full = series(500);
-        store.append_series("loss", "training", &full.points[..200]).unwrap();
-        store.append_series("loss", "training", &full.points[200..]).unwrap();
+        store
+            .append_series("loss", "training", &full.points[..200])
+            .unwrap();
+        store
+            .append_series("loss", "training", &full.points[200..])
+            .unwrap();
         let tail = store.read_range("loss", "training", 450, 499).unwrap();
         assert_eq!(tail.len(), 50);
         assert_eq!(tail.points[0].step, 450);

@@ -24,7 +24,10 @@ pub struct Counter {
 
 impl Counter {
     pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
-        Counter { enabled, value: AtomicU64::new(0) }
+        Counter {
+            enabled,
+            value: AtomicU64::new(0),
+        }
     }
 
     /// A registry-less, always-enabled counter (tests, ad-hoc use).
@@ -60,7 +63,10 @@ pub struct Gauge {
 
 impl Gauge {
     pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
-        Gauge { enabled, value: AtomicI64::new(0) }
+        Gauge {
+            enabled,
+            value: AtomicI64::new(0),
+        }
     }
 
     /// A registry-less, always-enabled gauge.
@@ -153,7 +159,10 @@ impl Histogram {
         } else {
             None
         };
-        SpanTimer { histogram: self, start }
+        SpanTimer {
+            histogram: self,
+            start,
+        }
     }
 
     /// Times a closure (span sugar for straight-line regions).
@@ -261,7 +270,11 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(h.count(), 1);
-        assert!(h.sum_ns() >= 2_000_000, "slept 2ms, recorded {}ns", h.sum_ns());
+        assert!(
+            h.sum_ns() >= 2_000_000,
+            "slept 2ms, recorded {}ns",
+            h.sum_ns()
+        );
     }
 
     #[test]
@@ -273,7 +286,10 @@ mod tests {
         h.record_ns(100);
         {
             let span = h.start_span();
-            assert!(span.start.is_none(), "disabled span must not read the clock");
+            assert!(
+                span.start.is_none(),
+                "disabled span must not read the clock"
+            );
         }
         assert_eq!(c.get(), 0);
         assert_eq!(h.count(), 0);

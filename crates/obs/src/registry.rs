@@ -66,10 +66,9 @@ impl Registry {
     /// If `name` is already registered as a different instrument kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut map = self.instruments.lock().expect("obs registry poisoned");
-        match map
-            .entry(name.to_string())
-            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new(Arc::clone(&self.enabled)))))
-        {
+        match map.entry(name.to_string()).or_insert_with(|| {
+            Instrument::Counter(Arc::new(Counter::new(Arc::clone(&self.enabled))))
+        }) {
             Instrument::Counter(c) => Arc::clone(c),
             _ => panic!("obs: {name:?} is registered as a non-counter"),
         }
@@ -298,9 +297,14 @@ impl Snapshot {
                 None => (now.count, now.sum_ns, now.buckets),
             };
             if count > 0 {
-                delta
-                    .histograms
-                    .insert(name.clone(), HistogramSnapshot { count, sum_ns, buckets });
+                delta.histograms.insert(
+                    name.clone(),
+                    HistogramSnapshot {
+                        count,
+                        sum_ns,
+                        buckets,
+                    },
+                );
             }
         }
         delta
@@ -378,7 +382,10 @@ mod tests {
         let r = Registry::new();
         r.histogram("fold_seconds").record_ns(10);
         let text = r.render_prometheus();
-        assert!(text.contains("fold_seconds_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(
+            text.contains("fold_seconds_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
         assert!(text.contains("fold_seconds_count 1"));
     }
 
@@ -417,8 +424,15 @@ mod tests {
         assert_eq!(h.quantile_upper_ns(0.5), 32);
         assert_eq!(h.quantile_upper_ns(0.99), 2048);
         assert_eq!(h.quantile_upper_ns(1.0), 2048);
-        assert_eq!(HistogramSnapshot { count: 0, sum_ns: 0, buckets: [0; BUCKET_COUNT] }
-            .quantile_upper_ns(0.5), 0);
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                sum_ns: 0,
+                buckets: [0; BUCKET_COUNT]
+            }
+            .quantile_upper_ns(0.5),
+            0
+        );
     }
 
     #[test]

@@ -65,12 +65,7 @@ impl DocumentDiff {
         }
         for ch in &self.changed_elements {
             for (k, (l, r)) in &ch.changed_attrs {
-                lines.push(format!(
-                    "~ {} {k}: {} -> {}",
-                    ch.id,
-                    join(l),
-                    join(r)
-                ));
+                lines.push(format!("~ {} {k}: {} -> {}", ch.id, join(l), join(r)));
             }
             for (k, v) in &ch.added_attrs {
                 lines.push(format!("+ {} {k}={}", ch.id, join(v)));
@@ -80,10 +75,20 @@ impl DocumentDiff {
             }
         }
         for r in &self.removed_relations {
-            lines.push(format!("- {}({}, {})", r.kind.json_key(), r.subject, r.object));
+            lines.push(format!(
+                "- {}({}, {})",
+                r.kind.json_key(),
+                r.subject,
+                r.object
+            ));
         }
         for r in &self.added_relations {
-            lines.push(format!("+ {}({}, {})", r.kind.json_key(), r.subject, r.object));
+            lines.push(format!(
+                "+ {}({}, {})",
+                r.kind.json_key(),
+                r.subject,
+                r.object
+            ));
         }
         lines.join("\n")
     }

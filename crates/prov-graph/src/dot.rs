@@ -124,7 +124,12 @@ fn node_label(graph: &ProvGraph<'_>, i: usize, opts: &DotOptions) -> String {
                     continue;
                 }
                 for v in vals.iter().take(1) {
-                    let _ = write!(label, "\\n{}={}", escape(&k.to_string()), escape(&v.lexical()));
+                    let _ = write!(
+                        label,
+                        "\\n{}={}",
+                        escape(&k.to_string()),
+                        escape(&v.lexical())
+                    );
                     shown += 1;
                 }
             }
@@ -190,7 +195,10 @@ mod tests {
     #[test]
     fn raw_ids_when_labels_disabled() {
         let doc = sample();
-        let opts = DotOptions { use_labels: false, ..Default::default() };
+        let opts = DotOptions {
+            use_labels: false,
+            ..Default::default()
+        };
         let dot = to_dot(&doc, &opts);
         assert!(dot.contains("label=\"ex:data\""));
     }
@@ -200,7 +208,10 @@ mod tests {
         let mut doc = sample();
         doc.entity(q("data"))
             .attr(q("rows"), prov_model::AttrValue::Int(42));
-        let opts = DotOptions { show_attributes: true, ..Default::default() };
+        let opts = DotOptions {
+            show_attributes: true,
+            ..Default::default()
+        };
         let dot = to_dot(&doc, &opts);
         assert!(dot.contains("ex:rows=42"));
     }
@@ -208,7 +219,10 @@ mod tests {
     #[test]
     fn horizontal_layout_flag() {
         let doc = sample();
-        let opts = DotOptions { horizontal: true, ..Default::default() };
+        let opts = DotOptions {
+            horizontal: true,
+            ..Default::default()
+        };
         assert!(to_dot(&doc, &opts).contains("rankdir=LR"));
     }
 

@@ -52,7 +52,12 @@ impl<'a> ProvGraph<'a> {
         for (ri, rel) in doc.relations().iter().enumerate() {
             let from = intern(&rel.subject, &mut ids, &mut index);
             let to = intern(&rel.object, &mut ids, &mut index);
-            edges.push(Edge { from, to, kind: rel.kind, relation: ri });
+            edges.push(Edge {
+                from,
+                to,
+                kind: rel.kind,
+                relation: ri,
+            });
         }
 
         let mut out = vec![Vec::new(); ids.len()];
@@ -62,7 +67,14 @@ impl<'a> ProvGraph<'a> {
             inn[e.to].push(ei);
         }
 
-        ProvGraph { doc, ids, index, edges, out, inn }
+        ProvGraph {
+            doc,
+            ids,
+            index,
+            edges,
+            out,
+            inn,
+        }
     }
 
     /// The underlying document.
@@ -143,7 +155,11 @@ impl<'a> ProvGraph<'a> {
         while let Some(n) = stack.pop() {
             let adj = if forward { &self.out[n] } else { &self.inn[n] };
             for &ei in adj {
-                let next = if forward { self.edges[ei].to } else { self.edges[ei].from };
+                let next = if forward {
+                    self.edges[ei].to
+                } else {
+                    self.edges[ei].from
+                };
                 if !seen[next] {
                     seen[next] = true;
                     result.insert(self.ids[next].clone());
@@ -306,7 +322,10 @@ mod tests {
             p,
             vec![q("report"), q("eval"), q("model"), q("train"), q("data")]
         );
-        assert!(g.path(&q("data"), &q("report")).is_none(), "wrong direction");
+        assert!(
+            g.path(&q("data"), &q("report")).is_none(),
+            "wrong direction"
+        );
         assert_eq!(g.path(&q("data"), &q("data")).unwrap(), vec![q("data")]);
     }
 

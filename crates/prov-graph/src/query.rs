@@ -76,11 +76,7 @@ impl<'a> QueryBuilder<'a> {
     }
 
     /// Keep only elements where *some* value under `key` satisfies `pred`.
-    pub fn where_attr(
-        mut self,
-        key: QName,
-        pred: impl Fn(&AttrValue) -> bool + 'a,
-    ) -> Self {
+    pub fn where_attr(mut self, key: QName, pred: impl Fn(&AttrValue) -> bool + 'a) -> Self {
         self.predicates.push((key, Box::new(pred)));
         self
     }
@@ -90,11 +86,7 @@ impl<'a> QueryBuilder<'a> {
         self.doc
             .iter_elements()
             .filter(|el| self.kind.is_none_or(|k| el.kind == k))
-            .filter(|el| {
-                self.prov_type
-                    .as_ref()
-                    .is_none_or(|t| el.has_type(t))
-            })
+            .filter(|el| self.prov_type.as_ref().is_none_or(|t| el.has_type(t)))
             .filter(|el| {
                 self.local_contains
                     .as_ref()

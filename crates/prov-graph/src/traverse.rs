@@ -108,7 +108,10 @@ impl<'g, 'a> Traversal<'g, 'a> {
         };
         let mut seen = vec![false; self.graph.node_count()];
         seen[s] = true;
-        let mut result = vec![Visit { id: start.clone(), depth: 0 }];
+        let mut result = vec![Visit {
+            id: start.clone(),
+            depth: 0,
+        }];
         // Deque used as queue (BFS) or stack (DFS).
         let mut work: VecDeque<(usize, usize)> = VecDeque::from([(s, 0)]);
 

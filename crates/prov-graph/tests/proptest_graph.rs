@@ -35,7 +35,11 @@ fn any_doc(n: usize, edges: &[(usize, usize)]) -> ProvDocument {
         doc.entity(q(i));
     }
     for &(a, b) in edges {
-        doc.add_relation(Relation::new(RelationKind::WasInfluencedBy, q(a % n), q(b % n)));
+        doc.add_relation(Relation::new(
+            RelationKind::WasInfluencedBy,
+            q(a % n),
+            q(b % n),
+        ));
     }
     doc
 }

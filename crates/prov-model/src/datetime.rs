@@ -52,7 +52,10 @@ impl XsdDateTime {
     pub fn from_epoch_micros(us: i64) -> Self {
         let secs = us.div_euclid(1_000_000);
         let micros = us.rem_euclid(1_000_000) as u32;
-        XsdDateTime { epoch_secs: secs, micros }
+        XsdDateTime {
+            epoch_secs: secs,
+            micros,
+        }
     }
 
     /// Parses an ISO-8601 `xsd:dateTime` string.
@@ -118,7 +121,10 @@ impl XsdDateTime {
         let days = days_from_civil(year, month, day);
         let secs =
             days * 86_400 + hour as i64 * 3600 + minute as i64 * 60 + second as i64 - offset_secs;
-        Ok(XsdDateTime { epoch_secs: secs, micros })
+        Ok(XsdDateTime {
+            epoch_secs: secs,
+            micros,
+        })
     }
 
     /// Decomposes into `(year, month, day, hour, minute, second)` in UTC.

@@ -149,12 +149,20 @@ impl ProvDocument {
 
     /// `entity` was generated by `activity`.
     pub fn was_generated_by(&mut self, entity: QName, activity: QName) -> &mut Relation {
-        self.add_relation(Relation::new(RelationKind::WasGeneratedBy, entity, activity))
+        self.add_relation(Relation::new(
+            RelationKind::WasGeneratedBy,
+            entity,
+            activity,
+        ))
     }
 
     /// `informed` was informed by `informant`.
     pub fn was_informed_by(&mut self, informed: QName, informant: QName) -> &mut Relation {
-        self.add_relation(Relation::new(RelationKind::WasInformedBy, informed, informant))
+        self.add_relation(Relation::new(
+            RelationKind::WasInformedBy,
+            informed,
+            informant,
+        ))
     }
 
     /// `generated` was derived from `used`.
@@ -169,17 +177,29 @@ impl ProvDocument {
 
     /// `activity` was associated with `agent`.
     pub fn was_associated_with(&mut self, activity: QName, agent: QName) -> &mut Relation {
-        self.add_relation(Relation::new(RelationKind::WasAssociatedWith, activity, agent))
+        self.add_relation(Relation::new(
+            RelationKind::WasAssociatedWith,
+            activity,
+            agent,
+        ))
     }
 
     /// `delegate` acted on behalf of `responsible`.
     pub fn acted_on_behalf_of(&mut self, delegate: QName, responsible: QName) -> &mut Relation {
-        self.add_relation(Relation::new(RelationKind::ActedOnBehalfOf, delegate, responsible))
+        self.add_relation(Relation::new(
+            RelationKind::ActedOnBehalfOf,
+            delegate,
+            responsible,
+        ))
     }
 
     /// `specific` is a specialization of `general`.
     pub fn specialization_of(&mut self, specific: QName, general: QName) -> &mut Relation {
-        self.add_relation(Relation::new(RelationKind::SpecializationOf, specific, general))
+        self.add_relation(Relation::new(
+            RelationKind::SpecializationOf,
+            specific,
+            general,
+        ))
     }
 
     /// `collection` had member `entity`.
@@ -364,7 +384,8 @@ mod tests {
         let mut doc = ProvDocument::new();
         doc.namespaces_mut().register("ex", "http://ex/").unwrap();
         doc.entity(q("data")).label("input data");
-        doc.activity(q("train")).prov_type(QName::yprov("TrainingRun"));
+        doc.activity(q("train"))
+            .prov_type(QName::yprov("TrainingRun"));
         doc.agent(q("alice"));
         doc.used(q("train"), q("data"));
         doc.was_associated_with(q("train"), q("alice"));
@@ -381,8 +402,10 @@ mod tests {
     #[test]
     fn readding_element_merges_attributes() {
         let mut doc = ProvDocument::new();
-        doc.entity(q("m")).attr(QName::yprov("a"), AttrValue::Int(1));
-        doc.entity(q("m")).attr(QName::yprov("b"), AttrValue::Int(2));
+        doc.entity(q("m"))
+            .attr(QName::yprov("a"), AttrValue::Int(1));
+        doc.entity(q("m"))
+            .attr(QName::yprov("b"), AttrValue::Int(2));
         let el = doc.get(&q("m")).unwrap();
         assert_eq!(el.attr(&QName::yprov("a")), Some(&AttrValue::Int(1)));
         assert_eq!(el.attr(&QName::yprov("b")), Some(&AttrValue::Int(2)));

@@ -202,9 +202,9 @@ fn doc_from_json(value: &Value) -> Result<ProvDocument, ProvError> {
             .as_object()
             .ok_or_else(|| ProvError::Structure("'prefix' must be an object".into()))?;
         for (p, iri) in prefix {
-            let iri = iri
-                .as_str()
-                .ok_or_else(|| ProvError::Structure(format!("prefix {p:?} must map to a string")))?;
+            let iri = iri.as_str().ok_or_else(|| {
+                ProvError::Structure(format!("prefix {p:?} must map to a string"))
+            })?;
             if p == "default" {
                 doc.namespaces_mut().set_default(iri);
             } else {
@@ -311,7 +311,11 @@ pub fn value_from_json(v: &Value) -> Result<AttrValue, ProvError> {
     }
 }
 
-fn relation_from_json(kind: RelationKind, rel_id: &str, body: &Value) -> Result<Relation, ProvError> {
+fn relation_from_json(
+    kind: RelationKind,
+    rel_id: &str,
+    body: &Value,
+) -> Result<Relation, ProvError> {
     let obj = body.as_object().ok_or_else(|| {
         ProvError::Structure(format!("relation {rel_id:?} must map to an object"))
     })?;
@@ -393,10 +397,8 @@ mod tests {
             .start_time(XsdDateTime::new(1_000, 0))
             .end_time(XsdDateTime::new(8_200, 500));
         doc.agent(q("researcher"));
-        doc.used(q("train"), q("dataset")).add_attr(
-            QName::prov("role"),
-            AttrValue::from("training-input"),
-        );
+        doc.used(q("train"), q("dataset"))
+            .add_attr(QName::prov("role"), AttrValue::from("training-input"));
         doc.was_generated_by(q("model"), q("train"));
         doc.was_associated_with(q("train"), q("researcher"));
         doc.was_derived_from(q("model"), q("dataset"));
@@ -470,7 +472,10 @@ mod tests {
             e.attr(&QName::yprov("inf")),
             Some(&AttrValue::Double(f64::INFINITY))
         );
-        assert_eq!(e.attr(&QName::yprov("whole")), Some(&AttrValue::Double(3.0)));
+        assert_eq!(
+            e.attr(&QName::yprov("whole")),
+            Some(&AttrValue::Double(3.0))
+        );
     }
 
     #[test]
@@ -540,10 +545,7 @@ mod tests {
         let doc = ProvDocument::from_json_str(src).unwrap();
         assert_eq!(doc.element_count(), 3);
         assert_eq!(doc.relation_count(), 2);
-        assert_eq!(
-            doc.namespaces().default_ns(),
-            Some("http://example.org/d/")
-        );
+        assert_eq!(doc.namespaces().default_ns(), Some("http://example.org/d/"));
         let used = doc.relations_of(RelationKind::Used).next().unwrap();
         assert_eq!(used.time.unwrap().epoch_secs, 1_735_689_601);
         let ds = doc.get(&q("dataset")).unwrap();

@@ -194,11 +194,7 @@ impl Serialize for SerValues<'_> {
     }
 }
 
-fn typed_literal<S: Serializer>(
-    serializer: S,
-    lexical: &str,
-    ty: &str,
-) -> Result<S::Ok, S::Error> {
+fn typed_literal<S: Serializer>(serializer: S, lexical: &str, ty: &str) -> Result<S::Ok, S::Error> {
     // "$" (0x24) sorts before "lang" and "type", matching the map order.
     let mut map = serializer.serialize_map(Some(2))?;
     map.serialize_entry("$", lexical)?;
@@ -281,9 +277,7 @@ impl Serialize for SerRel<'_> {
         for (key, val) in &obj {
             match val {
                 RelVal::Str(s) => map.serialize_entry(key, s)?,
-                RelVal::Attrs(values) => {
-                    map.serialize_entry(key, &SerValues(values.as_slice()))?
-                }
+                RelVal::Attrs(values) => map.serialize_entry(key, &SerValues(values.as_slice()))?,
             }
         }
         map.end()
@@ -332,10 +326,7 @@ mod tests {
                 QName::yprov("shape"),
                 AttrValue::Typed("3x224x224".into(), QName::new("xsd", "string")),
             )
-            .attr(
-                QName::yprov("kind"),
-                AttrValue::QualifiedName(q("Resnet")),
-            )
+            .attr(QName::yprov("kind"), AttrValue::QualifiedName(q("Resnet")))
             .attr(QName::yprov("final"), AttrValue::Bool(true));
         doc.activity(q("train"))
             .start_time(XsdDateTime::new(1_000, 0))
@@ -354,21 +345,21 @@ mod tests {
         doc.was_associated_with(q("train"), q("researcher"));
         doc.acted_on_behalf_of(q("researcher"), q("orchestrator"));
         doc.was_derived_from(q("model"), q("dataset"));
-        let started = doc.was_started_by(
-            q("train"),
-            q("dataset"),
-            Some(XsdDateTime::new(1_000, 1)),
-        );
+        let started =
+            doc.was_started_by(q("train"), q("dataset"), Some(XsdDateTime::new(1_000, 1)));
         started
             .extras
             .insert("prov:starter".to_string(), q("scheduler"));
 
-        let named = Relation::new(RelationKind::Used, q("train"), q("model"))
-            .with_id(q("resume-read"));
+        let named =
+            Relation::new(RelationKind::Used, q("train"), q("model")).with_id(q("resume-read"));
         doc.add_relation(named);
 
         let bundle = doc.bundle(q("runmeta"));
-        bundle.namespaces_mut().register("ex", "http://ex/").unwrap();
+        bundle
+            .namespaces_mut()
+            .register("ex", "http://ex/")
+            .unwrap();
         bundle.entity(q("inner"));
         bundle.activity(q("inner-act"));
         // Anonymous relations inside the bundle restart at _:id000001.
@@ -460,7 +451,10 @@ mod tests {
             doc.entity(id.clone())
                 .attr(QName::yprov("samples"), AttrValue::Int(i))
                 .attr(QName::yprov("mean"), AttrValue::Double(i as f64 * 0.31))
-                .attr(QName::yprov("last"), AttrValue::Double(1.0 / (i + 1) as f64));
+                .attr(
+                    QName::yprov("last"),
+                    AttrValue::Double(1.0 / (i + 1) as f64),
+                );
             doc.was_generated_by(id, q("run"));
         }
         let mut compact = Vec::new();

@@ -38,7 +38,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src: src.as_bytes(), pos: 0 }
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ProvError {
@@ -104,7 +107,9 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         while self.pos < self.src.len() {
             let b = self.src[self.pos];
-            if b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.' | b'/' | b'+' | b'Z' | b'T') {
+            if b.is_ascii_alphanumeric()
+                || matches!(b, b':' | b'_' | b'-' | b'.' | b'/' | b'+' | b'Z' | b'T')
+            {
                 self.pos += 1;
             } else {
                 break;
@@ -448,10 +453,7 @@ endDocument
 endDocument"#;
         let doc = from_provn(src).unwrap();
         let e = doc.get(&q("e")).unwrap();
-        assert_eq!(
-            e.attr(&QName::yprov("loss")),
-            Some(&AttrValue::Double(0.5))
-        );
+        assert_eq!(e.attr(&QName::yprov("loss")), Some(&AttrValue::Double(0.5)));
         assert!(e.has_type(&q("Model")));
         assert_eq!(e.attr(&q("n")), Some(&AttrValue::Int(42)));
     }

@@ -38,7 +38,11 @@ impl ElementKind {
 
     /// All element kinds, in PROV-JSON document order.
     pub fn all() -> [ElementKind; 3] {
-        [ElementKind::Entity, ElementKind::Activity, ElementKind::Agent]
+        [
+            ElementKind::Entity,
+            ElementKind::Activity,
+            ElementKind::Agent,
+        ]
     }
 }
 
@@ -67,7 +71,11 @@ pub type Agent = Element;
 impl Element {
     /// Creates an element with no attributes.
     pub fn new(kind: ElementKind, id: QName) -> Self {
-        Element { id, kind, attributes: BTreeMap::new() }
+        Element {
+            id,
+            kind,
+            attributes: BTreeMap::new(),
+        }
     }
 
     /// Appends a value under `key` (multi-valued semantics).
@@ -187,7 +195,10 @@ mod tests {
         assert!(a.start_time().is_none());
         let t = XsdDateTime::new(100, 0);
         a.set_attr(QName::prov("startTime"), AttrValue::from(t));
-        a.set_attr(QName::prov("endTime"), AttrValue::from(XsdDateTime::new(200, 0)));
+        a.set_attr(
+            QName::prov("endTime"),
+            AttrValue::from(XsdDateTime::new(200, 0)),
+        );
         assert_eq!(a.start_time(), Some(t));
         assert_eq!(a.end_time().unwrap().epoch_secs, 200);
     }
@@ -201,7 +212,10 @@ mod tests {
         b.add_attr(QName::yprov("k"), AttrValue::Int(2));
         b.add_attr(QName::yprov("other"), AttrValue::from("x"));
         a.absorb(&b);
-        assert_eq!(a.attrs(&QName::yprov("k")), &[AttrValue::Int(1), AttrValue::Int(2)]);
+        assert_eq!(
+            a.attrs(&QName::yprov("k")),
+            &[AttrValue::Int(1), AttrValue::Int(2)]
+        );
         assert_eq!(a.attr(&QName::yprov("other")).unwrap().as_str(), Some("x"));
     }
 

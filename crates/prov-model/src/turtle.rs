@@ -44,16 +44,40 @@ fn qualified_form(kind: RelationKind) -> Option<(&'static str, &'static str, &'s
     // (qualified property, influence class, object pointer property)
     match kind {
         Used => Some(("prov:qualifiedUsage", "prov:Usage", "prov:entity")),
-        WasGeneratedBy => Some(("prov:qualifiedGeneration", "prov:Generation", "prov:activity")),
-        WasInformedBy => Some(("prov:qualifiedCommunication", "prov:Communication", "prov:activity")),
+        WasGeneratedBy => Some((
+            "prov:qualifiedGeneration",
+            "prov:Generation",
+            "prov:activity",
+        )),
+        WasInformedBy => Some((
+            "prov:qualifiedCommunication",
+            "prov:Communication",
+            "prov:activity",
+        )),
         WasStartedBy => Some(("prov:qualifiedStart", "prov:Start", "prov:entity")),
         WasEndedBy => Some(("prov:qualifiedEnd", "prov:End", "prov:entity")),
-        WasInvalidatedBy => Some(("prov:qualifiedInvalidation", "prov:Invalidation", "prov:activity")),
+        WasInvalidatedBy => Some((
+            "prov:qualifiedInvalidation",
+            "prov:Invalidation",
+            "prov:activity",
+        )),
         WasDerivedFrom => Some(("prov:qualifiedDerivation", "prov:Derivation", "prov:entity")),
-        WasAttributedTo => Some(("prov:qualifiedAttribution", "prov:Attribution", "prov:agent")),
-        WasAssociatedWith => Some(("prov:qualifiedAssociation", "prov:Association", "prov:agent")),
+        WasAttributedTo => Some((
+            "prov:qualifiedAttribution",
+            "prov:Attribution",
+            "prov:agent",
+        )),
+        WasAssociatedWith => Some((
+            "prov:qualifiedAssociation",
+            "prov:Association",
+            "prov:agent",
+        )),
         ActedOnBehalfOf => Some(("prov:qualifiedDelegation", "prov:Delegation", "prov:agent")),
-        WasInfluencedBy => Some(("prov:qualifiedInfluence", "prov:Influence", "prov:influencer")),
+        WasInfluencedBy => Some((
+            "prov:qualifiedInfluence",
+            "prov:Influence",
+            "prov:influencer",
+        )),
         SpecializationOf | AlternateOf | HadMember => None,
     }
 }
@@ -177,7 +201,11 @@ fn write_body(doc: &ProvDocument, out: &mut String, bundle: Option<&QName>) {
                     }
                 };
                 let _ = writeln!(out, "{} {qualified_prop} {node} .", rel.subject);
-                let _ = write!(out, "{node} a {influence_class} ;\n    {pointer} {}", rel.object);
+                let _ = write!(
+                    out,
+                    "{node} a {influence_class} ;\n    {pointer} {}",
+                    rel.object
+                );
                 if let Some(t) = rel.time {
                     let _ = write!(out, " ;\n    prov:atTime \"{t}\"^^xsd:dateTime");
                 }
@@ -251,7 +279,10 @@ mod tests {
         assert!(ttl.contains("ex:train prov:used ex:data ."));
         assert!(ttl.contains("ex:model prov:wasGeneratedBy ex:train ."));
         assert!(ttl.contains("ex:train prov:wasAssociatedWith ex:alice ."));
-        assert!(!ttl.contains("prov:qualifiedUsage"), "no attributes, no qualification");
+        assert!(
+            !ttl.contains("prov:qualifiedUsage"),
+            "no attributes, no qualification"
+        );
     }
 
     #[test]

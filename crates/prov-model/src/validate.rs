@@ -34,10 +34,18 @@ pub struct ValidationIssue {
 
 impl ValidationIssue {
     fn error(message: String, subject: Option<QName>) -> Self {
-        ValidationIssue { severity: Severity::Error, message, subject }
+        ValidationIssue {
+            severity: Severity::Error,
+            message,
+            subject,
+        }
     }
     fn warning(message: String, subject: Option<QName>) -> Self {
-        ValidationIssue { severity: Severity::Warning, message, subject }
+        ValidationIssue {
+            severity: Severity::Warning,
+            message,
+            subject,
+        }
     }
 }
 
@@ -148,9 +156,7 @@ fn validate_into(doc: &ProvDocument, issues: &mut Vec<ValidationIssue>) {
 
 /// True when the document has no `Error`-severity findings.
 pub fn is_valid(doc: &ProvDocument) -> bool {
-    validate(doc)
-        .iter()
-        .all(|i| i.severity != Severity::Error)
+    validate(doc).iter().all(|i| i.severity != Severity::Error)
 }
 
 #[cfg(test)]
@@ -221,8 +227,9 @@ mod tests {
             .start_time(XsdDateTime::new(100, 0))
             .end_time(XsdDateTime::new(50, 0));
         let issues = validate(&doc);
-        assert!(issues.iter().any(|i| i.severity == Severity::Error
-            && i.message.contains("before it starts")));
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Error && i.message.contains("before it starts")));
     }
 
     #[test]

@@ -65,8 +65,14 @@ impl AttrValue {
         let full = datatype.to_string();
         match full.as_str() {
             "xsd:string" => Ok(AttrValue::String(lexical.to_string())),
-            "xsd:int" | "xsd:integer" | "xsd:long" | "xsd:short" | "xsd:byte"
-            | "xsd:unsignedInt" | "xsd:unsignedLong" | "xsd:nonNegativeInteger" => lexical
+            "xsd:int"
+            | "xsd:integer"
+            | "xsd:long"
+            | "xsd:short"
+            | "xsd:byte"
+            | "xsd:unsignedInt"
+            | "xsd:unsignedLong"
+            | "xsd:nonNegativeInteger" => lexical
                 .parse::<i64>()
                 .map(AttrValue::Int)
                 .map_err(|_| ProvError::BadValue(format!("{lexical:?} is not an integer"))),
@@ -110,7 +116,11 @@ pub fn format_double(d: f64) -> String {
     if d.is_nan() {
         "NaN".to_string()
     } else if d.is_infinite() {
-        if d > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+        if d > 0.0 {
+            "INF".to_string()
+        } else {
+            "-INF".to_string()
+        }
     } else {
         // `{:?}` is Rust's shortest round-trippable float formatting.
         format!("{d:?}")

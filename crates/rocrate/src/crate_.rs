@@ -103,7 +103,10 @@ impl EntitySpec {
 
     /// Adds a reference to another entity.
     pub fn with_reference(mut self, key: impl Into<String>, target: impl Into<String>) -> Self {
-        self.references.entry(key.into()).or_default().push(target.into());
+        self.references
+            .entry(key.into())
+            .or_default()
+            .push(target.into());
         self
     }
 
@@ -326,9 +329,7 @@ impl RoCrate {
                     }
                     Value::Array(items) => {
                         for item in items {
-                            if let Some(target) =
-                                item.get("@id").and_then(Value::as_str)
-                            {
+                            if let Some(target) = item.get("@id").and_then(Value::as_str) {
                                 spec.references
                                     .entry(k.clone())
                                     .or_default()
@@ -342,7 +343,11 @@ impl RoCrate {
             entities.push(spec);
         }
 
-        Ok(RoCrate { name, description, entities })
+        Ok(RoCrate {
+            name,
+            description,
+            entities,
+        })
     }
 }
 
@@ -366,9 +371,7 @@ mod tests {
                 .with_reference("author", "#researcher"),
         );
         c.add_file(EntitySpec::file("prov.json").with_description("W3C PROV provenance"));
-        c.add_entity(
-            EntitySpec::contextual("#researcher", "Person").with_name("A. Researcher"),
-        );
+        c.add_entity(EntitySpec::contextual("#researcher", "Person").with_name("A. Researcher"));
         c
     }
 

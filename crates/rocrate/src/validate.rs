@@ -108,11 +108,7 @@ pub fn wrap_directory(
     Ok(crate_)
 }
 
-fn collect_files(
-    root: &Path,
-    dir: &Path,
-    out: &mut Vec<String>,
-) -> Result<(), RoCrateError> {
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), RoCrateError> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();

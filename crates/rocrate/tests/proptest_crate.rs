@@ -11,7 +11,12 @@ fn arb_id() -> impl Strategy<Value = String> {
 fn arb_entity() -> impl Strategy<Value = EntitySpec> {
     (
         arb_id(),
-        prop_oneof![Just("File"), Just("Dataset"), Just("Person"), Just("SoftwareApplication")],
+        prop_oneof![
+            Just("File"),
+            Just("Dataset"),
+            Just("Person"),
+            Just("SoftwareApplication")
+        ],
         prop::collection::btree_map("[a-z]{1,8}", "[ -~&&[^\"\\\\]]{0,20}", 0..4),
         prop::collection::btree_map("[a-z]{1,8}", prop::collection::vec(arb_id(), 1..3), 0..3),
     )

@@ -92,7 +92,11 @@ pub fn step_comm_cost(
     cfg: &DdpCommConfig,
 ) -> CommCost {
     if gpus <= 1 || gradient_bytes == 0 {
-        return CommCost { exposed_full: 0.0, exposed_after_overlap: 0.0, buckets: 0 };
+        return CommCost {
+            exposed_full: 0.0,
+            exposed_after_overlap: 0.0,
+            buckets: 0,
+        };
     }
     let buckets = gradient_bytes.div_ceil(cfg.bucket_bytes.max(1));
     // Each bucket pays the latency term; bandwidth term is volume-based.
@@ -109,7 +113,11 @@ pub fn step_comm_cost(
         };
     let exposed_full = one_byte_rings + latency_per_bucket * (buckets.saturating_sub(1)) as f64;
     let exposed_after_overlap = exposed_full * (1.0 - cfg.overlap_fraction.clamp(0.0, 1.0));
-    CommCost { exposed_full, exposed_after_overlap, buckets }
+    CommCost {
+        exposed_full,
+        exposed_after_overlap,
+        buckets,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +157,10 @@ mod tests {
         let t8 = hierarchical_allreduce_time(bytes, 8, &m);
         let t16 = hierarchical_allreduce_time(bytes, 16, &m);
         let t128 = hierarchical_allreduce_time(bytes, 128, &m);
-        assert!(t16 > t8 * 1.5, "crossing the node boundary hurts: {t8} -> {t16}");
+        assert!(
+            t16 > t8 * 1.5,
+            "crossing the node boundary hurts: {t8} -> {t16}"
+        );
         assert!(t128 > t16, "more nodes, more ring steps");
     }
 
@@ -171,13 +182,19 @@ mod tests {
             1 << 30,
             64,
             &m,
-            &DdpCommConfig { overlap_fraction: 0.0, ..Default::default() },
+            &DdpCommConfig {
+                overlap_fraction: 0.0,
+                ..Default::default()
+            },
         );
         let hidden = step_comm_cost(
             1 << 30,
             64,
             &m,
-            &DdpCommConfig { overlap_fraction: 1.0, ..Default::default() },
+            &DdpCommConfig {
+                overlap_fraction: 1.0,
+                ..Default::default()
+            },
         );
         assert!((full.exposed_after_overlap - full.exposed_full).abs() < 1e-12);
         assert_eq!(hidden.exposed_after_overlap, 0.0);
@@ -186,7 +203,10 @@ mod tests {
             1 << 30,
             64,
             &m,
-            &DdpCommConfig { overlap_fraction: 7.0, ..Default::default() },
+            &DdpCommConfig {
+                overlap_fraction: 7.0,
+                ..Default::default()
+            },
         );
         assert_eq!(weird.exposed_after_overlap, 0.0);
     }

@@ -53,7 +53,10 @@ impl DatasetSpec {
     /// A scaled copy with a different sample count (the paper's data
     /// scaling axis).
     pub fn with_samples(&self, samples: u64) -> Self {
-        DatasetSpec { samples, ..self.clone() }
+        DatasetSpec {
+            samples,
+            ..self.clone()
+        }
     }
 
     /// Bytes of one sample.

@@ -144,10 +144,7 @@ mod tests {
         for (x, y) in a.iter().zip(b) {
             assert_eq!(x.len(), y.len());
             for (u, v) in x.iter().zip(y) {
-                assert!(
-                    (u - v).abs() <= 1e-9 * (1.0 + v.abs()),
-                    "{u} vs {v}"
-                );
+                assert!((u - v).abs() <= 1e-9 * (1.0 + v.abs()), "{u} vs {v}");
             }
         }
     }

@@ -65,7 +65,11 @@ impl fmt::Display for FaultEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             FaultKind::GpuFailure { ranks_lost } => {
-                write!(f, "gpu failure at step {} ({ranks_lost} ranks lost)", self.step)
+                write!(
+                    f,
+                    "gpu failure at step {} ({ranks_lost} ranks lost)",
+                    self.step
+                )
             }
             FaultKind::Straggler { slowdown, steps } => write!(
                 f,
@@ -73,7 +77,11 @@ impl fmt::Display for FaultEvent {
                 self.step
             ),
             FaultKind::AllReduceTransient { retries } => {
-                write!(f, "transient all-reduce error at step {} ({retries} retries)", self.step)
+                write!(
+                    f,
+                    "transient all-reduce error at step {} ({retries} retries)",
+                    self.step
+                )
             }
         }
     }
@@ -100,7 +108,10 @@ impl FaultPlan {
     /// A single fatal GPU failure (one rank) at `step`.
     pub fn single_gpu_failure(step: u64) -> Self {
         FaultPlan {
-            events: vec![FaultEvent { step, kind: FaultKind::GpuFailure { ranks_lost: 1 } }],
+            events: vec![FaultEvent {
+                step,
+                kind: FaultKind::GpuFailure { ranks_lost: 1 },
+            }],
         }
     }
 
@@ -124,7 +135,10 @@ impl FaultPlan {
         let mut events = vec![
             FaultEvent {
                 step: straggler_start,
-                kind: FaultKind::Straggler { slowdown, steps: straggler_len },
+                kind: FaultKind::Straggler {
+                    slowdown,
+                    steps: straggler_len,
+                },
             },
             FaultEvent {
                 step: ar_step,
@@ -219,14 +233,22 @@ impl FaultPlan {
     /// Count of events with `from <= step < to` (how many faults a run
     /// segment actually hit).
     pub fn fired_between(&self, from: u64, to: u64) -> u32 {
-        self.events.iter().filter(|e| e.step >= from && e.step < to).count() as u32
+        self.events
+            .iter()
+            .filter(|e| e.step >= from && e.step < to)
+            .count() as u32
     }
 
     /// The plan with every event at or before `step` dropped — what a
     /// restarted run should carry so consumed faults do not re-fire.
     pub fn after(&self, step: u64) -> FaultPlan {
         FaultPlan {
-            events: self.events.iter().filter(|e| e.step > step).copied().collect(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.step > step)
+                .copied()
+                .collect(),
         }
     }
 }
@@ -261,9 +283,21 @@ mod tests {
     fn lookup_helpers() {
         let plan = FaultPlan {
             events: vec![
-                FaultEvent { step: 5, kind: FaultKind::Straggler { slowdown: 2.0, steps: 3 } },
-                FaultEvent { step: 10, kind: FaultKind::AllReduceTransient { retries: 2 } },
-                FaultEvent { step: 20, kind: FaultKind::GpuFailure { ranks_lost: 1 } },
+                FaultEvent {
+                    step: 5,
+                    kind: FaultKind::Straggler {
+                        slowdown: 2.0,
+                        steps: 3,
+                    },
+                },
+                FaultEvent {
+                    step: 10,
+                    kind: FaultKind::AllReduceTransient { retries: 2 },
+                },
+                FaultEvent {
+                    step: 20,
+                    kind: FaultKind::GpuFailure { ranks_lost: 1 },
+                },
             ],
         };
         assert_eq!(plan.slowdown_at(4), 1.0);
@@ -285,12 +319,18 @@ mod tests {
         let bad = FaultPlan {
             events: vec![FaultEvent {
                 step: 0,
-                kind: FaultKind::Straggler { slowdown: 0.5, steps: 1 },
+                kind: FaultKind::Straggler {
+                    slowdown: 0.5,
+                    steps: 1,
+                },
             }],
         };
         assert!(bad.validate().is_err());
         let bad = FaultPlan {
-            events: vec![FaultEvent { step: 0, kind: FaultKind::GpuFailure { ranks_lost: 0 } }],
+            events: vec![FaultEvent {
+                step: 0,
+                kind: FaultKind::GpuFailure { ranks_lost: 0 },
+            }],
         };
         assert!(bad.validate().is_err());
         let bad = FaultPlan {
@@ -306,8 +346,20 @@ mod tests {
     fn overlapping_stragglers_compound() {
         let plan = FaultPlan {
             events: vec![
-                FaultEvent { step: 0, kind: FaultKind::Straggler { slowdown: 2.0, steps: 10 } },
-                FaultEvent { step: 5, kind: FaultKind::Straggler { slowdown: 3.0, steps: 10 } },
+                FaultEvent {
+                    step: 0,
+                    kind: FaultKind::Straggler {
+                        slowdown: 2.0,
+                        steps: 10,
+                    },
+                },
+                FaultEvent {
+                    step: 5,
+                    kind: FaultKind::Straggler {
+                        slowdown: 3.0,
+                        steps: 10,
+                    },
+                },
             ],
         };
         assert_eq!(plan.slowdown_at(2), 2.0);

@@ -78,10 +78,10 @@ impl ModelConfig {
     pub fn sized(arch: Architecture, params: u64) -> Self {
         // Width/depth splits roughly follow the ViT/Swin size ladders.
         let (layers, hidden, heads) = match params {
-            p if p <= 150_000_000 => (12, 768, 12),      // ~100 M class
-            p if p <= 350_000_000 => (24, 1024, 16),     // ~200 M class
-            p if p <= 800_000_000 => (32, 1280, 16),     // ~600 M class
-            _ => (40, 1664, 16),                         // ~1.4 B class
+            p if p <= 150_000_000 => (12, 768, 12),  // ~100 M class
+            p if p <= 350_000_000 => (24, 1024, 16), // ~200 M class
+            p if p <= 800_000_000 => (32, 1280, 16), // ~600 M class
+            _ => (40, 1664, 16),                     // ~1.4 B class
         };
         ModelConfig {
             arch,
@@ -121,8 +121,7 @@ impl ModelConfig {
     /// 4 backward), scaled by the fraction of tokens the encoder
     /// actually processes.
     pub fn flops_per_sample(&self) -> f64 {
-        let effective_tokens =
-            self.tokens_per_sample as f64 * self.arch.encoder_token_fraction();
+        let effective_tokens = self.tokens_per_sample as f64 * self.arch.encoder_token_fraction();
         6.0 * self.params as f64 * effective_tokens
     }
 

@@ -287,9 +287,8 @@ impl TrainingSimulation {
         };
         // Compute covers every accumulation micro-step; the all-reduce
         // fires once per optimizer step regardless of accumulation.
-        let flops = flops_per_sample
-            * self.cfg.per_gpu_batch as f64
-            * self.cfg.grad_accumulation as f64;
+        let flops =
+            flops_per_sample * self.cfg.per_gpu_batch as f64 * self.cfg.grad_accumulation as f64;
         let effective = machine.gpu_peak_flops * m.arch.mfu();
         let compute = flops / effective;
         let comm = step_comm_cost(grad_bytes, self.cfg.gpus, machine, &self.cfg.comm)
@@ -356,8 +355,11 @@ impl TrainingSimulation {
         let mut fatal: Option<FaultEvent> = None;
         // Epoch-boundary checkpoint: what survives a fatal fault
         // (step-granular state dies with the process).
-        let mut last_ckpt =
-            Checkpoint { samples_seen: samples, steps: step, epochs_completed };
+        let mut last_ckpt = Checkpoint {
+            samples_seen: samples,
+            steps: step,
+            epochs_completed,
+        };
 
         // Real walltime (not simulated time) spent per step / per epoch
         // block, so the tracker's observability layer can report how
@@ -406,8 +408,11 @@ impl TrainingSimulation {
             if epoch_boundary {
                 let _epoch_span = epoch_hist.start_span();
                 epochs_completed = epoch + 1;
-                last_ckpt =
-                    Checkpoint { samples_seen: samples, steps: step, epochs_completed };
+                last_ckpt = Checkpoint {
+                    samples_seen: samples,
+                    steps: step,
+                    epochs_completed,
+                };
 
                 if cfg.exercise_collective {
                     // Real threaded ring all-reduce on a proxy gradient:
@@ -421,8 +426,7 @@ impl TrainingSimulation {
                     let epoch_retries = cfg
                         .faults
                         .allreduce_retries_between(step.saturating_sub(steps_per_epoch), step);
-                    let (got, attempts) =
-                        ddp::ring_allreduce_with_retry(proxy, epoch_retries);
+                    let (got, attempts) = ddp::ring_allreduce_with_retry(proxy, epoch_retries);
                     assert_eq!(got.len(), expect.len());
                     debug_assert!(attempts >= 1);
                 }
@@ -445,7 +449,11 @@ impl TrainingSimulation {
         let checkpoint = if fatal.is_some() {
             last_ckpt
         } else {
-            Checkpoint { samples_seen: samples, steps: step, epochs_completed }
+            Checkpoint {
+                samples_seen: samples,
+                steps: step,
+                epochs_completed,
+            }
         };
         let result = RunResult {
             final_loss: loss,
@@ -514,9 +522,7 @@ pub fn run_with_recovery(
         // Failed attempts already consumed part of the budget.
         cfg.cutoff = match budget {
             WalltimeCutoff::Unlimited => WalltimeCutoff::Unlimited,
-            WalltimeCutoff::Seconds(s) => {
-                WalltimeCutoff::Seconds((s - total_walltime).max(0.0))
-            }
+            WalltimeCutoff::Seconds(s) => WalltimeCutoff::Seconds((s - total_walltime).max(0.0)),
         };
         let result = TrainingSimulation::new(cfg.clone())?.run(observer);
         total_walltime += result.walltime_s;
@@ -619,14 +625,20 @@ mod tests {
         let r1 = sim.run(&mut NullObserver);
         let mut long_cfg = tiny_cfg(8);
         long_cfg.epochs = 20;
-        let r2 = TrainingSimulation::new(long_cfg).unwrap().run(&mut NullObserver);
+        let r2 = TrainingSimulation::new(long_cfg)
+            .unwrap()
+            .run(&mut NullObserver);
         assert!(r2.final_loss < r1.final_loss);
     }
 
     #[test]
     fn more_gpus_finish_faster_but_burn_more_power() {
-        let r8 = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
-        let r64 = TrainingSimulation::new(tiny_cfg(64)).unwrap().run(&mut NullObserver);
+        let r8 = TrainingSimulation::new(tiny_cfg(8))
+            .unwrap()
+            .run(&mut NullObserver);
+        let r64 = TrainingSimulation::new(tiny_cfg(64))
+            .unwrap()
+            .run(&mut NullObserver);
         assert!(r64.walltime_s < r8.walltime_s, "scale-out reduces walltime");
         assert!(r64.mean_throughput > r8.mean_throughput);
     }
@@ -756,7 +768,10 @@ mod tests {
         let (at, ac, acomm, _) = TrainingSimulation::new(accum).unwrap().step_time();
         let (pt, pc, pcomm, _) = TrainingSimulation::new(plain).unwrap().step_time();
         assert!((ac - pc).abs() < 1e-12, "same compute per optimizer step");
-        assert!((acomm - pcomm).abs() < 1e-12, "same comm per optimizer step");
+        assert!(
+            (acomm - pcomm).abs() < 1e-12,
+            "same comm per optimizer step"
+        );
         let _ = (at, pt);
 
         // Against the *same micro-batch*, accumulation reduces exposed
@@ -770,7 +785,10 @@ mod tests {
         micro4.grad_accumulation = 4;
         let (m4t, _, m4comm, _) = TrainingSimulation::new(micro4).unwrap().step_time();
         let per_sample_accum = m4t / (8.0 * 4.0 * 64.0);
-        assert!(per_sample_accum < per_sample_micro, "accumulation amortizes comm");
+        assert!(
+            per_sample_accum < per_sample_micro,
+            "accumulation amortizes comm"
+        );
         assert!((m4comm - mcomm).abs() < 1e-12);
     }
 
@@ -784,7 +802,9 @@ mod tests {
     #[test]
     fn resumed_chain_matches_single_run() {
         // One uncapped run...
-        let full = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        let full = TrainingSimulation::new(tiny_cfg(8))
+            .unwrap()
+            .run(&mut NullObserver);
         // ...equals a chain of runs resumed epoch by epoch.
         let mut ckpt = None;
         let mut last = None;
@@ -811,7 +831,9 @@ mod tests {
 
     #[test]
     fn resume_skips_completed_epochs() {
-        let full = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        let full = TrainingSimulation::new(tiny_cfg(8))
+            .unwrap()
+            .run(&mut NullObserver);
         let mut cfg = tiny_cfg(8);
         cfg.resume_from = Some(Checkpoint {
             samples_seen: full.samples_seen,
@@ -826,8 +848,12 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let a = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
-        let b = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        let a = TrainingSimulation::new(tiny_cfg(8))
+            .unwrap()
+            .run(&mut NullObserver);
+        let b = TrainingSimulation::new(tiny_cfg(8))
+            .unwrap()
+            .run(&mut NullObserver);
         assert_eq!(a, b);
     }
 
@@ -864,18 +890,28 @@ mod tests {
 
     #[test]
     fn straggler_and_transient_faults_stretch_walltime() {
-        let clean = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        let clean = TrainingSimulation::new(tiny_cfg(8))
+            .unwrap()
+            .run(&mut NullObserver);
 
         let mut slow = tiny_cfg(8);
         slow.faults = FaultPlan {
             events: vec![FaultEvent {
                 step: 0,
-                kind: FaultKind::Straggler { slowdown: 2.0, steps: 10 },
+                kind: FaultKind::Straggler {
+                    slowdown: 2.0,
+                    steps: 10,
+                },
             }],
         };
-        let r_slow = TrainingSimulation::new(slow).unwrap().run(&mut NullObserver);
+        let r_slow = TrainingSimulation::new(slow)
+            .unwrap()
+            .run(&mut NullObserver);
         assert!(r_slow.walltime_s > clean.walltime_s);
-        assert!(r_slow.energy_joules > clean.energy_joules, "slow steps burn energy");
+        assert!(
+            r_slow.energy_joules > clean.energy_joules,
+            "slow steps burn energy"
+        );
         assert_eq!(r_slow.steps, clean.steps, "no work lost");
         assert_eq!(r_slow.faults_injected, 1);
 
@@ -886,7 +922,9 @@ mod tests {
                 kind: FaultKind::AllReduceTransient { retries: 2 },
             }],
         };
-        let r_flaky = TrainingSimulation::new(flaky).unwrap().run(&mut NullObserver);
+        let r_flaky = TrainingSimulation::new(flaky)
+            .unwrap()
+            .run(&mut NullObserver);
         let (step_time, ..) = TrainingSimulation::new(tiny_cfg(8)).unwrap().step_time();
         let extra = r_flaky.walltime_s - clean.walltime_s;
         assert!(
@@ -900,8 +938,7 @@ mod tests {
     fn seeded_faults_are_deterministic() {
         let mk = || {
             let mut cfg = tiny_cfg(8);
-            let total =
-                cfg.dataset.steps_per_epoch(cfg.global_batch()) * cfg.epochs as u64;
+            let total = cfg.dataset.steps_per_epoch(cfg.global_batch()) * cfg.epochs as u64;
             cfg.faults = FaultPlan::seeded(1234, total);
             cfg
         };
@@ -919,7 +956,9 @@ mod tests {
         let mut cfg = tiny_cfg(8);
         let steps_per_epoch = cfg.dataset.steps_per_epoch(cfg.global_batch());
         cfg.faults = FaultPlan::single_gpu_failure(steps_per_epoch + 2);
-        let clean = TrainingSimulation::new(tiny_cfg(8)).unwrap().run(&mut NullObserver);
+        let clean = TrainingSimulation::new(tiny_cfg(8))
+            .unwrap()
+            .run(&mut NullObserver);
 
         let out = run_with_recovery(&cfg, &mut NullObserver, 3, false).unwrap();
         assert!(out.result.completed);
@@ -941,7 +980,10 @@ mod tests {
         cfg.faults = FaultPlan::single_gpu_failure(steps_per_epoch + 1);
         let out = run_with_recovery(&cfg, &mut NullObserver, 3, true).unwrap();
         assert!(out.result.completed);
-        assert_eq!(out.final_gpus, 7, "one rank lost, run continues elastically");
+        assert_eq!(
+            out.final_gpus, 7,
+            "one rank lost, run continues elastically"
+        );
         assert_eq!(out.attempts, 2);
     }
 
@@ -969,8 +1011,14 @@ mod tests {
         let mut cfg = tiny_cfg(8);
         cfg.faults = FaultPlan {
             events: vec![
-                FaultEvent { step: 1, kind: FaultKind::GpuFailure { ranks_lost: 1 } },
-                FaultEvent { step: 2, kind: FaultKind::GpuFailure { ranks_lost: 1 } },
+                FaultEvent {
+                    step: 1,
+                    kind: FaultKind::GpuFailure { ranks_lost: 1 },
+                },
+                FaultEvent {
+                    step: 2,
+                    kind: FaultKind::GpuFailure { ranks_lost: 1 },
+                },
             ],
         };
         let out = run_with_recovery(&cfg, &mut NullObserver, 1, false).unwrap();

@@ -96,7 +96,10 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Exhausted { attempts, last } => {
-                write!(f, "request failed after {attempts} attempts; last error: {last}")
+                write!(
+                    f,
+                    "request failed after {attempts} attempts; last error: {last}"
+                )
             }
         }
     }
@@ -141,13 +144,20 @@ impl Client {
                 // Status 0 = unparseable response; treat like a
                 // transport failure.
                 Ok((status, resp_body)) if !matches!(status, 0 | 502 | 503 | 504) => {
-                    return Ok(Response { status, body: resp_body, attempts: attempt + 1 });
+                    return Ok(Response {
+                        status,
+                        body: resp_body,
+                        attempts: attempt + 1,
+                    });
                 }
                 Ok((status, _)) => last = format!("HTTP {status}"),
                 Err(e) => last = format!("i/o error: {e}"),
             }
         }
-        Err(ClientError::Exhausted { attempts: max_attempts, last })
+        Err(ClientError::Exhausted {
+            attempts: max_attempts,
+            last,
+        })
     }
 
     /// One wire exchange, under the per-request timeouts.
@@ -227,10 +237,16 @@ mod tests {
                 .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
                 .min(p.max_delay);
             assert!(d1 <= envelope, "attempt {attempt}: {d1:?} > {envelope:?}");
-            assert!(d1 >= envelope / 2, "attempt {attempt}: {d1:?} < half envelope");
+            assert!(
+                d1 >= envelope / 2,
+                "attempt {attempt}: {d1:?} < half envelope"
+            );
         }
         // A different seed gives a different (but still bounded) schedule.
-        let other = RetryPolicy { jitter_seed: 1, ..p };
+        let other = RetryPolicy {
+            jitter_seed: 1,
+            ..p
+        };
         assert_ne!(p.backoff_delay(0), other.backoff_delay(0));
     }
 
@@ -239,7 +255,10 @@ mod tests {
         let server = Server::bind(
             "127.0.0.1:0",
             DocumentStore::new(),
-            ServerConfig { chaos_fail_uploads: 2, ..Default::default() },
+            ServerConfig {
+                chaos_fail_uploads: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let client = Client::new(server.addr(), fast_policy());
@@ -254,12 +273,18 @@ mod tests {
         let server = Server::bind(
             "127.0.0.1:0",
             DocumentStore::new(),
-            ServerConfig { chaos_fail_uploads: 100, ..Default::default() },
+            ServerConfig {
+                chaos_fail_uploads: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         let client = Client::new(
             server.addr(),
-            RetryPolicy { max_attempts: 2, ..fast_policy() },
+            RetryPolicy {
+                max_attempts: 2,
+                ..fast_policy()
+            },
         );
         let err = client.upload_document(&sample_doc_json()).unwrap_err();
         match err {
@@ -289,7 +314,13 @@ mod tests {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
             l.local_addr().unwrap()
         };
-        let client = Client::new(addr, RetryPolicy { max_attempts: 2, ..fast_policy() });
+        let client = Client::new(
+            addr,
+            RetryPolicy {
+                max_attempts: 2,
+                ..fast_policy()
+            },
+        );
         let err = client.health().unwrap_err();
         assert!(err.to_string().contains("after 2 attempts"), "{err}");
     }

@@ -97,11 +97,7 @@ pub struct Server {
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
     /// serving `store`.
-    pub fn bind(
-        addr: &str,
-        store: DocumentStore,
-        config: ServerConfig,
-    ) -> std::io::Result<Server> {
+    pub fn bind(addr: &str, store: DocumentStore, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -132,7 +128,12 @@ impl Server {
             .name("yprov-http-accept".into())
             .spawn(move || accept_loop(listener, tx, stop_l))?;
 
-        Ok(Server { addr: local, stop, listener_thread: Some(listener_thread), registry })
+        Ok(Server {
+            addr: local,
+            stop,
+            listener_thread: Some(listener_thread),
+            registry,
+        })
     }
 
     /// The bound address (useful with ephemeral ports).
@@ -228,11 +229,15 @@ fn handle_connection(
     let label = route_label(&request.path);
     count_request(registry, &request.method, label, status);
     registry
-        .histogram(&format!("http_request_duration_seconds{{route=\"{label}\"}}"))
+        .histogram(&format!(
+            "http_request_duration_seconds{{route=\"{label}\"}}"
+        ))
         .record(started.elapsed());
 
     let content_type = match request.path.rsplit('/').next() {
-        Some("provn") | Some("turtle") | Some("dot") if status == 200 => "text/plain; charset=utf-8",
+        Some("provn") | Some("turtle") | Some("dot") if status == 200 => {
+            "text/plain; charset=utf-8"
+        }
         Some("metrics") if status == 200 && request.path == "/metrics" => {
             "text/plain; version=0.0.4; charset=utf-8"
         }
@@ -294,7 +299,10 @@ fn parse_request(
     // 431 instead of growing buffers without bound.
     let mut head = (&mut *reader).take(cfg.max_header_bytes as u64);
     let over_budget = || {
-        (431, format!("header section exceeds {} bytes", cfg.max_header_bytes))
+        (
+            431,
+            format!("header section exceeds {} bytes", cfg.max_header_bytes),
+        )
     };
 
     let mut line = String::new();
@@ -390,7 +398,12 @@ fn parse_request(
         .map(|(k, v)| (url_decode(k), url_decode(v)))
         .collect();
 
-    Ok(Some(Request { method, path, query, body }))
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
 }
 
 /// Decodes `%XX` escapes; with `plus_is_space`, also maps `+` to a
@@ -412,7 +425,11 @@ fn percent_decode(s: &str, plus_is_space: bool) -> String {
                 continue;
             }
         }
-        out.push(if plus_is_space && bytes[i] == b'+' { b' ' } else { bytes[i] });
+        out.push(if plus_is_space && bytes[i] == b'+' {
+            b' '
+        } else {
+            bytes[i]
+        });
         i += 1;
     }
     String::from_utf8_lossy(&out).into_owned()
@@ -486,7 +503,10 @@ fn route(
                 .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
                 .is_ok()
             {
-                return (503, json!({"error": "injected fault: upload unavailable"}).to_string());
+                return (
+                    503,
+                    json!({"error": "injected fault: upload unavailable"}).to_string(),
+                );
             }
             let text = match std::str::from_utf8(&req.body) {
                 Ok(t) => t,
@@ -533,7 +553,10 @@ fn route(
         },
 
         ("GET", ["api", "v0", "documents", id, "ancestors"]) => match focus(req) {
-            None => (400, json!({"error": "missing or invalid ?focus=prefix:local"}).to_string()),
+            None => (
+                400,
+                json!({"error": "missing or invalid ?focus=prefix:local"}).to_string(),
+            ),
             Some(q) => match store.ancestors(id, &q) {
                 Some(anc) => (
                     200,
@@ -564,7 +587,10 @@ fn route(
         },
 
         ("GET", ["api", "v0", "documents", id, "subgraph"]) => match focus(req) {
-            None => (400, json!({"error": "missing or invalid ?focus=prefix:local"}).to_string()),
+            None => (
+                400,
+                json!({"error": "missing or invalid ?focus=prefix:local"}).to_string(),
+            ),
             Some(q) => match store.subgraph(id, &q) {
                 Some(sub) => (200, sub.to_json().to_string()),
                 None => not_found(id),
@@ -576,7 +602,10 @@ fn route(
 }
 
 fn not_found(id: &str) -> (u16, String) {
-    (404, json!({"error": format!("document {id:?} not found")}).to_string())
+    (
+        404,
+        json!({"error": format!("document {id:?} not found")}).to_string(),
+    )
 }
 
 fn write_response(stream: TcpStream, status: u16, body: &str) -> std::io::Result<()> {
@@ -689,29 +718,47 @@ mod tests {
     #[test]
     fn upload_fetch_delete_cycle() {
         let server = start();
-        let (status, body) =
-            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
-                .unwrap();
+        let (status, body) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
         assert_eq!(status, 201, "{body}");
         let id: serde_json::Value = serde_json::from_str(&body).unwrap();
         let id = id["id"].as_str().unwrap().to_string();
 
-        let (status, listing) =
-            request(server.addr(), "GET", "/api/v0/documents", None).unwrap();
+        let (status, listing) = request(server.addr(), "GET", "/api/v0/documents", None).unwrap();
         assert_eq!(status, 200);
         assert!(listing.contains(&id));
 
-        let (status, fetched) =
-            request(server.addr(), "GET", &format!("/api/v0/documents/{id}"), None).unwrap();
+        let (status, fetched) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}"),
+            None,
+        )
+        .unwrap();
         assert_eq!(status, 200);
         let parsed = ProvDocument::from_json_str(&fetched).unwrap();
         assert_eq!(parsed.element_count(), 3);
 
-        let (status, _) =
-            request(server.addr(), "DELETE", &format!("/api/v0/documents/{id}"), None).unwrap();
+        let (status, _) = request(
+            server.addr(),
+            "DELETE",
+            &format!("/api/v0/documents/{id}"),
+            None,
+        )
+        .unwrap();
         assert_eq!(status, 200);
-        let (status, _) =
-            request(server.addr(), "GET", &format!("/api/v0/documents/{id}"), None).unwrap();
+        let (status, _) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}"),
+            None,
+        )
+        .unwrap();
         assert_eq!(status, 404);
         server.shutdown();
     }
@@ -719,15 +766,23 @@ mod tests {
     #[test]
     fn stats_and_lineage_endpoints() {
         let server = start();
-        let (_, body) =
-            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
-                .unwrap();
+        let (_, body) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
         let id: serde_json::Value = serde_json::from_str(&body).unwrap();
         let id = id["id"].as_str().unwrap().to_string();
 
-        let (status, stats) =
-            request(server.addr(), "GET", &format!("/api/v0/documents/{id}/stats"), None)
-                .unwrap();
+        let (status, stats) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}/stats"),
+            None,
+        )
+        .unwrap();
         assert_eq!(status, 200);
         let stats: serde_json::Value = serde_json::from_str(&stats).unwrap();
         assert_eq!(stats["entities"], 2);
@@ -761,7 +816,13 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let store = DocumentStore::persistent(&dir).unwrap();
         let server = Server::bind("127.0.0.1:0", store, ServerConfig::default()).unwrap();
-        request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json())).unwrap();
+        request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
         let (status, body) = request(server.addr(), "GET", "/api/v0/ledger", None).unwrap();
         assert_eq!(status, 200);
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
@@ -776,9 +837,13 @@ mod tests {
     #[test]
     fn explorer_page_served_at_root() {
         let server = start();
-        let (_, body) =
-            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
-                .unwrap();
+        let (_, body) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
         let _ = body;
         for path in ["/", "/explorer"] {
             let (status, html) = request(server.addr(), "GET", path, None).unwrap();
@@ -792,27 +857,43 @@ mod tests {
     #[test]
     fn export_endpoints_render_all_serializations() {
         let server = start();
-        let (_, body) =
-            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
-                .unwrap();
+        let (_, body) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
         let id: serde_json::Value = serde_json::from_str(&body).unwrap();
         let id = id["id"].as_str().unwrap().to_string();
 
-        let (status, provn) =
-            request(server.addr(), "GET", &format!("/api/v0/documents/{id}/provn"), None)
-                .unwrap();
+        let (status, provn) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}/provn"),
+            None,
+        )
+        .unwrap();
         assert_eq!(status, 200);
         assert!(provn.contains("wasGeneratedBy(ex:model, ex:train)"));
 
-        let (status, ttl) =
-            request(server.addr(), "GET", &format!("/api/v0/documents/{id}/turtle"), None)
-                .unwrap();
+        let (status, ttl) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}/turtle"),
+            None,
+        )
+        .unwrap();
         assert_eq!(status, 200);
         assert!(ttl.contains("ex:model prov:wasGeneratedBy ex:train ."));
 
-        let (status, dot) =
-            request(server.addr(), "GET", &format!("/api/v0/documents/{id}/dot"), None)
-                .unwrap();
+        let (status, dot) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}/dot"),
+            None,
+        )
+        .unwrap();
         assert_eq!(status, 200);
         assert!(dot.starts_with("digraph"));
 
@@ -825,11 +906,15 @@ mod tests {
     #[test]
     fn bad_requests_rejected() {
         let server = start();
-        let (status, _) =
-            request(server.addr(), "POST", "/api/v0/documents", Some("{not json")).unwrap();
+        let (status, _) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some("{not json"),
+        )
+        .unwrap();
         assert_eq!(status, 400);
-        let (status, _) =
-            request(server.addr(), "GET", "/api/v0/nope", None).unwrap();
+        let (status, _) = request(server.addr(), "GET", "/api/v0/nope", None).unwrap();
         assert_eq!(status, 404);
         let (status, _) = request(
             server.addr(),
@@ -871,7 +956,10 @@ mod tests {
         let server = Server::bind(
             "127.0.0.1:0",
             DocumentStore::new(),
-            ServerConfig { chaos_fail_uploads: 2, ..Default::default() },
+            ServerConfig {
+                chaos_fail_uploads: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let doc = sample_doc_json();
@@ -932,9 +1020,13 @@ mod tests {
 
         // The stalled connection is cut loose by the read timeout — the
         // server answers 400 instead of blocking forever.
-        stall.set_read_timeout(Some(Duration::from_secs(8))).unwrap();
+        stall
+            .set_read_timeout(Some(Duration::from_secs(8)))
+            .unwrap();
         let mut response = String::new();
-        BufReader::new(&stall).read_to_string(&mut response).unwrap();
+        BufReader::new(&stall)
+            .read_to_string(&mut response)
+            .unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
         assert!(
             started.elapsed() < Duration::from_secs(8),
@@ -968,24 +1060,37 @@ mod tests {
     #[test]
     fn percent_encoded_document_ids_round_trip() {
         let server = start();
-        let (status, body) =
-            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
-                .unwrap();
+        let (status, body) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
         assert_eq!(status, 201, "{body}");
         // The store names it "doc-1"; fetch, stat, and delete it through
         // its percent-encoded spelling.
         let (status, fetched) =
             request(server.addr(), "GET", "/api/v0/documents/doc%2D1", None).unwrap();
         assert_eq!(status, 200, "{fetched}");
-        assert_eq!(ProvDocument::from_json_str(&fetched).unwrap().element_count(), 3);
-        let (status, _) =
-            request(server.addr(), "GET", "/api/v0/documents/doc%2D1/stats", None).unwrap();
+        assert_eq!(
+            ProvDocument::from_json_str(&fetched)
+                .unwrap()
+                .element_count(),
+            3
+        );
+        let (status, _) = request(
+            server.addr(),
+            "GET",
+            "/api/v0/documents/doc%2D1/stats",
+            None,
+        )
+        .unwrap();
         assert_eq!(status, 200);
         let (status, _) =
             request(server.addr(), "DELETE", "/api/v0/documents/doc%2D1", None).unwrap();
         assert_eq!(status, 200);
-        let (status, _) =
-            request(server.addr(), "GET", "/api/v0/documents/doc-1", None).unwrap();
+        let (status, _) = request(server.addr(), "GET", "/api/v0/documents/doc-1", None).unwrap();
         assert_eq!(status, 404);
         server.shutdown();
     }
@@ -1060,14 +1165,21 @@ mod tests {
         assert_eq!(status, 200);
         let _ = first; // the first scrape may predate any instrument
 
-        let (status, _) =
-            request(server.addr(), "POST", "/api/v0/documents", Some(&sample_doc_json()))
-                .unwrap();
+        let (status, _) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
         assert_eq!(status, 201);
 
         let (status, scrape) = request(server.addr(), "GET", "/metrics", None).unwrap();
         assert_eq!(status, 200);
-        assert!(scrape.contains("# TYPE http_requests_total counter"), "{scrape}");
+        assert!(
+            scrape.contains("# TYPE http_requests_total counter"),
+            "{scrape}"
+        );
         assert!(
             scrape.contains(
                 "http_requests_total{method=\"POST\",route=\"/api/v0/documents\",status=\"201\"} 1"

@@ -91,7 +91,11 @@ impl Ledger {
     }
 
     /// Appends a commitment to a document's canonical JSON bytes.
-    pub fn append(&mut self, document_id: impl Into<String>, canonical_json: &[u8]) -> &LedgerEntry {
+    pub fn append(
+        &mut self,
+        document_id: impl Into<String>,
+        canonical_json: &[u8],
+    ) -> &LedgerEntry {
         let document_id = document_id.into();
         let document_digest = sha256_hex(canonical_json);
         let prev_hash = self
@@ -173,7 +177,9 @@ impl Ledger {
                 return Err(format!("line {}: expected 5 fields", lineno + 1));
             }
             entries.push(LedgerEntry {
-                index: parts[0].parse().map_err(|_| format!("line {}: bad index", lineno + 1))?,
+                index: parts[0]
+                    .parse()
+                    .map_err(|_| format!("line {}: bad index", lineno + 1))?,
                 document_id: parts[1].to_string(),
                 document_digest: parts[2].to_string(),
                 prev_hash: parts[3].to_string(),
@@ -248,7 +254,10 @@ mod tests {
         let edited = br#"{"loss": 0.1}"#.to_vec();
         assert_eq!(
             ledger.verify_against(|id| (id == "doc-1").then(|| edited.clone())),
-            Err(LedgerIssue::DocumentChanged { index: 0, document_id: "doc-1".into() })
+            Err(LedgerIssue::DocumentChanged {
+                index: 0,
+                document_id: "doc-1".into()
+            })
         );
         // Deleted documents are skipped (the chain still proves they existed).
         ledger.verify_against(|_| None).unwrap();

@@ -31,8 +31,8 @@
 
 pub mod client;
 pub mod explorer;
-pub mod ledger;
 pub mod http;
+pub mod ledger;
 pub mod store;
 
 pub use client::{Client, ClientError, Response, RetryPolicy};

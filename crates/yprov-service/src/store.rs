@@ -71,9 +71,7 @@ impl DocumentStore {
         // Integrity: the chain must be sound and surviving documents
         // must hash as recorded.
         ledger
-            .verify_against(|id| {
-                std::fs::read(dir.join(format!("{id}.json"))).ok()
-            })
+            .verify_against(|id| std::fs::read(dir.join(format!("{id}.json"))).ok())
             .map_err(|issue| format!("ledger verification failed: {issue:?}"))?;
 
         Ok(DocumentStore {
@@ -104,7 +102,10 @@ impl DocumentStore {
 
     /// Stores a document, returning its handle id.
     pub fn upload(&self, doc: ProvDocument) -> String {
-        let id = format!("doc-{}", self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let id = format!(
+            "doc-{}",
+            self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1
+        );
         self.persist(&id, &doc);
         self.inner.docs.write().insert(id.clone(), Arc::new(doc));
         id
@@ -330,7 +331,10 @@ mod tests {
         let store = DocumentStore::new();
         store.upload(pipeline_doc());
         let mut other = ProvDocument::new();
-        other.namespaces_mut().register("ex", "http://other/").unwrap();
+        other
+            .namespaces_mut()
+            .register("ex", "http://other/")
+            .unwrap();
         other.entity(q("x"));
         store.upload(other);
         assert!(store.merged().is_none());

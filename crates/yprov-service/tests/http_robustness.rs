@@ -44,7 +44,9 @@ fn survives_binary_garbage() {
     for _ in 0..20 {
         let blob: Vec<u8> = (0..200)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 40) as u8
             })
             .collect();
@@ -61,7 +63,11 @@ fn rejects_oversized_bodies_without_dying() {
     let server = Server::bind(
         "127.0.0.1:0",
         DocumentStore::new(),
-        ServerConfig { workers: 2, max_body: 1024, ..Default::default() },
+        ServerConfig {
+            workers: 2,
+            max_body: 1024,
+            ..Default::default()
+        },
     )
     .unwrap();
     let big = "x".repeat(10_000);

@@ -136,7 +136,10 @@ impl ArtifactStore {
 
     /// Removes objects not in `referenced` (garbage collection after
     /// runs are deleted). Returns the number of objects removed.
-    pub fn gc(&self, referenced: &std::collections::BTreeSet<String>) -> Result<usize, ProvMLError> {
+    pub fn gc(
+        &self,
+        referenced: &std::collections::BTreeSet<String>,
+    ) -> Result<usize, ProvMLError> {
         let mut removed = 0usize;
         let objects = self.root.join("objects");
         for fan in std::fs::read_dir(&objects)? {
@@ -213,7 +216,9 @@ mod tests {
         let dest = store.root().join("work/data.bin");
         store.checkout(&digest, &dest).unwrap();
         assert_eq!(std::fs::read(&dest).unwrap(), b"dataset");
-        assert!(store.checkout(&"ff".repeat(32), store.root().join("x")).is_err());
+        assert!(store
+            .checkout(&"ff".repeat(32), store.root().join("x"))
+            .is_err());
         std::fs::remove_dir_all(store.root()).ok();
     }
 

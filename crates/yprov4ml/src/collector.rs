@@ -48,10 +48,21 @@ impl RunState {
     /// Folds one record into the state.
     pub fn apply(&mut self, record: LogRecord) {
         match record {
-            LogRecord::Param { name, value, direction } => {
+            LogRecord::Param {
+                name,
+                value,
+                direction,
+            } => {
                 self.params.insert(name, (value, direction));
             }
-            LogRecord::Metric { name, context, step, epoch, time_us, value } => {
+            LogRecord::Metric {
+                name,
+                context,
+                step,
+                epoch,
+                time_us,
+                value,
+            } => {
                 // The record's own strings key the map; clones happen
                 // only on first sight of a series / context, not per
                 // sample.
@@ -60,7 +71,12 @@ impl RunState {
                     .metrics
                     .entry(key)
                     .or_insert_with_key(|k| MetricSeries::new(k.0.clone(), k.1.clone()));
-                series.push(MetricPoint { step, epoch, time_us, value });
+                series.push(MetricPoint {
+                    step,
+                    epoch,
+                    time_us,
+                    value,
+                });
                 if let Some(slot) = self.max_epoch.get_mut(&series.context) {
                     *slot = (*slot).max(epoch);
                 } else {
@@ -233,7 +249,10 @@ impl Collector {
             .name("yprov4ml-collector".into())
             .spawn(move || fold_loop(rx))?;
         Ok(Arc::new(Collector {
-            inner: Inner::Buffered { tx, handle: Mutex::new(Some(handle)) },
+            inner: Inner::Buffered {
+                tx,
+                handle: Mutex::new(Some(handle)),
+            },
             accepted: AtomicUsize::new(0),
             enqueue: enqueue_histogram(),
         }))
@@ -265,7 +284,10 @@ impl Collector {
             handles.push(handle);
         }
         Ok(Arc::new(Collector {
-            inner: Inner::Sharded { txs, handles: Mutex::new(Some(handles)) },
+            inner: Inner::Sharded {
+                txs,
+                handles: Mutex::new(Some(handles)),
+            },
             accepted: AtomicUsize::new(0),
             enqueue: enqueue_histogram(),
         }))
@@ -312,8 +334,7 @@ impl Collector {
                 .map_err(|_| ProvMLError::CollectorGone)?,
             Inner::Sharded { txs, .. } => {
                 let shards = txs.len();
-                let mut per_shard: Vec<Vec<LogRecord>> =
-                    (0..shards).map(|_| Vec::new()).collect();
+                let mut per_shard: Vec<Vec<LogRecord>> = (0..shards).map(|_| Vec::new()).collect();
                 for r in records {
                     per_shard[shard_index(&r, shards)].push(r);
                 }
@@ -497,16 +518,25 @@ mod tests {
         c.log(metric("m", 0, 1.0)).unwrap();
         assert!(c.close().is_ok());
         assert!(matches!(c.close(), Err(ProvMLError::CollectorGone)));
-        assert!(matches!(c.log(metric("m", 1, 1.0)), Err(ProvMLError::CollectorGone)));
+        assert!(matches!(
+            c.log(metric("m", 1, 1.0)),
+            Err(ProvMLError::CollectorGone)
+        ));
     }
 
     #[test]
     fn context_spans_recorded() {
         let c = Collector::synchronous();
-        c.log(LogRecord::ContextStart { context: Context::Training, time_us: 100 })
-            .unwrap();
-        c.log(LogRecord::ContextEnd { context: Context::Training, time_us: 900 })
-            .unwrap();
+        c.log(LogRecord::ContextStart {
+            context: Context::Training,
+            time_us: 100,
+        })
+        .unwrap();
+        c.log(LogRecord::ContextEnd {
+            context: Context::Training,
+            time_us: 900,
+        })
+        .unwrap();
         let state = c.close().unwrap();
         assert_eq!(state.context_spans["training"], (Some(100), Some(900)));
         assert_eq!(state.context_names(), vec!["training"]);
@@ -527,7 +557,10 @@ mod tests {
                 value: ParamValue::Float(0.01),
                 direction: Direction::Input,
             },
-            LogRecord::ContextStart { context: Context::Training, time_us: 5 },
+            LogRecord::ContextStart {
+                context: Context::Training,
+                time_us: 5,
+            },
         ];
         let reference = Collector::synchronous();
         let sharded = Collector::sharded(4).unwrap();
@@ -537,7 +570,9 @@ mod tests {
         }
         for rank in 0..8u64 {
             for i in 0..500 {
-                reference.log(metric(&format!("rank{rank}"), i, i as f64)).unwrap();
+                reference
+                    .log(metric(&format!("rank{rank}"), i, i as f64))
+                    .unwrap();
             }
         }
         let mut handles = Vec::new();
@@ -552,7 +587,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let end = LogRecord::ContextEnd { context: Context::Training, time_us: 999 };
+        let end = LogRecord::ContextEnd {
+            context: Context::Training,
+            time_us: 999,
+        };
         reference.log(end.clone()).unwrap();
         sharded.log(end).unwrap();
         assert_eq!(sharded.accepted(), reference.accepted());
@@ -622,8 +660,11 @@ mod tests {
     fn merge_combines_disjoint_states() {
         let a = Collector::synchronous();
         a.log(metric("loss", 0, 1.0)).unwrap();
-        a.log(LogRecord::ContextStart { context: Context::Training, time_us: 10 })
-            .unwrap();
+        a.log(LogRecord::ContextStart {
+            context: Context::Training,
+            time_us: 10,
+        })
+        .unwrap();
         let b = Collector::synchronous();
         b.log(LogRecord::Metric {
             name: "power".into(),
@@ -634,8 +675,11 @@ mod tests {
             value: 250.0,
         })
         .unwrap();
-        b.log(LogRecord::ContextEnd { context: Context::Training, time_us: 90 })
-            .unwrap();
+        b.log(LogRecord::ContextEnd {
+            context: Context::Training,
+            time_us: 90,
+        })
+        .unwrap();
         let mut merged = a.close().unwrap();
         merged.merge(b.close().unwrap());
         assert_eq!(merged.metric_samples, 2);

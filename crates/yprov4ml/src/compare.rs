@@ -75,7 +75,13 @@ impl RunSummary {
         }
         outputs.sort();
 
-        Some(RunSummary { run, params, input_params, metrics, outputs })
+        Some(RunSummary {
+            run,
+            params,
+            input_params,
+            metrics,
+            outputs,
+        })
     }
 }
 
@@ -98,9 +104,11 @@ pub fn compare_runs(summaries: &[RunSummary], metric: &str) -> ComparisonTable {
     // table in noise.
     let any_inputs = summaries.iter().any(|s| !s.input_params.is_empty());
     let relevant = |s: &RunSummary, name: &str| -> bool {
-        !any_inputs || s.input_params.contains(name) || summaries
-            .iter()
-            .any(|other| other.input_params.contains(name))
+        !any_inputs
+            || s.input_params.contains(name)
+            || summaries
+                .iter()
+                .any(|other| other.input_params.contains(name))
     };
     // Find parameters whose value is not constant across runs.
     let mut all_params: BTreeMap<String, Vec<Option<&String>>> = BTreeMap::new();
@@ -142,7 +150,10 @@ pub fn compare_runs(summaries: &[RunSummary], metric: &str) -> ComparisonTable {
         })
         .collect();
 
-    ComparisonTable { varying_params, rows }
+    ComparisonTable {
+        varying_params,
+        rows,
+    }
 }
 
 /// The run whose `metric` is smallest (e.g. best loss). Ties break on
@@ -255,9 +266,17 @@ mod tests {
         let run = exp.start_run("r1").unwrap();
         run.log_param("learning_rate", 0.001);
         for i in 0..10u64 {
-            run.log_metric_at("loss", Context::Training, i, 0, i as i64, 1.0 / (i + 1) as f64);
+            run.log_metric_at(
+                "loss",
+                Context::Training,
+                i,
+                0,
+                i as i64,
+                1.0 / (i + 1) as f64,
+            );
         }
-        run.log_artifact_bytes("model.ckpt", b"w", Direction::Output).unwrap();
+        run.log_artifact_bytes("model.ckpt", b"w", Direction::Output)
+            .unwrap();
         run.finish().unwrap();
 
         let doc = exp.load_run_document("r1").unwrap();

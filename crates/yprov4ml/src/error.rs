@@ -82,11 +82,15 @@ mod tests {
         let e: ProvMLError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(ProvMLError::RunClosed("r1".into()).to_string().contains("r1"));
+        assert!(ProvMLError::RunClosed("r1".into())
+            .to_string()
+            .contains("r1"));
         assert!(std::error::Error::source(&ProvMLError::CollectorGone).is_none());
         assert!(ProvMLError::JournalExists("/tmp/j.jsonl".into())
             .to_string()
             .contains("Overwrite"));
-        assert!(ProvMLError::Journal("empty".into()).to_string().contains("empty"));
+        assert!(ProvMLError::Journal("empty".into())
+            .to_string()
+            .contains("empty"));
     }
 }

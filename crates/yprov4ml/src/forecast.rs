@@ -34,9 +34,8 @@ impl RunFeatures {
     /// `ProvenanceObserver` records). Returns `None` when any is
     /// missing or non-positive.
     pub fn from_summary(s: &RunSummary) -> Option<RunFeatures> {
-        let get = |key: &str| -> Option<f64> {
-            s.params.get(key).and_then(|v| v.parse::<f64>().ok())
-        };
+        let get =
+            |key: &str| -> Option<f64> { s.params.get(key).and_then(|v| v.parse::<f64>().ok()) };
         let f = RunFeatures {
             params: get("params")?,
             samples: get("samples_seen").or_else(|| get("dataset_samples"))?,
@@ -97,7 +96,10 @@ impl LogLinearModel {
     pub fn fit(data: &[(RunFeatures, f64)]) -> Result<LogLinearModel, FitError> {
         const D: usize = 4;
         if data.len() < D {
-            return Err(FitError::NotEnoughRuns { got: data.len(), need: D });
+            return Err(FitError::NotEnoughRuns {
+                got: data.len(),
+                need: D,
+            });
         }
         for (_, y) in data {
             if !(y.is_finite() && *y > 0.0) {
@@ -120,7 +122,11 @@ impl LogLinearModel {
         }
         let weights = solve4(xtx, xty).ok_or(FitError::Singular)?;
 
-        let model = LogLinearModel { weights, fitted_on: data.len(), train_rms_rel_error: 0.0 };
+        let model = LogLinearModel {
+            weights,
+            fitted_on: data.len(),
+            train_rms_rel_error: 0.0,
+        };
         let mut sq = 0.0;
         for (f, y) in data {
             let rel = (model.predict(f) - y) / y;
@@ -209,7 +215,11 @@ mod tests {
     use super::*;
 
     fn features(params: f64, samples: f64, gpus: f64) -> RunFeatures {
-        RunFeatures { params, samples, gpus }
+        RunFeatures {
+            params,
+            samples,
+            gpus,
+        }
     }
 
     /// Synthetic ground truth: walltime = 3e-12 · params · samples / gpus.
@@ -277,11 +287,17 @@ mod tests {
         // Identical runs → singular.
         let f = features(1e8, 1e5, 8.0);
         let same = vec![(f, 100.0); 10];
-        assert!(matches!(LogLinearModel::fit(&same), Err(FitError::Singular)));
+        assert!(matches!(
+            LogLinearModel::fit(&same),
+            Err(FitError::Singular)
+        ));
         // Non-positive target.
         let mut data = grid();
         data[0].1 = 0.0;
-        assert!(matches!(LogLinearModel::fit(&data), Err(FitError::BadTarget(_))));
+        assert!(matches!(
+            LogLinearModel::fit(&data),
+            Err(FitError::BadTarget(_))
+        ));
     }
 
     #[test]

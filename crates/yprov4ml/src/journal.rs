@@ -193,8 +193,7 @@ impl JournalWriter {
         let path0 = run_dir.join(JOURNAL_FILE);
         let mut stamped = header.clone();
         stamped.version = JOURNAL_VERSION;
-        let fresh_line =
-            serde_json::to_string(&stamped).map_err(metric_store::StoreError::Json)?;
+        let fresh_line = serde_json::to_string(&stamped).map_err(metric_store::StoreError::Json)?;
 
         let (state, header_line) = match config.mode {
             JournalMode::FailIfExists => {
@@ -257,8 +256,8 @@ impl JournalWriter {
                 } else {
                     let mut first = String::new();
                     BufReader::new(File::open(&path0)?).read_line(&mut first)?;
-                    let disk_header: JournalHeader =
-                        serde_json::from_str(first.trim_end()).map_err(|e| {
+                    let disk_header: JournalHeader = serde_json::from_str(first.trim_end())
+                        .map_err(|e| {
                             ProvMLError::Journal(format!(
                                 "{}: unreadable header, cannot resume: {e}",
                                 path0.display()
@@ -692,7 +691,8 @@ mod tests {
             .append(true)
             .open(dir.join(JOURNAL_FILE))
             .unwrap();
-        f.write_all(b"{\"Metric\":{\"name\":\"loss\",\"conte").unwrap();
+        f.write_all(b"{\"Metric\":{\"name\":\"loss\",\"conte")
+            .unwrap();
         drop(f);
 
         let replay = read_journal(&dir).unwrap();
@@ -756,14 +756,20 @@ mod tests {
         write_records_with(
             &dir,
             50,
-            JournalConfig { rotate_bytes: Some(512), ..Default::default() },
+            JournalConfig {
+                rotate_bytes: Some(512),
+                ..Default::default()
+            },
         );
         assert!(dir.join(segment_file_name(1)).exists());
 
         write_records_with(
             &dir,
             2,
-            JournalConfig { mode: JournalMode::Overwrite, ..Default::default() },
+            JournalConfig {
+                mode: JournalMode::Overwrite,
+                ..Default::default()
+            },
         );
         assert!(!dir.join(segment_file_name(1)).exists());
         let replay = read_journal(&dir).unwrap();
@@ -779,7 +785,10 @@ mod tests {
         let writer = JournalWriter::create_with(
             &dir,
             &header(),
-            JournalConfig { mode: JournalMode::Resume, ..Default::default() },
+            JournalConfig {
+                mode: JournalMode::Resume,
+                ..Default::default()
+            },
         )
         .unwrap();
         for i in 10..15u64 {
@@ -798,7 +807,10 @@ mod tests {
         write_records_with(
             &dir,
             200,
-            JournalConfig { rotate_bytes: Some(1024), ..Default::default() },
+            JournalConfig {
+                rotate_bytes: Some(1024),
+                ..Default::default()
+            },
         );
         let replay = read_journal(&dir).unwrap();
         assert!(replay.segments > 1, "expected rotation, got 1 segment");
@@ -826,7 +838,14 @@ mod tests {
             ("sync_flush", SyncPolicy::OnFlush),
         ] {
             let dir = tmp(tag);
-            write_records_with(&dir, 10, JournalConfig { sync, ..Default::default() });
+            write_records_with(
+                &dir,
+                10,
+                JournalConfig {
+                    sync,
+                    ..Default::default()
+                },
+            );
             let replay = read_journal(&dir).unwrap();
             assert_eq!(replay.records, 11);
             assert_eq!(replay.skipped, 0);

@@ -58,8 +58,8 @@ pub mod forecast;
 pub mod hash;
 pub mod journal;
 pub mod mlflow;
-pub mod monitor;
 pub mod model;
+pub mod monitor;
 pub mod plugins;
 pub mod prov_emit;
 pub mod run;

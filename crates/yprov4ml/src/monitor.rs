@@ -118,7 +118,9 @@ impl TrainingMonitor {
         }
         if let Some(budget) = self.policy.walltime_budget_s {
             if walltime_s >= budget {
-                return Advice::WalltimeExhausted { seconds: walltime_s };
+                return Advice::WalltimeExhausted {
+                    seconds: walltime_s,
+                };
             }
         }
         if let Some(target) = self.policy.target_loss {
@@ -171,7 +173,9 @@ mod tests {
         let mut m = TrainingMonitor::new(StopPolicy::default());
         let mut stopped_at = None;
         for step in 0..10_000u64 {
-            if m.observe(1.0 / (step + 1) as f64, 0.0, step as f64).should_stop() {
+            if m.observe(1.0 / (step + 1) as f64, 0.0, step as f64)
+                .should_stop()
+            {
                 stopped_at = Some(step);
                 break;
             }

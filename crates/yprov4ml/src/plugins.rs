@@ -87,7 +87,12 @@ impl EnergyPlugin {
     /// Builds the plugin from a power source and the clock that
     /// timestamps its samples.
     pub fn new(source: Arc<dyn PowerSource>, clock: Arc<VirtualClock>) -> Self {
-        EnergyPlugin { source, clock, acc: EnergyAccumulator::new(), ticks: 0 }
+        EnergyPlugin {
+            source,
+            clock,
+            acc: EnergyAccumulator::new(),
+            ticks: 0,
+        }
     }
 
     /// Energy integrated so far, joules.
@@ -146,7 +151,10 @@ pub struct SystemStats {
 impl SystemStatsPlugin {
     /// Builds from a stats closure.
     pub fn new(sampler: impl FnMut() -> SystemStats + Send + 'static) -> Self {
-        SystemStatsPlugin { sampler: Box::new(sampler), ticks: 0 }
+        SystemStatsPlugin {
+            sampler: Box::new(sampler),
+            ticks: 0,
+        }
     }
 
     /// A sampler reading the current process's own stats where
@@ -162,7 +170,10 @@ impl SystemStatsPlugin {
                 })
                 .map(|pages| pages * 4096)
                 .unwrap_or(0);
-            SystemStats { memory_bytes, cpu_util: 0.0 }
+            SystemStats {
+                memory_bytes,
+                cpu_util: 0.0,
+            }
         })
     }
 }
@@ -175,7 +186,12 @@ impl ProvPlugin for SystemStatsPlugin {
     fn on_tick(&mut self, sink: &mut PluginSink) {
         let stats = (self.sampler)();
         let time_us = self.ticks as i64;
-        sink.metric("memory_bytes", self.ticks, time_us, stats.memory_bytes as f64);
+        sink.metric(
+            "memory_bytes",
+            self.ticks,
+            time_us,
+            stats.memory_bytes as f64,
+        );
         sink.metric("cpu_util", self.ticks, time_us, stats.cpu_util);
         self.ticks += 1;
     }
@@ -196,7 +212,10 @@ pub struct SourceSnapshotPlugin {
 impl SourceSnapshotPlugin {
     /// Watches the tree rooted at `root`.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        SourceSnapshotPlugin { root: root.into(), start_snapshot: None }
+        SourceSnapshotPlugin {
+            root: root.into(),
+            start_snapshot: None,
+        }
     }
 }
 
@@ -264,7 +283,10 @@ mod tests {
         let mut n = 0u64;
         let mut plugin = SystemStatsPlugin::new(move || {
             n += 1;
-            SystemStats { memory_bytes: n * 1024, cpu_util: 0.5 }
+            SystemStats {
+                memory_bytes: n * 1024,
+                cpu_util: 0.5,
+            }
         });
         let mut sink = PluginSink::new(&collector);
         for _ in 0..3 {

@@ -2,11 +2,9 @@
 
 use crate::collector::Collector;
 use crate::error::ProvMLError;
-use crate::journal::{JournalConfig, JournalHeader, JournalWriter};
 use crate::hash::sha256_hex;
-use crate::model::{
-    ArtifactMeta, Context, Direction, LogRecord, ParamValue, RunReport, RunStatus,
-};
+use crate::journal::{JournalConfig, JournalHeader, JournalWriter};
+use crate::model::{ArtifactMeta, Context, Direction, LogRecord, ParamValue, RunReport, RunStatus};
 use crate::plugins::{PluginSink, ProvPlugin};
 use crate::prov_emit::{build_document, emit_overhead, write_prov_files, RunIdentity};
 use crate::spill::{spill_metrics_pooled, SpillPolicy};
@@ -39,7 +37,9 @@ impl Default for FinalizeOptions {
 impl FinalizeOptions {
     /// Convenience constructor.
     pub fn with_threads(threads: usize) -> Self {
-        FinalizeOptions { threads: threads.max(1) }
+        FinalizeOptions {
+            threads: threads.max(1),
+        }
     }
 }
 
@@ -262,12 +262,18 @@ impl Run {
 
     /// Marks a context as started.
     pub fn start_context(&self, context: Context) {
-        let _ = self.submit(LogRecord::ContextStart { context, time_us: now_us() });
+        let _ = self.submit(LogRecord::ContextStart {
+            context,
+            time_us: now_us(),
+        });
     }
 
     /// Marks a context as ended.
     pub fn end_context(&self, context: Context) {
-        let _ = self.submit(LogRecord::ContextEnd { context, time_us: now_us() });
+        let _ = self.submit(LogRecord::ContextEnd {
+            context,
+            time_us: now_us(),
+        });
     }
 
     // ----- artifacts -------------------------------------------------------
@@ -293,7 +299,13 @@ impl Run {
         let name = name.into();
         let safe: String = name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let stored_path = self.dir.join("artifacts").join(&safe);
         std::fs::write(&stored_path, bytes)?;
@@ -419,10 +431,11 @@ impl Run {
             .histogram("yprov4ml_finalize_emit_seconds")
             .time(|| build_document(&identity, &state, &spill, self.spill.is_inline()));
         if status == RunStatus::Failed {
-            doc.activity(prov_model::QName::new("exp", self.name.clone())).attr(
-                prov_model::QName::yprov("status"),
-                prov_model::AttrValue::from("failed"),
-            );
+            doc.activity(prov_model::QName::new("exp", self.name.clone()))
+                .attr(
+                    prov_model::QName::yprov("status"),
+                    prov_model::AttrValue::from("failed"),
+                );
         }
         if let Some(delta) = overhead.filter(|d| !d.is_empty()) {
             emit_overhead(&mut doc, &identity, &delta);
@@ -471,7 +484,8 @@ mod tests {
             run.log_metric("loss", Context::Training, step, (step / 10) as u32, 1.0);
         }
         run.end_context(Context::Training);
-        run.log_artifact_bytes("data.bin", b"input bytes", Direction::Input).unwrap();
+        run.log_artifact_bytes("data.bin", b"input bytes", Direction::Input)
+            .unwrap();
         run.log_model("model.ckpt", b"weights").unwrap();
 
         let report = run.finish().unwrap();
@@ -494,9 +508,15 @@ mod tests {
         let b = base("artifacts");
         let exp = Experiment::new("e", &b).unwrap();
         let run = exp.start_run("r1").unwrap();
-        let m1 = run.log_artifact_bytes("a.bin", b"same", Direction::Output).unwrap();
-        let m2 = run.log_artifact_bytes("b.bin", b"same", Direction::Output).unwrap();
-        let m3 = run.log_artifact_bytes("c.bin", b"different", Direction::Output).unwrap();
+        let m1 = run
+            .log_artifact_bytes("a.bin", b"same", Direction::Output)
+            .unwrap();
+        let m2 = run
+            .log_artifact_bytes("b.bin", b"same", Direction::Output)
+            .unwrap();
+        let m3 = run
+            .log_artifact_bytes("c.bin", b"different", Direction::Output)
+            .unwrap();
         assert_eq!(m1.sha256, m2.sha256);
         assert_ne!(m1.sha256, m3.sha256);
         assert!(m1.stored_path.is_file());
@@ -511,7 +531,13 @@ mod tests {
 
         let mk = |name: &str, spill: SpillPolicy| {
             let run = exp
-                .start_run_with(name, RunOptions { spill, ..Default::default() })
+                .start_run_with(
+                    name,
+                    RunOptions {
+                        spill,
+                        ..Default::default()
+                    },
+                )
                 .unwrap();
             for step in 0..5000u64 {
                 run.log_metric_at("loss", Context::Training, step, 0, step as i64, 0.5);
@@ -629,7 +655,13 @@ mod tests {
         let b = base("sync");
         let exp = Experiment::new("e", &b).unwrap();
         let run = exp
-            .start_run_with("r", RunOptions { synchronous: true, ..Default::default() })
+            .start_run_with(
+                "r",
+                RunOptions {
+                    synchronous: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         run.log_metric("m", Context::Testing, 0, 0, 1.0);
         assert_eq!(run.records_accepted(), 1);

@@ -119,7 +119,13 @@ fn finish_outcome(
         .unwrap_or_default();
     let links = series
         .iter()
-        .map(|s| (s.name.clone(), s.context.clone(), format!("{file_name}#{}", s.key())))
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.context.clone(),
+                format!("{file_name}#{}", s.key()),
+            )
+        })
         .collect();
     Ok(SpillOutcome {
         external_bytes: store.size_bytes()?,
@@ -191,8 +197,7 @@ mod tests {
     fn zarr_spill_roundtrips() {
         let dir = tmpdir("zarr");
         let s = series("loss", 5000);
-        let out =
-            spill_metrics(&dir, &SpillPolicy::Zarr(ZarrOptions::default()), &[&s]).unwrap();
+        let out = spill_metrics(&dir, &SpillPolicy::Zarr(ZarrOptions::default()), &[&s]).unwrap();
         assert!(out.store_path.as_ref().unwrap().ends_with("metrics.zarr"));
         assert!(out.external_bytes > 0);
         assert_eq!(out.links.len(), 1);

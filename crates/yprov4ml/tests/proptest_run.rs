@@ -36,18 +36,31 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
             LogRecord::Param {
                 name,
                 value,
-                direction: if input { Direction::Input } else { Direction::Output },
+                direction: if input {
+                    Direction::Input
+                } else {
+                    Direction::Output
+                },
             }
         }),
-        ("[a-z]{1,10}", arb_context(), any::<u64>(), any::<u32>(), any::<i64>(), any::<f64>())
-            .prop_map(|(name, context, step, epoch, time_us, value)| LogRecord::Metric {
-                name,
-                context,
-                step,
-                epoch,
-                time_us,
-                value,
-            }),
+        (
+            "[a-z]{1,10}",
+            arb_context(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<i64>(),
+            any::<f64>()
+        )
+            .prop_map(
+                |(name, context, step, epoch, time_us, value)| LogRecord::Metric {
+                    name,
+                    context,
+                    step,
+                    epoch,
+                    time_us,
+                    value,
+                }
+            ),
         (arb_context(), any::<i64>())
             .prop_map(|(context, time_us)| LogRecord::ContextStart { context, time_us }),
         (arb_context(), any::<i64>())
@@ -66,16 +79,19 @@ fn states_equal_modulo_nan(a: &RunState, b: &RunState) -> bool {
     {
         return false;
     }
-    a.metrics.iter().zip(b.metrics.iter()).all(|((ka, sa), (kb, sb))| {
-        ka == kb
-            && sa.points.len() == sb.points.len()
-            && sa.points.iter().zip(&sb.points).all(|(x, y)| {
-                x.step == y.step
-                    && x.epoch == y.epoch
-                    && x.time_us == y.time_us
-                    && x.value.to_bits() == y.value.to_bits()
-            })
-    })
+    a.metrics
+        .iter()
+        .zip(b.metrics.iter())
+        .all(|((ka, sa), (kb, sb))| {
+            ka == kb
+                && sa.points.len() == sb.points.len()
+                && sa.points.iter().zip(&sb.points).all(|(x, y)| {
+                    x.step == y.step
+                        && x.epoch == y.epoch
+                        && x.time_us == y.time_us
+                        && x.value.to_bits() == y.value.to_bits()
+                })
+        })
 }
 
 proptest! {

@@ -42,9 +42,7 @@ pub struct WorkflowReport {
 impl WorkflowReport {
     /// True when every task succeeded.
     pub fn succeeded(&self) -> bool {
-        self.statuses
-            .values()
-            .all(|s| *s == TaskStatus::Succeeded)
+        self.statuses.values().all(|s| *s == TaskStatus::Succeeded)
     }
 
     /// Names of failed tasks.
@@ -83,7 +81,12 @@ pub fn run(workflow: Workflow) -> Result<WorkflowReport, WorkflowError> {
     let mut outcomes: BTreeMap<String, TaskOutcome> = BTreeMap::new();
     let mut spans: BTreeMap<String, (XsdDateTime, XsdDateTime)> = BTreeMap::new();
 
-    let (tx, rx) = mpsc::channel::<(String, Result<TaskOutcome, String>, XsdDateTime, XsdDateTime)>();
+    let (tx, rx) = mpsc::channel::<(
+        String,
+        Result<TaskOutcome, String>,
+        XsdDateTime,
+        XsdDateTime,
+    )>();
     let mut running = 0usize;
 
     std::thread::scope(|scope| {
@@ -110,7 +113,9 @@ pub fn run(workflow: Workflow) -> Result<WorkflowReport, WorkflowError> {
                 running += 1;
                 scope.spawn(move || {
                     let start = XsdDateTime::now();
-                    let ctx = TaskCtx { upstream: &upstream };
+                    let ctx = TaskCtx {
+                        upstream: &upstream,
+                    };
                     let result = (task.body)(&ctx);
                     let end = XsdDateTime::now();
                     let _ = tx.send((task.name, result, start, end));
@@ -162,7 +167,12 @@ pub fn run(workflow: Workflow) -> Result<WorkflowReport, WorkflowError> {
     });
 
     let document = build_document(&wf_name, started, &deps_of, &statuses, &outcomes, &spans);
-    Ok(WorkflowReport { name: wf_name, statuses, outcomes, document })
+    Ok(WorkflowReport {
+        name: wf_name,
+        statuses,
+        outcomes,
+        document,
+    })
 }
 
 fn build_document(
@@ -178,7 +188,10 @@ fn build_document(
         .register("yprov4ml", prov_model::qname::YPROV_NS)
         .expect("static namespace");
     doc.namespaces_mut()
-        .register("wf", format!("https://yprov.example.org/workflows/{wf_name}#"))
+        .register(
+            "wf",
+            format!("https://yprov.example.org/workflows/{wf_name}#"),
+        )
         .expect("valid prefix");
 
     let wf_activity = QName::new("wf", wf_name);
@@ -223,7 +236,10 @@ fn build_document(
         }
         doc.was_informed_by(task_activity.clone(), wf_activity.clone());
         for dep in &deps_of[name] {
-            doc.was_informed_by(task_activity.clone(), QName::new("wf", format!("task/{dep}")));
+            doc.was_informed_by(
+                task_activity.clone(),
+                QName::new("wf", format!("task/{dep}")),
+            );
         }
 
         // Output artifacts, and `used` edges from dependents.
@@ -400,7 +416,10 @@ mod tests {
             ancestors.contains(&QName::new("wf", "artifact/prep/clean.bin")),
             "the model must trace back to prep's output; got {ancestors:?}"
         );
-        assert!(ancestors.contains(&QName::new("wf", "lineage")), "and to the workflow");
+        assert!(
+            ancestors.contains(&QName::new("wf", "lineage")),
+            "and to the workflow"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub struct Workflow {
 impl Workflow {
     /// Starts an empty workflow.
     pub fn new(name: impl Into<String>) -> Self {
-        Workflow { name: name.into(), tasks: Vec::new() }
+        Workflow {
+            name: name.into(),
+            tasks: Vec::new(),
+        }
     }
 
     /// The workflow name.
@@ -207,7 +210,9 @@ mod tests {
             "prep".to_string(),
             TaskOutcome::new().output("data", b"abc".to_vec()),
         );
-        let ctx = TaskCtx { upstream: &upstream };
+        let ctx = TaskCtx {
+            upstream: &upstream,
+        };
         assert_eq!(ctx.input("prep", "data"), Some(b"abc".as_slice()));
         assert_eq!(ctx.input("prep", "missing"), None);
         assert_eq!(ctx.input("ghost", "data"), None);

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run_v1 = do_run(&experiment, "v1", &project, 0.01)?;
 
     // The developer edits the script...
-    std::fs::write(project.join("train.py"), "lr = 0.001  # lowered\nepochs = 5\n")?;
+    std::fs::write(
+        project.join("train.py"),
+        "lr = 0.001  # lowered\nepochs = 5\n",
+    )?;
 
     // Run 2: after the edit.
     let run_v2 = do_run(&experiment, "v2", &project, 0.001)?;

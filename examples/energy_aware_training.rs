@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             run.log_output_param("stop_reason", "energy_budget");
         }
-        Advice::Plateaued { best_loss, stale_for } => {
+        Advice::Plateaued {
+            best_loss,
+            stale_for,
+        } => {
             println!("stopped: loss plateaued at {best_loss:.4} for {stale_for} steps");
             run.log_output_param("stop_reason", "plateau");
         }

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 gpus: 16,
                 per_gpu_batch: batch,
                 epochs: 3,
-                comm: DdpCommConfig { overlap_fraction: overlap, ..Default::default() },
+                comm: DdpCommConfig {
+                    overlap_fraction: overlap,
+                    ..Default::default()
+                },
                 cutoff: WalltimeCutoff::Unlimited,
                 exercise_collective: false,
                 phase: train_sim::sim::Phase::PreTraining,
@@ -57,8 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let doc = experiment.load_run_document(&name)?;
         if let Some(mut s) = RunSummary::from_document(&doc) {
             // Score = walltime × energy from the logged output params.
-            let walltime: f64 = s.params.get("walltime_s").and_then(|v| v.parse().ok()).unwrap_or(f64::NAN);
-            let energy: f64 = s.params.get("energy_kwh").and_then(|v| v.parse().ok()).unwrap_or(f64::NAN);
+            let walltime: f64 = s
+                .params
+                .get("walltime_s")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(f64::NAN);
+            let energy: f64 = s
+                .params
+                .get("energy_kwh")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(f64::NAN);
             s.metrics.insert("cost".into(), walltime * energy);
             summaries.push(s);
         }
@@ -73,7 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<12} {:<24} {:>12}",
             run,
             values.join(", "),
-            metric.map(|m| format!("{m:.2}")).unwrap_or_else(|| "-".into())
+            metric
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "-".into())
         );
     }
 

@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 2: training — the simulator under run-level provenance.
     wf.task("train", ["preprocess"], move |ctx| {
-        let manifest = ctx.input("preprocess", "manifest.txt").ok_or("no manifest")?;
+        let manifest = ctx
+            .input("preprocess", "manifest.txt")
+            .ok_or("no manifest")?;
         let patches = manifest.split(|&b| b == b'\n').count() as u64;
 
         let run = experiment_for_task
@@ -83,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     wf.task("evaluate", ["train"], |ctx| {
         let model = ctx.input("train", "model.ckpt").ok_or("no model")?;
         Ok(TaskOutcome::new()
-            .output("report.txt", format!("evaluated {} bytes of weights", model.len()).into_bytes())
+            .output(
+                "report.txt",
+                format!("evaluated {} bytes of weights", model.len()).into_bytes(),
+            )
             .param("accuracy", 0.87))
     });
 
@@ -104,7 +109,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = ProvGraph::new(&combined);
     let eval_report = QName::new("wf", "artifact/evaluate/report.txt");
     let ancestors = graph.ancestors(&eval_report);
-    println!("\nlineage of the evaluation report ({} ancestors):", ancestors.len());
+    println!(
+        "\nlineage of the evaluation report ({} ancestors):",
+        ancestors.len()
+    );
     for a in ancestors.iter().filter(|a| a.local().contains("artifact")) {
         println!("  <- {a}");
     }

@@ -24,7 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.log_param("learning_rate", lr);
         run.log_artifact_bytes("dataset.bin", b"data", Direction::Input)?;
         for step in 0..50u64 {
-            run.log_metric("loss", Context::Training, step, 0, 1.0 / (1.0 + step as f64 * lr));
+            run.log_metric(
+                "loss",
+                Context::Training,
+                step,
+                0,
+                1.0 / (1.0 + step as f64 * lr),
+            );
         }
         run.log_model("model.ckpt", format!("weights-{name}").as_bytes())?;
         run.finish()?;

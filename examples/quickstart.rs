@@ -36,7 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let loss = 2.0 / (1.0 + step as f64 * 0.05);
         run.log_metric("loss", Context::Training, step, epoch, loss);
         if step % 50 == 49 {
-            run.log_metric("accuracy", Context::Validation, step, epoch, 0.5 + epoch as f64 * 0.1);
+            run.log_metric(
+                "accuracy",
+                Context::Validation,
+                step,
+                epoch,
+                0.5 + epoch as f64 * 0.1,
+            );
         }
     }
     run.end_context(Context::Training);
