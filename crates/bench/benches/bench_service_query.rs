@@ -1,0 +1,98 @@
+//! Service query-path benchmarks: `ancestors`/`subgraph` latency on a
+//! large document, cold (index rebuilt per query, the pre-cache
+//! behaviour) versus cached (the store's shared `Arc` index).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_model::{ProvDocument, QName};
+use yprov_service::DocumentStore;
+
+/// A chain-structured document with `n` derivation hops — the worst
+/// case for lineage queries, whose answer spans the whole chain.
+fn chain_doc(n: usize) -> ProvDocument {
+    let mut doc = ProvDocument::new();
+    doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+    for i in 0..n {
+        doc.entity(QName::new("ex", format!("e{i}")));
+        doc.activity(QName::new("ex", format!("a{i}")));
+        if i > 0 {
+            doc.used(
+                QName::new("ex", format!("a{i}")),
+                QName::new("ex", format!("e{}", i - 1)),
+            );
+        }
+        doc.was_generated_by(
+            QName::new("ex", format!("e{i}")),
+            QName::new("ex", format!("a{i}")),
+        );
+    }
+    doc
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/query");
+    for n in [1_000usize, 5_000] {
+        let store = DocumentStore::new();
+        let id = store.upload(chain_doc(n)).unwrap();
+        let focus = QName::new("ex", format!("e{}", n - 1));
+        let mid = QName::new("ex", format!("e{}", n / 2));
+
+        // Cold: every query pays the O(document) index build — what the
+        // store did per request before the cache.
+        group.bench_function(BenchmarkId::new("ancestors_cold", n), |b| {
+            b.iter(|| {
+                store.clear_index_cache();
+                store.ancestors(&id, &focus).unwrap()
+            })
+        });
+        // Cached: the query reuses the index built at upload time.
+        store.ancestors(&id, &focus).unwrap(); // prime
+        group.bench_function(BenchmarkId::new("ancestors_cached", n), |b| {
+            b.iter(|| store.ancestors(&id, &focus).unwrap())
+        });
+
+        group.bench_function(BenchmarkId::new("subgraph_cold", n), |b| {
+            b.iter(|| {
+                store.clear_index_cache();
+                store.subgraph(&id, &mid).unwrap()
+            })
+        });
+        store.subgraph(&id, &mid).unwrap(); // prime
+        group.bench_function(BenchmarkId::new("subgraph_cached", n), |b| {
+            b.iter(|| store.subgraph(&id, &mid).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// A short shallow query on a big document — the case the cache helps
+/// most: the answer is O(1) but the cold path still rebuilds the whole
+/// index.
+fn bench_shallow_query(c: &mut Criterion) {
+    let n = 5_000usize;
+    let store = DocumentStore::new();
+    let id = store.upload(chain_doc(n)).unwrap();
+    let first = QName::new("ex", "e0");
+
+    let mut group = c.benchmark_group("service/shallow");
+    group.bench_function("ancestors_cold", |b| {
+        b.iter(|| {
+            store.clear_index_cache();
+            store.ancestors(&id, &first).unwrap()
+        })
+    });
+    store.ancestors(&id, &first).unwrap();
+    group.bench_function("ancestors_cached", |b| {
+        b.iter(|| store.ancestors(&id, &first).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_query_latency, bench_shallow_query
+}
+criterion_main!(benches);

@@ -32,7 +32,7 @@ fn mlflow_to_service_to_crate() {
         let store = DocumentStore::persistent(&store_dir).unwrap();
         let json = std::fs::read_to_string(&report.prov_json_path).unwrap();
         let doc = prov_model::ProvDocument::from_json_str(&json).unwrap();
-        doc_id = store.upload(doc);
+        doc_id = store.upload(doc).unwrap();
         assert_eq!(store.ledger_entries().len(), 1);
     }
     // Reopen: the ledger verifies and the document is intact.

@@ -7,6 +7,16 @@ use yprov_service::explorer;
 use yprov_service::http::request;
 use yprov_service::{DocumentStore, Server, ServerConfig};
 
+/// The store under test: in-memory by default; `YPROV_TEST_BACKEND=durable`
+/// (set by the CI backend matrix) runs the same tests over the durable
+/// backend persisted under `dir`.
+fn store_for_test(dir: &std::path::Path) -> DocumentStore {
+    match std::env::var("YPROV_TEST_BACKEND").as_deref() {
+        Ok("durable") => DocumentStore::persistent(dir).unwrap(),
+        _ => DocumentStore::new(),
+    }
+}
+
 fn produce_runs(base: &std::path::Path, n: usize) -> Experiment {
     let experiment = Experiment::new("svc", base).unwrap();
     for i in 0..n {
@@ -36,7 +46,7 @@ fn http_roundtrip_with_generated_documents() {
     std::fs::remove_dir_all(&base).ok();
     let experiment = produce_runs(&base, 3);
 
-    let store = DocumentStore::new();
+    let store = store_for_test(&base.join("store"));
     let server = Server::bind("127.0.0.1:0", store.clone(), ServerConfig::default()).unwrap();
     let addr = server.addr();
 

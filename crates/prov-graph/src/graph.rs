@@ -2,6 +2,7 @@
 
 use prov_model::{Element, ProvDocument, QName, RelationKind};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// One directed edge of the provenance graph.
 ///
@@ -19,13 +20,15 @@ pub struct Edge {
     pub relation: usize,
 }
 
-/// An adjacency-indexed graph over a borrowed [`ProvDocument`].
+/// The borrow-free adjacency index under a [`ProvGraph`]: interned node
+/// ids, edges, and in/out adjacency lists — everything the graph knows
+/// except the document reference itself.
 ///
-/// Node indices are dense (`0..node_count()`); identifiers that only
-/// appear in relations (dangling references) still get nodes so traversal
-/// works on partially declared documents.
-pub struct ProvGraph<'a> {
-    doc: &'a ProvDocument,
+/// Separating the index from the borrow lets it be built once, wrapped
+/// in an [`Arc`], and shared across many short-lived [`ProvGraph`]
+/// views (see [`SharedGraph`]) — the basis of the service's per-document
+/// index cache.
+pub struct GraphIndex {
     ids: Vec<QName>,
     index: HashMap<QName, usize>,
     edges: Vec<Edge>,
@@ -33,9 +36,9 @@ pub struct ProvGraph<'a> {
     inn: Vec<Vec<usize>>,
 }
 
-impl<'a> ProvGraph<'a> {
+impl GraphIndex {
     /// Indexes a document. Cost is `O(elements + relations)`.
-    pub fn new(doc: &'a ProvDocument) -> Self {
+    pub fn build(doc: &ProvDocument) -> Self {
         let mut ids = Vec::new();
         let mut index = HashMap::new();
         let intern = |q: &QName, ids: &mut Vec<QName>, index: &mut HashMap<QName, usize>| {
@@ -67,19 +70,13 @@ impl<'a> ProvGraph<'a> {
             inn[e.to].push(ei);
         }
 
-        ProvGraph {
-            doc,
+        GraphIndex {
             ids,
             index,
             edges,
             out,
             inn,
         }
-    }
-
-    /// The underlying document.
-    pub fn document(&self) -> &'a ProvDocument {
-        self.doc
     }
 
     /// Number of nodes (declared elements plus dangling references).
@@ -91,45 +88,97 @@ impl<'a> ProvGraph<'a> {
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
+}
+
+/// An adjacency-indexed graph over a borrowed [`ProvDocument`].
+///
+/// Node indices are dense (`0..node_count()`); identifiers that only
+/// appear in relations (dangling references) still get nodes so traversal
+/// works on partially declared documents.
+pub struct ProvGraph<'a> {
+    doc: &'a ProvDocument,
+    index: Arc<GraphIndex>,
+}
+
+impl<'a> ProvGraph<'a> {
+    /// Indexes a document. Cost is `O(elements + relations)`.
+    pub fn new(doc: &'a ProvDocument) -> Self {
+        ProvGraph {
+            doc,
+            index: Arc::new(GraphIndex::build(doc)),
+        }
+    }
+
+    /// A graph view reusing a prebuilt index. The index must have been
+    /// built from `doc` (or an identical document) — node and relation
+    /// indices are interpreted against it.
+    pub fn with_index(doc: &'a ProvDocument, index: Arc<GraphIndex>) -> Self {
+        debug_assert_eq!(index.edges.len(), doc.relation_count());
+        ProvGraph { doc, index }
+    }
+
+    /// The underlying document.
+    pub fn document(&self) -> &'a ProvDocument {
+        self.doc
+    }
+
+    /// The shared adjacency index.
+    pub fn index(&self) -> &Arc<GraphIndex> {
+        &self.index
+    }
+
+    /// Number of nodes (declared elements plus dangling references).
+    pub fn node_count(&self) -> usize {
+        self.index.ids.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.index.edges.len()
+    }
 
     /// The node index for an identifier, if present.
     pub fn node(&self, id: &QName) -> Option<usize> {
-        self.index.get(id).copied()
+        self.index.index.get(id).copied()
     }
 
     /// The identifier of node `i`.
     pub fn id(&self, i: usize) -> &QName {
-        &self.ids[i]
+        &self.index.ids[i]
     }
 
     /// The declared element of node `i`, if it was declared.
     pub fn element(&self, i: usize) -> Option<&'a Element> {
-        self.doc.get(&self.ids[i])
+        self.doc.get(&self.index.ids[i])
     }
 
     /// All edges.
     pub fn edges(&self) -> &[Edge] {
-        &self.edges
+        &self.index.edges
     }
 
     /// Outgoing edges of node `i` (towards its origins).
     pub fn out_edges(&self, i: usize) -> impl Iterator<Item = &Edge> {
-        self.out[i].iter().map(move |&ei| &self.edges[ei])
+        self.index.out[i]
+            .iter()
+            .map(move |&ei| &self.index.edges[ei])
     }
 
     /// Incoming edges of node `i` (from its dependents).
     pub fn in_edges(&self, i: usize) -> impl Iterator<Item = &Edge> {
-        self.inn[i].iter().map(move |&ei| &self.edges[ei])
+        self.index.inn[i]
+            .iter()
+            .map(move |&ei| &self.index.edges[ei])
     }
 
     /// Out-degree of node `i`.
     pub fn out_degree(&self, i: usize) -> usize {
-        self.out[i].len()
+        self.index.out[i].len()
     }
 
     /// In-degree of node `i`.
     pub fn in_degree(&self, i: usize) -> usize {
-        self.inn[i].len()
+        self.index.inn[i].len()
     }
 
     /// Identifiers of everything reachable by out-edges from `id`
@@ -145,6 +194,7 @@ impl<'a> ProvGraph<'a> {
     }
 
     fn reach(&self, id: &QName, forward: bool) -> BTreeSet<QName> {
+        let idx = &*self.index;
         let Some(start) = self.node(id) else {
             return BTreeSet::new();
         };
@@ -153,16 +203,16 @@ impl<'a> ProvGraph<'a> {
         seen[start] = true;
         let mut result = BTreeSet::new();
         while let Some(n) = stack.pop() {
-            let adj = if forward { &self.out[n] } else { &self.inn[n] };
+            let adj = if forward { &idx.out[n] } else { &idx.inn[n] };
             for &ei in adj {
                 let next = if forward {
-                    self.edges[ei].to
+                    idx.edges[ei].to
                 } else {
-                    self.edges[ei].from
+                    idx.edges[ei].from
                 };
                 if !seen[next] {
                     seen[next] = true;
-                    result.insert(self.ids[next].clone());
+                    result.insert(idx.ids[next].clone());
                     stack.push(next);
                 }
             }
@@ -173,6 +223,7 @@ impl<'a> ProvGraph<'a> {
     /// Shortest path (by hop count, following out-edges) between two
     /// identifiers, inclusive of both endpoints.
     pub fn path(&self, from: &QName, to: &QName) -> Option<Vec<QName>> {
+        let idx = &*self.index;
         let (s, t) = (self.node(from)?, self.node(to)?);
         if s == t {
             return Some(vec![from.clone()]);
@@ -182,8 +233,8 @@ impl<'a> ProvGraph<'a> {
         let mut seen = vec![false; self.node_count()];
         seen[s] = true;
         while let Some(n) = queue.pop_front() {
-            for &ei in &self.out[n] {
-                let next = self.edges[ei].to;
+            for &ei in &idx.out[n] {
+                let next = idx.edges[ei].to;
                 if !seen[next] {
                     seen[next] = true;
                     prev[next] = Some(n);
@@ -195,7 +246,7 @@ impl<'a> ProvGraph<'a> {
                             cur = p;
                         }
                         path.reverse();
-                        return Some(path.into_iter().map(|i| self.ids[i].clone()).collect());
+                        return Some(path.into_iter().map(|i| idx.ids[i].clone()).collect());
                     }
                     queue.push_back(next);
                 }
@@ -207,15 +258,16 @@ impl<'a> ProvGraph<'a> {
     /// Topological order of the nodes (origins last), or `None` when the
     /// graph has a cycle.
     pub fn topo_order(&self) -> Option<Vec<QName>> {
+        let idx = &*self.index;
         let n = self.node_count();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.in_degree(i)).collect();
         let mut queue: std::collections::VecDeque<usize> =
             (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
-            order.push(self.ids[i].clone());
-            for &ei in &self.out[i] {
-                let t = self.edges[ei].to;
+            order.push(idx.ids[i].clone());
+            for &ei in &idx.out[i] {
+                let t = idx.edges[ei].to;
                 indeg[t] -= 1;
                 if indeg[t] == 0 {
                     queue.push_back(t);
@@ -239,7 +291,7 @@ impl<'a> ProvGraph<'a> {
     pub fn roots(&self) -> Vec<QName> {
         (0..self.node_count())
             .filter(|&i| self.out_degree(i) == 0)
-            .map(|i| self.ids[i].clone())
+            .map(|i| self.index.ids[i].clone())
             .collect()
     }
 
@@ -247,8 +299,50 @@ impl<'a> ProvGraph<'a> {
     pub fn leaves(&self) -> Vec<QName> {
         (0..self.node_count())
             .filter(|&i| self.in_degree(i) == 0)
-            .map(|i| self.ids[i].clone())
+            .map(|i| self.index.ids[i].clone())
             .collect()
+    }
+}
+
+/// An owning, cheaply clonable graph: `Arc<ProvDocument>` plus
+/// `Arc<GraphIndex>`.
+///
+/// Where [`ProvGraph`] borrows its document (right for one-shot
+/// analysis), `SharedGraph` is built once and handed out across threads
+/// and requests — cloning is two `Arc` bumps, and [`SharedGraph::view`]
+/// reconstitutes a full `ProvGraph` without re-indexing. This is the
+/// unit the provenance service caches per stored document.
+#[derive(Clone)]
+pub struct SharedGraph {
+    doc: Arc<ProvDocument>,
+    index: Arc<GraphIndex>,
+}
+
+impl SharedGraph {
+    /// Indexes `doc` once. Cost is `O(elements + relations)`; every
+    /// subsequent [`view`](Self::view) is `O(1)`.
+    pub fn new(doc: Arc<ProvDocument>) -> Self {
+        let index = Arc::new(GraphIndex::build(&doc));
+        SharedGraph { doc, index }
+    }
+
+    /// The shared document.
+    pub fn document(&self) -> &Arc<ProvDocument> {
+        &self.doc
+    }
+
+    /// The shared adjacency index.
+    pub fn index(&self) -> &Arc<GraphIndex> {
+        &self.index
+    }
+
+    /// A borrowed [`ProvGraph`] over the shared state — all traversal
+    /// and query methods, no re-indexing.
+    pub fn view(&self) -> ProvGraph<'_> {
+        ProvGraph {
+            doc: &self.doc,
+            index: Arc::clone(&self.index),
+        }
     }
 }
 
@@ -380,5 +474,29 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert!(!g.has_cycle());
         assert!(g.topo_order().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shared_graph_views_reuse_one_index() {
+        let doc = Arc::new(pipeline_doc());
+        let shared = SharedGraph::new(Arc::clone(&doc));
+        let a = shared.view();
+        let b = shared.view();
+        assert!(Arc::ptr_eq(a.index(), b.index()), "views share the index");
+        assert_eq!(a.ancestors(&q("report")), b.ancestors(&q("report")));
+        // Clones are shallow.
+        let clone = shared.clone();
+        assert!(Arc::ptr_eq(clone.index(), shared.index()));
+        assert!(Arc::ptr_eq(clone.document(), shared.document()));
+    }
+
+    #[test]
+    fn with_index_reconstitutes_a_view() {
+        let doc = pipeline_doc();
+        let g = ProvGraph::new(&doc);
+        let idx = Arc::clone(g.index());
+        let g2 = ProvGraph::with_index(&doc, idx);
+        assert_eq!(g2.node_count(), 5);
+        assert_eq!(g2.roots(), vec![q("data")]);
     }
 }

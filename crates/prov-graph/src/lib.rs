@@ -40,7 +40,7 @@ pub mod traverse;
 
 pub use diff::{diff, DocumentDiff, ElementChange};
 pub use dot::{to_dot, DotOptions};
-pub use graph::{Edge, ProvGraph};
+pub use graph::{Edge, GraphIndex, ProvGraph, SharedGraph};
 pub use impact::{divergence, taint, Divergence, TaintReport};
 pub use query::{subgraph, QueryBuilder};
 pub use traverse::{Traversal, TraversalOrder};

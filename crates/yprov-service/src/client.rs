@@ -80,15 +80,35 @@ pub struct Response {
     pub attempts: u32,
 }
 
+/// The terminal failure of one attempt — what was happening when the
+/// retry budget ran out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// Connect/read/write failed before a response arrived.
+    Transport(String),
+    /// A retryable HTTP status (502/503/504; 0 marks an unparseable
+    /// response).
+    Status(u16),
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Transport(msg) => write!(f, "i/o error: {msg}"),
+            Failure::Status(code) => write!(f, "HTTP {code}"),
+        }
+    }
+}
+
 /// Why a request ultimately failed.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
-    /// Every attempt failed; `last` describes the final failure.
+    /// Every attempt failed; `last` is the final attempt's failure.
     Exhausted {
         /// Attempts made.
         attempts: u32,
-        /// Human-readable description of the last failure.
-        last: String,
+        /// The last attempt's failure mode.
+        last: Failure,
     },
 }
 
@@ -135,7 +155,7 @@ impl Client {
         body: Option<&str>,
     ) -> Result<Response, ClientError> {
         let max_attempts = self.policy.max_attempts.max(1);
-        let mut last = String::new();
+        let mut last = Failure::Status(0);
         for attempt in 0..max_attempts {
             if attempt > 0 {
                 std::thread::sleep(self.policy.backoff_delay(attempt - 1));
@@ -150,8 +170,8 @@ impl Client {
                         attempts: attempt + 1,
                     });
                 }
-                Ok((status, _)) => last = format!("HTTP {status}"),
-                Err(e) => last = format!("i/o error: {e}"),
+                Ok((status, _)) => last = Failure::Status(status),
+                Err(e) => last = Failure::Transport(e.to_string()),
             }
         }
         Err(ClientError::Exhausted {
@@ -290,9 +310,10 @@ mod tests {
         match err {
             ClientError::Exhausted { attempts, ref last } => {
                 assert_eq!(attempts, 2);
-                assert!(last.contains("503"), "{last}");
+                assert_eq!(*last, Failure::Status(503));
             }
         }
+        assert!(err.to_string().contains("HTTP 503"), "{err}");
         server.shutdown();
     }
 
@@ -323,5 +344,7 @@ mod tests {
         );
         let err = client.health().unwrap_err();
         assert!(err.to_string().contains("after 2 attempts"), "{err}");
+        let ClientError::Exhausted { last, .. } = err;
+        assert!(matches!(last, Failure::Transport(_)), "{last:?}");
     }
 }

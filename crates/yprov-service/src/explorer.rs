@@ -26,6 +26,10 @@ pub struct DocumentSummary {
     pub metrics: usize,
     /// Number of artifact entities.
     pub artifacts: usize,
+    /// Nodes in the provenance graph (from the store's cached index).
+    pub graph_nodes: usize,
+    /// Edges in the provenance graph (from the store's cached index).
+    pub graph_edges: usize,
     /// Serialized size of the document in bytes.
     pub json_bytes: usize,
 }
@@ -41,6 +45,10 @@ pub fn summarize(store: &DocumentStore) -> Vec<DocumentSummary> {
         .into_iter()
         .filter_map(|id| {
             let doc = store.get(&id)?;
+            // The store's cached index: building it here would be the
+            // per-request O(document) rebuild the cache exists to avoid.
+            let shared = store.graph(&id).ok()?;
+            let index = shared.index();
             let stats = doc.stats();
             let run_label = doc
                 .iter_elements()
@@ -64,6 +72,8 @@ pub fn summarize(store: &DocumentStore) -> Vec<DocumentSummary> {
                 run_label,
                 metrics,
                 artifacts,
+                graph_nodes: index.node_count(),
+                graph_edges: index.edge_count(),
                 json_bytes,
             })
         })
@@ -99,7 +109,8 @@ pub fn render_html(summaries: &[DocumentSummary]) -> String {
         rows.push_str(&format!(
             "<tr><td><a href=\"/api/v0/documents/{id}\">{id}</a></td><td>{run}</td>\
              <td>{entities}</td><td>{activities}</td><td>{agents}</td><td>{relations}</td>\
-             <td>{metrics}</td><td>{artifacts}</td><td>{bytes}</td>\
+             <td>{metrics}</td><td>{artifacts}</td><td>{nodes}</td><td>{edges}</td>\
+             <td>{bytes}</td>\
              <td><a href=\"/api/v0/documents/{id}/provn\">provn</a> \
                  <a href=\"/api/v0/documents/{id}/turtle\">ttl</a> \
                  <a href=\"/api/v0/documents/{id}/dot\">dot</a></td></tr>\n",
@@ -111,6 +122,8 @@ pub fn render_html(summaries: &[DocumentSummary]) -> String {
             relations = s.relations,
             metrics = s.metrics,
             artifacts = s.artifacts,
+            nodes = s.graph_nodes,
+            edges = s.graph_edges,
             bytes = s.json_bytes,
         ));
     }
@@ -123,7 +136,8 @@ pub fn render_html(summaries: &[DocumentSummary]) -> String {
          <h1>yProv Explorer</h1><p>{n} provenance document(s)</p>\
          <table><tr><th>id</th><th>run</th><th>entities</th><th>activities</th>\
          <th>agents</th><th>relations</th><th>metrics</th><th>artifacts</th>\
-         <th>bytes</th><th>exports</th></tr>\n{rows}</table></body></html>",
+         <th>nodes</th><th>edges</th><th>bytes</th><th>exports</th></tr>\n\
+         {rows}</table></body></html>",
         n = summaries.len(),
     )
 }
@@ -138,11 +152,11 @@ fn html_escape(s: &str) -> String {
 /// A plain-text table of the summaries, explorer style.
 pub fn render_table(summaries: &[DocumentSummary]) -> String {
     let mut out = String::from(
-        "id          run                entities  activities  relations  metrics  artifacts  bytes\n",
+        "id          run                entities  activities  relations  metrics  artifacts  nodes  edges  bytes\n",
     );
     for s in summaries {
         out.push_str(&format!(
-            "{:<11} {:<18} {:>8}  {:>10}  {:>9}  {:>7}  {:>9}  {:>5}\n",
+            "{:<11} {:<18} {:>8}  {:>10}  {:>9}  {:>7}  {:>9}  {:>5}  {:>5}  {:>5}\n",
             s.id,
             s.run_label.as_deref().unwrap_or("-"),
             s.entities,
@@ -150,6 +164,8 @@ pub fn render_table(summaries: &[DocumentSummary]) -> String {
             s.relations,
             s.metrics,
             s.artifacts,
+            s.graph_nodes,
+            s.graph_edges,
             s.json_bytes,
         ));
     }
@@ -182,8 +198,8 @@ mod tests {
     #[test]
     fn summaries_capture_shape() {
         let store = DocumentStore::new();
-        store.upload(yprov_style_doc("run-1", "aa"));
-        store.upload(yprov_style_doc("run-2", "bb"));
+        store.upload(yprov_style_doc("run-1", "aa")).unwrap();
+        store.upload(yprov_style_doc("run-2", "bb")).unwrap();
         let summaries = summarize(&store);
         assert_eq!(summaries.len(), 2);
         let s = &summaries[0];
@@ -191,14 +207,18 @@ mod tests {
         assert_eq!(s.metrics, 1);
         assert_eq!(s.artifacts, 1);
         assert_eq!(s.activities, 1);
+        assert_eq!(s.graph_nodes, 3);
+        assert_eq!(s.graph_edges, 1);
         assert!(s.json_bytes > 0);
+        // The summaries reused the indexes built at upload: no misses.
+        assert_eq!(store.graph_cache_stats(), (2, 0));
     }
 
     #[test]
     fn digest_search_finds_producing_runs() {
         let store = DocumentStore::new();
-        let a = store.upload(yprov_style_doc("run-1", "digest-a"));
-        store.upload(yprov_style_doc("run-2", "digest-b"));
+        let a = store.upload(yprov_style_doc("run-1", "digest-a")).unwrap();
+        store.upload(yprov_style_doc("run-2", "digest-b")).unwrap();
         let hits = find_by_artifact_digest(&store, "digest-a");
         assert_eq!(hits, vec![a]);
         assert!(find_by_artifact_digest(&store, "nope").is_empty());
@@ -207,7 +227,7 @@ mod tests {
     #[test]
     fn table_renders_rows() {
         let store = DocumentStore::new();
-        store.upload(yprov_style_doc("run-1", "aa"));
+        store.upload(yprov_style_doc("run-1", "aa")).unwrap();
         let table = render_table(&summarize(&store));
         assert!(table.contains("run-1"));
         assert!(table.lines().count() >= 2);
@@ -220,7 +240,7 @@ mod tests {
         doc.activity(QName::new("ex", "run"))
             .prov_type(QName::yprov("RunExecution"))
             .label("<script>alert(1)</script>");
-        store.upload(doc);
+        store.upload(doc).unwrap();
         let html = render_html(&summarize(&store));
         assert!(html.contains("<table>"));
         assert!(html.contains("doc-1"));
@@ -234,7 +254,7 @@ mod tests {
         let store = DocumentStore::new();
         let mut doc = ProvDocument::new();
         doc.entity(QName::new("ex", "thing"));
-        store.upload(doc);
+        store.upload(doc).unwrap();
         let summaries = summarize(&store);
         assert_eq!(summaries[0].run_label, None);
         assert_eq!(summaries[0].entities, 1);

@@ -19,7 +19,7 @@
 //! | Method | Path | Effect |
 //! |---|---|---|
 //! | GET    | `/healthz` | liveness |
-//! | GET    | `/metrics` | Prometheus text exposition of server metrics |
+//! | GET    | `/metrics` | Prometheus text exposition of server + store metrics |
 //! | GET    | `/api/v0/documents` | list handle ids |
 //! | POST   | `/api/v0/documents` | upload PROV-JSON, returns `{"id"}` |
 //! | GET    | `/api/v0/documents/{id}` | the PROV-JSON document |
@@ -32,6 +32,7 @@
 //! | GET    | `/api/v0/documents/{id}/dot` | Graphviz DOT of the graph |
 //! | GET    | `/api/v0/ledger` | the tamper-evident upload chain |
 
+use crate::error::ServiceError;
 use crate::store::DocumentStore;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use prov_model::{ProvDocument, QName};
@@ -468,7 +469,13 @@ fn route(
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => (200, json!({"status": "ok"}).to_string()),
 
-        ("GET", ["metrics"]) => (200, registry.render_prometheus()),
+        ("GET", ["metrics"]) => {
+            // One scrape covers both registries: the server's request
+            // metrics and the store's cache/backend instruments.
+            let mut exposition = registry.render_prometheus();
+            exposition.push_str(&store.registry().render_prometheus());
+            (200, exposition)
+        }
 
         ("GET", []) | ("GET", ["explorer"]) => (
             200,
@@ -513,26 +520,24 @@ fn route(
                 Err(_) => return (400, json!({"error": "body is not UTF-8"}).to_string()),
             };
             match ProvDocument::from_json_str(text) {
-                Ok(doc) => {
-                    let id = store.upload(doc);
-                    (201, json!({"id": id}).to_string())
-                }
+                Ok(doc) => match store.upload(doc) {
+                    Ok(id) => (201, json!({"id": id}).to_string()),
+                    Err(e) => error_response(&e),
+                },
                 Err(e) => (400, json!({"error": e.to_string()}).to_string()),
             }
         }
 
-        ("GET", ["api", "v0", "documents", id]) => match store.get(id) {
-            Some(doc) => (200, doc.to_json().to_string()),
-            None => not_found(id),
+        ("GET", ["api", "v0", "documents", id]) => match store.document_json(id) {
+            Ok(json) => (200, json),
+            Err(e) => error_response(&e),
         },
 
-        ("DELETE", ["api", "v0", "documents", id]) => {
-            if store.delete(id) {
-                (200, json!({"deleted": id}).to_string())
-            } else {
-                not_found(id)
-            }
-        }
+        ("DELETE", ["api", "v0", "documents", id]) => match store.delete(id) {
+            Ok(true) => (200, json!({"deleted": id}).to_string()),
+            Ok(false) => not_found(id),
+            Err(e) => error_response(&e),
+        },
 
         ("GET", ["api", "v0", "documents", id, "stats"]) => match store.get(id) {
             Some(doc) => {
@@ -558,13 +563,13 @@ fn route(
                 json!({"error": "missing or invalid ?focus=prefix:local"}).to_string(),
             ),
             Some(q) => match store.ancestors(id, &q) {
-                Some(anc) => (
+                Ok(anc) => (
                     200,
                     json!({"focus": q.to_string(),
                            "ancestors": anc.iter().map(|a| a.to_string()).collect::<Vec<_>>()})
                     .to_string(),
                 ),
-                None => not_found(id),
+                Err(e) => error_response(&e),
             },
         },
 
@@ -592,8 +597,8 @@ fn route(
                 json!({"error": "missing or invalid ?focus=prefix:local"}).to_string(),
             ),
             Some(q) => match store.subgraph(id, &q) {
-                Some(sub) => (200, sub.to_json().to_string()),
-                None => not_found(id),
+                Ok(sub) => (200, sub.to_json().to_string()),
+                Err(e) => error_response(&e),
             },
         },
 
@@ -605,6 +610,14 @@ fn not_found(id: &str) -> (u16, String) {
     (
         404,
         json!({"error": format!("document {id:?} not found")}).to_string(),
+    )
+}
+
+/// Maps a [`ServiceError`] onto its HTTP status and a JSON error body.
+fn error_response(err: &ServiceError) -> (u16, String) {
+    (
+        err.http_status(),
+        json!({"error": err.to_string()}).to_string(),
     )
 }
 
@@ -623,6 +636,7 @@ fn write_response_typed(
         201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
+        409 => "Conflict",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
         503 => "Service Unavailable",
@@ -1198,6 +1212,47 @@ mod tests {
         );
         assert!(
             scrape.contains("http_request_duration_seconds_bucket{route=\"/api/v0/documents\","),
+            "{scrape}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_exposes_store_cache_counters() {
+        let server = start();
+        let (_, body) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
+        let id: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let id = id["id"].as_str().unwrap().to_string();
+        for _ in 0..2 {
+            let (status, _) = request(
+                server.addr(),
+                "GET",
+                &format!("/api/v0/documents/{id}/ancestors?focus=ex:model"),
+                None,
+            )
+            .unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, scrape) = request(server.addr(), "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        // The index was built at upload time, so both lineage queries
+        // hit the cache; backend put latency was recorded by the upload.
+        assert!(
+            scrape.contains("store_graph_cache_hits_total 2"),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains("store_graph_cache_misses_total 0"),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains("store_backend_put_seconds_count 1"),
             "{scrape}"
         );
         server.shutdown();

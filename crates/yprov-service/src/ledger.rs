@@ -10,6 +10,7 @@
 //! reordering / deletion of history — breaks verification from that
 //! point on.
 
+use crate::error::ServiceError;
 use yprov4ml::hash::{sha256_hex, Sha256};
 
 /// One link of the chain.
@@ -25,6 +26,17 @@ pub struct LedgerEntry {
     pub prev_hash: String,
     /// This entry's hash: `H(index ‖ id ‖ digest ‖ prev)`.
     pub entry_hash: String,
+}
+
+impl LedgerEntry {
+    /// The entry's one-line wire form (newline included) — the unit the
+    /// durable backend appends per upload.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} {} {} {}\n",
+            self.index, self.document_id, self.document_digest, self.prev_hash, self.entry_hash
+        )
+    }
 }
 
 /// Hash of the implicit genesis predecessor.
@@ -132,15 +144,27 @@ impl Ledger {
     }
 
     /// Verifies the chain *and* that each referenced document, fetched
-    /// through `lookup`, still hashes to its recorded digest. Documents
-    /// that no longer exist are skipped (deletion is visible through the
-    /// chain itself; this checks the survivors for silent edits).
+    /// through `lookup`, still hashes to its recorded digest.
+    ///
+    /// Only the *latest* entry per document id is checked against the
+    /// current bytes: a re-upload under the same id (legitimate
+    /// replacement via `upload_as`) supersedes earlier entries, whose
+    /// digests describe document versions that no longer exist. The
+    /// superseded entries still participate in [`Self::verify_chain`],
+    /// so history stays tamper-evident. Documents that no longer exist
+    /// are skipped (deletion is visible through the chain itself; this
+    /// checks the survivors for silent edits).
     pub fn verify_against(
         &self,
         lookup: impl Fn(&str) -> Option<Vec<u8>>,
     ) -> Result<(), LedgerIssue> {
         self.verify_chain()?;
+        let mut latest: std::collections::HashMap<&str, &LedgerEntry> =
+            std::collections::HashMap::new();
         for e in &self.entries {
+            latest.insert(e.document_id.as_str(), e);
+        }
+        for e in latest.into_values() {
             if let Some(bytes) = lookup(&e.document_id) {
                 if sha256_hex(&bytes) != e.document_digest {
                     return Err(LedgerIssue::DocumentChanged {
@@ -153,20 +177,29 @@ impl Ledger {
         Ok(())
     }
 
-    /// Serializes the ledger to a line-oriented text format.
+    /// Serializes the ledger to a line-oriented text format
+    /// (concatenated [`LedgerEntry::to_line`]s).
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        for e in &self.entries {
-            out.push_str(&format!(
-                "{} {} {} {} {}\n",
-                e.index, e.document_id, e.document_digest, e.prev_hash, e.entry_hash
-            ));
-        }
-        out
+        self.entries.iter().map(LedgerEntry::to_line).collect()
     }
 
-    /// Parses the format written by [`Self::to_text`].
-    pub fn from_text(text: &str) -> Result<Ledger, String> {
+    /// Parses the format written by [`Self::to_text`] /
+    /// [`LedgerEntry::to_line`].
+    ///
+    /// Appends always write whole newline-terminated records, so a file
+    /// that does not end in a newline was torn by a crash mid-append:
+    /// the partial tail is dropped and the chain before it still
+    /// verifies (the crash lost only the in-flight commitment, never
+    /// history).
+    pub fn from_text(text: &str) -> Result<Ledger, ServiceError> {
+        let text = if text.is_empty() || text.ends_with('\n') {
+            text
+        } else {
+            match text.rfind('\n') {
+                Some(pos) => &text[..=pos],
+                None => "",
+            }
+        };
         let mut entries = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
@@ -174,12 +207,16 @@ impl Ledger {
             }
             let parts: Vec<&str> = line.split_whitespace().collect();
             if parts.len() != 5 {
-                return Err(format!("line {}: expected 5 fields", lineno + 1));
+                return Err(ServiceError::LedgerFormat {
+                    line: lineno + 1,
+                    reason: format!("expected 5 fields, got {}", parts.len()),
+                });
             }
             entries.push(LedgerEntry {
-                index: parts[0]
-                    .parse()
-                    .map_err(|_| format!("line {}: bad index", lineno + 1))?,
+                index: parts[0].parse().map_err(|_| ServiceError::LedgerFormat {
+                    line: lineno + 1,
+                    reason: format!("bad index {:?}", parts[0]),
+                })?,
                 document_id: parts[1].to_string(),
                 document_digest: parts[2].to_string(),
                 prev_hash: parts[3].to_string(),
@@ -264,14 +301,57 @@ mod tests {
     }
 
     #[test]
+    fn replacement_checks_only_the_latest_entry_per_id() {
+        // Two uploads under the same id: the store now holds only v2.
+        let mut ledger = Ledger::new();
+        let v1 = br#"{"loss": 0.5}"#.to_vec();
+        let v2 = br#"{"loss": 0.4}"#.to_vec();
+        ledger.append("doc-1", &v1);
+        ledger.append("doc-1", &v2);
+        // The superseded v1 digest must not fail verification...
+        ledger
+            .verify_against(|id| (id == "doc-1").then(|| v2.clone()))
+            .unwrap();
+        // ...but the latest entry still catches a silent edit.
+        let edited = br#"{"loss": 0.1}"#.to_vec();
+        assert_eq!(
+            ledger.verify_against(|id| (id == "doc-1").then(|| edited.clone())),
+            Err(LedgerIssue::DocumentChanged {
+                index: 1,
+                document_id: "doc-1".into()
+            })
+        );
+    }
+
+    #[test]
+    fn entry_line_matches_text_format() {
+        let ledger = chain(3);
+        let lines: String = ledger.entries().iter().map(LedgerEntry::to_line).collect();
+        assert_eq!(lines, ledger.to_text());
+    }
+
+    #[test]
     fn text_roundtrip() {
         let ledger = chain(7);
         let text = ledger.to_text();
         let back = Ledger::from_text(&text).unwrap();
         assert_eq!(back.entries(), ledger.entries());
         back.verify_chain().unwrap();
-        assert!(Ledger::from_text("1 two three").is_err());
+        assert!(Ledger::from_text("1 two three\n").is_err());
         assert!(Ledger::from_text("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_from_crashed_append_is_dropped() {
+        let ledger = chain(4);
+        let mut text = ledger.to_text();
+        // A crash mid-append leaves a partial, unterminated line.
+        text.push_str("4 doc-4 deadbeef");
+        let back = Ledger::from_text(&text).unwrap();
+        assert_eq!(back.len(), 4);
+        back.verify_chain().unwrap();
+        // A lone torn fragment (no completed history) parses as empty.
+        assert!(Ledger::from_text("0 doc-0 dead").unwrap().is_empty());
     }
 
     #[test]

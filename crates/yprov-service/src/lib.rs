@@ -5,9 +5,16 @@
 //! paper's yProv web service (Neo4J + RESTful API) plays for files
 //! produced by yProv4ML.
 //!
+//! * [`backend`] — the pluggable storage layer: [`StorageBackend`]
+//!   with an in-memory map ([`MemoryBackend`]) and a crash-safe
+//!   directory backend ([`DurableBackend`]: tmp-file + rename document
+//!   writes, append-only ledger file, configurable fsync cadence);
 //! * [`store`] — an in-process, thread-safe document store keyed by
-//!   handle ids, with merge, per-document statistics and graph queries
-//!   running on `prov-graph`;
+//!   handle ids, with merge, per-document statistics, a per-document
+//!   graph index cache and lineage queries running on `prov-graph`;
+//! * [`error`] — the service's typed error taxonomy
+//!   ([`ServiceError`]), each variant mapping onto an HTTP status;
+//! * [`ledger`] — the tamper-evident hash chain over uploads;
 //! * [`http`] — a from-scratch HTTP/1.1 server (std TCP + a small
 //!   thread pool) serving the yProv-style endpoints
 //!   (`/api/v0/documents`, `/api/v0/documents/{id}`, `.../subgraph`,
@@ -16,7 +23,7 @@
 //! * [`client`] — a blocking client with deterministic exponential
 //!   backoff for transient failures (connection refused, 502/503/504);
 //! * [`explorer`] — cross-document summaries like the yProv Explorer's
-//!   landing view.
+//!   landing view, served from the cached graph indexes.
 //!
 //! ```
 //! use yprov_service::store::DocumentStore;
@@ -25,16 +32,20 @@
 //! let store = DocumentStore::new();
 //! let mut doc = ProvDocument::new();
 //! doc.entity(QName::new("ex", "model"));
-//! let id = store.upload(doc);
+//! let id = store.upload(doc).unwrap();
 //! assert!(store.get(&id).is_some());
 //! ```
 
+pub mod backend;
 pub mod client;
+pub mod error;
 pub mod explorer;
 pub mod http;
 pub mod ledger;
 pub mod store;
 
+pub use backend::{DurableBackend, MemoryBackend, StorageBackend, SyncPolicy};
 pub use client::{Client, ClientError, Response, RetryPolicy};
+pub use error::ServiceError;
 pub use http::{Server, ServerConfig};
 pub use store::DocumentStore;

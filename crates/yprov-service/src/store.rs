@@ -1,123 +1,238 @@
 //! The in-process provenance document store.
+//!
+//! A [`DocumentStore`] layers three things over a pluggable
+//! [`StorageBackend`]:
+//!
+//! * **parsed documents** — `Arc<ProvDocument>` per handle id, shared
+//!   with every reader;
+//! * **a graph index cache** — one [`SharedGraph`] per document, built
+//!   at upload time (or on first query after reopening a durable
+//!   store), so `ancestors`/`subgraph` stop paying an O(document)
+//!   rebuild per request and become O(answer) walks over a shared
+//!   index. Replacement and deletion invalidate the cached index;
+//! * **the tamper-evident ledger** — a hash chain over every upload,
+//!   appended (not rewritten) through the backend's ledger hook.
+//!
+//! Cache hits/misses and backend put/get latency are recorded in the
+//! store's [`obs::Registry`], exposed through the HTTP `/metrics`
+//! endpoint.
 
+use crate::backend::{DurableBackend, MemoryBackend, StorageBackend, SyncPolicy};
+use crate::error::ServiceError;
 use crate::ledger::Ledger;
 use parking_lot::{Mutex, RwLock};
-use prov_graph::ProvGraph;
+use prov_graph::SharedGraph;
 use prov_model::{ProvDocument, QName};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+struct StoreMetrics {
+    cache_hits: Arc<obs::Counter>,
+    cache_misses: Arc<obs::Counter>,
+    put_seconds: Arc<obs::Histogram>,
+    get_seconds: Arc<obs::Histogram>,
+}
+
+impl StoreMetrics {
+    fn new(registry: &obs::Registry) -> Self {
+        StoreMetrics {
+            cache_hits: registry.counter("store_graph_cache_hits_total"),
+            cache_misses: registry.counter("store_graph_cache_misses_total"),
+            put_seconds: registry.histogram("store_backend_put_seconds"),
+            get_seconds: registry.histogram("store_backend_get_seconds"),
+        }
+    }
+}
+
 /// A thread-safe store of provenance documents keyed by handle ids
 /// (`doc-1`, `doc-2`, ...). Cheap to clone (shared state).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct DocumentStore {
     inner: Arc<Inner>,
 }
 
-#[derive(Default)]
 struct Inner {
+    backend: Box<dyn StorageBackend>,
     docs: RwLock<BTreeMap<String, Arc<ProvDocument>>>,
+    /// Per-document graph index cache; entries are invalidated on
+    /// replace/delete and rebuilt lazily on query.
+    graphs: RwLock<HashMap<String, SharedGraph>>,
     next_id: AtomicU64,
-    /// Directory for on-disk persistence, when enabled.
-    dir: Option<PathBuf>,
-    /// Tamper-evident hash chain over uploads (persistent mode only).
+    /// Tamper-evident hash chain over uploads.
     ledger: Mutex<Ledger>,
+    registry: Arc<obs::Registry>,
+    metrics: StoreMetrics,
+}
+
+impl Default for DocumentStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DocumentStore {
     /// An empty in-memory store.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_backend(MemoryBackend::new()).expect("in-memory backend cannot fail to open")
     }
 
-    /// A store persisted under `dir`: documents live as `<id>.json`
-    /// files, uploads append to a tamper-evident [`Ledger`]
-    /// (`ledger.txt`), and reopening the directory restores both. The
-    /// ledger is verified against the reloaded documents on open, so a
-    /// provenance file edited behind the service's back fails loudly.
-    pub fn persistent(dir: impl Into<PathBuf>) -> Result<Self, String> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    /// A store persisted under `dir` with the default fsync cadence:
+    /// documents live as `<id>.json` files written atomically
+    /// (tmp + rename), uploads append one line to the tamper-evident
+    /// ledger (`ledger.txt`), and reopening the directory restores
+    /// both. The ledger is verified against the reloaded documents on
+    /// open, so a provenance file edited behind the service's back
+    /// fails loudly.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Result<Self, ServiceError> {
+        Self::with_backend(DurableBackend::open(dir)?)
+    }
 
-        let ledger_path = dir.join("ledger.txt");
-        let ledger = if ledger_path.is_file() {
-            let text = std::fs::read_to_string(&ledger_path).map_err(|e| e.to_string())?;
-            Ledger::from_text(&text)?
-        } else {
-            Ledger::new()
+    /// [`Self::persistent`] with an explicit [`SyncPolicy`].
+    pub fn persistent_with_sync(
+        dir: impl Into<PathBuf>,
+        sync: SyncPolicy,
+    ) -> Result<Self, ServiceError> {
+        Self::with_backend(DurableBackend::open_with_sync(dir, sync)?)
+    }
+
+    /// Opens a store over any [`StorageBackend`]: replays the backend's
+    /// ledger, loads and parses every stored document, restores the id
+    /// counter past the highest `doc-N`, and verifies the ledger chain
+    /// against the surviving documents.
+    pub fn with_backend(backend: impl StorageBackend) -> Result<Self, ServiceError> {
+        Self::open(Box::new(backend))
+    }
+
+    fn open(backend: Box<dyn StorageBackend>) -> Result<Self, ServiceError> {
+        let ledger = match backend.ledger_load()? {
+            Some(text) => Ledger::from_text(&text)?,
+            None => Ledger::new(),
         };
 
         let mut docs = BTreeMap::new();
         let mut max_id = 0u64;
-        for entry in std::fs::read_dir(&dir).map_err(|e| e.to_string())? {
-            let path = entry.map_err(|e| e.to_string())?.path();
-            if path.extension().is_some_and(|e| e == "json") {
-                let id = path
-                    .file_stem()
-                    .map(|s| s.to_string_lossy().into_owned())
-                    .unwrap_or_default();
-                let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
-                let doc = ProvDocument::from_json_str(&text)
-                    .map_err(|e| format!("{}: {e}", path.display()))?;
-                if let Some(n) = id.strip_prefix("doc-").and_then(|n| n.parse::<u64>().ok()) {
-                    max_id = max_id.max(n);
-                }
-                docs.insert(id, Arc::new(doc));
+        backend.scan(&mut |id, bytes| {
+            let text = std::str::from_utf8(bytes).map_err(|e| ServiceError::InvalidDocument {
+                reason: format!("{id}: stored bytes are not UTF-8: {e}"),
+            })?;
+            let doc =
+                ProvDocument::from_json_str(text).map_err(|e| ServiceError::InvalidDocument {
+                    reason: format!("{id}: {e}"),
+                })?;
+            if let Some(n) = id.strip_prefix("doc-").and_then(|n| n.parse::<u64>().ok()) {
+                max_id = max_id.max(n);
             }
-        }
+            docs.insert(id.to_string(), Arc::new(doc));
+            Ok(())
+        })?;
 
-        // Integrity: the chain must be sound and surviving documents
-        // must hash as recorded.
-        ledger
-            .verify_against(|id| std::fs::read(dir.join(format!("{id}.json"))).ok())
-            .map_err(|issue| format!("ledger verification failed: {issue:?}"))?;
+        // Integrity: the chain must be sound and the latest surviving
+        // version of every document must hash as recorded.
+        ledger.verify_against(|id| backend.get(id).ok().flatten())?;
 
+        let registry = Arc::new(obs::Registry::new());
+        let metrics = StoreMetrics::new(&registry);
         Ok(DocumentStore {
             inner: Arc::new(Inner {
+                backend,
                 docs: RwLock::new(docs),
+                graphs: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(max_id),
-                dir: Some(dir),
                 ledger: Mutex::new(ledger),
+                registry,
+                metrics,
             }),
         })
     }
 
-    /// The ledger entries (empty for in-memory stores).
+    /// The active backend's name (`"memory"`, `"durable"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend.name()
+    }
+
+    /// The store's metrics registry (cache hit/miss counters, backend
+    /// latency histograms).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.inner.registry
+    }
+
+    /// `(hits, misses)` of the graph index cache so far.
+    pub fn graph_cache_stats(&self) -> (u64, u64) {
+        (
+            self.inner.metrics.cache_hits.get(),
+            self.inner.metrics.cache_misses.get(),
+        )
+    }
+
+    /// The ledger entries, oldest first.
     pub fn ledger_entries(&self) -> Vec<crate::ledger::LedgerEntry> {
         self.inner.ledger.lock().entries().to_vec()
     }
 
-    fn persist(&self, id: &str, doc: &ProvDocument) {
-        if let Some(dir) = &self.inner.dir {
-            if let Ok(json) = doc.to_json_string() {
-                let _ = std::fs::write(dir.join(format!("{id}.json")), &json);
-                let mut ledger = self.inner.ledger.lock();
-                ledger.append(id, json.as_bytes());
-                let _ = std::fs::write(dir.join("ledger.txt"), ledger.to_text());
-            }
+    /// Forces outstanding backend state (ledger tail, directory
+    /// entries) to stable storage.
+    pub fn flush(&self) -> Result<(), ServiceError> {
+        self.inner.backend.flush()
+    }
+
+    /// Drops every cached graph index (they rebuild lazily on the next
+    /// query). Exists for benchmarks and tests that need a cold cache.
+    #[doc(hidden)]
+    pub fn clear_index_cache(&self) {
+        self.inner.graphs.write().clear();
+    }
+
+    /// Serializes, persists and indexes one document under `id`.
+    fn insert(&self, id: String, doc: ProvDocument) -> Result<String, ServiceError> {
+        let json = doc.to_json_string()?;
+        {
+            // One critical section for the byte write and the ledger
+            // append, so chain order always matches visible state even
+            // under concurrent replacement of the same id.
+            let mut ledger = self.inner.ledger.lock();
+            let put_span = self.inner.metrics.put_seconds.start_span();
+            self.inner.backend.put(&id, json.as_bytes())?;
+            drop(put_span);
+            let line = ledger.append(&id, json.as_bytes()).to_line();
+            self.inner.backend.ledger_append(&line)?;
         }
+        let doc = Arc::new(doc);
+        // Build the graph index once, at upload time; queries share it.
+        self.inner
+            .graphs
+            .write()
+            .insert(id.clone(), SharedGraph::new(Arc::clone(&doc)));
+        self.inner.docs.write().insert(id.clone(), doc);
+        Ok(id)
     }
 
     /// Stores a document, returning its handle id.
-    pub fn upload(&self, doc: ProvDocument) -> String {
+    pub fn upload(&self, doc: ProvDocument) -> Result<String, ServiceError> {
         let id = format!(
             "doc-{}",
             self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1
         );
-        self.persist(&id, &doc);
-        self.inner.docs.write().insert(id.clone(), Arc::new(doc));
-        id
+        self.insert(id, doc)
     }
 
     /// Stores a document under a caller-chosen id (replacing any
-    /// previous document with that id).
-    pub fn upload_as(&self, id: impl Into<String>, doc: ProvDocument) -> String {
+    /// previous document with that id, which also invalidates its
+    /// cached graph index).
+    ///
+    /// Claiming a `doc-N` id advances the auto-id counter past `N`, so
+    /// a later [`Self::upload`] can never silently overwrite it.
+    pub fn upload_as(
+        &self,
+        id: impl Into<String>,
+        doc: ProvDocument,
+    ) -> Result<String, ServiceError> {
         let id = id.into();
-        self.persist(&id, &doc);
-        self.inner.docs.write().insert(id.clone(), Arc::new(doc));
-        id
+        if let Some(n) = id.strip_prefix("doc-").and_then(|n| n.parse::<u64>().ok()) {
+            self.inner.next_id.fetch_max(n, Ordering::Relaxed);
+        }
+        self.insert(id, doc)
     }
 
     /// Fetches a document.
@@ -125,14 +240,32 @@ impl DocumentStore {
         self.inner.docs.read().get(id).cloned()
     }
 
-    /// Removes a document; true when it existed. In persistent mode the
-    /// file is removed but the ledger keeps its record — deletions stay
-    /// visible in history.
-    pub fn delete(&self, id: &str) -> bool {
-        if let Some(dir) = &self.inner.dir {
-            let _ = std::fs::remove_file(dir.join(format!("{id}.json")));
+    /// The document's canonical JSON, served from the backend's stored
+    /// bytes when available (timed as backend get latency) and
+    /// re-serialized from the parsed document otherwise.
+    pub fn document_json(&self, id: &str) -> Result<String, ServiceError> {
+        let get_span = self.inner.metrics.get_seconds.start_span();
+        let bytes = self.inner.backend.get(id)?;
+        drop(get_span);
+        if let Some(bytes) = bytes {
+            return String::from_utf8(bytes).map_err(|e| ServiceError::InvalidDocument {
+                reason: format!("{id}: stored bytes are not UTF-8: {e}"),
+            });
         }
-        self.inner.docs.write().remove(id).is_some()
+        match self.get(id) {
+            Some(doc) => Ok(doc.to_json_string()?),
+            None => Err(ServiceError::NotFound { id: id.to_string() }),
+        }
+    }
+
+    /// Removes a document; `Ok(true)` when it existed. The ledger keeps
+    /// its record — deletions stay visible in history — and the cached
+    /// graph index is dropped.
+    pub fn delete(&self, id: &str) -> Result<bool, ServiceError> {
+        let existed_on_backend = self.inner.backend.delete(id)?;
+        self.inner.graphs.write().remove(id);
+        let existed = self.inner.docs.write().remove(id).is_some();
+        Ok(existed || existed_on_backend)
     }
 
     /// All handle ids, sorted.
@@ -150,40 +283,63 @@ impl DocumentStore {
         self.len() == 0
     }
 
+    /// The cached [`SharedGraph`] for `id`, building (and caching) it
+    /// on first use. Every lineage query and explorer traversal routes
+    /// through here — the hit path is a map lookup plus two `Arc`
+    /// clones.
+    pub fn graph(&self, id: &str) -> Result<SharedGraph, ServiceError> {
+        if let Some(g) = self.inner.graphs.read().get(id) {
+            self.inner.metrics.cache_hits.inc();
+            return Ok(g.clone());
+        }
+        let doc = self
+            .get(id)
+            .ok_or_else(|| ServiceError::NotFound { id: id.to_string() })?;
+        self.inner.metrics.cache_misses.inc();
+        let built = SharedGraph::new(doc);
+        // A racing query may have built it first; keep the existing one
+        // so concurrent views share a single index.
+        let mut graphs = self.inner.graphs.write();
+        Ok(graphs.entry(id.to_string()).or_insert(built).clone())
+    }
+
     /// Provenance ancestors of `focus` inside document `id` (the
-    /// lineage query of the yProv API).
-    pub fn ancestors(&self, id: &str, focus: &QName) -> Option<Vec<QName>> {
-        let doc = self.get(id)?;
-        let graph = ProvGraph::new(&doc);
-        Some(graph.ancestors(focus).into_iter().collect())
+    /// lineage query of the yProv API), answered from the cached index.
+    pub fn ancestors(&self, id: &str, focus: &QName) -> Result<Vec<QName>, ServiceError> {
+        let shared = self.graph(id)?;
+        let graph = shared.view();
+        Ok(graph.ancestors(focus).into_iter().collect())
     }
 
     /// The sub-document induced by `focus` and everything connected to
-    /// it (ancestors + descendants).
-    pub fn subgraph(&self, id: &str, focus: &QName) -> Option<ProvDocument> {
-        let doc = self.get(id)?;
-        let graph = ProvGraph::new(&doc);
+    /// it (ancestors + descendants), answered from the cached index.
+    pub fn subgraph(&self, id: &str, focus: &QName) -> Result<ProvDocument, ServiceError> {
+        let shared = self.graph(id)?;
+        let graph = shared.view();
         let mut keep = graph.ancestors(focus);
         keep.extend(graph.descendants(focus));
         keep.insert(focus.clone());
-        Some(prov_graph::subgraph(&doc, &keep))
+        Ok(prov_graph::subgraph(shared.document(), &keep))
     }
 
-    /// Merges every stored document into one (cross-run lineage), or
-    /// `None` when a namespace conflict prevents it.
-    pub fn merged(&self) -> Option<ProvDocument> {
+    /// Merges every stored document into one (cross-run lineage);
+    /// namespace clashes surface as [`ServiceError::Conflict`].
+    pub fn merged(&self) -> Result<ProvDocument, ServiceError> {
         let docs = self.inner.docs.read();
         let mut merged = ProvDocument::new();
-        for doc in docs.values() {
-            merged.merge(doc).ok()?;
+        for (id, doc) in docs.iter() {
+            merged.merge(doc).map_err(|e| ServiceError::Conflict {
+                reason: format!("merging {id}: {e}"),
+            })?;
         }
-        Some(merged)
+        Ok(merged)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ledger::LedgerIssue;
 
     fn q(local: &str) -> QName {
         QName::new("ex", local)
@@ -203,12 +359,12 @@ mod tests {
     #[test]
     fn upload_get_delete() {
         let store = DocumentStore::new();
-        let id = store.upload(pipeline_doc());
+        let id = store.upload(pipeline_doc()).unwrap();
         assert_eq!(id, "doc-1");
         assert!(store.get(&id).is_some());
         assert_eq!(store.list(), vec!["doc-1"]);
-        assert!(store.delete(&id));
-        assert!(!store.delete(&id));
+        assert!(store.delete(&id).unwrap());
+        assert!(!store.delete(&id).unwrap());
         assert!(store.is_empty());
     }
 
@@ -220,7 +376,7 @@ mod tests {
             let store = store.clone();
             handles.push(std::thread::spawn(move || {
                 (0..100)
-                    .map(|_| store.upload(ProvDocument::new()))
+                    .map(|_| store.upload(ProvDocument::new()).unwrap())
                     .collect::<Vec<_>>()
             }));
         }
@@ -237,23 +393,76 @@ mod tests {
     #[test]
     fn lineage_queries() {
         let store = DocumentStore::new();
-        let id = store.upload(pipeline_doc());
+        let id = store.upload(pipeline_doc()).unwrap();
         let anc = store.ancestors(&id, &q("model")).unwrap();
         assert!(anc.contains(&q("train")));
         assert!(anc.contains(&q("data")));
-        assert!(store.ancestors("nope", &q("model")).is_none());
+        assert!(matches!(
+            store.ancestors("nope", &q("model")),
+            Err(ServiceError::NotFound { .. })
+        ));
 
         let sub = store.subgraph(&id, &q("train")).unwrap();
         assert_eq!(sub.element_count(), 3);
     }
 
     #[test]
+    fn queries_hit_the_index_built_at_upload() {
+        let store = DocumentStore::new();
+        let id = store.upload(pipeline_doc()).unwrap();
+        assert_eq!(store.graph_cache_stats(), (0, 0));
+        store.ancestors(&id, &q("model")).unwrap();
+        store.subgraph(&id, &q("train")).unwrap();
+        // Both queries reuse the index built at upload time: all hits.
+        assert_eq!(store.graph_cache_stats(), (2, 0));
+        // Replacement invalidates and rebuilds at upload; still a hit.
+        store.upload_as(&id, pipeline_doc()).unwrap();
+        store.ancestors(&id, &q("model")).unwrap();
+        assert_eq!(store.graph_cache_stats(), (3, 0));
+    }
+
+    #[test]
+    fn reopened_store_misses_then_hits() {
+        let dir = std::env::temp_dir().join(format!("ysvc_cache_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let id;
+        {
+            let store = DocumentStore::persistent(&dir).unwrap();
+            id = store.upload(pipeline_doc()).unwrap();
+        }
+        let store = DocumentStore::persistent(&dir).unwrap();
+        assert_eq!(store.graph_cache_stats(), (0, 0));
+        store.ancestors(&id, &q("model")).unwrap();
+        let (hits, misses) = store.graph_cache_stats();
+        assert_eq!((hits, misses), (0, 1), "first query builds the index");
+        store.ancestors(&id, &q("model")).unwrap();
+        let (hits, misses) = store.graph_cache_stats();
+        assert_eq!((hits, misses), (1, 1), "second query hits the cache");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn upload_as_replaces() {
         let store = DocumentStore::new();
-        store.upload_as("run-1", pipeline_doc());
-        store.upload_as("run-1", ProvDocument::new());
+        store.upload_as("run-1", pipeline_doc()).unwrap();
+        store.upload_as("run-1", ProvDocument::new()).unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store.get("run-1").unwrap().element_count(), 0);
+    }
+
+    #[test]
+    fn upload_as_advances_the_id_counter() {
+        // Regression: claiming "doc-5" must bump next_id past 5, or a
+        // later upload() would silently overwrite it.
+        let store = DocumentStore::new();
+        store.upload_as("doc-5", pipeline_doc()).unwrap();
+        let next = store.upload(ProvDocument::new()).unwrap();
+        assert_eq!(next, "doc-6");
+        assert_eq!(store.get("doc-5").unwrap().element_count(), 3);
+        assert_eq!(store.len(), 2);
+        // Non-doc-N ids leave the counter alone.
+        store.upload_as("run-7", ProvDocument::new()).unwrap();
+        assert_eq!(store.upload(ProvDocument::new()).unwrap(), "doc-7");
     }
 
     #[test]
@@ -263,8 +472,8 @@ mod tests {
         let id;
         {
             let store = DocumentStore::persistent(&dir).unwrap();
-            id = store.upload(pipeline_doc());
-            store.upload(ProvDocument::new());
+            id = store.upload(pipeline_doc()).unwrap();
+            store.upload(ProvDocument::new()).unwrap();
             assert_eq!(store.ledger_entries().len(), 2);
         }
         let reopened = DocumentStore::persistent(&dir).unwrap();
@@ -272,8 +481,51 @@ mod tests {
         let doc = reopened.get(&id).unwrap();
         assert_eq!(doc.element_count(), 3);
         // Ids keep counting past the reloaded maximum.
-        let new_id = reopened.upload(ProvDocument::new());
+        let new_id = reopened.upload(ProvDocument::new()).unwrap();
         assert_eq!(new_id, "doc-3");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ledger_file_is_appended_not_rewritten() {
+        let dir = std::env::temp_dir().join(format!("ysvc_append_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = DocumentStore::persistent(&dir).unwrap();
+        store.upload(pipeline_doc()).unwrap();
+        store.flush().unwrap();
+        let after_one = std::fs::read_to_string(dir.join("ledger.txt")).unwrap();
+        store.upload(ProvDocument::new()).unwrap();
+        store.flush().unwrap();
+        let after_two = std::fs::read_to_string(dir.join("ledger.txt")).unwrap();
+        assert!(
+            after_two.starts_with(&after_one),
+            "appends must preserve the existing prefix"
+        );
+        assert_eq!(after_one.lines().count(), 1);
+        assert_eq!(after_two.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn upload_as_replacement_survives_reopen_with_verification() {
+        // Satellite: re-uploading an existing id must keep the ledger
+        // verifiable across a close-and-reopen cycle.
+        let dir = std::env::temp_dir().join(format!("ysvc_replace_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let store = DocumentStore::persistent(&dir).unwrap();
+            store.upload_as("run-1", pipeline_doc()).unwrap();
+            store.upload_as("run-1", ProvDocument::new()).unwrap();
+            assert_eq!(store.ledger_entries().len(), 2, "history keeps both");
+        }
+        let reopened = DocumentStore::persistent(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.get("run-1").unwrap().element_count(), 0);
+        let entries = reopened.ledger_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].document_id, "run-1");
+        assert_eq!(entries[1].document_id, "run-1");
+        assert_ne!(entries[0].document_digest, entries[1].document_digest);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -283,7 +535,7 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         {
             let store = DocumentStore::persistent(&dir).unwrap();
-            store.upload(pipeline_doc());
+            store.upload(pipeline_doc()).unwrap();
         }
         // Edit the stored provenance behind the service's back.
         let path = dir.join("doc-1.json");
@@ -294,7 +546,35 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("tampered store must fail to open"),
         };
-        assert!(err.contains("ledger verification failed"), "{err}");
+        assert!(
+            matches!(
+                err,
+                ServiceError::LedgerVerification(LedgerIssue::DocumentChanged { .. })
+            ),
+            "{err}"
+        );
+        assert_eq!(err.http_status(), 500);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_upload_leaves_no_torn_document() {
+        // Simulated kill-during-upload: the tmp file exists, the rename
+        // never happened. Reopen must ignore (and sweep) the debris and
+        // still verify.
+        let dir = std::env::temp_dir().join(format!("ysvc_kill_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let store = DocumentStore::persistent(&dir).unwrap();
+            store.upload(pipeline_doc()).unwrap();
+        }
+        std::fs::write(dir.join("doc-2.json.tmp"), b"{\"torn").unwrap();
+        let reopened = DocumentStore::persistent(&dir).unwrap();
+        assert_eq!(reopened.len(), 1, "the torn upload never became visible");
+        assert!(!dir.join("doc-2.json.tmp").exists(), "debris swept");
+        // The interrupted id is still usable.
+        let id = reopened.upload(pipeline_doc()).unwrap();
+        assert_eq!(id, "doc-2");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -304,8 +584,8 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         {
             let store = DocumentStore::persistent(&dir).unwrap();
-            let id = store.upload(pipeline_doc());
-            assert!(store.delete(&id));
+            let id = store.upload(pipeline_doc()).unwrap();
+            assert!(store.delete(&id).unwrap());
         }
         // Reopen: document gone, history intact and verifiable.
         let reopened = DocumentStore::persistent(&dir).unwrap();
@@ -317,11 +597,11 @@ mod tests {
     #[test]
     fn merged_combines_documents() {
         let store = DocumentStore::new();
-        store.upload(pipeline_doc());
+        store.upload(pipeline_doc()).unwrap();
         let mut other = ProvDocument::new();
         other.namespaces_mut().register("ex", "http://ex/").unwrap();
         other.entity(q("report"));
-        store.upload(other);
+        store.upload(other).unwrap();
         let merged = store.merged().unwrap();
         assert_eq!(merged.element_count(), 4);
     }
@@ -329,14 +609,38 @@ mod tests {
     #[test]
     fn merged_fails_on_conflicting_namespaces() {
         let store = DocumentStore::new();
-        store.upload(pipeline_doc());
+        store.upload(pipeline_doc()).unwrap();
         let mut other = ProvDocument::new();
         other
             .namespaces_mut()
             .register("ex", "http://other/")
             .unwrap();
         other.entity(q("x"));
-        store.upload(other);
-        assert!(store.merged().is_none());
+        store.upload(other).unwrap();
+        assert!(matches!(store.merged(), Err(ServiceError::Conflict { .. })));
+    }
+
+    #[test]
+    fn document_json_serves_canonical_bytes() {
+        let store = DocumentStore::new();
+        let id = store.upload(pipeline_doc()).unwrap();
+        let json = store.document_json(&id).unwrap();
+        let parsed = ProvDocument::from_json_str(&json).unwrap();
+        assert_eq!(parsed.element_count(), 3);
+        assert!(matches!(
+            store.document_json("ghost"),
+            Err(ServiceError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn backend_names_are_reported() {
+        let store = DocumentStore::new();
+        assert_eq!(store.backend_name(), "memory");
+        let dir = std::env::temp_dir().join(format!("ysvc_name_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = DocumentStore::persistent(&dir).unwrap();
+        assert_eq!(store.backend_name(), "durable");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -587,8 +587,9 @@ pub fn recover_detailed(
 
     let prov_json_path = run_dir.join("prov.json");
     let provn_path = run_dir.join("prov.provn");
-    std::fs::write(&prov_json_path, doc.to_json_string_pretty()?)?;
-    std::fs::write(&provn_path, prov_model::provn::to_provn(&doc))?;
+    // Same streaming writer the normal finalize path uses; the bytes
+    // are identical to the old to_json_string_pretty route.
+    crate::prov_emit::write_prov_files(&doc, &prov_json_path, &provn_path)?;
 
     let report = RunReport {
         experiment: replay.header.experiment,
@@ -888,6 +889,20 @@ mod tests {
             .get(&prov_model::QName::new("exp", "crashed-run/recovery"))
             .is_some());
         assert!(prov_model::validate::is_valid(&doc));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_prov_json_matches_pretty_serializer_bytes() {
+        // Recovery emits through the streaming writer; its output must
+        // stay byte-identical to the to_json_string_pretty path.
+        let dir = tmp("parity");
+        write_records(&dir, 25);
+        let (report, _) = recover_detailed(&dir, &SpillPolicy::Inline).unwrap();
+        let emitted = std::fs::read_to_string(&report.prov_json_path).unwrap();
+        let doc = prov_model::ProvDocument::from_json_str(&emitted).unwrap();
+        assert_eq!(doc.to_json_string_pretty().unwrap(), emitted);
+        assert_eq!(report.prov_json_bytes, emitted.len() as u64);
         std::fs::remove_dir_all(&dir).ok();
     }
 
