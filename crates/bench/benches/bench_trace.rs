@@ -1,0 +1,66 @@
+//! Per-span cost of the tracing layer, enabled vs disabled — the number
+//! that decides whether instrumentation can stay in the collector and
+//! simulator hot paths. Disabled must be a relaxed load and nothing
+//! else; enabled pays one clock read plus a ring push.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_span_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace/span");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function(BenchmarkId::from_parameter("disabled"), |b| {
+        obs::trace::set_enabled(false);
+        b.iter(|| {
+            let _s = obs::trace::span("bench");
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("enabled"), |b| {
+        obs::trace::set_enabled(true);
+        obs::trace::drain();
+        b.iter(|| {
+            let _s = obs::trace::span("bench");
+        });
+        obs::trace::set_enabled(false);
+        obs::trace::drain();
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("enabled_annotated"), |b| {
+        obs::trace::set_enabled(true);
+        obs::trace::drain();
+        let mut step = 0u64;
+        b.iter(|| {
+            let mut s = obs::trace::span("bench");
+            s.annotate("step", step.to_string());
+            step += 1;
+        });
+        obs::trace::set_enabled(false);
+        obs::trace::drain();
+    });
+
+    group.finish();
+}
+
+fn bench_record_complete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace/record_complete");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function(BenchmarkId::from_parameter("disabled"), |b| {
+        obs::trace::set_enabled(false);
+        b.iter(|| obs::trace::record_complete("rank 0", "step", 0, 1_000, 0, &[]));
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("enabled"), |b| {
+        obs::trace::set_enabled(true);
+        obs::trace::drain();
+        b.iter(|| obs::trace::record_complete("rank 0", "step", 0, 1_000, 0, &[]));
+        obs::trace::set_enabled(false);
+        obs::trace::drain();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_span_overhead, bench_record_complete);
+criterion_main!(benches);

@@ -194,6 +194,10 @@ impl NcStore {
         let cache = self.cache.lock();
         let ordered: Vec<&MetricSeries> = cache.values().collect();
         let encoded: Vec<[Vec<u8>; 4]> = pool.map(ordered.len(), |i| {
+            let mut trace = obs::trace::span("chunk_encode");
+            if obs::trace::is_enabled() {
+                trace.annotate("series", ordered[i].name.clone());
+            }
             self.encode_hist.time(|| self.encode_columns(ordered[i]))
         });
 

@@ -302,7 +302,13 @@ impl ZarrStore {
     /// bytes depend only on its points and the store options, so chunks
     /// can be written from any thread in any order.
     fn write_chunk(&self, dir: &Path, ci: usize, chunk: &[MetricPoint]) -> Result<(), StoreError> {
+        let mut trace = obs::trace::span("chunk_encode");
+        if obs::trace::is_enabled() {
+            trace.annotate("chunk", ci.to_string());
+            trace.annotate("points", chunk.len().to_string());
+        }
         let encoded = self.encode_hist.time(|| self.encode_columns(chunk));
+        drop(trace);
         for (col, payload) in encoded {
             // The values column may already be bit-packed (XOR);
             // shuffle only helps raw fixed-width data.

@@ -46,6 +46,7 @@
 
 pub mod instrument;
 pub mod registry;
+pub mod trace;
 
 pub use instrument::{Counter, Gauge, Histogram, SpanTimer, BUCKET_COUNT};
 pub use registry::{HistogramSnapshot, Registry, Snapshot};

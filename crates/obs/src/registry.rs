@@ -24,6 +24,8 @@ enum Instrument {
 pub struct Registry {
     enabled: Arc<AtomicBool>,
     instruments: Mutex<BTreeMap<String, Instrument>>,
+    /// Family name → help text, rendered as `# HELP` lines.
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Default for Registry {
@@ -38,6 +40,7 @@ impl Registry {
         Registry {
             enabled: Arc::new(AtomicBool::new(true)),
             instruments: Mutex::new(BTreeMap::new()),
+            help: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -103,6 +106,16 @@ impl Registry {
         }
     }
 
+    /// Sets the help text rendered as a `# HELP` line for `family`
+    /// (the metric name without its label block). Families without help
+    /// render only their `# TYPE` line.
+    pub fn set_help(&self, family: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("obs registry poisoned")
+            .insert(family.to_string(), help.to_string());
+    }
+
     /// A point-in-time copy of every instrument's state.
     pub fn snapshot(&self) -> Snapshot {
         let map = self.instruments.lock().expect("obs registry poisoned");
@@ -133,23 +146,32 @@ impl Registry {
     /// Renders every instrument in the Prometheus text exposition
     /// format (version 0.0.4). Histograms emit cumulative `_bucket`
     /// lines with `le` boundaries in seconds, plus `_sum` / `_count`.
+    /// Families with registered help ([`Registry::set_help`]) get a
+    /// `# HELP` line, and label values are escaped per the format
+    /// (`\` → `\\`, `"` → `\"`, newline → `\n`).
     pub fn render_prometheus(&self) -> String {
         let snap = self.snapshot();
+        let help_map = self.help.lock().expect("obs registry poisoned").clone();
         let mut out = String::new();
         let mut typed: std::collections::BTreeSet<String> = Default::default();
         let mut type_line = |out: &mut String, name: &str, kind: &str| {
             let family = family_of(name).to_string();
             if typed.insert(family.clone()) {
+                if let Some(help) = help_map.get(&family) {
+                    let _ = writeln!(out, "# HELP {family} {}", escape_help(help));
+                }
                 let _ = writeln!(out, "# TYPE {family} {kind}");
             }
         };
         for (name, value) in &snap.counters {
             type_line(&mut out, name, "counter");
-            let _ = writeln!(out, "{name} {value}");
+            let (family, labels) = split_labels(name);
+            let _ = writeln!(out, "{family}{} {value}", wrap_labels(labels));
         }
         for (name, value) in &snap.gauges {
             type_line(&mut out, name, "gauge");
-            let _ = writeln!(out, "{name} {value}");
+            let (family, labels) = split_labels(name);
+            let _ = writeln!(out, "{family}{} {value}", wrap_labels(labels));
         }
         for (name, h) in &snap.histograms {
             type_line(&mut out, name, "histogram");
@@ -202,7 +224,7 @@ fn labels_prefix(labels: &str) -> String {
     if labels.is_empty() {
         String::new()
     } else {
-        format!("{labels},")
+        format!("{},", escape_label_block(labels))
     }
 }
 
@@ -211,8 +233,69 @@ fn wrap_labels(labels: &str) -> String {
     if labels.is_empty() {
         String::new()
     } else {
-        format!("{{{labels}}}")
+        format!("{{{}}}", escape_label_block(labels))
     }
+}
+
+/// Escapes one label value per the text format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text: `\` → `\\` and newline → `\n` (quotes are
+/// legal in help text).
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Re-emits an inline `k1="v1",k2="v2"` label block with every value
+/// escaped. Values are stored raw in instrument names, so a closing
+/// quote is recognized as a `"` followed by `,` or the end of the
+/// block — a raw value containing the two-byte sequence `",` would be
+/// split early, which is accepted as a documented limitation.
+fn escape_label_block(labels: &str) -> String {
+    let mut out = String::with_capacity(labels.len());
+    let mut rest = labels;
+    while let Some(eq) = rest.find("=\"") {
+        out.push_str(&rest[..eq + 2]);
+        let value = &rest[eq + 2..];
+        let end = raw_value_end(value);
+        out.push_str(&escape_label_value(&value[..end]));
+        out.push('"');
+        rest = &value[(end + 1).min(value.len())..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Index of the closing quote of a raw label value: the first `"`
+/// followed by `,` or end of input.
+fn raw_value_end(s: &str) -> usize {
+    let bytes = s.as_bytes();
+    for i in 0..bytes.len() {
+        if bytes[i] == b'"' && (i + 1 == bytes.len() || bytes[i + 1] == b',') {
+            return i;
+        }
+    }
+    s.len()
 }
 
 /// Point-in-time state of a histogram (see [`Registry::snapshot`]).
@@ -407,6 +490,91 @@ mod tests {
         // An idle interval is empty.
         let now = r.snapshot();
         assert!(now.delta_since(&now).is_empty());
+    }
+
+    #[test]
+    fn help_lines_render_before_type() {
+        let r = Registry::new();
+        r.counter("requests_total{route=\"/healthz\"}").inc();
+        r.histogram("latency_seconds").record_ns(10);
+        r.set_help("requests_total", "Requests served, by route.");
+        r.set_help(
+            "latency_seconds",
+            "End-to-end latency.\nSpans \\ both lines.",
+        );
+        let text = r.render_prometheus();
+        let help_pos = text.find("# HELP requests_total Requests served, by route.");
+        let type_pos = text.find("# TYPE requests_total counter");
+        assert!(help_pos.is_some() && type_pos.is_some(), "{text}");
+        assert!(help_pos < type_pos, "HELP precedes TYPE");
+        assert_eq!(text.matches("# HELP requests_total").count(), 1);
+        // Backslashes and newlines in help text are escaped.
+        assert!(
+            text.contains("# HELP latency_seconds End-to-end latency.\\nSpans \\\\ both lines."),
+            "{text}"
+        );
+        // A family without help still gets no HELP line.
+        r.gauge("queue_depth").set(1);
+        assert!(!r.render_prometheus().contains("# HELP queue_depth"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("errors_total{msg=\"disk \\ full \"quote\"\",node=\"a\nb\"}")
+            .inc();
+        let h = r.histogram("op_seconds{path=\"C:\\data\"}");
+        h.record_ns(1500);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("errors_total{msg=\"disk \\\\ full \\\"quote\\\"\",node=\"a\\nb\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("op_seconds_bucket{path=\"C:\\\\data\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("op_seconds_count{path=\"C:\\\\data\"} 1"),
+            "{text}"
+        );
+        // No raw (unescaped) backslash-before-d or bare newline survives
+        // inside a label value.
+        assert!(!text.contains("C:\\data"), "{text}");
+    }
+
+    #[test]
+    fn delta_tracks_bucket_advance_while_instruments_register_in_the_gap() {
+        let r = Registry::new();
+        let h = r.histogram("encode");
+        h.record_ns(100); // bucket 6: [64, 128)
+        h.record_ns(3000); // bucket 11: [2048, 4096)
+        let before = r.snapshot();
+
+        // The same histogram advances (one existing bucket, one new)...
+        h.record_ns(100); // bucket 6 again
+        h.record_ns(100_000); // bucket 16: [65536, 131072)
+                              // ...while new instruments register in the gap.
+        r.counter("late_counter").add(3);
+        let late_h = r.histogram("late_hist");
+        late_h.record_ns(50);
+
+        let delta = r.snapshot().delta_since(&before);
+        let d = &delta.histograms["encode"];
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_ns, 100_100);
+        assert_eq!(d.buckets[crate::instrument::bucket_index(100)], 1);
+        assert_eq!(d.buckets[crate::instrument::bucket_index(100_000)], 1);
+        assert_eq!(
+            d.buckets.iter().sum::<u64>(),
+            2,
+            "pre-gap counts subtracted"
+        );
+
+        // Instruments born in the gap appear with their full value.
+        assert_eq!(delta.counters["late_counter"], 3);
+        assert_eq!(delta.histograms["late_hist"].count, 1);
+        assert_eq!(delta.histograms["late_hist"].sum_ns, 50);
     }
 
     #[test]

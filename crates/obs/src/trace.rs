@@ -1,0 +1,911 @@
+//! Structured tracing: causal spans, Chrome trace-event export, and a
+//! crash flight recorder.
+//!
+//! Where the [`Registry`](crate::Registry) aggregates (how long do chunk
+//! encodes take *on average*?), this module records individual spans —
+//! span id, parent id, track label, name, start/end nanoseconds and
+//! key=value annotations — so a single run can be laid out as a causal
+//! timeline: *where inside run 7, epoch 3, rank 5 did the finalize
+//! stall?*
+//!
+//! The design mirrors the metrics layer's cost contract:
+//!
+//! * **Disabled path** — [`span`] and [`record_complete`] return after a
+//!   single `Relaxed` load of the process-wide enabled flag; no clock
+//!   read, no allocation. Tracing starts disabled.
+//! * **Enabled path** — each thread records into its own fixed-size
+//!   ring, so recording never contends with other threads. The ring is
+//!   guarded by a mutex, but only the exporter ever takes it from
+//!   another thread: the common lock is uncontended (one CAS, no
+//!   syscall).
+//! * **Flight recorder** — rings overwrite their oldest spans once
+//!   full and survive thread exit, so after a fault the last
+//!   [`ring capacity`](set_ring_capacity) spans per thread are still
+//!   there to be dumped ([`dump_flight_recorder`]) — the journal
+//!   recovery path writes them to `trace_crash.json` and links the file
+//!   into the recovered PROV document.
+//!
+//! Spans carry two clocks: [`Clock::Wall`] spans are stamped from a
+//! process-wide monotonic epoch, while [`Clock::Simulated`] spans
+//! ([`record_complete`]) carry virtual timestamps from the training
+//! simulator — the exporter puts them in separate trace-event
+//! "processes" so Perfetto renders one coherent timeline per clock,
+//! with one track per simulated rank.
+//!
+//! Cross-process causality uses W3C trace context: [`traceparent`]
+//! renders the current position as a `traceparent` header value and
+//! [`adopt_remote`] parses one on the receiving side, so a client's
+//! upload spans and the server's handler spans share one trace id.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-thread ring capacity (spans retained per thread).
+pub const DEFAULT_RING_CAPACITY: usize = 16_384;
+
+/// Which clock a span's timestamps come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Monotonic host time relative to the tracer's epoch.
+    Wall,
+    /// Virtual time supplied by the caller (the training simulator).
+    Simulated,
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Parent span id; 0 marks a root.
+    pub parent: u64,
+    /// The 128-bit trace this span belongs to.
+    pub trace_id: u128,
+    /// Span name.
+    pub name: Cow<'static, str>,
+    /// Track label: the recording thread's name, or an explicit label
+    /// such as `rank 5` for simulated spans.
+    pub track: String,
+    /// Which clock `start_ns`/`end_ns` are measured on.
+    pub clock: Clock,
+    /// Start, nanoseconds on `clock`.
+    pub start_ns: u64,
+    /// End, nanoseconds on `clock`.
+    pub end_ns: u64,
+    /// Key=value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+/// Bounded span storage owned by one thread; overwrites oldest-first
+/// once full (flight-recorder semantics).
+#[derive(Debug)]
+struct Ring {
+    cap: usize,
+    slots: Vec<SpanRecord>,
+    /// Next overwrite position once `slots` reached `cap`.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Ring {
+        Ring {
+            cap: cap.max(1),
+            slots: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, rec: SpanRecord) {
+        if self.slots.len() < self.cap {
+            self.slots.push(rec);
+        } else {
+            self.slots[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained spans, oldest first.
+    fn ordered(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.head..]);
+        out.extend_from_slice(&self.slots[..self.head]);
+        out
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.head = 0;
+    }
+}
+
+/// A per-thread buffer: the ring plus the track label spans recorded on
+/// this thread default to. Registered with the tracer for export and
+/// kept alive (via `Arc`) after its thread exits, so a crashed worker's
+/// spans survive into the flight-recorder dump.
+#[derive(Debug)]
+struct ThreadBuffer {
+    label: Mutex<String>,
+    ring: Mutex<Ring>,
+}
+
+struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    next_id: AtomicU64,
+    trace_id: Mutex<u128>,
+    ring_capacity: AtomicUsize,
+    buffers: Mutex<Vec<Arc<ThreadBuffer>>>,
+}
+
+static TRACER: OnceLock<Tracer> = OnceLock::new();
+
+fn tracer() -> &'static Tracer {
+    TRACER.get_or_init(|| Tracer {
+        enabled: AtomicBool::new(false),
+        epoch: Instant::now(),
+        next_id: AtomicU64::new(1),
+        trace_id: Mutex::new(0),
+        ring_capacity: AtomicUsize::new(DEFAULT_RING_CAPACITY),
+        buffers: Mutex::new(Vec::new()),
+    })
+}
+
+struct LocalCtx {
+    buffer: Option<Arc<ThreadBuffer>>,
+    /// Open span ids on this thread, innermost last.
+    stack: Vec<u64>,
+    /// Adopted remote context: `(trace id, parent span id)`.
+    remote: Option<(u128, u64)>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalCtx> = const {
+        RefCell::new(LocalCtx {
+            buffer: None,
+            stack: Vec::new(),
+            remote: None,
+        })
+    };
+}
+
+fn local_buffer(ctx: &mut LocalCtx) -> Arc<ThreadBuffer> {
+    if let Some(buf) = &ctx.buffer {
+        return Arc::clone(buf);
+    }
+    let label = std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("thread-{:?}", std::thread::current().id()));
+    let buf = Arc::new(ThreadBuffer {
+        label: Mutex::new(label),
+        ring: Mutex::new(Ring::new(tracer().ring_capacity.load(Ordering::Relaxed))),
+    });
+    tracer()
+        .buffers
+        .lock()
+        .expect("trace buffer registry poisoned")
+        .push(Arc::clone(&buf));
+    ctx.buffer = Some(Arc::clone(&buf));
+    buf
+}
+
+/// Turns span recording on or off process-wide. Off (the default)
+/// costs one relaxed load per instrumented call site.
+pub fn set_enabled(enabled: bool) {
+    tracer().enabled.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether spans are currently recorded.
+pub fn is_enabled() -> bool {
+    tracer().enabled.load(Ordering::Relaxed)
+}
+
+/// Sets the ring capacity for thread buffers created *after* this call
+/// (existing buffers keep their size). The ring bounds both memory and
+/// the flight-recorder window: the last `cap` spans per thread survive
+/// until a fault.
+pub fn set_ring_capacity(cap: usize) {
+    tracer().ring_capacity.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Overrides the current thread's track label (defaults to the thread
+/// name). Applies to spans recorded after the call.
+pub fn set_thread_track(label: &str) {
+    if !is_enabled() {
+        return;
+    }
+    LOCAL.with(|l| {
+        let mut ctx = l.borrow_mut();
+        let buf = local_buffer(&mut ctx);
+        *buf.label.lock().expect("trace label poisoned") = label.to_string();
+    });
+}
+
+fn alloc_id() -> u64 {
+    tracer().next_id.fetch_add(1, Ordering::Relaxed)
+}
+
+fn now_ns() -> u64 {
+    u64::try_from(tracer().epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// splitmix64, for deriving the process trace id.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The process trace id (lazily generated, never 0). All spans not
+/// recorded under an adopted remote context belong to this trace.
+pub fn trace_id() -> u128 {
+    let mut id = tracer().trace_id.lock().expect("trace id poisoned");
+    if *id == 0 {
+        let mut seed = std::process::id() as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        seed ^= std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let hi = splitmix64(&mut seed);
+        let lo = splitmix64(&mut seed);
+        *id = ((hi as u128) << 64 | lo as u128).max(1);
+    }
+    *id
+}
+
+/// Pins the process trace id (tests, deterministic replay). 0 resets to
+/// "generate lazily".
+pub fn set_trace_id(id: u128) {
+    *tracer().trace_id.lock().expect("trace id poisoned") = id;
+}
+
+fn current_trace_id(ctx: &LocalCtx) -> u128 {
+    match ctx.remote {
+        Some((tid, _)) => tid,
+        None => trace_id(),
+    }
+}
+
+/// The innermost open span on this thread (0 when none).
+pub fn current_span_id() -> u64 {
+    LOCAL.with(|l| l.borrow().stack.last().copied().unwrap_or(0))
+}
+
+/// An open span; records into the thread's ring on drop. Inert (no
+/// clock reads, nothing recorded) when tracing was disabled at
+/// [`span`] time.
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+struct SpanData {
+    id: u64,
+    parent: u64,
+    trace_id: u128,
+    name: Cow<'static, str>,
+    start_ns: u64,
+    args: Vec<(String, String)>,
+}
+
+impl Span {
+    /// This span's id (0 when inert).
+    pub fn id(&self) -> u64 {
+        self.data.as_ref().map_or(0, |d| d.id)
+    }
+
+    /// Attaches a key=value annotation (no-op when inert).
+    pub fn annotate(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(data) = &mut self.data {
+            data.args.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        LOCAL.with(|l| {
+            let mut ctx = l.borrow_mut();
+            // Pop by id, tolerating out-of-order guard drops.
+            if let Some(pos) = ctx.stack.iter().rposition(|&id| id == data.id) {
+                ctx.stack.remove(pos);
+            }
+            let buf = local_buffer(&mut ctx);
+            let track = buf.label.lock().expect("trace label poisoned").clone();
+            buf.ring
+                .lock()
+                .expect("trace ring poisoned")
+                .push(SpanRecord {
+                    id: data.id,
+                    parent: data.parent,
+                    trace_id: data.trace_id,
+                    name: data.name,
+                    track,
+                    clock: Clock::Wall,
+                    start_ns: data.start_ns,
+                    end_ns,
+                    args: data.args,
+                });
+        });
+    }
+}
+
+/// Opens a wall-clock span named `name` on the current thread, parented
+/// to the innermost open span (or the adopted remote context). Returns
+/// an inert guard when tracing is disabled — the disabled cost is one
+/// relaxed load.
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    if !is_enabled() {
+        return Span { data: None };
+    }
+    let id = alloc_id();
+    let (parent, trace_id) = LOCAL.with(|l| {
+        let mut ctx = l.borrow_mut();
+        let parent = ctx
+            .stack
+            .last()
+            .copied()
+            .or(ctx.remote.map(|(_, p)| p))
+            .unwrap_or(0);
+        let tid = current_trace_id(&ctx);
+        ctx.stack.push(id);
+        (parent, tid)
+    });
+    Span {
+        data: Some(SpanData {
+            id,
+            parent,
+            trace_id,
+            name: name.into(),
+            start_ns: now_ns(),
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// Records an already-measured span on the [`Clock::Simulated`] clock
+/// with an explicit track label — how the training simulator lays one
+/// track per simulated rank without spawning a thread per rank.
+/// `parent` of 0 marks a root. Returns the span id (0 when disabled),
+/// so callers can parent follow-up spans.
+pub fn record_complete(
+    track: &str,
+    name: impl Into<Cow<'static, str>>,
+    start_ns: u64,
+    end_ns: u64,
+    parent: u64,
+    args: &[(&str, &str)],
+) -> u64 {
+    if !is_enabled() {
+        return 0;
+    }
+    let id = alloc_id();
+    LOCAL.with(|l| {
+        let mut ctx = l.borrow_mut();
+        let trace_id = current_trace_id(&ctx);
+        let buf = local_buffer(&mut ctx);
+        buf.ring
+            .lock()
+            .expect("trace ring poisoned")
+            .push(SpanRecord {
+                id,
+                parent,
+                trace_id,
+                name: name.into(),
+                track: track.to_string(),
+                clock: Clock::Simulated,
+                start_ns,
+                end_ns: end_ns.max(start_ns),
+                args: args
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            });
+    });
+    id
+}
+
+// ----- W3C trace context ---------------------------------------------------
+
+/// Renders the current position as a W3C `traceparent` header value
+/// (`00-<trace id>-<parent span id>-01`), or `None` when tracing is
+/// disabled. With no open span a fresh id is allocated as a synthetic
+/// root, so the value is always well-formed (span id never 0).
+pub fn traceparent() -> Option<String> {
+    if !is_enabled() {
+        return None;
+    }
+    let span_id = match current_span_id() {
+        0 => alloc_id(),
+        id => id,
+    };
+    let tid = LOCAL.with(|l| current_trace_id(&l.borrow()));
+    Some(format!("00-{tid:032x}-{span_id:016x}-01"))
+}
+
+/// Parses a `traceparent` value into `(trace id, parent span id)`.
+/// Only version 00 is accepted; all-zero ids are invalid per the spec.
+pub fn parse_traceparent(value: &str) -> Option<(u128, u64)> {
+    let mut parts = value.trim().split('-');
+    let version = parts.next()?;
+    let trace = parts.next()?;
+    let parent = parts.next()?;
+    let _flags = parts.next()?;
+    if parts.next().is_some() || version != "00" || trace.len() != 32 || parent.len() != 16 {
+        return None;
+    }
+    let trace_id = u128::from_str_radix(trace, 16).ok()?;
+    let span_id = u64::from_str_radix(parent, 16).ok()?;
+    if trace_id == 0 || span_id == 0 {
+        return None;
+    }
+    Some((trace_id, span_id))
+}
+
+/// While held, spans on this thread join the remote trace described by
+/// a `traceparent` header (same trace id, parented to the remote span).
+#[must_use = "the remote context is cleared when this guard drops"]
+pub struct RemoteScope {
+    previous: Option<(u128, u64)>,
+}
+
+impl Drop for RemoteScope {
+    fn drop(&mut self) {
+        LOCAL.with(|l| l.borrow_mut().remote = self.previous.take());
+    }
+}
+
+/// Adopts a remote `traceparent` on the current thread — the server
+/// side of context propagation. Returns `None` (and adopts nothing)
+/// when tracing is disabled or the value does not parse.
+pub fn adopt_remote(value: &str) -> Option<RemoteScope> {
+    if !is_enabled() {
+        return None;
+    }
+    let parsed = parse_traceparent(value)?;
+    let previous = LOCAL.with(|l| l.borrow_mut().remote.replace(parsed));
+    Some(RemoteScope { previous })
+}
+
+// ----- export --------------------------------------------------------------
+
+fn collect(drain: bool) -> Vec<SpanRecord> {
+    let buffers = tracer()
+        .buffers
+        .lock()
+        .expect("trace buffer registry poisoned");
+    let mut out = Vec::new();
+    for buf in buffers.iter() {
+        let mut ring = buf.ring.lock().expect("trace ring poisoned");
+        out.extend(ring.ordered());
+        if drain {
+            ring.clear();
+        }
+    }
+    // Stable order for deterministic export: by clock, then time, then
+    // longer spans first (parents enclose children), then id.
+    out.sort_by(|a, b| {
+        let key = |r: &SpanRecord| {
+            (
+                matches!(r.clock, Clock::Wall) as u8,
+                r.start_ns,
+                u64::MAX - (r.end_ns - r.start_ns),
+                r.id,
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    out
+}
+
+/// Removes and returns every recorded span (all threads), oldest first
+/// per clock.
+pub fn drain() -> Vec<SpanRecord> {
+    collect(true)
+}
+
+/// Returns a copy of every recorded span, leaving the rings intact —
+/// what the flight-recorder dump uses so a later drain still sees them.
+pub fn snapshot() -> Vec<SpanRecord> {
+    collect(false)
+}
+
+/// Spans overwritten (lost to ring wrap) so far, across all threads.
+pub fn dropped() -> u64 {
+    tracer()
+        .buffers
+        .lock()
+        .expect("trace buffer registry poisoned")
+        .iter()
+        .map(|b| b.ring.lock().expect("trace ring poisoned").dropped)
+        .sum()
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders spans as Chrome trace-event JSON (the format Perfetto and
+/// `chrome://tracing` load): complete `X` events with microsecond
+/// timestamps, one trace-event process per clock (pid 1 = wall clock,
+/// pid 2 = simulated ranks), one thread per track, with `process_name`
+/// and `thread_name` metadata. `X` events are sorted by timestamp.
+pub fn to_chrome_json(spans: &[SpanRecord]) -> String {
+    // Assign tids per (pid, track), ordered naturally so `rank 10`
+    // sorts after `rank 9` (Perfetto lists threads by tid).
+    let natural_key = |track: &str| -> (String, u64) {
+        let digits: String = track
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        let num: u64 = digits
+            .chars()
+            .rev()
+            .collect::<String>()
+            .parse()
+            .unwrap_or(0);
+        let prefix = track[..track.len() - digits.len()].to_string();
+        (prefix, num)
+    };
+    let pid_of = |clock: Clock| match clock {
+        Clock::Wall => 1u32,
+        Clock::Simulated => 2u32,
+    };
+    let mut tracks: Vec<(u32, &str)> = Vec::new();
+    for s in spans {
+        let key = (pid_of(s.clock), s.track.as_str());
+        if !tracks.contains(&key) {
+            tracks.push(key);
+        }
+    }
+    tracks.sort_by(|a, b| (a.0, natural_key(a.1)).cmp(&(b.0, natural_key(b.1))));
+    let tids: BTreeMap<(u32, &str), u32> = tracks
+        .iter()
+        .enumerate()
+        .map(|(i, &(pid, track))| ((pid, track), i as u32 + 1))
+        .collect();
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: &str| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(body);
+    };
+
+    let mut pids_seen: Vec<u32> = tracks.iter().map(|&(pid, _)| pid).collect();
+    pids_seen.dedup();
+    for pid in pids_seen {
+        let name = match pid {
+            1 => "wall clock",
+            _ => "simulated ranks",
+        };
+        push_event(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+    }
+    for &(pid, track) in &tracks {
+        let tid = tids[&(pid, track)];
+        let mut body = format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+        );
+        json_escape_into(&mut body, track);
+        body.push_str("\"}}");
+        push_event(&mut out, &body);
+    }
+
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.start_ns, u64::MAX - (s.end_ns - s.start_ns), s.id));
+    for s in sorted {
+        let pid = pid_of(s.clock);
+        let tid = tids[&(pid, s.track.as_str())];
+        let ts_us = s.start_ns as f64 / 1_000.0;
+        let dur_us = (s.end_ns - s.start_ns) as f64 / 1_000.0;
+        let mut body = String::from("{\"ph\":\"X\",\"name\":\"");
+        json_escape_into(&mut body, &s.name);
+        let _ = write!(
+            body,
+            "\",\"cat\":\"{}\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"id\":{}",
+            match s.clock {
+                Clock::Wall => "wall",
+                Clock::Simulated => "sim",
+            },
+            s.id
+        );
+        if s.parent != 0 {
+            let _ = write!(body, ",\"parent\":{}", s.parent);
+        }
+        let _ = write!(body, ",\"trace_id\":\"{:032x}\"", s.trace_id);
+        for (k, v) in &s.args {
+            body.push_str(",\"");
+            json_escape_into(&mut body, k);
+            body.push_str("\":\"");
+            json_escape_into(&mut body, v);
+            body.push('"');
+        }
+        body.push_str("}}");
+        push_event(&mut out, &body);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Drains every recorded span and writes Chrome trace-event JSON to
+/// `path`. Returns the number of spans written.
+pub fn write_trace_json(path: &std::path::Path) -> std::io::Result<usize> {
+    let spans = drain();
+    std::fs::write(path, to_chrome_json(&spans))?;
+    Ok(spans.len())
+}
+
+/// Writes the flight-recorder contents (a snapshot — the rings are left
+/// intact) to `path` as Chrome trace-event JSON. Returns the number of
+/// spans written.
+pub fn dump_flight_recorder(path: &std::path::Path) -> std::io::Result<usize> {
+    let spans = snapshot();
+    std::fs::write(path, to_chrome_json(&spans))?;
+    Ok(spans.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracer is process-global; tests that enable it serialize on
+    // this lock and leave it disabled and drained behind them.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = exclusive();
+        set_enabled(false);
+        drain();
+        let mut s = span("noop");
+        s.annotate("k", "v");
+        assert_eq!(s.id(), 0);
+        drop(s);
+        assert_eq!(record_complete("rank 0", "step", 0, 10, 0, &[]), 0);
+        assert!(traceparent().is_none());
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let _g = exclusive();
+        set_enabled(true);
+        drain();
+        let outer_id;
+        {
+            let outer = span("outer");
+            outer_id = outer.id();
+            assert_eq!(current_span_id(), outer_id);
+            {
+                let mut inner = span("inner");
+                inner.annotate("shard", "3");
+            }
+        }
+        let spans = drain();
+        set_enabled(false);
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, outer_id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.trace_id, outer.trace_id);
+        assert!(inner.start_ns <= inner.end_ns);
+        assert!(outer.end_ns >= inner.end_ns);
+        assert_eq!(inner.args, vec![("shard".to_string(), "3".to_string())]);
+        assert_eq!(inner.track, outer.track);
+        assert_eq!(current_span_id(), 0, "stack unwound");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _g = exclusive();
+        set_enabled(true);
+        drain();
+        set_ring_capacity(8);
+        // A fresh thread picks up the new capacity.
+        std::thread::Builder::new()
+            .name("trace-ring-test".into())
+            .spawn(|| {
+                for i in 0..20 {
+                    let _s = span(format!("s{i}"));
+                }
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        set_ring_capacity(DEFAULT_RING_CAPACITY);
+        let spans: Vec<SpanRecord> = drain()
+            .into_iter()
+            .filter(|s| s.track == "trace-ring-test")
+            .collect();
+        set_enabled(false);
+        assert_eq!(spans.len(), 8, "ring keeps exactly its capacity");
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_ref()).collect();
+        assert_eq!(
+            names,
+            ["s12", "s13", "s14", "s15", "s16", "s17", "s18", "s19"],
+            "latest spans survive, oldest are overwritten"
+        );
+        assert!(dropped() >= 12);
+    }
+
+    #[test]
+    fn simulated_spans_carry_tracks_and_parents() {
+        let _g = exclusive();
+        set_enabled(true);
+        drain();
+        let step = record_complete("rank 3", "step", 1_000, 2_000, 0, &[("epoch", "1")]);
+        assert_ne!(step, 0);
+        let child = record_complete("rank 3", "all_reduce", 1_500, 2_000, step, &[]);
+        let spans = drain();
+        set_enabled(false);
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.clock == Clock::Simulated));
+        assert!(spans.iter().all(|s| s.track == "rank 3"));
+        let c = spans.iter().find(|s| s.id == child).unwrap();
+        assert_eq!(c.parent, step);
+    }
+
+    #[test]
+    fn chrome_export_shape_is_perfetto_compatible() {
+        let _g = exclusive();
+        set_enabled(true);
+        drain();
+        for rank in 0..4 {
+            let track = format!("rank {rank}");
+            for s in 0..3u64 {
+                let id = record_complete(&track, "step", s * 1_000, (s + 1) * 1_000, 0, &[]);
+                record_complete(&track, "compute", s * 1_000, s * 1_000 + 600, id, &[]);
+            }
+        }
+        {
+            let mut w = span("finalize \"quoted\"\nname");
+            w.annotate("note", "line1\nline2");
+        }
+        let spans = drain();
+        set_enabled(false);
+        let json = to_chrome_json(&spans);
+
+        // Shape: one top-level traceEvents array of M and X events.
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(!json.contains("\"ph\":\"B\"") && !json.contains("\"ph\":\"E\""));
+        // One track (thread_name metadata) per rank, naturally ordered,
+        // plus one for the wall-clock thread.
+        for rank in 0..4 {
+            assert!(
+                json.contains(&format!("\"args\":{{\"name\":\"rank {rank}\"}}")),
+                "{json}"
+            );
+        }
+        assert_eq!(json.matches("\"name\":\"thread_name\"").count(), 5);
+        assert_eq!(json.matches("\"name\":\"process_name\"").count(), 2);
+        // Control characters and quotes in names/args are escaped.
+        assert!(json.contains("finalize \\\"quoted\\\"\\nname"));
+        assert!(json.contains("line1\\nline2"));
+        assert!(!json.contains('\n') || json.ends_with('\n'), "one line");
+
+        // `ts` values of X events are monotonically non-decreasing.
+        let mut last = f64::MIN;
+        let mut xs = 0;
+        for chunk in json.split("\"ph\":\"X\"").skip(1) {
+            let ts: f64 = chunk
+                .split("\"ts\":")
+                .nth(1)
+                .and_then(|r| r.split(',').next())
+                .and_then(|n| n.parse().ok())
+                .expect("every X event has a ts");
+            assert!(ts >= last, "ts must be monotonic: {ts} after {last}");
+            last = ts;
+            xs += 1;
+        }
+        assert_eq!(xs, 4 * 3 * 2 + 1);
+    }
+
+    #[test]
+    fn traceparent_roundtrips_and_adopts() {
+        let _g = exclusive();
+        set_enabled(true);
+        drain();
+        set_trace_id(0xabcd_ef01_2345);
+        let root = span("client_request");
+        let header = traceparent().unwrap();
+        let (tid, sid) = parse_traceparent(&header).unwrap();
+        assert_eq!(tid, trace_id());
+        assert_eq!(sid, root.id());
+
+        // A "server" thread adopts the header: its spans join the trace.
+        let server_spans = std::thread::spawn(move || {
+            let scope = adopt_remote(&header).expect("valid traceparent adopts");
+            {
+                let _s = span("handle_request");
+            }
+            drop(scope);
+            let _outside = span("after_scope");
+        })
+        .join()
+        .unwrap();
+        let _ = server_spans;
+        drop(root);
+        let spans = drain();
+        set_enabled(false);
+        set_trace_id(0);
+        let handled = spans.iter().find(|s| s.name == "handle_request").unwrap();
+        assert_eq!(handled.trace_id, tid, "server span shares the trace id");
+        assert_eq!(handled.parent, sid, "parented to the client span");
+        let outside = spans.iter().find(|s| s.name == "after_scope").unwrap();
+        assert_eq!(outside.parent, 0, "scope drop clears the remote context");
+
+        // Malformed values are rejected.
+        for bad in [
+            "",
+            "00-zz-11-01",
+            "01-00000000000000000000000000000001-0000000000000001-01",
+            "00-00000000000000000000000000000000-0000000000000001-01",
+            "00-00000000000000000000000000000001-0000000000000000-01",
+            "00-0001-0000000000000001-01",
+        ] {
+            assert!(parse_traceparent(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn flight_recorder_dump_preserves_rings() {
+        let _g = exclusive();
+        set_enabled(true);
+        drain();
+        {
+            let _s = span("survives");
+        }
+        let path = std::env::temp_dir().join(format!("trace_fr_{}.json", std::process::id()));
+        let written = dump_flight_recorder(&path).unwrap();
+        assert_eq!(written, 1);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"survives\""));
+        std::fs::remove_file(&path).ok();
+        // The snapshot did not consume the span.
+        let spans = drain();
+        set_enabled(false);
+        assert_eq!(spans.len(), 1);
+    }
+}

@@ -384,6 +384,8 @@ impl TrainingSimulation {
             let slowdown = cfg.faults.slowdown_at(step);
             let retries = cfg.faults.allreduce_retries_at(step);
             let this_step = step_time * slowdown * (1 + retries) as f64;
+            let step_index = step;
+            let step_start = t;
             t += this_step;
             step += 1;
             samples += global_batch;
@@ -391,6 +393,66 @@ impl TrainingSimulation {
 
             clock.set_s(t);
             sampler.sample_now(total_power);
+
+            // Per-rank causal spans on the simulated clock: one track
+            // per rank, a step span enclosing compute and all-reduce.
+            // DDP runs at the pace of its slowest rank, so under a
+            // straggler one rank's compute stretches while the rest
+            // wait inside the collective.
+            if obs::trace::is_enabled() {
+                let to_ns = |s: f64| (s * 1e9) as u64;
+                let straggler = if slowdown > 1.0 {
+                    (step_index % cfg.gpus as u64) as u32
+                } else {
+                    u32::MAX
+                };
+                let step_label = step_index.to_string();
+                let epoch_label = epoch.to_string();
+                let retries_label = retries.to_string();
+                for rank in 0..cfg.gpus {
+                    let track = format!("rank {rank}");
+                    let step_id = obs::trace::record_complete(
+                        &track,
+                        "step",
+                        to_ns(step_start),
+                        to_ns(t),
+                        0,
+                        &[("step", &step_label), ("epoch", &epoch_label)],
+                    );
+                    let compute_s = if rank == straggler {
+                        compute * slowdown
+                    } else {
+                        compute
+                    };
+                    obs::trace::record_complete(
+                        &track,
+                        "compute",
+                        to_ns(step_start),
+                        to_ns(step_start + compute_s),
+                        step_id,
+                        &[],
+                    );
+                    let mut args: Vec<(&str, &str)> = Vec::new();
+                    if retries > 0 {
+                        args.push(("retries", &retries_label));
+                    }
+                    if slowdown > 1.0 {
+                        args.push(if rank == straggler {
+                            ("straggler", "true")
+                        } else {
+                            ("straggler_wait", "true")
+                        });
+                    }
+                    obs::trace::record_complete(
+                        &track,
+                        "all_reduce",
+                        to_ns(step_start + compute_s),
+                        to_ns(t),
+                        step_id,
+                        &args,
+                    );
+                }
+            }
 
             observer.on_step(&StepEvent {
                 step: step - 1,

@@ -155,12 +155,21 @@ impl Client {
         body: Option<&str>,
     ) -> Result<Response, ClientError> {
         let max_attempts = self.policy.max_attempts.max(1);
+        // One span covers the whole logical request (all attempts); the
+        // traceparent derived from it is attached to every attempt so
+        // the server's handler spans join this client's trace.
+        let mut trace = obs::trace::span("http_request");
+        if obs::trace::is_enabled() {
+            trace.annotate("method", method);
+            trace.annotate("path", path);
+        }
+        let traceparent = obs::trace::traceparent();
         let mut last = Failure::Status(0);
         for attempt in 0..max_attempts {
             if attempt > 0 {
                 std::thread::sleep(self.policy.backoff_delay(attempt - 1));
             }
-            match self.once(method, path, body) {
+            match self.once(method, path, body, traceparent.as_deref()) {
                 // Status 0 = unparseable response; treat like a
                 // transport failure.
                 Ok((status, resp_body)) if !matches!(status, 0 | 502 | 503 | 504) => {
@@ -181,13 +190,22 @@ impl Client {
     }
 
     /// One wire exchange, under the per-request timeouts.
-    fn once(&self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<(u16, String)> {
+    fn once(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        traceparent: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
         let stream = TcpStream::connect_timeout(&self.addr, self.policy.request_timeout)?;
         stream.set_read_timeout(Some(self.policy.request_timeout))?;
         stream.set_write_timeout(Some(self.policy.request_timeout))?;
         let body = body.unwrap_or("");
+        let trace_header = traceparent
+            .map(|tp| format!("traceparent: {tp}\r\n"))
+            .unwrap_or_default();
         let req = format!(
-            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n{body}",
             body.len()
         );
         let mut stream = stream;

@@ -107,6 +107,18 @@ impl Server {
         // server's own concern and stay out of the process-global
         // tracker registry.
         let registry = Arc::new(obs::Registry::new());
+        registry.set_help(
+            "http_requests_total",
+            "Requests served, by method, route and status.",
+        );
+        registry.set_help(
+            "http_request_duration_seconds",
+            "Request handling latency, by route.",
+        );
+        registry.set_help(
+            "http_parse_errors_total",
+            "Connections rejected with an unparseable request.",
+        );
 
         let (tx, rx) = bounded::<TcpStream>(config.queue_depth.max(1));
         for i in 0..config.workers.max(1) {
@@ -202,6 +214,9 @@ struct Request {
     path: String,
     query: Vec<(String, String)>,
     body: Vec<u8>,
+    /// W3C `traceparent` header, if the client sent one; the handler
+    /// span joins that trace instead of starting its own.
+    traceparent: Option<String>,
 }
 
 fn handle_connection(
@@ -226,7 +241,24 @@ fn handle_connection(
         }
     };
 
+    // Adopt the client's trace before opening the handler span, so the
+    // span's trace id matches the sender's. Declaration order matters:
+    // `_remote` outlives `trace`, so the span closes while the remote
+    // context is still in force.
+    let _remote = request
+        .traceparent
+        .as_deref()
+        .and_then(obs::trace::adopt_remote);
+    let mut trace = obs::trace::span("handle_request");
+    if obs::trace::is_enabled() {
+        trace.annotate("method", request.method.clone());
+        trace.annotate("path", request.path.clone());
+    }
     let (status, body) = route(&request, store, chaos, registry);
+    if obs::trace::is_enabled() {
+        trace.annotate("status", status.to_string());
+    }
+    drop(trace);
     let label = route_label(&request.path);
     count_request(registry, &request.method, label, status);
     registry
@@ -331,6 +363,7 @@ fn parse_request(
 
     let mut content_length = 0usize;
     let mut chunked = false;
+    let mut traceparent = None;
     let mut header_count = 0usize;
     loop {
         let mut header = String::new();
@@ -370,6 +403,8 @@ fn parse_request(
                 // Flagged here, rejected after the header section: the
                 // old parser ignored it and misread the body as empty.
                 chunked = true;
+            } else if name.eq_ignore_ascii_case("traceparent") {
+                traceparent = Some(value.trim().to_string());
             }
         }
     }
@@ -404,6 +439,7 @@ fn parse_request(
         path,
         query,
         body,
+        traceparent,
     }))
 }
 
@@ -1192,6 +1228,12 @@ mod tests {
         assert_eq!(status, 200);
         assert!(
             scrape.contains("# TYPE http_requests_total counter"),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains(
+                "# HELP http_requests_total Requests served, by method, route and status."
+            ),
             "{scrape}"
         );
         assert!(

@@ -187,12 +187,21 @@ fn fold_loop(rx: Receiver<Msg>) {
     let mut state = RunState::default();
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Record(r) => fold.time(|| state.apply(*r)),
-            Msg::Batch(records) => fold.time(|| {
-                for r in records {
-                    state.apply(r);
+            Msg::Record(r) => {
+                let _trace = obs::trace::span("collector_fold");
+                fold.time(|| state.apply(*r))
+            }
+            Msg::Batch(records) => {
+                let mut trace = obs::trace::span("collector_fold");
+                if obs::trace::is_enabled() {
+                    trace.annotate("records", records.len().to_string());
                 }
-            }),
+                fold.time(|| {
+                    for r in records {
+                        state.apply(r);
+                    }
+                })
+            }
             Msg::Flush(ack) => {
                 let _ = ack.send(());
             }
@@ -296,6 +305,7 @@ impl Collector {
     /// Submits a record. Non-blocking in buffered and sharded modes.
     pub fn log(&self, record: LogRecord) -> Result<(), ProvMLError> {
         let _span = self.enqueue.start_span();
+        let _trace = obs::trace::span("collector_enqueue");
         match &self.inner {
             Inner::Sync(state) => state.lock().apply(record),
             Inner::Buffered { tx, .. } => tx
@@ -322,6 +332,10 @@ impl Collector {
             return Ok(());
         }
         let _span = self.enqueue.start_span();
+        let mut trace = obs::trace::span("collector_enqueue");
+        if obs::trace::is_enabled() {
+            trace.annotate("records", count.to_string());
+        }
         match &self.inner {
             Inner::Sync(state) => {
                 let mut state = state.lock();
@@ -412,8 +426,12 @@ impl Collector {
                 }
                 let merge = obs::global().histogram("yprov4ml_collector_merge_seconds");
                 let mut state = RunState::default();
-                for out in outs {
+                for (shard, out) in outs.into_iter().enumerate() {
                     let shard_state = out.recv().map_err(|_| ProvMLError::CollectorGone)?;
+                    let mut trace = obs::trace::span("collector_shard_merge");
+                    if obs::trace::is_enabled() {
+                        trace.annotate("shard", shard.to_string());
+                    }
                     merge.time(|| state.merge(shard_state));
                 }
                 for h in joined {

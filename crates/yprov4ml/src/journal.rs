@@ -585,6 +585,28 @@ pub fn recover_detailed(
         }
     }
 
+    // Flight recorder: when tracing is live, dump the surviving span
+    // rings next to the recovered provenance and link the dump into
+    // the document as evidence generated by the crash. Gated on the
+    // tracing flag so a disabled run's output stays byte-identical.
+    if obs::trace::is_enabled() {
+        let trace_path = run_dir.join("trace_crash.json");
+        let spans = obs::trace::dump_flight_recorder(&trace_path)?;
+        let trace_q = prov_model::QName::new("exp", format!("{}/trace_crash", replay.header.run));
+        doc.entity(trace_q.clone())
+            .prov_type(prov_model::QName::yprov("trace"))
+            .label(format!("crash flight recorder of {}", replay.header.run))
+            .attr(
+                prov_model::QName::yprov("file_path"),
+                prov_model::AttrValue::from(trace_path.display().to_string()),
+            )
+            .attr(
+                prov_model::QName::yprov("spans"),
+                prov_model::AttrValue::Int(spans as i64),
+            );
+        doc.was_generated_by(trace_q, crash_q.clone());
+    }
+
     let prov_json_path = run_dir.join("prov.json");
     let provn_path = run_dir.join("prov.provn");
     // Same streaming writer the normal finalize path uses; the bytes

@@ -392,13 +392,24 @@ impl Run {
             }
         }
         let reg = obs::global();
-        let state = reg
-            .histogram("yprov4ml_finalize_drain_seconds")
-            .time(|| self.collector.close())?;
+        // One parent span over the whole finalize pipeline; each stage
+        // below opens a child, so the trace shows where a slow finish
+        // actually spent its time (the question the aggregate stage
+        // histograms cannot answer per-run).
+        let mut finalize_trace = obs::trace::span("finalize");
+        if obs::trace::is_enabled() {
+            finalize_trace.annotate("run", self.name.clone());
+        }
+        let state = {
+            let _trace = obs::trace::span("finalize_drain");
+            reg.histogram("yprov4ml_finalize_drain_seconds")
+                .time(|| self.collector.close())?
+        };
         // The journal is complete once the collector has drained; fsync
         // it (and its directory entry) so the WAL is durable even if
         // writing the provenance files below fails.
         if let Some(journal) = self.journal.take() {
+            let _trace = obs::trace::span("finalize_journal_close");
             reg.histogram("yprov4ml_finalize_journal_close_seconds")
                 .time(|| journal.close())?;
         }
@@ -406,9 +417,11 @@ impl Run {
 
         let pool = WorkerPool::new(self.finalize.threads);
         let series: Vec<&metric_store::series::MetricSeries> = state.metrics.values().collect();
-        let spill = reg
-            .histogram("yprov4ml_finalize_spill_seconds")
-            .time(|| spill_metrics_pooled(&self.dir, &self.spill, &series, &pool))?;
+        let spill = {
+            let _trace = obs::trace::span("finalize_spill");
+            reg.histogram("yprov4ml_finalize_spill_seconds")
+                .time(|| spill_metrics_pooled(&self.dir, &self.spill, &series, &pool))?
+        };
 
         // Snapshot before document building so the delta covers every
         // hot path the run exercised (collector, journal, spill); the
@@ -427,9 +440,11 @@ impl Run {
             started_us: self.started_us,
             ended_us,
         };
-        let mut doc = reg
-            .histogram("yprov4ml_finalize_emit_seconds")
-            .time(|| build_document(&identity, &state, &spill, self.spill.is_inline()));
+        let mut doc = {
+            let _trace = obs::trace::span("finalize_emit");
+            reg.histogram("yprov4ml_finalize_emit_seconds")
+                .time(|| build_document(&identity, &state, &spill, self.spill.is_inline()))
+        };
         if status == RunStatus::Failed {
             doc.activity(prov_model::QName::new("exp", self.name.clone()))
                 .attr(
@@ -443,8 +458,12 @@ impl Run {
 
         let prov_json_path = self.dir.join("prov.json");
         let provn_path = self.dir.join("prov.provn");
-        reg.histogram("yprov4ml_finalize_write_seconds")
-            .time(|| write_prov_files(&doc, &prov_json_path, &provn_path))?;
+        {
+            let _trace = obs::trace::span("finalize_write");
+            reg.histogram("yprov4ml_finalize_write_seconds")
+                .time(|| write_prov_files(&doc, &prov_json_path, &provn_path))?;
+        }
+        drop(finalize_trace);
 
         Ok(RunReport {
             experiment: self.experiment,
