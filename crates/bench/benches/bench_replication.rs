@@ -1,0 +1,187 @@
+//! Replication throughput: upload rate against a single node versus a
+//! 3-node cluster where every acknowledged write is synchronously
+//! streamed to a replica and confirmed. The gap is the price of the
+//! durability guarantee (a second verified copy before the ack).
+//!
+//! Besides the criterion groups, `record_summary` runs one fixed-size
+//! measurement pass and records the numbers in `BENCH_replication.json`
+//! at the repo root, so the result rides along with the tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+use yprov_service::{
+    Client, ClusterClient, ClusterConfig, DocumentStore, NodeSpec, RetryPolicy, Server,
+    ServerConfig,
+};
+
+fn policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(40),
+        request_timeout: Duration::from_secs(5),
+        jitter_seed: seed,
+    }
+}
+
+fn doc_json(tag: &str) -> String {
+    let mut doc = prov_model::ProvDocument::new();
+    doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+    doc.entity(prov_model::QName::new("ex", "data"));
+    doc.activity(prov_model::QName::new("ex", "train"));
+    doc.entity(prov_model::QName::new("ex", tag));
+    doc.used(
+        prov_model::QName::new("ex", "train"),
+        prov_model::QName::new("ex", "data"),
+    );
+    doc.was_generated_by(
+        prov_model::QName::new("ex", tag),
+        prov_model::QName::new("ex", "train"),
+    );
+    doc.to_json_string().unwrap()
+}
+
+/// Reserves `n` loopback addresses so full-mesh peers can be wired
+/// before any server binds.
+fn reserve_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners.iter().map(|l| l.local_addr().unwrap()).collect()
+}
+
+fn bind_single() -> Server {
+    Server::bind("127.0.0.1:0", DocumentStore::new(), ServerConfig::default()).unwrap()
+}
+
+fn bind_three_node() -> (Vec<Server>, Vec<NodeSpec>) {
+    let ids = ["node-a", "node-b", "node-c"];
+    let addrs = reserve_addrs(ids.len());
+    let servers = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let peers = ids
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(j, pid)| NodeSpec::new(*pid, addrs[j]))
+                .collect();
+            Server::bind(
+                &addrs[i].to_string(),
+                DocumentStore::new(),
+                ServerConfig {
+                    cluster: Some(ClusterConfig {
+                        push_policy: policy(3),
+                        ..ClusterConfig::new(*id, peers)
+                    }),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let specs = ids
+        .iter()
+        .zip(&addrs)
+        .map(|(id, addr)| NodeSpec::new(*id, *addr))
+        .collect();
+    (servers, specs)
+}
+
+fn bench_upload_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication/upload");
+
+    let single = bind_single();
+    let client = Client::new(single.addr(), policy(1));
+    let body = doc_json("model");
+    let mut n = 0u64;
+    group.bench_function("single_node", |b| {
+        b.iter(|| {
+            n += 1;
+            let resp = client
+                .send("PUT", &format!("/api/v0/documents/s-{n}"), Some(&body))
+                .unwrap();
+            assert_eq!(resp.status, 201);
+        })
+    });
+
+    let (servers, specs) = bind_three_node();
+    let cluster = ClusterClient::new(specs, 2, policy(2));
+    let mut n = 0u64;
+    group.bench_function("three_node_replicated", |b| {
+        b.iter(|| {
+            n += 1;
+            let resp = cluster.put(&format!("r-{n}"), &body).unwrap();
+            assert_eq!(resp.status, 201);
+        })
+    });
+
+    group.finish();
+    single.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// One fixed-size pass per configuration, recorded as JSON so the
+/// numbers land in the tree (`BENCH_replication.json`).
+fn record_summary(_c: &mut Criterion) {
+    const DOCS: u64 = 200;
+    let body = doc_json("model");
+
+    let single = bind_single();
+    let client = Client::new(single.addr(), policy(1));
+    let start = Instant::now();
+    for i in 0..DOCS {
+        let resp = client
+            .send("PUT", &format!("/api/v0/documents/s-{i}"), Some(&body))
+            .unwrap();
+        assert_eq!(resp.status, 201);
+    }
+    let single_secs = start.elapsed().as_secs_f64();
+    single.shutdown();
+
+    let (servers, specs) = bind_three_node();
+    let cluster = ClusterClient::new(specs, 2, policy(2));
+    let start = Instant::now();
+    for i in 0..DOCS {
+        let resp = cluster.put(&format!("r-{i}"), &body).unwrap();
+        assert_eq!(resp.status, 201);
+    }
+    let replicated_secs = start.elapsed().as_secs_f64();
+    for s in servers {
+        s.shutdown();
+    }
+
+    let out = serde_json::json!({
+        "bench": "bench_replication",
+        "description": "Upload throughput, single node vs 3-node cluster with \
+                        synchronous replica confirmation (replication=2, acks=1).",
+        "docs_per_config": DOCS,
+        "document_bytes": body.len(),
+        "single_node": {
+            "total_secs": single_secs,
+            "docs_per_sec": DOCS as f64 / single_secs,
+        },
+        "three_node_replicated": {
+            "total_secs": replicated_secs,
+            "docs_per_sec": DOCS as f64 / replicated_secs,
+        },
+        "replication_overhead_x": replicated_secs / single_secs,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+    std::fs::write(path, format!("{:#}\n", out)).unwrap();
+    eprintln!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_upload_throughput, record_summary
+}
+criterion_main!(benches);

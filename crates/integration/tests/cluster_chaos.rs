@@ -1,0 +1,433 @@
+//! Cluster-scale chaos for the replicated provenance service: a
+//! seeded [`FaultPlan`] decides when the write primary dies mid-upload,
+//! the surviving replicas are promoted and keep answering with their
+//! hash chains intact, and injected frame faults (drop, tear,
+//! duplicate, delay, partition) all converge back to byte-identical
+//! state.
+//!
+//! On failure, every surviving node's ledger files are copied into
+//! `$YPROV_CLUSTER_ARTIFACTS` (when set) so CI can upload them.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use train_sim::{FaultKind, FaultPlan};
+use yprov_service::{
+    Client, ClusterClient, ClusterConfig, DocumentStore, NodeSpec, RetryPolicy, Server,
+    ServerConfig,
+};
+
+fn fast_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(40),
+        request_timeout: Duration::from_secs(5),
+        jitter_seed: seed,
+    }
+}
+
+/// Push policy for tests with dead peers: one attempt, short timeout,
+/// so every upload pays milliseconds (not a retry schedule) per corpse.
+fn push_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 1,
+        request_timeout: Duration::from_millis(1500),
+        ..fast_policy(3)
+    }
+}
+
+fn doc_json(tag: &str) -> String {
+    let mut doc = prov_model::ProvDocument::new();
+    doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+    doc.entity(prov_model::QName::new("ex", "data"));
+    doc.activity(prov_model::QName::new("ex", "train"));
+    doc.entity(prov_model::QName::new("ex", tag));
+    doc.used(
+        prov_model::QName::new("ex", "train"),
+        prov_model::QName::new("ex", "data"),
+    );
+    doc.was_generated_by(
+        prov_model::QName::new("ex", tag),
+        prov_model::QName::new("ex", "train"),
+    );
+    doc.to_json_string().unwrap()
+}
+
+/// Reserves `n` distinct loopback addresses by binding ephemeral
+/// listeners, recording their ports, and releasing them. Every cluster
+/// member must know its peers' addresses *before* any server binds, so
+/// the full mesh is wired through reserved ports.
+fn reserve_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners.iter().map(|l| l.local_addr().unwrap()).collect()
+}
+
+/// Binds a full-mesh cluster: node `i` gets every other node as a peer.
+fn bind_cluster(ids: &[&str], addrs: &[SocketAddr], stores: &[DocumentStore]) -> Vec<Server> {
+    ids.iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let peers = ids
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(j, pid)| NodeSpec::new(*pid, addrs[j]))
+                .collect();
+            Server::bind(
+                &addrs[i].to_string(),
+                stores[i].clone(),
+                ServerConfig {
+                    cluster: Some(ClusterConfig {
+                        push_policy: push_policy(),
+                        ..ClusterConfig::new(*id, peers)
+                    }),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Copies each node's chain files (`ledger.txt`, `repl-*.chain`) into
+/// `$YPROV_CLUSTER_ARTIFACTS/<node>/` when the owning test panics, so a
+/// CI failure ships the surviving ledgers as artifacts.
+struct LedgerArtifacts {
+    nodes: Vec<(String, PathBuf)>,
+}
+
+impl Drop for LedgerArtifacts {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let Some(out) = std::env::var_os("YPROV_CLUSTER_ARTIFACTS") else {
+            return;
+        };
+        let out = PathBuf::from(out);
+        for (node, dir) in &self.nodes {
+            let dest = out.join(node);
+            std::fs::create_dir_all(&dest).ok();
+            let Ok(entries) = std::fs::read_dir(dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let is_chain = name.to_string_lossy().ends_with(".chain");
+                if name == "ledger.txt" || is_chain {
+                    std::fs::copy(entry.path(), dest.join(&name)).ok();
+                }
+            }
+        }
+        eprintln!("[cluster-chaos] ledgers copied to {}", out.display());
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ycluster_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The headline scenario: 3 durable nodes, a seeded fault plan decides
+/// which upload the primary dies under. Acked documents survive the
+/// kill, the in-flight one is fully present or cleanly absent, the
+/// cluster promotes a verified survivor for the dead node's keys, and
+/// every surviving ledger verifies end-to-end.
+#[test]
+fn primary_killed_mid_upload_cluster_promotes_and_serves() {
+    const DOCS: u64 = 6;
+    // The fault plan's fatal event, scaled onto the upload sequence,
+    // picks the kill point — the same seed always kills the same
+    // upload under the same primary.
+    let plan = FaultPlan::seeded(0xFA11, 64);
+    let fatal = plan
+        .events
+        .iter()
+        .find(|e| matches!(e.kind, FaultKind::GpuFailure { .. }))
+        .expect("seeded plans include a fatal fault");
+    // At least two uploads are acked before the kill so the failover
+    // read path has real history to answer from.
+    let kill_at = 2 + fatal.step % (DOCS - 2);
+
+    let base = tmp("kill");
+    let ids = ["node-a", "node-b", "node-c"];
+    let dirs: Vec<PathBuf> = ids.iter().map(|id| base.join(id)).collect();
+    let stores: Vec<DocumentStore> = dirs
+        .iter()
+        .map(|d| DocumentStore::persistent(d).unwrap())
+        .collect();
+    let addrs = reserve_addrs(ids.len());
+    let mut servers: Vec<Option<Server>> = bind_cluster(&ids, &addrs, &stores)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let _artifacts = LedgerArtifacts {
+        nodes: ids
+            .iter()
+            .zip(&dirs)
+            .map(|(id, d)| (id.to_string(), d.clone()))
+            .collect(),
+    };
+
+    let cluster = ClusterClient::new(
+        ids.iter()
+            .zip(&addrs)
+            .map(|(id, addr)| NodeSpec::new(*id, *addr))
+            .collect(),
+        2,
+        fast_policy(11),
+    );
+
+    // Phase 1: acked uploads before the fault fires.
+    let mut acked = Vec::new();
+    for i in 0..kill_at {
+        let id = format!("run-{i}");
+        let resp = cluster.put(&id, &doc_json(&format!("model-{i}"))).unwrap();
+        assert_eq!(resp.status, 201, "{id}: {}", resp.body);
+        acked.push(id);
+    }
+
+    // Phase 2: the fault. The in-flight document's primary loses its
+    // replication path mid-upload (frames dropped in flight) and then
+    // the whole node dies. The direct write was answered 503 — never
+    // acked — so the document must be cleanly absent from the cluster.
+    let inflight = format!("run-{kill_at}");
+    let victim_id = cluster.placement(&inflight)[0].clone();
+    let victim_idx = ids.iter().position(|id| *id == victim_id).unwrap();
+    let victim = servers[victim_idx].take().unwrap();
+    victim
+        .replication_chaos()
+        .expect("cluster-configured server has chaos knobs")
+        .drop_next_frames(u32::MAX);
+    let direct = Client::new(
+        addrs[victim_idx],
+        RetryPolicy {
+            max_attempts: 1,
+            ..fast_policy(13)
+        },
+    );
+    let resp = direct
+        .send(
+            "PUT",
+            &format!("/api/v0/documents/{inflight}"),
+            Some(&doc_json("inflight")),
+        )
+        .unwrap();
+    assert_eq!(
+        resp.status, 503,
+        "unreplicated write must not ack: {}",
+        resp.body
+    );
+    victim.shutdown();
+
+    // Phase 3: probes notice the death; the survivors keep serving.
+    let live = cluster.probe();
+    assert_eq!(live.len(), 2, "exactly one node died: {live:?}");
+    assert!(!live.contains(&victim_id));
+
+    for id in &acked {
+        let resp = cluster.get(id).unwrap();
+        assert_eq!(
+            resp.status, 200,
+            "acked {id} lost after failover: {}",
+            resp.body
+        );
+    }
+    // All-or-nothing for the in-flight document: it was refused (503),
+    // so no survivor may hold a partial copy.
+    let resp = cluster.get(&inflight).unwrap();
+    assert_eq!(
+        resp.status, 404,
+        "unacked in-flight doc leaked to a survivor: {}",
+        resp.body
+    );
+
+    // Phase 4: promotion. A write for a key the victim owned lands on a
+    // verified survivor and is re-replicated among the survivors.
+    let resp = cluster.put(&inflight, &doc_json("retried")).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body);
+    let resp = cluster.get(&inflight).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("retried"));
+
+    // Every surviving node's chains verify end-to-end, and both
+    // survivors hold byte-identical copies of the re-routed document.
+    let mut copies = Vec::new();
+    for (i, server) in servers.iter().enumerate() {
+        let Some(server) = server else { continue };
+        let probe = Client::new(server.addr(), fast_policy(17));
+        let resp = probe.get("/api/v0/ledger/verify").unwrap();
+        assert_eq!(resp.status, 200, "{}: {}", ids[i], resp.body);
+        let resp = probe.get(&format!("/api/v0/documents/{inflight}")).unwrap();
+        if resp.status == 200 {
+            copies.push(resp.body);
+        }
+    }
+    assert_eq!(copies.len(), 2, "both survivors hold the promoted write");
+    assert_eq!(
+        copies[0], copies[1],
+        "replicated copies must be byte-identical"
+    );
+
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Torn, duplicated and delayed frames: the replica rejects the torn
+/// frame (digest mismatch), re-sync re-delivers it clean, duplicates
+/// are absorbed idempotently — and the replica ends byte-identical.
+#[test]
+fn torn_duplicated_and_delayed_frames_converge() {
+    let store_a = DocumentStore::new();
+    let store_b = DocumentStore::new();
+    let addrs = reserve_addrs(2);
+    let servers = bind_cluster(&["node-a", "node-b"], &addrs, &[store_a, store_b]);
+
+    let chaos = servers[0].replication_chaos().unwrap();
+    chaos.tear_next_frames(1);
+    chaos.duplicate_frames(true);
+    chaos.delay_frames(Duration::from_millis(5));
+
+    let a = Client::new(addrs[0], fast_policy(23));
+    let b = Client::new(addrs[1], fast_policy(29));
+    for i in 0..3 {
+        let resp = a
+            .send(
+                "PUT",
+                &format!("/api/v0/documents/run-{i}"),
+                Some(&doc_json(&format!("model-{i}"))),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 201, "run-{i}: {}", resp.body);
+    }
+
+    // The replica converged to the primary's exact bytes despite the
+    // faults: same documents, cursor at the primary's chain head.
+    for i in 0..3 {
+        let from_a = a.get(&format!("/api/v0/documents/run-{i}")).unwrap();
+        let from_b = b.get(&format!("/api/v0/documents/run-{i}")).unwrap();
+        assert_eq!(from_b.status, 200, "run-{i}: {}", from_b.body);
+        assert_eq!(from_a.body, from_b.body, "run-{i} bytes diverged");
+    }
+    let head = b.get("/api/v0/replication/head?source=node-a").unwrap();
+    let head: serde_json::Value = serde_json::from_str(&head.body).unwrap();
+    assert_eq!(head["next_index"], 3, "duplicates must not double-apply");
+    for client in [&a, &b] {
+        assert_eq!(client.get("/api/v0/ledger/verify").unwrap().status, 200);
+    }
+
+    // The torn frame is visible in the replica's reject counter.
+    let metrics = b.get("/metrics").unwrap().body;
+    let rejects = metrics
+        .lines()
+        .find(|l| l.starts_with("replication_rejects_total"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    assert!(rejects >= 1, "torn frame must be counted: {metrics}");
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// A partition leaves the replica stale; writes during it are refused
+/// as under-replicated (503). When the partition heals, the replica's
+/// gap rejection triggers re-sync from the divergence point and both
+/// nodes' chain files end byte-identical — including across a replica
+/// restart.
+#[test]
+fn partition_heals_through_resync_byte_identically() {
+    let base = tmp("partition");
+    let dir_a = base.join("node-a");
+    let dir_b = base.join("node-b");
+    let store_a = DocumentStore::persistent(&dir_a).unwrap();
+    let store_b = DocumentStore::persistent(&dir_b).unwrap();
+    let addrs = reserve_addrs(2);
+    let servers = bind_cluster(
+        &["node-a", "node-b"],
+        &addrs,
+        &[store_a.clone(), store_b.clone()],
+    );
+    let _artifacts = LedgerArtifacts {
+        nodes: vec![
+            ("node-a".to_string(), dir_a.clone()),
+            ("node-b".to_string(), dir_b.clone()),
+        ],
+    };
+
+    let a = Client::new(addrs[0], fast_policy(31));
+    let b = Client::new(addrs[1], fast_policy(37));
+    let put = |i: u64| {
+        a.send(
+            "PUT",
+            &format!("/api/v0/documents/run-{i}"),
+            Some(&doc_json(&format!("model-{i}"))),
+        )
+        .unwrap()
+    };
+
+    // Healthy write, then a partition: frames stop reaching B.
+    assert_eq!(put(0).status, 201);
+    let chaos = servers[0].replication_chaos().unwrap();
+    chaos.drop_next_frames(2);
+    for i in [1u64, 2] {
+        let resp = put(i);
+        assert_eq!(
+            resp.status, 503,
+            "partitioned write must not ack: {}",
+            resp.body
+        );
+        assert!(resp.body.contains("under-replicated"), "{}", resp.body);
+    }
+    // B is stale: it saw only entry 0.
+    let head: serde_json::Value = serde_json::from_str(
+        &b.get("/api/v0/replication/head?source=node-a")
+            .unwrap()
+            .body,
+    )
+    .unwrap();
+    assert_eq!(head["next_index"], 1);
+
+    // Partition heals. The next frame (index 3) hits B as a gap — B
+    // rejects it naming index 1 — and A re-streams its log from there.
+    let resp = put(3);
+    assert_eq!(resp.status, 201, "{}", resp.body);
+
+    for i in 0..4 {
+        let from_a = a.get(&format!("/api/v0/documents/run-{i}")).unwrap();
+        let from_b = b.get(&format!("/api/v0/documents/run-{i}")).unwrap();
+        assert_eq!(from_b.status, 200, "run-{i} missing after re-sync");
+        assert_eq!(from_a.body, from_b.body, "run-{i} bytes diverged");
+    }
+    assert_eq!(b.get("/api/v0/ledger/verify").unwrap().status, 200);
+
+    // Byte-identical convergence on disk: B's cursor chain for node-a
+    // is exactly A's ledger file.
+    store_a.flush().unwrap();
+    store_b.flush().unwrap();
+    let ledger_a = std::fs::read_to_string(dir_a.join("ledger.txt")).unwrap();
+    let cursor_b = std::fs::read_to_string(dir_b.join("repl-node-a.chain")).unwrap();
+    assert_eq!(
+        cursor_b, ledger_a,
+        "chain files must converge byte-identically"
+    );
+
+    // And recovery re-converges: a restarted replica restores the same
+    // cursor and still verifies.
+    for server in servers {
+        server.shutdown();
+    }
+    drop(store_b);
+    let reopened = DocumentStore::persistent(&dir_b).unwrap();
+    assert_eq!(reopened.replication_head("node-a").0, 4);
+    reopened.verify_all().unwrap();
+    std::fs::remove_dir_all(&base).ok();
+}

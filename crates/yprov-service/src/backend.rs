@@ -63,6 +63,31 @@ pub trait StorageBackend: Send + Sync + 'static {
     /// Forces everything outstanding to stable storage (no-op for
     /// non-durable backends).
     fn flush(&self) -> Result<(), ServiceError>;
+
+    // --- ReplicationLog seam -------------------------------------------
+    //
+    // A replica tracks, per upstream source, the exact chain it has
+    // verified and applied — the replication protocol's durable cursor.
+    // Kept separate from the node's own ledger so a node can be primary
+    // for its own uploads and replica for several peers at once.
+
+    /// Appends one verified replicated ledger line under `source`'s
+    /// replication log, durably per the backend's sync policy.
+    fn repl_append(&self, source: &str, line: &str) -> Result<(), ServiceError>;
+
+    /// The full replication log previously appended for `source`,
+    /// `None` when no frames from that source were ever applied.
+    fn repl_load(&self, source: &str) -> Result<Option<String>, ServiceError>;
+
+    /// Sources with a replication log, sorted.
+    fn repl_sources(&self) -> Result<Vec<String>, ServiceError>;
+
+    /// Count of torn-ledger-tail truncations this backend performed on
+    /// load — a data-edge event worth surfacing in metrics (0 for
+    /// backends that cannot tear).
+    fn ledger_truncations(&self) -> u64 {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -76,6 +101,7 @@ pub trait StorageBackend: Send + Sync + 'static {
 pub struct MemoryBackend {
     docs: Mutex<BTreeMap<String, Vec<u8>>>,
     ledger: Mutex<String>,
+    repl: Mutex<BTreeMap<String, String>>,
 }
 
 impl MemoryBackend {
@@ -130,6 +156,23 @@ impl StorageBackend for MemoryBackend {
     fn flush(&self) -> Result<(), ServiceError> {
         Ok(())
     }
+
+    fn repl_append(&self, source: &str, line: &str) -> Result<(), ServiceError> {
+        self.repl
+            .lock()
+            .entry(source.to_string())
+            .or_default()
+            .push_str(line);
+        Ok(())
+    }
+
+    fn repl_load(&self, source: &str) -> Result<Option<String>, ServiceError> {
+        Ok(self.repl.lock().get(source).cloned())
+    }
+
+    fn repl_sources(&self) -> Result<Vec<String>, ServiceError> {
+        Ok(self.repl.lock().keys().cloned().collect())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -151,11 +194,13 @@ struct LedgerFile {
 }
 
 /// Filesystem-backed storage: `<id>.json` per document, written
-/// atomically (tmp + rename), and an append-only `ledger.txt`.
+/// atomically (tmp + rename), an append-only `ledger.txt`, and one
+/// `repl-<source>.chain` per replicated upstream.
 pub struct DurableBackend {
     dir: PathBuf,
     sync: SyncPolicy,
     ledger: Mutex<LedgerFile>,
+    truncations: std::sync::atomic::AtomicU64,
 }
 
 impl DurableBackend {
@@ -180,6 +225,7 @@ impl DurableBackend {
                 file: None,
                 unsynced: 0,
             }),
+            truncations: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -211,6 +257,58 @@ impl DurableBackend {
 
     fn ledger_path(&self) -> PathBuf {
         self.dir.join("ledger.txt")
+    }
+
+    fn repl_path(&self, source: &str) -> Result<PathBuf, ServiceError> {
+        // Source node ids become file names too; same escape rules as
+        // document handles.
+        if source.is_empty()
+            || source.starts_with('.')
+            || source.contains(['/', '\\'])
+            || source.contains('\0')
+        {
+            return Err(ServiceError::InvalidDocument {
+                reason: format!("source {source:?} is not a valid replication log name"),
+            });
+        }
+        Ok(self.dir.join(format!("repl-{source}.chain")))
+    }
+
+    /// Loads a line-oriented chain file, repairing (and counting) a
+    /// torn final record left by a crash mid-append. The truncation is
+    /// no longer silent: it logs a recovery-style warning and shows up
+    /// in `/metrics` as `store_ledger_truncations_total`.
+    fn load_chain_file(&self, path: &Path) -> Result<Option<String>, ServiceError> {
+        let mut text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ServiceError::io(format!("read {}", path.display()), e)),
+        };
+        if !text.is_empty() && !text.ends_with('\n') {
+            // A crash mid-append tore the final record. Truncate the
+            // file back to the last complete line so future appends
+            // start on a fresh line instead of gluing a new record onto
+            // the fragment.
+            let keep = text.rfind('\n').map(|p| p + 1).unwrap_or(0);
+            let torn = text.len() - keep;
+            text.truncate(keep);
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| ServiceError::io(format!("open {}", path.display()), e))?;
+            file.set_len(keep as u64)
+                .map_err(|e| ServiceError::io(format!("truncate {}", path.display()), e))?;
+            file.sync_data()
+                .map_err(|e| ServiceError::io(format!("fsync {}", path.display()), e))?;
+            self.truncations
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            eprintln!(
+                "[yprov-service] recovery: dropped a torn {torn}-byte tail from {} \
+                 (crash mid-append; chain before it is intact)",
+                path.display()
+            );
+        }
+        Ok(Some(text))
     }
 }
 
@@ -345,29 +443,7 @@ impl StorageBackend for DurableBackend {
     }
 
     fn ledger_load(&self) -> Result<Option<String>, ServiceError> {
-        let path = self.ledger_path();
-        let mut text = match std::fs::read_to_string(&path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(ServiceError::io(format!("read {}", path.display()), e)),
-        };
-        if !text.is_empty() && !text.ends_with('\n') {
-            // A crash mid-append tore the final record. Truncate the
-            // file back to the last complete line so future appends
-            // start on a fresh line instead of gluing a new record onto
-            // the fragment.
-            let keep = text.rfind('\n').map(|p| p + 1).unwrap_or(0);
-            text.truncate(keep);
-            let file = OpenOptions::new()
-                .write(true)
-                .open(&path)
-                .map_err(|e| ServiceError::io(format!("open {}", path.display()), e))?;
-            file.set_len(keep as u64)
-                .map_err(|e| ServiceError::io(format!("truncate {}", path.display()), e))?;
-            file.sync_data()
-                .map_err(|e| ServiceError::io(format!("fsync {}", path.display()), e))?;
-        }
-        Ok(Some(text))
+        self.load_chain_file(&self.ledger_path())
     }
 
     fn flush(&self) -> Result<(), ServiceError> {
@@ -379,6 +455,56 @@ impl StorageBackend for DurableBackend {
         }
         sync_dir(&self.dir);
         Ok(())
+    }
+
+    /// Open-append-close per line: replication frames are not the hot
+    /// path, and skipping a per-source handle cache keeps the seam
+    /// small. `SyncPolicy::OnFlush` still skips the fsync.
+    fn repl_append(&self, source: &str, line: &str) -> Result<(), ServiceError> {
+        let path = self.repl_path(source)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| ServiceError::io(format!("open {}", path.display()), e))?;
+        file.write_all(line.as_bytes())
+            .map_err(|e| ServiceError::io(format!("append {}", path.display()), e))?;
+        if !matches!(self.sync, SyncPolicy::OnFlush) {
+            file.sync_data()
+                .map_err(|e| ServiceError::io(format!("fsync {}", path.display()), e))?;
+        }
+        Ok(())
+    }
+
+    fn repl_load(&self, source: &str) -> Result<Option<String>, ServiceError> {
+        let path = self.repl_path(source)?;
+        self.load_chain_file(&path)
+    }
+
+    fn repl_sources(&self) -> Result<Vec<String>, ServiceError> {
+        let read_dir = std::fs::read_dir(&self.dir)
+            .map_err(|e| ServiceError::io(format!("read dir {}", self.dir.display()), e))?;
+        let mut sources = Vec::new();
+        for entry in read_dir {
+            let path = entry
+                .map_err(|e| ServiceError::io("read dir entry", e))?
+                .path();
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
+            if let Some(source) = name
+                .strip_prefix("repl-")
+                .and_then(|s| s.strip_suffix(".chain"))
+            {
+                sources.push(source.to_string());
+            }
+        }
+        sources.sort();
+        Ok(sources)
+    }
+
+    fn ledger_truncations(&self) -> u64 {
+        self.truncations.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

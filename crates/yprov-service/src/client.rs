@@ -14,10 +14,20 @@
 //! Only transport errors and 502/503/504 (and unparseable responses)
 //! are retried; any other status is a definitive answer and is returned
 //! as-is.
+//!
+//! When a retryable response names its own schedule — the server's
+//! bounded-queue shedding path answers 503 with a `Retry-After` header
+//! — that wait is honored (capped at [`MAX_RETRY_AFTER`]) instead of
+//! the backoff schedule: the server knows when it will have capacity
+//! better than a blind exponential guess does.
 
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Ceiling on a server-supplied `Retry-After` wait, so a confused (or
+/// hostile) server cannot park a client indefinitely.
+pub const MAX_RETRY_AFTER: Duration = Duration::from_secs(30);
 
 /// splitmix64: the same tiny deterministic generator the simulator's
 /// fault planner uses.
@@ -165,21 +175,30 @@ impl Client {
         }
         let traceparent = obs::trace::traceparent();
         let mut last = Failure::Status(0);
+        // Set when the previous retryable response carried Retry-After:
+        // the server's schedule overrides the backoff schedule.
+        let mut server_wait: Option<Duration> = None;
         for attempt in 0..max_attempts {
             if attempt > 0 {
-                std::thread::sleep(self.policy.backoff_delay(attempt - 1));
+                let wait = server_wait
+                    .take()
+                    .unwrap_or_else(|| self.policy.backoff_delay(attempt - 1));
+                std::thread::sleep(wait);
             }
             match self.once(method, path, body, traceparent.as_deref()) {
                 // Status 0 = unparseable response; treat like a
                 // transport failure.
-                Ok((status, resp_body)) if !matches!(status, 0 | 502 | 503 | 504) => {
+                Ok((status, _, resp_body)) if !matches!(status, 0 | 502 | 503 | 504) => {
                     return Ok(Response {
                         status,
                         body: resp_body,
                         attempts: attempt + 1,
                     });
                 }
-                Ok((status, _)) => last = Failure::Status(status),
+                Ok((status, retry_after, _)) => {
+                    last = Failure::Status(status);
+                    server_wait = retry_after.map(|s| Duration::from_secs(s).min(MAX_RETRY_AFTER));
+                }
                 Err(e) => last = Failure::Transport(e.to_string()),
             }
         }
@@ -189,14 +208,15 @@ impl Client {
         })
     }
 
-    /// One wire exchange, under the per-request timeouts.
+    /// One wire exchange, under the per-request timeouts. Returns
+    /// `(status, retry_after_seconds, body)`.
     fn once(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
         traceparent: Option<&str>,
-    ) -> std::io::Result<(u16, String)> {
+    ) -> std::io::Result<(u16, Option<u64>, String)> {
         let stream = TcpStream::connect_timeout(&self.addr, self.policy.request_timeout)?;
         stream.set_read_timeout(Some(self.policy.request_timeout))?;
         stream.set_write_timeout(Some(self.policy.request_timeout))?;
@@ -217,11 +237,19 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .unwrap_or(0);
-        let payload = response
+        let (head, payload) = response
             .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_string())
+            .map(|(h, b)| (h.to_string(), b.to_string()))
             .unwrap_or_default();
-        Ok((status, payload))
+        // Integer-seconds Retry-After only; the HTTP-date form is not
+        // something this server emits.
+        let retry_after = head.lines().find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("retry-after")
+                .then(|| value.trim().parse::<u64>().ok())
+                .flatten()
+        });
+        Ok((status, retry_after, payload))
     }
 
     /// GET convenience.
@@ -333,6 +361,41 @@ mod tests {
         }
         assert!(err.to_string().contains("HTTP 503"), "{err}");
         server.shutdown();
+    }
+
+    #[test]
+    fn honors_server_retry_after_over_backoff() {
+        // A hand-rolled peer: sheds the first request with
+        // `Retry-After: 1`, serves the second. The client's own backoff
+        // (5 ms base) would retry almost immediately; honoring the
+        // server's schedule means waiting the full second.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.read(&mut buf);
+            s.write_all(
+                b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{}",
+            )
+            .unwrap();
+            drop(s);
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.read(&mut buf);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}")
+                .unwrap();
+        });
+        let client = Client::new(addr, fast_policy());
+        let started = std::time::Instant::now();
+        let resp = client.health().unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.attempts, 2);
+        assert!(
+            started.elapsed() >= Duration::from_millis(900),
+            "the 1 s Retry-After must override the 5 ms backoff; waited {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

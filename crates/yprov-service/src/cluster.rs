@@ -1,0 +1,966 @@
+//! Multi-node clustering: consistent-hash placement, hash-chain
+//! streaming replication, and client-arbitrated failover.
+//!
+//! A cluster is N independent `yprov-service` instances, each running
+//! the same store/HTTP stack. Three pieces tie them together:
+//!
+//! * **[`Ring`]** — a consistent-hash ring with virtual nodes. Both the
+//!   client layer and each server derive document placement from the
+//!   same node-id set, so no coordination service is needed: the key's
+//!   first ring node is its write primary, the next `replication - 1`
+//!   distinct nodes hold its copies.
+//! * **[`Replicator`]** — the primary side of the streaming protocol.
+//!   After a node commits an upload to its own ledger, it ships the
+//!   new chain entry *plus the canonical document bytes the entry's
+//!   digest commits to* as one frame (`POST
+//!   /api/v0/replication/frames`) to the key's replica set. The
+//!   replica verifies the frame against its durable per-source cursor
+//!   chain before applying ([`crate::store::DocumentStore::apply_replicated`]);
+//!   a rejection carries the index to re-sync from and the primary
+//!   re-streams its log from that divergence point. Frames from one
+//!   chain are pushed serially, so a replica sees each source's
+//!   entries in order (and self-heals through re-sync when it does
+//!   not).
+//! * **[`ClusterClient`]** — the thin routing layer over the existing
+//!   REST verbs. Membership is health-probe-driven: a node that stops
+//!   answering `/healthz` (or a request) drops out of the client's
+//!   ring, and the key's next surviving ring node takes over.
+//!   *Promotion is gated on verification*: before a write fails over,
+//!   the candidate must pass `GET /api/v0/ledger/verify` — a replica
+//!   with a broken or tampered chain is never promoted.
+//!
+//! [`ReplicationChaos`] exposes the frame path's fault-injection knobs
+//! (drop, tear, duplicate, delay) to the cluster chaos harness; the
+//! handles are shared atomics so a test can flip them mid-run.
+
+use crate::client::{Client, Response, RetryPolicy};
+use crate::ledger::LedgerEntry;
+use crate::store::{DocumentStore, Upload};
+use parking_lot::Mutex;
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Virtual nodes per member: enough that removing one node moves only
+/// ~1/N of the keyspace, small enough that ring construction stays
+/// trivially cheap.
+const VNODES: usize = 64;
+
+/// A cluster member: stable identity plus where to reach it. The id is
+/// what hashes onto the ring and what stamps replication frames, so it
+/// must stay the same across restarts even if the address changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Stable node identity (`"node-a"`, ...).
+    pub id: String,
+    /// The node's HTTP address.
+    pub addr: SocketAddr,
+}
+
+impl NodeSpec {
+    /// A member named `id` at `addr`.
+    pub fn new(id: impl Into<String>, addr: SocketAddr) -> NodeSpec {
+        NodeSpec {
+            id: id.into(),
+            addr,
+        }
+    }
+}
+
+fn ring_point(bytes: &[u8]) -> u64 {
+    let digest = yprov4ml::hash::sha256(bytes);
+    u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+}
+
+/// A consistent-hash ring with virtual nodes. Placement depends only
+/// on the member-id set, so every participant that agrees on
+/// membership agrees on placement.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, index into nodes)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    nodes: Vec<String>,
+}
+
+impl Ring {
+    /// A ring over the given member ids (duplicates collapse).
+    pub fn new<I, S>(members: I) -> Ring
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut nodes: Vec<String> = members.into_iter().map(Into::into).collect();
+        nodes.sort();
+        nodes.dedup();
+        let mut points = Vec::with_capacity(nodes.len() * VNODES);
+        for (i, node) in nodes.iter().enumerate() {
+            for v in 0..VNODES {
+                points.push((ring_point(format!("{node}\u{0}{v}").as_bytes()), i));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, nodes }
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The member ids, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The distinct nodes responsible for `key`, clockwise from its
+    /// ring position: the primary first, then the replicas. At most
+    /// `n` (clamped to the member count).
+    pub fn replicas_for(&self, key: &str, n: usize) -> Vec<&str> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let target = ring_point(key.as_bytes());
+        let start = self.points.partition_point(|(p, _)| *p < target);
+        let want = n.min(self.nodes.len());
+        let mut out: Vec<&str> = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            let name = self.nodes[node].as_str();
+            if !out.contains(&name) {
+                out.push(name);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The key's write primary (`None` on an empty ring).
+    pub fn primary_for(&self, key: &str) -> Option<&str> {
+        self.replicas_for(key, 1).into_iter().next()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame wire format
+// ---------------------------------------------------------------------------
+
+pub(crate) fn entry_to_json(e: &LedgerEntry) -> serde_json::Value {
+    json!({
+        "index": e.index,
+        "document_id": e.document_id,
+        "document_digest": e.document_digest,
+        "prev_hash": e.prev_hash,
+        "entry_hash": e.entry_hash,
+    })
+}
+
+pub(crate) fn entry_from_json(v: &serde_json::Value) -> Option<LedgerEntry> {
+    Some(LedgerEntry {
+        index: v.get("index")?.as_u64()?,
+        document_id: v.get("document_id")?.as_str()?.to_string(),
+        document_digest: v.get("document_digest")?.as_str()?.to_string(),
+        prev_hash: v.get("prev_hash")?.as_str()?.to_string(),
+        entry_hash: v.get("entry_hash")?.as_str()?.to_string(),
+    })
+}
+
+/// One replication frame: a chain entry from `source`'s ledger plus
+/// (usually) the canonical document bytes its digest commits to.
+/// `document` is `null` for re-synced entries whose bytes were
+/// superseded by a later upload of the same id.
+pub fn frame_body(source: &str, entry: &LedgerEntry, doc_json: Option<&str>) -> String {
+    json!({
+        "source": source,
+        "entry": entry_to_json(entry),
+        "document": doc_json,
+    })
+    .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Chaos knobs
+// ---------------------------------------------------------------------------
+
+/// Fault injection on the outgoing frame path. Cloning shares the
+/// underlying knobs, so a chaos harness keeps one handle and flips
+/// faults while the server runs; all knobs default to off.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationChaos {
+    inner: Arc<ChaosInner>,
+}
+
+#[derive(Debug, Default)]
+struct ChaosInner {
+    drop_frames: AtomicU32,
+    tear_frames: AtomicU32,
+    duplicate_frames: AtomicBool,
+    delay_ms: AtomicU64,
+}
+
+impl ReplicationChaos {
+    /// No injected faults.
+    pub fn new() -> ReplicationChaos {
+        ReplicationChaos::default()
+    }
+
+    /// Drops the next `n` outgoing frames on the floor — a partition
+    /// between the primary and its replicas.
+    pub fn drop_next_frames(&self, n: u32) {
+        self.inner.drop_frames.store(n, Ordering::Release);
+    }
+
+    /// Corrupts the next `n` outgoing frames by truncating the document
+    /// bytes mid-flight; the replica must reject the torn frame (digest
+    /// mismatch) and recover through re-sync.
+    pub fn tear_next_frames(&self, n: u32) {
+        self.inner.tear_frames.store(n, Ordering::Release);
+    }
+
+    /// Delivers every frame twice; the replica must absorb the second
+    /// copy idempotently.
+    pub fn duplicate_frames(&self, on: bool) {
+        self.inner.duplicate_frames.store(on, Ordering::Release);
+    }
+
+    /// Sleeps this long before each frame send (delayed frames).
+    pub fn delay_frames(&self, delay: Duration) {
+        self.inner
+            .delay_ms
+            .store(delay.as_millis() as u64, Ordering::Release);
+    }
+
+    /// Decrement-if-positive, shared with the server's upload chaos.
+    fn take(counter: &AtomicU32) -> bool {
+        counter
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Truncates `s` to roughly half its bytes, respecting char boundaries.
+fn tear(s: &str) -> &str {
+    let mut cut = s.len() / 2;
+    while cut > 0 && !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &s[..cut]
+}
+
+// ---------------------------------------------------------------------------
+// Server-side: cluster config + the primary's replicator
+// ---------------------------------------------------------------------------
+
+/// Cluster membership and replication tunables for one server.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's stable identity — the `source` stamped on every
+    /// frame it streams and its name on the placement ring.
+    pub node_id: String,
+    /// The *other* cluster members.
+    pub peers: Vec<NodeSpec>,
+    /// Total copies of each document, the local one included; clamped
+    /// to the cluster size.
+    pub replication: usize,
+    /// Replica confirmations (beyond the local commit) an upload needs
+    /// before it is acknowledged. 1 keeps the cluster writable with a
+    /// peer down; raise it to trade availability for durability.
+    pub required_acks: usize,
+    /// Retry policy for frame pushes. Keep attempts low — a dead peer
+    /// is paid for on every upload until the client's ring drops it.
+    pub push_policy: RetryPolicy,
+    /// Fault injection on the outgoing frame path (off by default).
+    pub chaos: ReplicationChaos,
+}
+
+impl ClusterConfig {
+    /// A config for `node_id` with the given peers: replication factor
+    /// 2, one required ack, default push policy, no chaos.
+    pub fn new(node_id: impl Into<String>, peers: Vec<NodeSpec>) -> ClusterConfig {
+        ClusterConfig {
+            node_id: node_id.into(),
+            peers,
+            replication: 2,
+            required_acks: 1,
+            push_policy: RetryPolicy::default(),
+            chaos: ReplicationChaos::default(),
+        }
+    }
+}
+
+/// How one upload's replication went.
+#[derive(Debug, Clone)]
+pub struct ReplicationOutcome {
+    /// Replicas that confirmed the frame.
+    pub confirmed: usize,
+    /// Confirmations required to acknowledge the upload.
+    pub required: usize,
+    /// Per-peer failure detail, empty when everything confirmed.
+    pub errors: Vec<String>,
+}
+
+impl ReplicationOutcome {
+    /// True when enough replicas confirmed to acknowledge the write.
+    pub fn acked(&self) -> bool {
+        self.confirmed >= self.required
+    }
+}
+
+/// The primary side of the streaming protocol: owned by a
+/// cluster-configured server, invoked synchronously after every local
+/// upload commit.
+pub struct Replicator {
+    cfg: ClusterConfig,
+    ring: Ring,
+    pushes: Arc<obs::Counter>,
+    push_failures: Arc<obs::Counter>,
+    /// Frames from this node's chain must reach each replica in order;
+    /// pushes are serialized. Out-of-order delivery that slips through
+    /// anyway (a push racing a ledger append) is rejected by the
+    /// replica as a gap and healed by re-sync.
+    push_lock: Mutex<()>,
+}
+
+impl Replicator {
+    /// A replicator for `cfg`, registering its counters in `registry`
+    /// (the owning server's, so they surface in `/metrics`).
+    pub fn new(cfg: ClusterConfig, registry: &obs::Registry) -> Replicator {
+        registry.set_help(
+            "replication_pushes_total",
+            "Frames pushed to replicas, re-sync frames included.",
+        );
+        registry.set_help(
+            "replication_push_failures_total",
+            "Frame pushes that exhausted retries or were refused.",
+        );
+        let mut members: Vec<String> = cfg.peers.iter().map(|p| p.id.clone()).collect();
+        members.push(cfg.node_id.clone());
+        Replicator {
+            ring: Ring::new(members),
+            pushes: registry.counter("replication_pushes_total"),
+            push_failures: registry.counter("replication_push_failures_total"),
+            push_lock: Mutex::new(()),
+            cfg,
+        }
+    }
+
+    /// This node's identity on the ring.
+    pub fn node_id(&self) -> &str {
+        &self.cfg.node_id
+    }
+
+    /// The full-membership placement ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// A shared handle to the chaos knobs.
+    pub fn chaos(&self) -> ReplicationChaos {
+        self.cfg.chaos.clone()
+    }
+
+    /// Streams one committed upload to the key's replica set. Walks the
+    /// key's full ring order (not just the first `replication` nodes):
+    /// when a replica-set member is down, the next surviving successor
+    /// takes the copy, so the write can still reach `required_acks`.
+    pub fn replicate(&self, store: &DocumentStore, up: &Upload) -> ReplicationOutcome {
+        let candidates: Vec<&NodeSpec> = self
+            .ring
+            .replicas_for(&up.id, self.ring.nodes().len())
+            .into_iter()
+            .filter(|id| *id != self.cfg.node_id)
+            .filter_map(|id| self.cfg.peers.iter().find(|p| p.id == id))
+            .collect();
+        let desired = self.cfg.replication.saturating_sub(1).min(candidates.len());
+        let required = self.cfg.required_acks.min(desired);
+
+        let _guard = self.push_lock.lock();
+        let mut confirmed = 0usize;
+        let mut errors = Vec::new();
+        for peer in candidates {
+            if confirmed >= desired {
+                break;
+            }
+            match self.push_frame(store, peer, &up.entry, Some(&up.canonical_json)) {
+                Ok(()) => confirmed += 1,
+                Err(e) => {
+                    self.push_failures.inc();
+                    errors.push(format!("{}: {e}", peer.id));
+                }
+            }
+        }
+        ReplicationOutcome {
+            confirmed,
+            required,
+            errors,
+        }
+    }
+
+    /// Pushes one frame to `peer`, applying any injected faults, and
+    /// recovers from rejection via re-sync.
+    fn push_frame(
+        &self,
+        store: &DocumentStore,
+        peer: &NodeSpec,
+        entry: &LedgerEntry,
+        doc: Option<&str>,
+    ) -> Result<(), String> {
+        let chaos = &self.cfg.chaos.inner;
+        let delay = chaos.delay_ms.load(Ordering::Acquire);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        if ReplicationChaos::take(&chaos.drop_frames) {
+            return Err(format!(
+                "frame {} dropped in flight (injected)",
+                entry.index
+            ));
+        }
+        let body = if ReplicationChaos::take(&chaos.tear_frames) {
+            frame_body(&self.cfg.node_id, entry, doc.map(tear))
+        } else {
+            frame_body(&self.cfg.node_id, entry, doc)
+        };
+
+        let mut span = obs::trace::span("replication_frame");
+        if obs::trace::is_enabled() {
+            span.annotate("peer", peer.id.clone());
+            span.annotate("index", entry.index.to_string());
+            span.annotate("bytes", body.len().to_string());
+        }
+        let client = Client::new(peer.addr, self.cfg.push_policy);
+        let result = self.deliver(store, &client, peer, &body, entry.index);
+        if obs::trace::is_enabled() {
+            span.annotate(
+                "outcome",
+                match &result {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => e.clone(),
+                },
+            );
+        }
+        drop(span);
+
+        if result.is_ok() && chaos.duplicate_frames.load(Ordering::Acquire) {
+            // Second delivery of the same (clean) frame: the replica
+            // answers idempotently, so the outcome stands either way.
+            let clean = frame_body(&self.cfg.node_id, entry, doc);
+            let _ = self.deliver(store, &client, peer, &clean, entry.index);
+        }
+        result
+    }
+
+    /// One frame POST. A 409 rejection names the replica's expected
+    /// next index (the divergence point); re-sync streams this node's
+    /// log from there, which re-delivers the refused entry with clean
+    /// bytes along the way.
+    fn deliver(
+        &self,
+        store: &DocumentStore,
+        client: &Client,
+        peer: &NodeSpec,
+        body: &str,
+        index: u64,
+    ) -> Result<(), String> {
+        self.pushes.inc();
+        let resp = client
+            .send("POST", "/api/v0/replication/frames", Some(body))
+            .map_err(|e| e.to_string())?;
+        match resp.status {
+            200 => Ok(()),
+            409 => {
+                let v: serde_json::Value = serde_json::from_str(&resp.body).unwrap_or_default();
+                match v.get("expect_index").and_then(|x| x.as_u64()) {
+                    Some(from) => self.resync(store, client, peer, from),
+                    None => Err(format!("frame {index} refused: {}", resp.body.trim())),
+                }
+            }
+            s => Err(format!("frame {index}: HTTP {s}: {}", resp.body.trim())),
+        }
+    }
+
+    /// Re-streams this node's chain to `peer` from `from` onward.
+    /// Entries whose bytes were superseded ship without a document —
+    /// the replica advances its cursor chain-only.
+    fn resync(
+        &self,
+        store: &DocumentStore,
+        client: &Client,
+        peer: &NodeSpec,
+        from: u64,
+    ) -> Result<(), String> {
+        let log = store.replication_log(from).map_err(|e| e.to_string())?;
+        if log.is_empty() {
+            return Err(format!(
+                "replica {} expects index {from} but this node's log ends before it",
+                peer.id
+            ));
+        }
+        for (entry, doc) in &log {
+            let body = frame_body(&self.cfg.node_id, entry, doc.as_deref());
+            self.pushes.inc();
+            let resp = client
+                .send("POST", "/api/v0/replication/frames", Some(&body))
+                .map_err(|e| e.to_string())?;
+            if resp.status != 200 {
+                return Err(format!(
+                    "re-sync frame {} refused: HTTP {}: {}",
+                    entry.index,
+                    resp.status,
+                    resp.body.trim()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-side: routing, health probes, promotion
+// ---------------------------------------------------------------------------
+
+/// Why a routed request failed on every candidate node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No live node could serve the request; `detail` lists what each
+    /// candidate said.
+    Unavailable {
+        /// Per-node failure detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Unavailable { detail } => {
+                write!(f, "no cluster node could serve the request: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Percent-encodes a document id for use in a path segment.
+fn encode_id(id: &str) -> String {
+    let mut out = String::with_capacity(id.len());
+    for b in id.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Single-attempt, short-timeout variant of `policy` for probes and
+/// verification gates, so a dead node costs milliseconds, not a full
+/// retry schedule.
+fn probe_policy(policy: RetryPolicy) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 1,
+        request_timeout: policy.request_timeout.min(Duration::from_secs(2)),
+        ..policy
+    }
+}
+
+/// The thin client-side routing layer over the REST verbs. Keeps a
+/// health view of the membership; routes writes to the key's primary
+/// and fails them over — *promotion* — to the next ring node whose
+/// chains verify; fails reads over along the same ring order.
+pub struct ClusterClient {
+    nodes: Vec<NodeSpec>,
+    replication: usize,
+    policy: RetryPolicy,
+    /// Health-probe-driven liveness per node id.
+    alive: Mutex<BTreeMap<String, bool>>,
+}
+
+impl ClusterClient {
+    /// A client over `nodes` with the given replication factor. All
+    /// nodes start presumed alive; [`Self::probe`] and per-request
+    /// transport failures update the view.
+    pub fn new(nodes: Vec<NodeSpec>, replication: usize, policy: RetryPolicy) -> ClusterClient {
+        let alive = nodes.iter().map(|n| (n.id.clone(), true)).collect();
+        ClusterClient {
+            nodes,
+            replication,
+            policy,
+            alive: Mutex::new(alive),
+        }
+    }
+
+    /// Probes every node's `/healthz`, updating ring membership.
+    /// Returns the ids that answered.
+    pub fn probe(&self) -> Vec<String> {
+        let mut live = Vec::new();
+        for node in &self.nodes {
+            let ok = Client::new(node.addr, probe_policy(self.policy))
+                .health()
+                .map(|r| r.status == 200)
+                .unwrap_or(false);
+            self.alive.lock().insert(node.id.clone(), ok);
+            if ok {
+                live.push(node.id.clone());
+            }
+        }
+        live
+    }
+
+    /// The ring over currently-live members.
+    pub fn ring(&self) -> Ring {
+        let alive = self.alive.lock();
+        Ring::new(
+            self.nodes
+                .iter()
+                .filter(|n| alive.get(&n.id).copied().unwrap_or(false))
+                .map(|n| n.id.clone()),
+        )
+    }
+
+    /// Where `id` lives on the live ring right now: primary first.
+    pub fn placement(&self, id: &str) -> Vec<String> {
+        let ring = self.ring();
+        ring.replicas_for(id, self.replication)
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    fn mark_dead(&self, id: &str) {
+        self.alive.lock().insert(id.to_string(), false);
+    }
+
+    fn spec(&self, id: &str) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// The key's candidate nodes in failover order: the live ring
+    /// walked clockwise from the key, so when the replica set's members
+    /// die the surviving successors still appear.
+    fn route_order(&self, id: &str) -> Vec<String> {
+        let ring = self.ring();
+        ring.replicas_for(id, ring.nodes().len())
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// Chain-verification gate used before promoting a node: its
+    /// ledger and every replication cursor must verify end-to-end.
+    pub fn verified(&self, node_id: &str) -> bool {
+        let Some(node) = self.spec(node_id) else {
+            return false;
+        };
+        Client::new(node.addr, probe_policy(self.policy))
+            .get("/api/v0/ledger/verify")
+            .map(|r| r.status == 200)
+            .unwrap_or(false)
+    }
+
+    /// Routed write: `PUT` to the key's primary; on its death the next
+    /// ring node that passes [`Self::verified`] is promoted and takes
+    /// the write (the promoted node then owns the entry on *its* own
+    /// chain and replicates it onward).
+    pub fn put(&self, id: &str, prov_json: &str) -> Result<Response, ClusterError> {
+        let mut detail = Vec::new();
+        for (i, node_id) in self.route_order(id).iter().enumerate() {
+            let Some(node) = self.spec(node_id) else {
+                continue;
+            };
+            if i > 0 && !self.verified(node_id) {
+                detail.push(format!("{node_id}: not promoted (chain did not verify)"));
+                continue;
+            }
+            let client = Client::new(node.addr, self.policy);
+            match client.send(
+                "PUT",
+                &format!("/api/v0/documents/{}", encode_id(id)),
+                Some(prov_json),
+            ) {
+                Ok(resp) if resp.status < 500 => return Ok(resp),
+                Ok(resp) => detail.push(format!("{node_id}: HTTP {}", resp.status)),
+                Err(e) => {
+                    self.mark_dead(node_id);
+                    detail.push(format!("{node_id}: {e}"));
+                }
+            }
+        }
+        Err(ClusterError::Unavailable {
+            detail: detail.join("; "),
+        })
+    }
+
+    /// Routed read: tries the key's nodes in ring order until one
+    /// answers. A 404 is remembered but later replicas are still asked
+    /// — only when no replica holds the document is the 404 returned.
+    pub fn get(&self, id: &str) -> Result<Response, ClusterError> {
+        let mut detail = Vec::new();
+        let mut missing: Option<Response> = None;
+        for node_id in &self.route_order(id) {
+            let Some(node) = self.spec(node_id) else {
+                continue;
+            };
+            let client = Client::new(node.addr, self.policy);
+            match client.get(&format!("/api/v0/documents/{}", encode_id(id))) {
+                Ok(resp) if resp.status == 200 => return Ok(resp),
+                Ok(resp) if resp.status == 404 => missing = Some(resp),
+                Ok(resp) => detail.push(format!("{node_id}: HTTP {}", resp.status)),
+                Err(e) => {
+                    self.mark_dead(node_id);
+                    detail.push(format!("{node_id}: {e}"));
+                }
+            }
+        }
+        missing.ok_or(ClusterError::Unavailable {
+            detail: detail.join("; "),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Server, ServerConfig};
+    use crate::store::DocumentStore;
+    use prov_model::{ProvDocument, QName};
+
+    #[test]
+    fn ring_placement_is_deterministic_and_distinct() {
+        let ring = Ring::new(["node-a", "node-b", "node-c"]);
+        for key in ["run-1", "run-2", "doc-17", "x"] {
+            let one = ring.replicas_for(key, 2);
+            let two = ring.replicas_for(key, 2);
+            assert_eq!(one, two, "placement must be deterministic");
+            assert_eq!(one.len(), 2);
+            assert_ne!(one[0], one[1], "replicas must be distinct nodes");
+            assert_eq!(ring.primary_for(key), Some(one[0]));
+        }
+        // Clamped to the member count; empty ring places nowhere.
+        assert_eq!(ring.replicas_for("k", 10).len(), 3);
+        assert!(Ring::new(Vec::<String>::new())
+            .replicas_for("k", 2)
+            .is_empty());
+    }
+
+    #[test]
+    fn ring_spreads_keys_and_survives_member_loss() {
+        let full = Ring::new(["node-a", "node-b", "node-c"]);
+        let mut owners = std::collections::BTreeMap::new();
+        for i in 0..300 {
+            let key = format!("run-{i}");
+            *owners
+                .entry(full.primary_for(&key).unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(owners.len(), 3, "every node should own some keys");
+        for (_, n) in &owners {
+            assert!(*n > 30, "grossly unbalanced ring: {owners:?}");
+        }
+        // Removing one member only moves the keys it owned.
+        let reduced = Ring::new(["node-a", "node-c"]);
+        for i in 0..300 {
+            let key = format!("run-{i}");
+            let before = full.primary_for(&key).unwrap();
+            if before != "node-b" {
+                assert_eq!(reduced.primary_for(&key), Some(before), "{key}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_json_round_trips() {
+        let mut ledger = crate::ledger::Ledger::new();
+        let entry = ledger.append("run-1", br#"{"a":1}"#).clone();
+        let body = frame_body("node-a", &entry, Some(r#"{"a":1}"#));
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["source"], "node-a");
+        assert_eq!(v["document"], r#"{"a":1}"#);
+        let back = entry_from_json(&v["entry"]).unwrap();
+        assert_eq!(back, entry);
+        // Superseded entries carry null.
+        let chain_only = frame_body("node-a", &entry, None);
+        let v: serde_json::Value = serde_json::from_str(&chain_only).unwrap();
+        assert!(v["document"].is_null());
+    }
+
+    #[test]
+    fn tear_respects_char_boundaries() {
+        assert_eq!(tear("abcdef"), "abc");
+        assert_eq!(tear(""), "");
+        let s = "aé€b"; // multi-byte chars around the midpoint
+        let cut = tear(s);
+        assert!(s.starts_with(cut));
+    }
+
+    #[test]
+    fn id_encoding() {
+        assert_eq!(encode_id("run-1"), "run-1");
+        assert_eq!(encode_id("a b/c"), "a%20b%2Fc");
+    }
+
+    fn doc_json(tag: &str) -> String {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.entity(QName::new("ex", tag));
+        doc.to_json_string().unwrap()
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(40),
+            request_timeout: Duration::from_secs(5),
+            jitter_seed: 7,
+        }
+    }
+
+    /// Starts a 2-node in-memory cluster: B first (peerless, to learn
+    /// its ephemeral port), then A configured to replicate to B.
+    fn two_nodes() -> (Server, Server) {
+        let store_a = DocumentStore::new();
+        let store_b = DocumentStore::new();
+        let b = Server::bind(
+            "127.0.0.1:0",
+            store_b.clone(),
+            ServerConfig {
+                cluster: Some(ClusterConfig {
+                    push_policy: fast_policy(),
+                    ..ClusterConfig::new("node-b", Vec::new())
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Phase 2: A knows B's address.
+        let a = Server::bind(
+            "127.0.0.1:0",
+            store_a,
+            ServerConfig {
+                cluster: Some(ClusterConfig {
+                    push_policy: fast_policy(),
+                    ..ClusterConfig::new("node-a", vec![NodeSpec::new("node-b", b.addr())])
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn upload_streams_to_replica_and_replica_serves_reads() {
+        let (a, b) = two_nodes();
+        let (status, body) = crate::http::request(
+            a.addr(),
+            "PUT",
+            "/api/v0/documents/run-1",
+            Some(&doc_json("model")),
+        )
+        .unwrap();
+        assert_eq!(status, 201, "{body}");
+
+        // The replica holds the document and its cursor chain.
+        let (status, fetched) =
+            crate::http::request(b.addr(), "GET", "/api/v0/documents/run-1", None).unwrap();
+        assert_eq!(status, 200, "{fetched}");
+        let (status, head) = crate::http::request(
+            b.addr(),
+            "GET",
+            "/api/v0/replication/head?source=node-a",
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let head: serde_json::Value = serde_json::from_str(&head).unwrap();
+        assert_eq!(head["next_index"], 1);
+
+        // Both nodes' chains verify end-to-end.
+        for s in [&a, &b] {
+            let (status, body) =
+                crate::http::request(s.addr(), "GET", "/api/v0/ledger/verify", None).unwrap();
+            assert_eq!(status, 200, "{body}");
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn unreplicated_upload_is_rejected_with_503() {
+        // Node A's only peer refuses connections: required_acks cannot
+        // be met, the write is answered 503 (with Retry-After) and the
+        // client may retry elsewhere.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let a = Server::bind(
+            "127.0.0.1:0",
+            DocumentStore::new(),
+            ServerConfig {
+                cluster: Some(ClusterConfig {
+                    push_policy: RetryPolicy {
+                        max_attempts: 1,
+                        request_timeout: Duration::from_millis(500),
+                        ..fast_policy()
+                    },
+                    ..ClusterConfig::new("node-a", vec![NodeSpec::new("node-b", dead)])
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (status, body) = crate::http::request(
+            a.addr(),
+            "PUT",
+            "/api/v0/documents/run-1",
+            Some(&doc_json("model")),
+        )
+        .unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("under-replicated"), "{body}");
+        a.shutdown();
+    }
+
+    #[test]
+    fn cluster_client_promotes_past_a_dead_primary() {
+        let (a, b) = two_nodes();
+        let nodes = vec![
+            NodeSpec::new("node-a", a.addr()),
+            NodeSpec::new("node-b", b.addr()),
+        ];
+        let cluster = ClusterClient::new(nodes, 2, fast_policy());
+
+        // Both alive: every document lands and reads back.
+        for i in 0..4 {
+            let id = format!("run-{i}");
+            let resp = cluster.put(&id, &doc_json("model")).unwrap();
+            assert_eq!(resp.status, 201, "{}", resp.body);
+        }
+        // Kill A; probes notice, reads and writes fail over to B.
+        a.shutdown();
+        let live = cluster.probe();
+        assert_eq!(live, vec!["node-b".to_string()]);
+        for i in 0..4 {
+            let id = format!("run-{i}");
+            let resp = cluster.get(&id).unwrap();
+            assert_eq!(resp.status, 200, "{id}: {}", resp.body);
+        }
+        // Writes promote B (its chains verify) — including for keys A
+        // used to own. B was configured with no peers, so its writes
+        // commit locally with nothing to replicate to.
+        let resp = cluster.put("run-0", &doc_json("model2")).unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        let resp = cluster.get("run-0").unwrap();
+        assert!(resp.body.contains("model2"));
+        b.shutdown();
+    }
+}

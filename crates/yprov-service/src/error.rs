@@ -47,6 +47,16 @@ pub enum ServiceError {
     /// The ledger parsed but verification against the stored documents
     /// failed — the store has been tampered with or corrupted.
     LedgerVerification(LedgerIssue),
+    /// A replication frame could not be applied: it does not extend
+    /// this replica's verified chain for its source.
+    Replication {
+        /// What was wrong with the frame.
+        reason: String,
+        /// The entry index this replica expects next from the source —
+        /// the divergence point a primary should re-sync from. `None`
+        /// when re-syncing cannot help (e.g. a forged entry hash).
+        expect_index: Option<u64>,
+    },
 }
 
 impl ServiceError {
@@ -65,7 +75,7 @@ impl ServiceError {
         match self {
             ServiceError::NotFound { .. } => 404,
             ServiceError::InvalidDocument { .. } => 400,
-            ServiceError::Conflict { .. } => 409,
+            ServiceError::Conflict { .. } | ServiceError::Replication { .. } => 409,
             ServiceError::Io { .. }
             | ServiceError::LedgerFormat { .. }
             | ServiceError::LedgerVerification(_) => 500,
@@ -90,6 +100,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::LedgerVerification(issue) => {
                 write!(f, "ledger verification failed: {issue:?}")
             }
+            ServiceError::Replication {
+                reason,
+                expect_index,
+            } => match expect_index {
+                Some(idx) => write!(f, "replication rejected: {reason} (expect index {idx})"),
+                None => write!(f, "replication rejected: {reason}"),
+            },
         }
     }
 }

@@ -31,7 +31,19 @@
 //! | GET    | `/api/v0/documents/{id}/turtle` | PROV-O / Turtle rendering |
 //! | GET    | `/api/v0/documents/{id}/dot` | Graphviz DOT of the graph |
 //! | GET    | `/api/v0/ledger` | the tamper-evident upload chain |
+//! | PUT    | `/api/v0/documents/{id}` | upload/replace under a chosen id |
+//! | GET    | `/api/v0/ledger/verify` | verify every chain this node holds |
+//! | POST   | `/api/v0/replication/frames` | apply one replication frame |
+//! | GET    | `/api/v0/replication/head?source=` | this replica's cursor for a source |
+//! | GET    | `/api/v0/replication/sources` | all replication cursors |
+//!
+//! When [`ServerConfig::cluster`] is set, uploads are streamed to the
+//! document's replica set before being acknowledged (see
+//! [`crate::cluster`]); under-replicated writes are answered 503. Every
+//! 503 — shed, injected, or under-replicated — carries a `Retry-After`
+//! header so well-behaved clients back off on the server's schedule.
 
+use crate::cluster::Replicator;
 use crate::error::ServiceError;
 use crate::store::DocumentStore;
 use crossbeam::channel::{bounded, Sender, TrySendError};
@@ -69,6 +81,9 @@ pub struct ServerConfig {
     /// Fault injection: fail this many document uploads with 503 before
     /// serving normally (exercises client retry; 0 in production).
     pub chaos_fail_uploads: u32,
+    /// Multi-node mode: this node's identity, peers and replication
+    /// tunables. `None` (the default) runs a plain single node.
+    pub cluster: Option<crate::cluster::ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +97,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             queue_depth: 64,
             chaos_fail_uploads: 0,
+            cluster: None,
         }
     }
 }
@@ -93,6 +109,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     listener_thread: Option<std::thread::JoinHandle<()>>,
     registry: Arc<obs::Registry>,
+    replicator: Option<Arc<Replicator>>,
 }
 
 impl Server {
@@ -119,6 +136,22 @@ impl Server {
             "http_parse_errors_total",
             "Connections rejected with an unparseable request.",
         );
+        registry.set_help(
+            "replication_frames_total",
+            "Replication frames received from peers.",
+        );
+        registry.set_help(
+            "replication_bytes_total",
+            "Replication frame bytes received from peers.",
+        );
+        registry.set_help(
+            "replication_rejects_total",
+            "Replication frames rejected before apply (duplicate forks, gaps, torn bytes).",
+        );
+        let replicator = config
+            .cluster
+            .as_ref()
+            .map(|c| Arc::new(Replicator::new(c.clone(), &registry)));
 
         let (tx, rx) = bounded::<TcpStream>(config.queue_depth.max(1));
         for i in 0..config.workers.max(1) {
@@ -127,11 +160,19 @@ impl Server {
             let cfg = config.clone();
             let chaos = Arc::clone(&chaos);
             let registry = Arc::clone(&registry);
+            let replicator = replicator.clone();
             std::thread::Builder::new()
                 .name(format!("yprov-http-{i}"))
                 .spawn(move || {
                     while let Ok(stream) = rx.recv() {
-                        let _ = handle_connection(stream, &store, &cfg, &chaos, &registry);
+                        let _ = handle_connection(
+                            stream,
+                            &store,
+                            &cfg,
+                            &chaos,
+                            &registry,
+                            replicator.as_deref(),
+                        );
                     }
                 })?;
         }
@@ -146,6 +187,7 @@ impl Server {
             stop,
             listener_thread: Some(listener_thread),
             registry,
+            replicator,
         })
     }
 
@@ -157,6 +199,13 @@ impl Server {
     /// The server's metrics registry (what `GET /metrics` renders).
     pub fn registry(&self) -> &Arc<obs::Registry> {
         &self.registry
+    }
+
+    /// A shared handle to the replication chaos knobs, when this server
+    /// is cluster-configured — how the chaos harness injects dropped,
+    /// torn, duplicated or delayed frames mid-run.
+    pub fn replication_chaos(&self) -> Option<crate::cluster::ReplicationChaos> {
+        self.replicator.as_ref().map(|r| r.chaos())
     }
 
     /// Stops accepting connections and joins the listener.
@@ -225,6 +274,7 @@ fn handle_connection(
     cfg: &ServerConfig,
     chaos: &AtomicU32,
     registry: &obs::Registry,
+    replicator: Option<&Replicator>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(cfg.read_timeout))?;
     stream.set_write_timeout(Some(cfg.write_timeout))?;
@@ -254,7 +304,7 @@ fn handle_connection(
         trace.annotate("method", request.method.clone());
         trace.annotate("path", request.path.clone());
     }
-    let (status, body) = route(&request, store, chaos, registry);
+    let (status, body) = route(&request, store, chaos, registry, replicator);
     if obs::trace::is_enabled() {
         trace.annotate("status", status.to_string());
     }
@@ -308,6 +358,10 @@ fn route_label(path: &str) -> &'static str {
         ["healthz"] => "/healthz",
         ["metrics"] => "/metrics",
         ["api", "v0", "ledger"] => "/api/v0/ledger",
+        ["api", "v0", "ledger", "verify"] => "/api/v0/ledger/verify",
+        ["api", "v0", "replication", "frames"] => "/api/v0/replication/frames",
+        ["api", "v0", "replication", "head"] => "/api/v0/replication/head",
+        ["api", "v0", "replication", "sources"] => "/api/v0/replication/sources",
         ["api", "v0", "documents"] => "/api/v0/documents",
         ["api", "v0", "documents", _] => "/api/v0/documents/{id}",
         ["api", "v0", "documents", _, "stats"] => "/api/v0/documents/{id}/stats",
@@ -477,11 +531,42 @@ fn url_decode(s: &str) -> String {
     percent_decode(s, true)
 }
 
+/// Acknowledges a committed upload. On a cluster-configured server the
+/// upload is first streamed to its replica set; an under-replicated
+/// write is answered 503 (the document *is* committed locally — the
+/// client's retry replays idempotently under `PUT`, and duplicate
+/// frame delivery is idempotent on the replicas).
+fn acked_response(
+    replicator: Option<&Replicator>,
+    store: &DocumentStore,
+    up: &crate::store::Upload,
+) -> (u16, String) {
+    if let Some(r) = replicator {
+        let outcome = r.replicate(store, up);
+        if !outcome.acked() {
+            return (
+                503,
+                json!({
+                    "error": format!(
+                        "under-replicated: {}/{} replica confirmations",
+                        outcome.confirmed, outcome.required
+                    ),
+                    "detail": outcome.errors,
+                    "id": up.id,
+                })
+                .to_string(),
+            );
+        }
+    }
+    (201, json!({"id": up.id}).to_string())
+}
+
 fn route(
     req: &Request,
     store: &DocumentStore,
     chaos: &AtomicU32,
     registry: &obs::Registry,
+    replicator: Option<&Replicator>,
 ) -> (u16, String) {
     // Path segments are percent-decoded individually so encoded
     // document ids round-trip; '/' produced by %2F stays inside its
@@ -556,12 +641,109 @@ fn route(
                 Err(_) => return (400, json!({"error": "body is not UTF-8"}).to_string()),
             };
             match ProvDocument::from_json_str(text) {
-                Ok(doc) => match store.upload(doc) {
-                    Ok(id) => (201, json!({"id": id}).to_string()),
+                Ok(doc) => match store.upload_full(doc) {
+                    Ok(up) => acked_response(replicator, store, &up),
                     Err(e) => error_response(&e),
                 },
                 Err(e) => (400, json!({"error": e.to_string()}).to_string()),
             }
+        }
+
+        ("PUT", ["api", "v0", "documents", id]) => {
+            let text = match std::str::from_utf8(&req.body) {
+                Ok(t) => t,
+                Err(_) => return (400, json!({"error": "body is not UTF-8"}).to_string()),
+            };
+            match ProvDocument::from_json_str(text) {
+                Ok(doc) => match store.upload_as_full(*id, doc) {
+                    Ok(up) => acked_response(replicator, store, &up),
+                    Err(e) => error_response(&e),
+                },
+                Err(e) => (400, json!({"error": e.to_string()}).to_string()),
+            }
+        }
+
+        ("GET", ["api", "v0", "ledger", "verify"]) => match store.verify_all() {
+            Ok(()) => (200, json!({"ok": true}).to_string()),
+            Err(e) => (
+                500,
+                json!({"ok": false, "error": e.to_string()}).to_string(),
+            ),
+        },
+
+        ("POST", ["api", "v0", "replication", "frames"]) => {
+            let text = match std::str::from_utf8(&req.body) {
+                Ok(t) => t,
+                Err(_) => return (400, json!({"error": "body is not UTF-8"}).to_string()),
+            };
+            let v: serde_json::Value = match serde_json::from_str(text) {
+                Ok(v) => v,
+                Err(e) => return (400, json!({"error": format!("bad frame: {e}")}).to_string()),
+            };
+            let Some(source) = v.get("source").and_then(|s| s.as_str()) else {
+                return (
+                    400,
+                    json!({"error": "frame is missing \"source\""}).to_string(),
+                );
+            };
+            let Some(entry) = v.get("entry").and_then(crate::cluster::entry_from_json) else {
+                return (
+                    400,
+                    json!({"error": "frame is missing a well-formed \"entry\""}).to_string(),
+                );
+            };
+            let doc = v.get("document").and_then(|d| d.as_str());
+            registry.counter("replication_frames_total").inc();
+            registry
+                .counter("replication_bytes_total")
+                .add(req.body.len() as u64);
+            match store.apply_replicated(source, entry, doc) {
+                Ok(outcome) => {
+                    let applied = match outcome {
+                        crate::store::ReplicationApply::Applied => "applied",
+                        crate::store::ReplicationApply::Duplicate => "duplicate",
+                        crate::store::ReplicationApply::ChainOnly => "chain_only",
+                    };
+                    (200, json!({"applied": applied}).to_string())
+                }
+                Err(ServiceError::Replication {
+                    reason,
+                    expect_index,
+                }) => {
+                    registry.counter("replication_rejects_total").inc();
+                    (
+                        409,
+                        json!({"error": reason, "expect_index": expect_index}).to_string(),
+                    )
+                }
+                Err(e) => error_response(&e),
+            }
+        }
+
+        ("GET", ["api", "v0", "replication", "head"]) => {
+            match req.query.iter().find(|(k, _)| k == "source") {
+                None => (
+                    400,
+                    json!({"error": "missing ?source=<node-id>"}).to_string(),
+                ),
+                Some((_, source)) => {
+                    let (next, head) = store.replication_head(source);
+                    (
+                        200,
+                        json!({"source": source, "next_index": next, "head_hash": head})
+                            .to_string(),
+                    )
+                }
+            }
+        }
+
+        ("GET", ["api", "v0", "replication", "sources"]) => {
+            let sources: Vec<serde_json::Value> = store
+                .replication_sources()
+                .into_iter()
+                .map(|(source, entries)| json!({"source": source, "entries": entries}))
+                .collect();
+            (200, json!({"sources": sources}).to_string())
         }
 
         ("GET", ["api", "v0", "documents", id]) => match store.document_json(id) {
@@ -678,8 +860,16 @@ fn write_response_typed(
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    // Every 503 — bounded-queue shed, injected fault, under-replicated
+    // write — tells the client when to come back; the retrying client
+    // honors this over its own backoff schedule.
+    let retry_after = if status == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
@@ -1087,6 +1277,30 @@ mod tests {
         // After the stall clears, service is healthy again.
         let (status, _) = request(addr, "GET", "/healthz", None).unwrap();
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shed_and_injected_503s_carry_retry_after() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            DocumentStore::new(),
+            ServerConfig {
+                chaos_fail_uploads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let resp = raw_request(
+            server.addr(),
+            b"POST /api/v0/documents HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(resp.contains("Retry-After: 1"), "{resp}");
+        // Non-503 responses never carry the header.
+        let ok = raw_request(server.addr(), b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(!ok.contains("Retry-After"), "{ok}");
         server.shutdown();
     }
 

@@ -30,12 +30,52 @@ pub struct LedgerEntry {
 
 impl LedgerEntry {
     /// The entry's one-line wire form (newline included) — the unit the
-    /// durable backend appends per upload.
+    /// durable backend appends per upload and the replication protocol
+    /// ships per frame.
     pub fn to_line(&self) -> String {
         format!(
             "{} {} {} {} {}\n",
             self.index, self.document_id, self.document_digest, self.prev_hash, self.entry_hash
         )
+    }
+
+    /// Recomputes what this entry's hash *should* be from its fields.
+    /// A replica calls this before applying a replicated frame: an
+    /// entry whose recorded `entry_hash` disagrees was corrupted or
+    /// forged in flight.
+    pub fn expected_hash(&self) -> String {
+        entry_hash(
+            self.index,
+            &self.document_id,
+            &self.document_digest,
+            &self.prev_hash,
+        )
+    }
+
+    /// Whether the entry's recorded hash matches its contents.
+    pub fn is_self_consistent(&self) -> bool {
+        self.expected_hash() == self.entry_hash
+    }
+
+    /// Parses one wire line (the inverse of [`Self::to_line`]).
+    pub fn from_line(line: &str) -> Result<LedgerEntry, ServiceError> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 5 {
+            return Err(ServiceError::LedgerFormat {
+                line: 1,
+                reason: format!("expected 5 fields, got {}", parts.len()),
+            });
+        }
+        Ok(LedgerEntry {
+            index: parts[0].parse().map_err(|_| ServiceError::LedgerFormat {
+                line: 1,
+                reason: format!("bad index {:?}", parts[0]),
+            })?,
+            document_id: parts[1].to_string(),
+            document_digest: parts[2].to_string(),
+            prev_hash: parts[3].to_string(),
+            entry_hash: parts[4].to_string(),
+        })
     }
 }
 
@@ -100,6 +140,31 @@ impl Ledger {
     /// The entries, oldest first.
     pub fn entries(&self) -> &[LedgerEntry] {
         &self.entries
+    }
+
+    /// The chain head's hash — what the next entry's `prev_hash` must
+    /// be ([`GENESIS`] for an empty chain).
+    pub fn head_hash(&self) -> String {
+        self.entries
+            .last()
+            .map(|e| e.entry_hash.clone())
+            .unwrap_or_else(|| GENESIS.to_string())
+    }
+
+    /// Appends an already-hashed entry *verbatim* — the replica-side
+    /// apply path, which must reproduce the primary's chain
+    /// byte-identically rather than re-derive its own hashes. The entry
+    /// must extend the chain: right index, matching `prev_hash`, and a
+    /// self-consistent `entry_hash`.
+    pub fn append_entry(&mut self, entry: LedgerEntry) -> Result<(), LedgerIssue> {
+        if entry.index != self.entries.len() as u64 || entry.prev_hash != self.head_hash() {
+            return Err(LedgerIssue::ChainBroken { index: entry.index });
+        }
+        if !entry.is_self_consistent() {
+            return Err(LedgerIssue::EntryTampered { index: entry.index });
+        }
+        self.entries.push(entry);
+        Ok(())
     }
 
     /// Appends a commitment to a document's canonical JSON bytes.

@@ -21,7 +21,12 @@
 //!   `.../ancestors`, `.../stats`), with socket timeouts and bounded
 //!   load shedding;
 //! * [`client`] — a blocking client with deterministic exponential
-//!   backoff for transient failures (connection refused, 502/503/504);
+//!   backoff for transient failures (connection refused, 502/503/504),
+//!   honoring server-supplied `Retry-After` schedules;
+//! * [`cluster`] — multi-node mode: consistent-hash placement
+//!   ([`Ring`]), primary→replica hash-chain streaming replication
+//!   ([`Replicator`]), and the health-probe-driven routing/failover
+//!   client ([`ClusterClient`]);
 //! * [`explorer`] — cross-document summaries like the yProv Explorer's
 //!   landing view, served from the cached graph indexes.
 //!
@@ -38,6 +43,7 @@
 
 pub mod backend;
 pub mod client;
+pub mod cluster;
 pub mod error;
 pub mod explorer;
 pub mod http;
@@ -46,6 +52,9 @@ pub mod store;
 
 pub use backend::{DurableBackend, MemoryBackend, StorageBackend, SyncPolicy};
 pub use client::{Client, ClientError, Response, RetryPolicy};
+pub use cluster::{
+    ClusterClient, ClusterConfig, ClusterError, NodeSpec, ReplicationChaos, Replicator, Ring,
+};
 pub use error::ServiceError;
 pub use http::{Server, ServerConfig};
-pub use store::DocumentStore;
+pub use store::{DocumentStore, ReplicationApply, Upload};

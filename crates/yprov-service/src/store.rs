@@ -19,7 +19,7 @@
 
 use crate::backend::{DurableBackend, MemoryBackend, StorageBackend, SyncPolicy};
 use crate::error::ServiceError;
-use crate::ledger::Ledger;
+use crate::ledger::{Ledger, LedgerEntry};
 use parking_lot::{Mutex, RwLock};
 use prov_graph::SharedGraph;
 use prov_model::{ProvDocument, QName};
@@ -27,23 +27,98 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use yprov4ml::hash::sha256_hex;
 
 struct StoreMetrics {
     cache_hits: Arc<obs::Counter>,
     cache_misses: Arc<obs::Counter>,
     put_seconds: Arc<obs::Histogram>,
     get_seconds: Arc<obs::Histogram>,
+    ledger_truncations: Arc<obs::Counter>,
 }
 
 impl StoreMetrics {
     fn new(registry: &obs::Registry) -> Self {
+        registry.set_help(
+            "store_ledger_truncations_total",
+            "Torn ledger/replication-chain tails truncated on load.",
+        );
         StoreMetrics {
             cache_hits: registry.counter("store_graph_cache_hits_total"),
             cache_misses: registry.counter("store_graph_cache_misses_total"),
             put_seconds: registry.histogram("store_backend_put_seconds"),
             get_seconds: registry.histogram("store_backend_get_seconds"),
+            ledger_truncations: registry.counter("store_ledger_truncations_total"),
         }
     }
+}
+
+/// One upload's full outcome — what a replicating primary needs to ship
+/// the write downstream: the handle id, the chain entry committing to
+/// it, and the canonical bytes the digest covers.
+#[derive(Debug, Clone)]
+pub struct Upload {
+    /// The handle id the document landed under.
+    pub id: String,
+    /// The ledger entry appended for this upload.
+    pub entry: LedgerEntry,
+    /// The canonical PROV-JSON the entry's digest commits to.
+    pub canonical_json: String,
+}
+
+/// Chain-integrity check shared by open-time recovery and the verify
+/// endpoint: every chain (own ledger + replication cursors) must verify
+/// internally, and every surviving document's bytes must hash to the
+/// latest digest *some* chain committed for its id — a document may be
+/// committed by one chain and legitimately replaced through another
+/// after a promotion moves write ownership between nodes.
+fn verify_chains(
+    ledger: &Ledger,
+    repl: &BTreeMap<String, Ledger>,
+    lookup: impl Fn(&str) -> Option<Vec<u8>>,
+) -> Result<(), ServiceError> {
+    let mut latest: HashMap<String, Vec<String>> = HashMap::new();
+    for chain in std::iter::once(ledger).chain(repl.values()) {
+        chain.verify_chain()?;
+        let mut per_chain: HashMap<&str, &str> = HashMap::new();
+        for e in chain.entries() {
+            per_chain.insert(&e.document_id, &e.document_digest);
+        }
+        for (id, digest) in per_chain {
+            latest
+                .entry(id.to_string())
+                .or_default()
+                .push(digest.to_string());
+        }
+    }
+    for (id, digests) in &latest {
+        if let Some(bytes) = lookup(id) {
+            let actual = sha256_hex(&bytes);
+            if !digests.contains(&actual) {
+                return Err(ServiceError::LedgerVerification(
+                    crate::ledger::LedgerIssue::DocumentChanged {
+                        index: 0,
+                        document_id: id.clone(),
+                    },
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How a replicated frame was absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationApply {
+    /// The frame extended the source's chain and the document was
+    /// stored (or refreshed) locally.
+    Applied,
+    /// The frame was already applied — duplicate delivery is idempotent.
+    Duplicate,
+    /// The frame extended the chain but carried no document bytes (a
+    /// re-synced entry superseded by a later upload of the same id);
+    /// only the cursor advanced.
+    ChainOnly,
 }
 
 /// A thread-safe store of provenance documents keyed by handle ids
@@ -60,8 +135,13 @@ struct Inner {
     /// replace/delete and rebuilt lazily on query.
     graphs: RwLock<HashMap<String, SharedGraph>>,
     next_id: AtomicU64,
-    /// Tamper-evident hash chain over uploads.
+    /// Tamper-evident hash chain over uploads this node accepted as
+    /// the write primary.
     ledger: Mutex<Ledger>,
+    /// Per-source verified replication cursors: the exact chain of
+    /// frames applied from each upstream peer, byte-identical to the
+    /// upstream's own ledger prefix.
+    repl: Mutex<BTreeMap<String, Ledger>>,
     registry: Arc<obs::Registry>,
     metrics: StoreMetrics,
 }
@@ -111,6 +191,17 @@ impl DocumentStore {
             None => Ledger::new(),
         };
 
+        // Restore every replication cursor so a restarted replica
+        // resumes exactly where its verified chains left off.
+        let mut repl = BTreeMap::new();
+        for source in backend.repl_sources()? {
+            if let Some(text) = backend.repl_load(&source)? {
+                let chain = Ledger::from_text(&text)?;
+                chain.verify_chain()?;
+                repl.insert(source, chain);
+            }
+        }
+
         let mut docs = BTreeMap::new();
         let mut max_id = 0u64;
         backend.scan(&mut |id, bytes| {
@@ -128,12 +219,15 @@ impl DocumentStore {
             Ok(())
         })?;
 
-        // Integrity: the chain must be sound and the latest surviving
-        // version of every document must hash as recorded.
-        ledger.verify_against(|id| backend.get(id).ok().flatten())?;
+        // Integrity: every chain must be sound and the latest surviving
+        // version of every document must hash as recorded by some chain.
+        verify_chains(&ledger, &repl, |id| backend.get(id).ok().flatten())?;
 
         let registry = Arc::new(obs::Registry::new());
         let metrics = StoreMetrics::new(&registry);
+        // Every chain load above has happened by now; surface the torn
+        // tails the backend repaired so they are visible in /metrics.
+        metrics.ledger_truncations.add(backend.ledger_truncations());
         Ok(DocumentStore {
             inner: Arc::new(Inner {
                 backend,
@@ -141,6 +235,7 @@ impl DocumentStore {
                 graphs: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(max_id),
                 ledger: Mutex::new(ledger),
+                repl: Mutex::new(repl),
                 registry,
                 metrics,
             }),
@@ -185,9 +280,9 @@ impl DocumentStore {
     }
 
     /// Serializes, persists and indexes one document under `id`.
-    fn insert(&self, id: String, doc: ProvDocument) -> Result<String, ServiceError> {
+    fn insert(&self, id: String, doc: ProvDocument) -> Result<Upload, ServiceError> {
         let json = doc.to_json_string()?;
-        {
+        let entry = {
             // One critical section for the byte write and the ledger
             // append, so chain order always matches visible state even
             // under concurrent replacement of the same id.
@@ -195,9 +290,10 @@ impl DocumentStore {
             let put_span = self.inner.metrics.put_seconds.start_span();
             self.inner.backend.put(&id, json.as_bytes())?;
             drop(put_span);
-            let line = ledger.append(&id, json.as_bytes()).to_line();
-            self.inner.backend.ledger_append(&line)?;
-        }
+            let entry = ledger.append(&id, json.as_bytes()).clone();
+            self.inner.backend.ledger_append(&entry.to_line())?;
+            entry
+        };
         let doc = Arc::new(doc);
         // Build the graph index once, at upload time; queries share it.
         self.inner
@@ -205,11 +301,21 @@ impl DocumentStore {
             .write()
             .insert(id.clone(), SharedGraph::new(Arc::clone(&doc)));
         self.inner.docs.write().insert(id.clone(), doc);
-        Ok(id)
+        Ok(Upload {
+            id,
+            entry,
+            canonical_json: json,
+        })
     }
 
     /// Stores a document, returning its handle id.
     pub fn upload(&self, doc: ProvDocument) -> Result<String, ServiceError> {
+        self.upload_full(doc).map(|u| u.id)
+    }
+
+    /// [`Self::upload`] returning the full [`Upload`] (ledger entry +
+    /// canonical bytes) — what a replicating primary streams downstream.
+    pub fn upload_full(&self, doc: ProvDocument) -> Result<Upload, ServiceError> {
         let id = format!(
             "doc-{}",
             self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1
@@ -228,6 +334,15 @@ impl DocumentStore {
         id: impl Into<String>,
         doc: ProvDocument,
     ) -> Result<String, ServiceError> {
+        self.upload_as_full(id, doc).map(|u| u.id)
+    }
+
+    /// [`Self::upload_as`] returning the full [`Upload`].
+    pub fn upload_as_full(
+        &self,
+        id: impl Into<String>,
+        doc: ProvDocument,
+    ) -> Result<Upload, ServiceError> {
         let id = id.into();
         if let Some(n) = id.strip_prefix("doc-").and_then(|n| n.parse::<u64>().ok()) {
             self.inner.next_id.fetch_max(n, Ordering::Relaxed);
@@ -320,6 +435,167 @@ impl DocumentStore {
         keep.extend(graph.descendants(focus));
         keep.insert(focus.clone());
         Ok(prov_graph::subgraph(shared.document(), &keep))
+    }
+
+    // -----------------------------------------------------------------
+    // Replication: replica-side verified apply + primary-side log
+    // -----------------------------------------------------------------
+
+    /// Applies one replicated frame from `source`: a ledger entry plus
+    /// (usually) the document bytes its digest commits to.
+    ///
+    /// The frame is verified *before* anything is stored:
+    ///
+    /// 1. the entry's recorded hash must recompute from its fields;
+    /// 2. it must extend this replica's verified chain for `source`
+    ///    (right index, `prev_hash` == chain head) — duplicates of
+    ///    already-applied entries are acknowledged idempotently, gaps
+    ///    and divergence are rejected with the index to re-sync from;
+    /// 3. when document bytes ride along, their SHA-256 must equal the
+    ///    entry's digest — a torn or corrupted frame dies here.
+    ///
+    /// Only then are the bytes stored, the document parsed and indexed
+    /// (so the replica serves reads immediately), and the entry appended
+    /// verbatim to the durable replication cursor.
+    pub fn apply_replicated(
+        &self,
+        source: &str,
+        entry: LedgerEntry,
+        doc_json: Option<&str>,
+    ) -> Result<ReplicationApply, ServiceError> {
+        if !entry.is_self_consistent() {
+            return Err(ServiceError::Replication {
+                reason: format!("entry {} hash does not recompute", entry.index),
+                expect_index: None,
+            });
+        }
+        let mut repl = self.inner.repl.lock();
+        let chain = repl.entry(source.to_string()).or_default();
+        let next = chain.len() as u64;
+
+        if entry.index < next {
+            // Duplicate delivery. Idempotent when it matches what we
+            // applied; a *different* entry at an applied index means the
+            // source forked — re-syncing cannot reconcile that.
+            return if chain.entries()[entry.index as usize] == entry {
+                Ok(ReplicationApply::Duplicate)
+            } else {
+                Err(ServiceError::Replication {
+                    reason: format!("entry {} conflicts with applied history", entry.index),
+                    expect_index: None,
+                })
+            };
+        }
+        if entry.index > next {
+            return Err(ServiceError::Replication {
+                reason: format!("entry {} leaves a gap (stale replica)", entry.index),
+                expect_index: Some(next),
+            });
+        }
+        if entry.prev_hash != chain.head_hash() {
+            return Err(ServiceError::Replication {
+                reason: format!("entry {} does not extend this chain head", entry.index),
+                expect_index: Some(next),
+            });
+        }
+        if let Some(json) = doc_json {
+            if sha256_hex(json.as_bytes()) != entry.document_digest {
+                return Err(ServiceError::Replication {
+                    reason: format!(
+                        "entry {} document bytes do not hash to the recorded digest \
+                         (torn or corrupted frame)",
+                        entry.index
+                    ),
+                    expect_index: Some(next),
+                });
+            }
+            let doc = ProvDocument::from_json_str(json).map_err(|e| ServiceError::Replication {
+                reason: format!("entry {} document does not parse: {e}", entry.index),
+                expect_index: Some(next),
+            })?;
+            let id = entry.document_id.clone();
+            self.inner.backend.put(&id, json.as_bytes())?;
+            if let Some(n) = id.strip_prefix("doc-").and_then(|n| n.parse::<u64>().ok()) {
+                self.inner.next_id.fetch_max(n, Ordering::Relaxed);
+            }
+            let doc = Arc::new(doc);
+            self.inner
+                .graphs
+                .write()
+                .insert(id.clone(), SharedGraph::new(Arc::clone(&doc)));
+            self.inner.docs.write().insert(id, doc);
+        }
+        let line = entry.to_line();
+        chain
+            .append_entry(entry)
+            .map_err(ServiceError::LedgerVerification)?;
+        self.inner.backend.repl_append(source, &line)?;
+        Ok(if doc_json.is_some() {
+            ReplicationApply::Applied
+        } else {
+            ReplicationApply::ChainOnly
+        })
+    }
+
+    /// `(next_index, head_hash)` of this replica's verified chain for
+    /// `source` — the cursor a primary probes before streaming.
+    pub fn replication_head(&self, source: &str) -> (u64, String) {
+        let repl = self.inner.repl.lock();
+        match repl.get(source) {
+            Some(chain) => (chain.len() as u64, chain.head_hash()),
+            None => (0, crate::ledger::GENESIS.to_string()),
+        }
+    }
+
+    /// Every source this node replicates, with its applied-entry count.
+    pub fn replication_sources(&self) -> Vec<(String, u64)> {
+        self.inner
+            .repl
+            .lock()
+            .iter()
+            .map(|(s, c)| (s.clone(), c.len() as u64))
+            .collect()
+    }
+
+    /// The primary-side replication log: this node's own ledger suffix
+    /// starting at `from`, each entry paired with the canonical bytes
+    /// its digest commits to — or `None` when the entry was superseded
+    /// by a later upload of the same id (the bytes no longer exist; the
+    /// replica advances its cursor without touching the document).
+    pub fn replication_log(
+        &self,
+        from: u64,
+    ) -> Result<Vec<(LedgerEntry, Option<String>)>, ServiceError> {
+        let entries: Vec<LedgerEntry> = {
+            let ledger = self.inner.ledger.lock();
+            ledger
+                .entries()
+                .iter()
+                .filter(|e| e.index >= from)
+                .cloned()
+                .collect()
+        };
+        let mut out = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let bytes = self.inner.backend.get(&entry.document_id)?;
+            let json = bytes
+                .and_then(|b| String::from_utf8(b).ok())
+                .filter(|j| sha256_hex(j.as_bytes()) == entry.document_digest);
+            out.push((entry, json));
+        }
+        Ok(out)
+    }
+
+    /// Verifies every hash chain this node holds — its own ledger
+    /// (against the stored documents) plus each replication cursor's
+    /// internal integrity, and that every replicated document's current
+    /// bytes hash to the latest digest some chain committed to.
+    pub fn verify_all(&self) -> Result<(), ServiceError> {
+        let ledger = self.inner.ledger.lock();
+        let repl = self.inner.repl.lock();
+        verify_chains(&ledger, &repl, |id| {
+            self.inner.backend.get(id).ok().flatten()
+        })
     }
 
     /// Merges every stored document into one (cross-run lineage);
@@ -631,6 +907,232 @@ mod tests {
             store.document_json("ghost"),
             Err(ServiceError::NotFound { .. })
         ));
+    }
+
+    #[test]
+    fn replicated_frames_apply_and_chains_verify() {
+        let primary = DocumentStore::new();
+        let replica = DocumentStore::new();
+        let up1 = primary.upload_as_full("run-1", pipeline_doc()).unwrap();
+        let up2 = primary
+            .upload_as_full("run-2", ProvDocument::new())
+            .unwrap();
+        for up in [&up1, &up2] {
+            let applied = replica
+                .apply_replicated("node-a", up.entry.clone(), Some(&up.canonical_json))
+                .unwrap();
+            assert_eq!(applied, ReplicationApply::Applied);
+        }
+        // The replica serves the documents and its cursor matches the
+        // primary's chain head exactly.
+        assert_eq!(replica.get("run-1").unwrap().element_count(), 3);
+        assert_eq!(replica.len(), 2);
+        let (next, head) = replica.replication_head("node-a");
+        assert_eq!(next, 2);
+        assert_eq!(head, primary.ledger_entries().last().unwrap().entry_hash);
+        assert_eq!(replica.replication_sources(), vec![("node-a".into(), 2)]);
+        replica.verify_all().unwrap();
+        // Lineage queries work on replicated documents too.
+        assert!(replica
+            .ancestors("run-1", &q("model"))
+            .unwrap()
+            .contains(&q("data")));
+    }
+
+    #[test]
+    fn duplicate_frame_delivery_is_idempotent() {
+        let primary = DocumentStore::new();
+        let replica = DocumentStore::new();
+        let up = primary.upload_as_full("run-1", pipeline_doc()).unwrap();
+        let first = replica
+            .apply_replicated("node-a", up.entry.clone(), Some(&up.canonical_json))
+            .unwrap();
+        assert_eq!(first, ReplicationApply::Applied);
+        // Redelivery of the same frame changes nothing.
+        let again = replica
+            .apply_replicated("node-a", up.entry.clone(), Some(&up.canonical_json))
+            .unwrap();
+        assert_eq!(again, ReplicationApply::Duplicate);
+        assert_eq!(replica.len(), 1);
+        assert_eq!(replica.replication_head("node-a").0, 1);
+        replica.verify_all().unwrap();
+
+        // A *different* entry at an applied index is a fork, not a
+        // duplicate — rejected with no re-sync point.
+        let forked = DocumentStore::new();
+        let other = forked.upload_as_full("run-x", ProvDocument::new()).unwrap();
+        let err = replica
+            .apply_replicated("node-a", other.entry, Some(&other.canonical_json))
+            .unwrap_err();
+        match err {
+            ServiceError::Replication { expect_index, .. } => assert_eq!(expect_index, None),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn prev_hash_mismatch_rejected_then_resyncs_from_divergence_point() {
+        // The replica followed primary A; a frame whose prev-hash grew
+        // out of a different history must be rejected, naming the index
+        // to re-sync from — and the true chain's entry then applies.
+        let primary = DocumentStore::new();
+        let imposter = DocumentStore::new();
+        let replica = DocumentStore::new();
+        let a0 = primary.upload_as_full("run-1", pipeline_doc()).unwrap();
+        let a1 = primary
+            .upload_as_full("run-2", ProvDocument::new())
+            .unwrap();
+        imposter
+            .upload_as_full("evil-0", ProvDocument::new())
+            .unwrap();
+        let b1 = imposter
+            .upload_as_full("evil-1", ProvDocument::new())
+            .unwrap();
+
+        replica
+            .apply_replicated("node-a", a0.entry.clone(), Some(&a0.canonical_json))
+            .unwrap();
+        // b1 has the right index (1) but extends the imposter's chain.
+        let err = replica
+            .apply_replicated("node-a", b1.entry, Some(&b1.canonical_json))
+            .unwrap_err();
+        match err {
+            ServiceError::Replication {
+                expect_index,
+                ref reason,
+            } => {
+                assert_eq!(expect_index, Some(1), "{reason}");
+                assert!(reason.contains("does not extend"), "{reason}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // Nothing was applied; the cursor still sits at 1.
+        assert_eq!(replica.replication_head("node-a").0, 1);
+        assert!(replica.get("evil-1").is_none());
+        // Re-sync from the named divergence point with the real entry.
+        let applied = replica
+            .apply_replicated("node-a", a1.entry.clone(), Some(&a1.canonical_json))
+            .unwrap();
+        assert_eq!(applied, ReplicationApply::Applied);
+        assert_eq!(replica.replication_head("node-a").0, 2);
+        replica.verify_all().unwrap();
+    }
+
+    #[test]
+    fn gaps_and_torn_frames_are_rejected() {
+        let primary = DocumentStore::new();
+        let replica = DocumentStore::new();
+        let up0 = primary.upload_as_full("run-1", pipeline_doc()).unwrap();
+        let up1 = primary
+            .upload_as_full("run-2", ProvDocument::new())
+            .unwrap();
+
+        // A stale replica (never saw frame 0) rejects frame 1, naming 0
+        // as the re-sync point.
+        let err = replica
+            .apply_replicated("node-a", up1.entry.clone(), Some(&up1.canonical_json))
+            .unwrap_err();
+        match err {
+            ServiceError::Replication { expect_index, .. } => assert_eq!(expect_index, Some(0)),
+            other => panic!("unexpected error: {other}"),
+        }
+
+        // A torn frame — bytes that no longer hash to the entry's
+        // digest — dies before anything is stored.
+        let torn = &up0.canonical_json[..up0.canonical_json.len() / 2];
+        let err = replica
+            .apply_replicated("node-a", up0.entry.clone(), Some(torn))
+            .unwrap_err();
+        match err {
+            ServiceError::Replication {
+                ref reason,
+                expect_index,
+            } => {
+                assert!(reason.contains("torn"), "{reason}");
+                assert_eq!(expect_index, Some(0));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(replica.is_empty(), "rejected frames must store nothing");
+
+        // The clean frames then apply in order.
+        for up in [&up0, &up1] {
+            replica
+                .apply_replicated("node-a", up.entry.clone(), Some(&up.canonical_json))
+                .unwrap();
+        }
+        replica.verify_all().unwrap();
+    }
+
+    #[test]
+    fn replication_cursor_survives_reopen_byte_identically() {
+        let pdir = std::env::temp_dir().join(format!("ysvc_repl_p_{}", std::process::id()));
+        let rdir = std::env::temp_dir().join(format!("ysvc_repl_r_{}", std::process::id()));
+        std::fs::remove_dir_all(&pdir).ok();
+        std::fs::remove_dir_all(&rdir).ok();
+        let primary = DocumentStore::persistent(&pdir).unwrap();
+        {
+            let replica = DocumentStore::persistent(&rdir).unwrap();
+            for i in 0..3 {
+                let up = primary
+                    .upload_as_full(format!("run-{i}"), pipeline_doc())
+                    .unwrap();
+                replica
+                    .apply_replicated("node-a", up.entry, Some(&up.canonical_json))
+                    .unwrap();
+            }
+            replica.flush().unwrap();
+        }
+        // The durable cursor is a byte-identical prefix (here: copy) of
+        // the primary's own ledger file.
+        let primary_chain = std::fs::read_to_string(pdir.join("ledger.txt")).unwrap();
+        let cursor = std::fs::read_to_string(rdir.join("repl-node-a.chain")).unwrap();
+        assert_eq!(cursor, primary_chain);
+        // Reopen: cursor, documents and verification all intact.
+        let reopened = DocumentStore::persistent(&rdir).unwrap();
+        assert_eq!(reopened.replication_head("node-a").0, 3);
+        assert_eq!(reopened.len(), 3);
+        reopened.verify_all().unwrap();
+        // The restored cursor still rejects stale frames correctly.
+        let up = primary
+            .upload_as_full("run-9", ProvDocument::new())
+            .unwrap();
+        let applied = reopened
+            .apply_replicated("node-a", up.entry, Some(&up.canonical_json))
+            .unwrap();
+        assert_eq!(applied, ReplicationApply::Applied);
+        std::fs::remove_dir_all(&pdir).ok();
+        std::fs::remove_dir_all(&rdir).ok();
+    }
+
+    #[test]
+    fn replication_log_marks_superseded_entries() {
+        let primary = DocumentStore::new();
+        primary.upload_as_full("run-1", pipeline_doc()).unwrap();
+        primary
+            .upload_as_full("run-1", ProvDocument::new())
+            .unwrap();
+        let log = primary.replication_log(0).unwrap();
+        assert_eq!(log.len(), 2);
+        assert!(
+            log[0].1.is_none(),
+            "the replaced version's bytes are gone; the entry ships chain-only"
+        );
+        assert!(log[1].1.is_some());
+        // And a chain-only frame advances a replica's cursor without
+        // inventing a document.
+        let replica = DocumentStore::new();
+        let applied = replica
+            .apply_replicated("node-a", log[0].0.clone(), None)
+            .unwrap();
+        assert_eq!(applied, ReplicationApply::ChainOnly);
+        assert!(replica.is_empty());
+        let applied = replica
+            .apply_replicated("node-a", log[1].0.clone(), log[1].1.as_deref())
+            .unwrap();
+        assert_eq!(applied, ReplicationApply::Applied);
+        assert_eq!(replica.get("run-1").unwrap().element_count(), 0);
+        replica.verify_all().unwrap();
     }
 
     #[test]
