@@ -16,13 +16,24 @@
 //! as-is.
 //!
 //! When a retryable response names its own schedule — the server's
-//! bounded-queue shedding path answers 503 with a `Retry-After` header
-//! — that wait is honored (capped at [`MAX_RETRY_AFTER`]) instead of
+//! watermark shedding path answers 503 with a `Retry-After` header —
+//! that wait is honored (capped at [`MAX_RETRY_AFTER`]) instead of
 //! the backoff schedule: the server knows when it will have capacity
 //! better than a blind exponential guess does.
+//!
+//! Requests are sent with `Connection: keep-alive`, and a connection
+//! whose response agrees is parked and reused by the next request (a
+//! clone of the client shares the same parked connection). Replication
+//! streams — many small frames to the same peer — stop paying a TCP
+//! connect per frame. A parked connection the server has since closed
+//! is detected on first use (the failure happens before any response
+//! byte) and replaced with a fresh connect, transparently; servers
+//! that answer `Connection: close` simply never get pooled.
 
-use std::io::{BufReader, Read, Write};
+use parking_lot::Mutex;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Ceiling on a server-supplied `Retry-After` wait, so a confused (or
@@ -137,17 +148,26 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// A blocking client with retries.
+/// A blocking client with retries and keep-alive connection reuse.
+/// Clones share the parked connection.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
     policy: RetryPolicy,
+    /// The parked keep-alive connection, if the last response allowed
+    /// reuse. One slot is enough: each exchange is serialized under the
+    /// lock, and concurrent callers simply open fresh connections.
+    pool: Arc<Mutex<Option<BufReader<TcpStream>>>>,
 }
 
 impl Client {
     /// A client for the server at `addr`.
     pub fn new(addr: SocketAddr, policy: RetryPolicy) -> Client {
-        Client { addr, policy }
+        Client {
+            addr,
+            policy,
+            pool: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// The retry policy in force.
@@ -210,6 +230,12 @@ impl Client {
 
     /// One wire exchange, under the per-request timeouts. Returns
     /// `(status, retry_after_seconds, body)`.
+    ///
+    /// A parked keep-alive connection is tried first. If it fails
+    /// before a single response byte arrives — the server idle-closed
+    /// it while parked — the request is replayed once on a fresh
+    /// connection. Failures on a fresh connection, or after response
+    /// bytes were seen, propagate to the caller's retry policy.
     fn once(
         &self,
         method: &str,
@@ -217,38 +243,40 @@ impl Client {
         body: Option<&str>,
         traceparent: Option<&str>,
     ) -> std::io::Result<(u16, Option<u64>, String)> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.policy.request_timeout)?;
-        stream.set_read_timeout(Some(self.policy.request_timeout))?;
-        stream.set_write_timeout(Some(self.policy.request_timeout))?;
         let body = body.unwrap_or("");
         let trace_header = traceparent
             .map(|tp| format!("traceparent: {tp}\r\n"))
             .unwrap_or_default();
         let req = format!(
-            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n{trace_header}Connection: keep-alive\r\n\r\n{body}",
             body.len()
         );
-        let mut stream = stream;
-        stream.write_all(req.as_bytes())?;
-        let mut response = String::new();
-        BufReader::new(stream).read_to_string(&mut response)?;
-        let status: u16 = response
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
-        let (head, payload) = response
-            .split_once("\r\n\r\n")
-            .map(|(h, b)| (h.to_string(), b.to_string()))
-            .unwrap_or_default();
-        // Integer-seconds Retry-After only; the HTTP-date form is not
-        // something this server emits.
-        let retry_after = head.lines().find_map(|line| {
-            let (name, value) = line.split_once(':')?;
-            name.eq_ignore_ascii_case("retry-after")
-                .then(|| value.trim().parse::<u64>().ok())
-                .flatten()
-        });
+        if let Some(mut reader) = self.pool.lock().take() {
+            match exchange(&mut reader, req.as_bytes()) {
+                Ok((status, retry_after, payload, reuse)) => {
+                    if reuse {
+                        *self.pool.lock() = Some(reader);
+                    }
+                    return Ok((status, retry_after, payload));
+                }
+                Err(ExchangeError::Stale) => {} // fall through to a fresh connect
+                Err(ExchangeError::Io(e)) => return Err(e),
+            }
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.policy.request_timeout)?;
+        stream.set_read_timeout(Some(self.policy.request_timeout))?;
+        stream.set_write_timeout(Some(self.policy.request_timeout))?;
+        let mut reader = BufReader::new(stream);
+        let (status, retry_after, payload, reuse) =
+            exchange(&mut reader, req.as_bytes()).map_err(|e| match e {
+                ExchangeError::Stale => {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed unanswered")
+                }
+                ExchangeError::Io(e) => e,
+            })?;
+        if reuse {
+            *self.pool.lock() = Some(reader);
+        }
         Ok((status, retry_after, payload))
     }
 
@@ -266,6 +294,92 @@ impl Client {
     pub fn upload_document(&self, prov_json: &str) -> Result<Response, ClientError> {
         self.send("POST", "/api/v0/documents", Some(prov_json))
     }
+}
+
+/// How one wire exchange failed.
+enum ExchangeError {
+    /// The connection died before a single response byte arrived — for
+    /// a parked keep-alive connection this means the server closed it
+    /// while idle, and the request is safe to replay on a fresh socket.
+    Stale,
+    /// An I/O failure after response bytes were seen (or any other
+    /// hard error); not silently replayable.
+    Io(io::Error),
+}
+
+/// Writes `req` and reads one `Content-Length`-framed response.
+/// Returns `(status, retry_after_seconds, body, reusable)` where
+/// `reusable` says the server agreed to keep the connection alive.
+fn exchange(
+    reader: &mut BufReader<TcpStream>,
+    req: &[u8],
+) -> Result<(u16, Option<u64>, String, bool), ExchangeError> {
+    // A write onto a dead socket fails before any response byte is
+    // read, so the request was not observed to be acted on: stale.
+    if reader.get_mut().write_all(req).is_err() || reader.get_mut().flush().is_err() {
+        return Err(ExchangeError::Stale);
+    }
+    let mut head = String::new();
+    let mut got_any = false;
+    loop {
+        let start = head.len();
+        match reader.read_line(&mut head) {
+            Ok(0) => {
+                return Err(if got_any {
+                    ExchangeError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ))
+                } else {
+                    ExchangeError::Stale
+                });
+            }
+            Ok(_) => got_any = true,
+            Err(e) => {
+                return Err(if got_any {
+                    ExchangeError::Io(e)
+                } else {
+                    ExchangeError::Stale
+                });
+            }
+        }
+        if head[start..].trim_end().is_empty() {
+            break; // blank line: end of the header section
+        }
+        if head.len() > 64 * 1024 {
+            return Err(ExchangeError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response header section too large",
+            )));
+        }
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut content_length = 0usize;
+    let mut retry_after = None;
+    let mut reusable = false;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().unwrap_or(0);
+        } else if name.eq_ignore_ascii_case("retry-after") {
+            // Integer-seconds Retry-After only; the HTTP-date form is
+            // not something this server emits.
+            retry_after = value.parse::<u64>().ok();
+        } else if name.eq_ignore_ascii_case("connection") {
+            reusable = value.eq_ignore_ascii_case("keep-alive");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ExchangeError::Io)?;
+    let payload = String::from_utf8_lossy(&body).into_owned();
+    Ok((status, retry_after, payload, reusable && status != 0))
 }
 
 #[cfg(test)]

@@ -323,6 +323,9 @@ pub struct Replicator {
     /// anyway (a push racing a ledger append) is rejected by the
     /// replica as a gap and healed by re-sync.
     push_lock: Mutex<()>,
+    /// One pooled client per peer: frame pushes ride the same
+    /// keep-alive connection instead of paying a TCP connect each.
+    clients: Mutex<BTreeMap<String, Client>>,
 }
 
 impl Replicator {
@@ -344,8 +347,19 @@ impl Replicator {
             pushes: registry.counter("replication_pushes_total"),
             push_failures: registry.counter("replication_push_failures_total"),
             push_lock: Mutex::new(()),
+            clients: Mutex::new(BTreeMap::new()),
             cfg,
         }
+    }
+
+    /// The cached keep-alive client for `peer` (created on first use;
+    /// clones share the parked connection).
+    fn client_for(&self, peer: &NodeSpec) -> Client {
+        self.clients
+            .lock()
+            .entry(peer.id.clone())
+            .or_insert_with(|| Client::new(peer.addr, self.cfg.push_policy))
+            .clone()
     }
 
     /// This node's identity on the ring.
@@ -432,7 +446,7 @@ impl Replicator {
             span.annotate("index", entry.index.to_string());
             span.annotate("bytes", body.len().to_string());
         }
-        let client = Client::new(peer.addr, self.cfg.push_policy);
+        let client = self.client_for(peer);
         let result = self.deliver(store, &client, peer, &body, entry.index);
         if obs::trace::is_enabled() {
             span.annotate(
@@ -581,6 +595,10 @@ pub struct ClusterClient {
     policy: RetryPolicy,
     /// Health-probe-driven liveness per node id.
     alive: Mutex<BTreeMap<String, bool>>,
+    /// Cached keep-alive clients per node, one set for routed requests
+    /// and one (single-attempt, short-timeout) for probes/verification.
+    clients: Mutex<BTreeMap<String, Client>>,
+    probe_clients: Mutex<BTreeMap<String, Client>>,
 }
 
 impl ClusterClient {
@@ -594,7 +612,27 @@ impl ClusterClient {
             replication,
             policy,
             alive: Mutex::new(alive),
+            clients: Mutex::new(BTreeMap::new()),
+            probe_clients: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The cached keep-alive client for `node`.
+    fn client_for(&self, node: &NodeSpec) -> Client {
+        self.clients
+            .lock()
+            .entry(node.id.clone())
+            .or_insert_with(|| Client::new(node.addr, self.policy))
+            .clone()
+    }
+
+    /// The cached probe-policy client for `node`.
+    fn probe_client_for(&self, node: &NodeSpec) -> Client {
+        self.probe_clients
+            .lock()
+            .entry(node.id.clone())
+            .or_insert_with(|| Client::new(node.addr, probe_policy(self.policy)))
+            .clone()
     }
 
     /// Probes every node's `/healthz`, updating ring membership.
@@ -602,7 +640,8 @@ impl ClusterClient {
     pub fn probe(&self) -> Vec<String> {
         let mut live = Vec::new();
         for node in &self.nodes {
-            let ok = Client::new(node.addr, probe_policy(self.policy))
+            let ok = self
+                .probe_client_for(node)
                 .health()
                 .map(|r| r.status == 200)
                 .unwrap_or(false);
@@ -659,7 +698,7 @@ impl ClusterClient {
         let Some(node) = self.spec(node_id) else {
             return false;
         };
-        Client::new(node.addr, probe_policy(self.policy))
+        self.probe_client_for(node)
             .get("/api/v0/ledger/verify")
             .map(|r| r.status == 200)
             .unwrap_or(false)
@@ -679,7 +718,7 @@ impl ClusterClient {
                 detail.push(format!("{node_id}: not promoted (chain did not verify)"));
                 continue;
             }
-            let client = Client::new(node.addr, self.policy);
+            let client = self.client_for(node);
             match client.send(
                 "PUT",
                 &format!("/api/v0/documents/{}", encode_id(id)),
@@ -708,7 +747,7 @@ impl ClusterClient {
             let Some(node) = self.spec(node_id) else {
                 continue;
             };
-            let client = Client::new(node.addr, self.policy);
+            let client = self.client_for(node);
             match client.get(&format!("/api/v0/documents/{}", encode_id(id))) {
                 Ok(resp) if resp.status == 200 => return Ok(resp),
                 Ok(resp) if resp.status == 404 => missing = Some(resp),

@@ -1,0 +1,576 @@
+//! Per-connection HTTP/1.1 state machines for the event-loop core.
+//!
+//! The reactor owns the sockets; this module owns the bytes. Each
+//! connection carries an [`HttpParser`] (an incremental request
+//! decoder: bytes are pushed as they arrive, complete requests come
+//! out, pipelined requests queue up behind each other) and a
+//! [`WriteQueue`] (response bytes buffered until the socket will take
+//! them). Neither side ever blocks: the parser works on whatever has
+//! arrived, the queue writes whatever the kernel will accept.
+//!
+//! The parser reproduces the blocking parser's error taxonomy exactly —
+//! 431 for a header section over the byte budget or field cap
+//! (detected *incrementally*, so a flood is rejected before any
+//! terminator arrives), 501 for `Transfer-Encoding: chunked`, 400 for
+//! everything else malformed — because the robustness tests assert on
+//! those bytes.
+
+use crate::http::Request;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Parser limits, lifted from the server config.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Limits {
+    /// Maximum accepted request-body size in bytes.
+    pub max_body: usize,
+    /// Maximum total bytes in the request line + header section.
+    pub max_header_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+}
+
+/// A fully parsed header section, waiting for its body.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    target: String,
+    traceparent: Option<String>,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Accumulating the request line + headers.
+    Head,
+    /// Header section done; `Content-Length` body bytes outstanding.
+    Body(Head),
+}
+
+/// An incremental HTTP/1.1 request parser. Push bytes in with
+/// [`HttpParser::push`], pull complete requests out with
+/// [`HttpParser::next`]; a protocol violation surfaces as
+/// `Err((status, message))` exactly once, after which the connection
+/// should answer and close.
+#[derive(Debug)]
+pub(crate) struct HttpParser {
+    buf: Vec<u8>,
+    /// How far the head-terminator scan has progressed, so a slowloris
+    /// trickling one byte at a time costs O(1) per byte, not O(n²).
+    scan: usize,
+    state: State,
+}
+
+impl HttpParser {
+    pub fn new() -> HttpParser {
+        HttpParser {
+            buf: Vec::new(),
+            scan: 0,
+            state: State::Head,
+        }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when bytes of an incomplete request are buffered — what the
+    /// read timeout watches.
+    pub fn has_partial(&self) -> bool {
+        match self.state {
+            State::Head => !self.buf.is_empty(),
+            State::Body(_) => true,
+        }
+    }
+
+    /// Tries to complete one request from the buffered bytes. `Ok(None)`
+    /// means "need more bytes"; call again after the next [`Self::push`].
+    pub fn next(&mut self, limits: &Limits) -> Result<Option<Request>, (u16, String)> {
+        loop {
+            match &self.state {
+                State::Head => {
+                    // A peer is allowed stray CRLFs between requests
+                    // (and the shutdown nudge is an empty connection):
+                    // skip blank space before the request line.
+                    let lead = self
+                        .buf
+                        .iter()
+                        .take_while(|&&b| b == b'\r' || b == b'\n')
+                        .count();
+                    if lead > 0 {
+                        self.buf.drain(..lead);
+                        self.scan = 0;
+                    }
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    match find_head_end(&self.buf, self.scan) {
+                        Some(end) => {
+                            if end > limits.max_header_bytes {
+                                return Err(over_budget(limits));
+                            }
+                            let head_bytes: Vec<u8> = self.buf.drain(..end).collect();
+                            self.scan = 0;
+                            let head = parse_head(&head_bytes, limits)?;
+                            if head.content_length > limits.max_body {
+                                return Err((
+                                    400,
+                                    format!("body of {} bytes exceeds limit", head.content_length),
+                                ));
+                            }
+                            if head.content_length == 0 {
+                                return Ok(Some(build_request(head, Vec::new())));
+                            }
+                            self.state = State::Body(head);
+                        }
+                        None => {
+                            // No terminator yet: enforce the budgets
+                            // incrementally, so a flood with no blank
+                            // line is still rejected (431) instead of
+                            // buffered without bound.
+                            let lines = self.buf.iter().filter(|&&b| b == b'\n').count();
+                            if lines.saturating_sub(1) > limits.max_headers {
+                                return Err((
+                                    431,
+                                    format!("more than {} header fields", limits.max_headers),
+                                ));
+                            }
+                            if self.buf.len() >= limits.max_header_bytes {
+                                return Err(over_budget(limits));
+                            }
+                            // Back off two bytes so a terminator split
+                            // across reads is still found.
+                            self.scan = self.buf.len().saturating_sub(2);
+                            return Ok(None);
+                        }
+                    }
+                }
+                State::Body(head) => {
+                    if self.buf.len() < head.content_length {
+                        return Ok(None);
+                    }
+                    let State::Body(head) = std::mem::replace(&mut self.state, State::Head) else {
+                        unreachable!()
+                    };
+                    let body: Vec<u8> = self.buf.drain(..head.content_length).collect();
+                    self.scan = 0;
+                    return Ok(Some(build_request(head, body)));
+                }
+            }
+        }
+    }
+
+    /// The peer closed its write side. `None` means the connection
+    /// ended cleanly between requests; `Some((status, message))` is the
+    /// rejection for a request cut off mid-flight, mirroring what the
+    /// blocking parser answered when its reads hit EOF.
+    pub fn finish_eof(&mut self, limits: &Limits) -> Option<(u16, String)> {
+        match &self.state {
+            State::Body(_) => {
+                // The blocking parser's `read_exact` failed here with
+                // `failed to fill whole buffer`; keep the message.
+                Some((400, "short body: failed to fill whole buffer".to_string()))
+            }
+            State::Head => {
+                let trimmed: Vec<u8> = self
+                    .buf
+                    .iter()
+                    .copied()
+                    .skip_while(|&b| b == b'\r' || b == b'\n')
+                    .collect();
+                if trimmed.is_empty() {
+                    return None;
+                }
+                Some(head_eof_error(&trimmed, limits))
+            }
+        }
+    }
+}
+
+/// What the blocking parser would have said about a head section that
+/// ended (EOF) before its blank line: request-line errors first, then
+/// per-header errors on the complete lines, then the generic
+/// "ended without a blank line".
+fn head_eof_error(head: &[u8], limits: &Limits) -> (u16, String) {
+    let mut lines = head.split(|&b| b == b'\n');
+    let request_line = lines.next().unwrap_or_default();
+    if let Err(e) = parse_request_line(request_line) {
+        return e;
+    }
+    let mut header_count = 0usize;
+    for line in lines {
+        let Ok(text) = std::str::from_utf8(line) else {
+            return (
+                400,
+                "read error: stream did not contain valid UTF-8".to_string(),
+            );
+        };
+        let text = text.trim_end_matches('\r');
+        if text.trim().is_empty() {
+            continue;
+        }
+        header_count += 1;
+        if header_count > limits.max_headers {
+            return (
+                431,
+                format!("more than {} header fields", limits.max_headers),
+            );
+        }
+        if let Some((name, value)) = text.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") && value.trim().parse::<usize>().is_err()
+            {
+                return (400, "bad content-length".to_string());
+            }
+        }
+    }
+    (400, "header section ended without a blank line".to_string())
+}
+
+fn over_budget(limits: &Limits) -> (u16, String) {
+    (
+        431,
+        format!("header section exceeds {} bytes", limits.max_header_bytes),
+    )
+}
+
+/// Finds the end of the header section (the byte *after* the blank
+/// line), scanning from `from`. The section ends at the first empty
+/// line: `\n\r\n` or `\n\n`.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses `METHOD TARGET HTTP/1.x` with the blocking parser's error
+/// messages.
+fn parse_request_line(line: &[u8]) -> Result<(String, String), (u16, String)> {
+    let Ok(line) = std::str::from_utf8(line) else {
+        return Err((
+            400,
+            "read error: stream did not contain valid UTF-8".to_string(),
+        ));
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or((400, "missing method".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or((400, "missing path".to_string()))?
+        .to_string();
+    let version = parts.next().ok_or((400, "missing version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err((400, format!("unsupported version {version}")));
+    }
+    Ok((method, target))
+}
+
+/// Parses a complete header section (request line through blank line).
+fn parse_head(head: &[u8], limits: &Limits) -> Result<Head, (u16, String)> {
+    let mut lines = head.split(|&b| b == b'\n');
+    let (method, target) = parse_request_line(lines.next().unwrap_or_default())?;
+
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    let mut traceparent = None;
+    let mut keep_alive = false;
+    let mut header_count = 0usize;
+    for line in lines {
+        let Ok(text) = std::str::from_utf8(line) else {
+            return Err((
+                400,
+                "read error: stream did not contain valid UTF-8".to_string(),
+            ));
+        };
+        let text = text.trim_end_matches('\r');
+        if text.trim().is_empty() {
+            continue;
+        }
+        header_count += 1;
+        if header_count > limits.max_headers {
+            return Err((
+                431,
+                format!("more than {} header fields", limits.max_headers),
+            ));
+        }
+        if let Some((name, value)) = text.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| (400, "bad content-length".to_string()))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.to_ascii_lowercase().contains("chunked")
+            {
+                chunked = true;
+            } else if name.eq_ignore_ascii_case("traceparent") {
+                traceparent = Some(value.trim().to_string());
+            } else if name.eq_ignore_ascii_case("connection") {
+                // Keep-alive is opt-in: only an explicit request header
+                // holds the connection open, so clients built for the
+                // one-shot server (read to EOF) still see a close.
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+            }
+        }
+    }
+    if chunked {
+        return Err((
+            501,
+            "Transfer-Encoding: chunked is not supported; send Content-Length".to_string(),
+        ));
+    }
+    Ok(Head {
+        method,
+        target,
+        traceparent,
+        keep_alive,
+        content_length,
+    })
+}
+
+fn build_request(head: Head, body: Vec<u8>) -> Request {
+    Request::from_parts(
+        head.method,
+        &head.target,
+        body,
+        head.traceparent,
+        head.keep_alive,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Buffered writes
+// ---------------------------------------------------------------------------
+
+/// Response bytes queued toward one socket. Chunks go in whole (a
+/// response head, then its body — no copy of large bodies), bytes come
+/// out as fast as the kernel accepts them.
+#[derive(Debug, Default)]
+pub(crate) struct WriteQueue {
+    chunks: VecDeque<Vec<u8>>,
+    /// Bytes of the front chunk already written.
+    front: usize,
+    len: usize,
+}
+
+impl WriteQueue {
+    pub fn new() -> WriteQueue {
+        WriteQueue::default()
+    }
+
+    pub fn push(&mut self, bytes: Vec<u8>) {
+        if !bytes.is_empty() {
+            self.len += bytes.len();
+            self.chunks.push_back(bytes);
+        }
+    }
+
+    /// Unwritten bytes queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes as much as the socket will take. Returns the bytes
+    /// written; a non-empty queue afterwards means the socket is full
+    /// (wait for writability). Hard I/O errors propagate.
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> io::Result<usize> {
+        let mut written = 0usize;
+        while let Some(chunk) = self.chunks.front() {
+            match w.write(&chunk[self.front..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    written += n;
+                    self.len -= n;
+                    self.front += n;
+                    if self.front == chunk.len() {
+                        self.chunks.pop_front();
+                        self.front = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits {
+            max_body: 1024,
+            max_header_bytes: 512,
+            max_headers: 8,
+        }
+    }
+
+    #[test]
+    fn parses_a_complete_request_in_one_push() {
+        let mut p = HttpParser::new();
+        p.push(b"POST /api/v0/documents?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody");
+        let req = p.next(&limits()).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/api/v0/documents");
+        assert_eq!(req.query, vec![("x".to_string(), "1".to_string())]);
+        assert_eq!(req.body, b"body");
+        assert!(!req.keep_alive);
+        assert!(p.next(&limits()).unwrap().is_none());
+        assert!(!p.has_partial());
+    }
+
+    #[test]
+    fn parses_byte_at_a_time() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        let mut p = HttpParser::new();
+        for (i, b) in raw.iter().enumerate() {
+            p.push(&[*b]);
+            let got = p.next(&limits()).unwrap();
+            if i + 1 < raw.len() {
+                assert!(got.is_none(), "complete too early at byte {i}");
+            } else {
+                let req = got.unwrap();
+                assert_eq!(req.path, "/healthz");
+                assert!(req.keep_alive);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut p = HttpParser::new();
+        p.push(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n");
+        let paths: Vec<String> = std::iter::from_fn(|| p.next(&limits()).unwrap())
+            .map(|r| r.path)
+            .collect();
+        assert_eq!(paths, ["/a", "/b", "/c"]);
+    }
+
+    #[test]
+    fn header_field_cap_fires_without_a_terminator() {
+        let mut p = HttpParser::new();
+        p.push(b"GET / HTTP/1.1\r\n");
+        for i in 0..=limits().max_headers {
+            p.push(format!("X-{i}: v\r\n").as_bytes());
+        }
+        let err = p.next(&limits()).unwrap_err();
+        assert_eq!(err.0, 431);
+        assert!(err.1.contains("header fields"), "{}", err.1);
+    }
+
+    #[test]
+    fn header_byte_budget_fires_without_a_terminator() {
+        let mut p = HttpParser::new();
+        p.push(b"GET / HTTP/1.1\r\nX-Flood: ");
+        p.push(&vec![b'a'; limits().max_header_bytes]);
+        let err = p.next(&limits()).unwrap_err();
+        assert_eq!(err.0, 431);
+        assert!(err.1.contains("exceeds"), "{}", err.1);
+    }
+
+    #[test]
+    fn chunked_rejected_with_501() {
+        let mut p = HttpParser::new();
+        p.push(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let err = p.next(&limits()).unwrap_err();
+        assert_eq!(err.0, 501);
+    }
+
+    #[test]
+    fn oversized_body_rejected_before_the_body_arrives() {
+        let mut p = HttpParser::new();
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n");
+        let err = p.next(&limits()).unwrap_err();
+        assert_eq!(err.0, 400);
+        assert!(err.1.contains("exceeds limit"), "{}", err.1);
+    }
+
+    #[test]
+    fn eof_mid_body_is_a_short_body() {
+        let mut p = HttpParser::new();
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhal");
+        assert!(p.next(&limits()).unwrap().is_none());
+        let (status, msg) = p.finish_eof(&limits()).unwrap();
+        assert_eq!(status, 400);
+        assert!(msg.starts_with("short body"), "{msg}");
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        let mut p = HttpParser::new();
+        p.push(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(p.next(&limits()).unwrap().is_some());
+        assert!(p.finish_eof(&limits()).is_none());
+        let mut empty = HttpParser::new();
+        empty.push(b"\r\n");
+        assert!(empty.next(&limits()).unwrap().is_none());
+        assert!(empty.finish_eof(&limits()).is_none());
+    }
+
+    #[test]
+    fn eof_mid_head_mirrors_the_blocking_errors() {
+        for (raw, want) in [
+            (&b"GET"[..], "missing path"),
+            (&b"GET /x"[..], "missing version"),
+            (&b"GET /x SPDY/99"[..], "unsupported version"),
+            (
+                &b"GET /x HTTP/1.1\r\nHost: h\r\n"[..],
+                "without a blank line",
+            ),
+        ] {
+            let mut p = HttpParser::new();
+            p.push(raw);
+            assert!(p.next(&limits()).unwrap().is_none(), "{want}");
+            let (status, msg) = p.finish_eof(&limits()).unwrap();
+            assert_eq!(status, 400, "{msg}");
+            assert!(msg.contains(want), "{msg} vs {want}");
+        }
+    }
+
+    #[test]
+    fn write_queue_drains_across_partial_writes() {
+        struct Dribble(Vec<u8>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut q = WriteQueue::new();
+        q.push(b"HTTP/1.1 200 OK\r\n\r\n".to_vec());
+        q.push(b"hello world".to_vec());
+        let mut sink = Dribble(Vec::new());
+        let mut total = 0;
+        while !q.is_empty() {
+            total += q.write_to(&mut sink).unwrap();
+        }
+        assert_eq!(total, sink.0.len());
+        assert!(sink.0.ends_with(b"hello world"));
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,11 +1,22 @@
 //! A from-scratch HTTP/1.1 server exposing the store.
 //!
-//! No frameworks: a listener thread accepts TCP connections and hands
-//! them to a fixed pool of workers over a crossbeam channel. Each worker
-//! parses one request (request line, headers, `Content-Length` body),
-//! routes it, and writes one response with `Connection: close`
-//! semantics — plenty for a provenance API whose clients are scripts
-//! and the explorer.
+//! No frameworks. Two interchangeable cores sit behind the [`Server`]
+//! facade, selected by [`ServerConfig::core`]:
+//!
+//! * [`ServerCore::EventLoop`] (the default) — a non-blocking epoll
+//!   reactor (see [`crate::reactor`]): one thread multiplexes every
+//!   connection, complete requests are dispatched to a worker pool,
+//!   and keep-alive/pipelined connections are first-class. Slow peers
+//!   cost a buffer instead of a thread.
+//! * [`ServerCore::Threaded`] — the original thread-per-connection
+//!   design: a listener thread hands accepted sockets to a fixed pool
+//!   of workers over a bounded crossbeam channel; each worker parses
+//!   one request, routes it, and writes one `Connection: close`
+//!   response. Kept as the bench baseline and a fallback.
+//!
+//! Both cores share this module's parser semantics, routing, metrics
+//! and response encoding, so their observable behavior for one-shot
+//! (`Connection: close`) clients is byte-identical.
 //!
 //! The parser is defensive: the header section is capped in total bytes
 //! and field count (431 beyond either limit), and `Transfer-Encoding:
@@ -55,9 +66,21 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Which server core drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerCore {
+    /// Non-blocking epoll reactor with keep-alive and pipelining.
+    #[default]
+    EventLoop,
+    /// Thread-per-connection over blocking sockets (bench baseline).
+    Threaded,
+}
+
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
+    /// Which core drives connections (event loop by default).
+    pub core: ServerCore,
     /// Worker threads handling requests.
     pub workers: usize,
     /// Maximum accepted request-body size in bytes.
@@ -78,6 +101,21 @@ pub struct ServerConfig {
     /// workers; beyond this the server sheds load with 503 instead of
     /// letting the backlog (and client latency) grow without bound.
     pub queue_depth: usize,
+    /// Event-loop core: open-connection admission watermark. `None`
+    /// (the default) derives `workers + queue_depth` — the same bound
+    /// the threaded core's bounded accept queue enforced — so beyond
+    /// it new connections are shed with 503.
+    pub max_connections: Option<usize>,
+    /// Event-loop core: total response bytes buffered across all
+    /// connections before further dispatches shed with 503.
+    pub max_queued_bytes: usize,
+    /// Event-loop core: a keep-alive connection that has served at
+    /// least one response and then goes quiet is closed (silently)
+    /// after this long.
+    pub idle_timeout: Duration,
+    /// Event-loop core: [`Server::stop`] drains in-flight connections
+    /// for at most this long before force-closing the stragglers.
+    pub drain_deadline: Duration,
     /// Fault injection: fail this many document uploads with 503 before
     /// serving normally (exercises client retry; 0 in production).
     pub chaos_fail_uploads: u32,
@@ -89,6 +127,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            core: ServerCore::default(),
             workers: 4,
             max_body: 256 * 1024 * 1024,
             max_header_bytes: 32 * 1024,
@@ -96,20 +135,37 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             queue_depth: 64,
+            max_connections: None,
+            max_queued_bytes: 64 * 1024 * 1024,
+            idle_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
             chaos_fail_uploads: 0,
             cluster: None,
         }
     }
 }
 
-/// A running server; dropping it (or calling [`Server::shutdown`])
-/// stops the listener and workers.
+/// A running server; dropping it (or calling [`Server::shutdown`] /
+/// [`Server::stop`]) stops the core and its workers. On the event-loop
+/// core the stop is graceful: in-flight connections drain (bounded by
+/// [`ServerConfig::drain_deadline`]) before the reactor exits.
 pub struct Server {
     addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    listener_thread: Option<std::thread::JoinHandle<()>>,
+    core: Option<CoreHandle>,
     registry: Arc<obs::Registry>,
     replicator: Option<Arc<Replicator>>,
+}
+
+/// The running core behind the facade.
+enum CoreHandle {
+    Threaded {
+        stop: Arc<AtomicBool>,
+        listener_thread: std::thread::JoinHandle<()>,
+    },
+    Event {
+        handle: crate::reactor::ReactorHandle,
+        thread: std::thread::JoinHandle<()>,
+    },
 }
 
 impl Server {
@@ -148,44 +204,80 @@ impl Server {
             "replication_rejects_total",
             "Replication frames rejected before apply (duplicate forks, gaps, torn bytes).",
         );
+        registry.set_help(
+            "server_connections_open",
+            "Connections currently held by the event-loop core.",
+        );
+        registry.set_help(
+            "server_connections_accepted_total",
+            "Connections accepted since start (including shed ones).",
+        );
+        registry.set_help(
+            "server_requests_pipelined_total",
+            "Requests that arrived on a connection with earlier requests still in flight.",
+        );
+        registry.set_help(
+            "server_shed_total",
+            "Connections/requests shed with 503, by watermark reason.",
+        );
         let replicator = config
             .cluster
             .as_ref()
             .map(|c| Arc::new(Replicator::new(c.clone(), &registry)));
 
-        let (tx, rx) = bounded::<TcpStream>(config.queue_depth.max(1));
-        for i in 0..config.workers.max(1) {
-            let rx = rx.clone();
-            let store = store.clone();
-            let cfg = config.clone();
-            let chaos = Arc::clone(&chaos);
-            let registry = Arc::clone(&registry);
-            let replicator = replicator.clone();
-            std::thread::Builder::new()
-                .name(format!("yprov-http-{i}"))
-                .spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        let _ = handle_connection(
-                            stream,
-                            &store,
-                            &cfg,
-                            &chaos,
-                            &registry,
-                            replicator.as_deref(),
-                        );
-                    }
-                })?;
-        }
-
-        let stop_l = Arc::clone(&stop);
-        let listener_thread = std::thread::Builder::new()
-            .name("yprov-http-accept".into())
-            .spawn(move || accept_loop(listener, tx, stop_l))?;
+        let core = match config.core {
+            ServerCore::EventLoop => {
+                let ev = crate::reactor::spawn(
+                    listener,
+                    store,
+                    config,
+                    chaos,
+                    Arc::clone(&registry),
+                    replicator.clone(),
+                )?;
+                CoreHandle::Event {
+                    handle: ev.handle,
+                    thread: ev.thread,
+                }
+            }
+            ServerCore::Threaded => {
+                let (tx, rx) = bounded::<TcpStream>(config.queue_depth.max(1));
+                for i in 0..config.workers.max(1) {
+                    let rx = rx.clone();
+                    let store = store.clone();
+                    let cfg = config.clone();
+                    let chaos = Arc::clone(&chaos);
+                    let registry = Arc::clone(&registry);
+                    let replicator = replicator.clone();
+                    std::thread::Builder::new()
+                        .name(format!("yprov-http-{i}"))
+                        .spawn(move || {
+                            while let Ok(stream) = rx.recv() {
+                                let _ = handle_connection(
+                                    stream,
+                                    &store,
+                                    &cfg,
+                                    &chaos,
+                                    &registry,
+                                    replicator.as_deref(),
+                                );
+                            }
+                        })?;
+                }
+                let stop_l = Arc::clone(&stop);
+                let listener_thread = std::thread::Builder::new()
+                    .name("yprov-http-accept".into())
+                    .spawn(move || accept_loop(listener, tx, stop_l))?;
+                CoreHandle::Threaded {
+                    stop,
+                    listener_thread,
+                }
+            }
+        };
 
         Ok(Server {
             addr: local,
-            stop,
-            listener_thread: Some(listener_thread),
+            core: Some(core),
             registry,
             replicator,
         })
@@ -210,24 +302,36 @@ impl Server {
 
     /// Stops accepting connections and joins the listener.
     pub fn shutdown(mut self) {
-        self.stop_internal();
+        self.stop();
     }
 
-    fn stop_internal(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        // Nudge the blocking accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.listener_thread.take() {
-            let _ = t.join();
+    /// Stops the core. On the event-loop core this is a graceful
+    /// drain: the listener is deregistered, in-flight connections
+    /// finish (bounded by [`ServerConfig::drain_deadline`]), and the
+    /// call returns once the reactor has exited. Idempotent.
+    pub fn stop(&mut self) {
+        match self.core.take() {
+            None => {}
+            Some(CoreHandle::Threaded {
+                stop,
+                listener_thread,
+            }) => {
+                stop.store(true, Ordering::Release);
+                // Nudge the blocking accept() with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+                let _ = listener_thread.join();
+            }
+            Some(CoreHandle::Event { handle, thread }) => {
+                handle.stop();
+                let _ = thread.join();
+            }
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.listener_thread.is_some() {
-            self.stop_internal();
-        }
+        self.stop();
     }
 }
 
@@ -258,14 +362,49 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBoo
     }
 }
 
-struct Request {
-    method: String,
-    path: String,
-    query: Vec<(String, String)>,
-    body: Vec<u8>,
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) query: Vec<(String, String)>,
+    pub(crate) body: Vec<u8>,
     /// W3C `traceparent` header, if the client sent one; the handler
     /// span joins that trace instead of starting its own.
-    traceparent: Option<String>,
+    pub(crate) traceparent: Option<String>,
+    /// The client opted into keep-alive (`Connection: keep-alive`).
+    /// Absent the header the connection closes after the response —
+    /// one-shot read-to-EOF clients keep working unchanged.
+    pub(crate) keep_alive: bool,
+}
+
+impl Request {
+    /// Assembles a request from parsed parts, splitting the target
+    /// into a path and decoded query pairs.
+    pub(crate) fn from_parts(
+        method: String,
+        target: &str,
+        body: Vec<u8>,
+        traceparent: Option<String>,
+        keep_alive: bool,
+    ) -> Request {
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+        let query = query_str
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .filter_map(|kv| kv.split_once('='))
+            .map(|(k, v)| (url_decode(k), url_decode(v)))
+            .collect();
+        Request {
+            method,
+            path,
+            query,
+            body,
+            traceparent,
+            keep_alive,
+        }
+    }
 }
 
 fn handle_connection(
@@ -317,26 +456,33 @@ fn handle_connection(
         ))
         .record(started.elapsed());
 
-    let content_type = match request.path.rsplit('/').next() {
+    let content_type = content_type_for(&request.path, status);
+    write_response_typed(stream, status, content_type, &body)
+}
+
+/// Picks the response `Content-Type` for a route's body — text for the
+/// serialization exports and the metrics exposition, HTML for the
+/// explorer, JSON otherwise.
+pub(crate) fn content_type_for(path: &str, status: u16) -> &'static str {
+    match path.rsplit('/').next() {
         Some("provn") | Some("turtle") | Some("dot") if status == 200 => {
             "text/plain; charset=utf-8"
         }
-        Some("metrics") if status == 200 && request.path == "/metrics" => {
+        Some("metrics") if status == 200 && path == "/metrics" => {
             "text/plain; version=0.0.4; charset=utf-8"
         }
-        Some("") | Some("explorer") if status == 200 && request.path.len() <= "/explorer".len() => {
+        Some("") | Some("explorer") if status == 200 && path.len() <= "/explorer".len() => {
             "text/html; charset=utf-8"
         }
         _ => "application/json",
-    };
-    write_response_typed(stream, status, content_type, &body)
+    }
 }
 
 /// Records one request in the per-route counter family. The method is a
 /// peer-supplied string, so it is sanitized before being interpolated
 /// into a Prometheus label; route labels come from the fixed
 /// [`route_label`] template set.
-fn count_request(registry: &obs::Registry, method: &str, route: &str, status: u16) {
+pub(crate) fn count_request(registry: &obs::Registry, method: &str, route: &str, status: u16) {
     let method: String = method
         .chars()
         .filter(|c| c.is_ascii_alphanumeric())
@@ -351,7 +497,7 @@ fn count_request(registry: &obs::Registry, method: &str, route: &str, status: u1
 
 /// Maps a request path onto its route template, so metrics aggregate
 /// per route rather than per document id.
-fn route_label(path: &str) -> &'static str {
+pub(crate) fn route_label(path: &str) -> &'static str {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
         [] | ["explorer"] => "/explorer",
@@ -418,6 +564,7 @@ fn parse_request(
     let mut content_length = 0usize;
     let mut chunked = false;
     let mut traceparent = None;
+    let mut keep_alive = false;
     let mut header_count = 0usize;
     loop {
         let mut header = String::new();
@@ -459,6 +606,8 @@ fn parse_request(
                 chunked = true;
             } else if name.eq_ignore_ascii_case("traceparent") {
                 traceparent = Some(value.trim().to_string());
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
             }
         }
     }
@@ -477,24 +626,13 @@ fn parse_request(
         .read_exact(&mut body)
         .map_err(|e| (400, format!("short body: {e}")))?;
 
-    let (path, query_str) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target, String::new()),
-    };
-    let query = query_str
-        .split('&')
-        .filter(|kv| !kv.is_empty())
-        .filter_map(|kv| kv.split_once('='))
-        .map(|(k, v)| (url_decode(k), url_decode(v)))
-        .collect();
-
-    Ok(Some(Request {
+    Ok(Some(Request::from_parts(
         method,
-        path,
-        query,
+        &target,
         body,
         traceparent,
-    }))
+        keep_alive,
+    )))
 }
 
 /// Decodes `%XX` escapes; with `plus_is_space`, also maps `+` to a
@@ -561,7 +699,7 @@ fn acked_response(
     (201, json!({"id": up.id}).to_string())
 }
 
-fn route(
+pub(crate) fn route(
     req: &Request,
     store: &DocumentStore,
     chaos: &AtomicU32,
@@ -843,13 +981,8 @@ fn write_response(stream: TcpStream, status: u16, body: &str) -> std::io::Result
     write_response_typed(stream, status, "application/json", body)
 }
 
-fn write_response_typed(
-    mut stream: TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let reason = match status {
+fn status_reason(status: u16) -> &'static str {
+    match status {
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
@@ -859,8 +992,20 @@ fn write_response_typed(
         501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
-    };
-    // Every 503 — bounded-queue shed, injected fault, under-replicated
+    }
+}
+
+/// Encodes a response head (status line + headers + blank line). Both
+/// cores use this, so the `Connection: close` byte sequence is
+/// identical to the original single-shot server's.
+pub(crate) fn encode_response_head(
+    status: u16,
+    content_type: &str,
+    content_length: usize,
+    keep_alive: bool,
+) -> String {
+    let reason = status_reason(status);
+    // Every 503 — watermark shed, injected fault, under-replicated
     // write — tells the client when to come back; the retrying client
     // honors this over its own backoff schedule.
     let retry_after = if status == 503 {
@@ -868,11 +1013,21 @@ fn write_response_typed(
     } else {
         ""
     };
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {content_length}\r\n{retry_after}Connection: {connection}\r\n\r\n"
+    )
+}
+
+fn write_response_typed(
+    mut stream: TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = encode_response_head(status, content_type, body.len(), false);
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 

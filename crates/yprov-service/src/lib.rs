@@ -15,11 +15,12 @@
 //! * [`error`] — the service's typed error taxonomy
 //!   ([`ServiceError`]), each variant mapping onto an HTTP status;
 //! * [`ledger`] — the tamper-evident hash chain over uploads;
-//! * [`http`] — a from-scratch HTTP/1.1 server (std TCP + a small
-//!   thread pool) serving the yProv-style endpoints
-//!   (`/api/v0/documents`, `/api/v0/documents/{id}`, `.../subgraph`,
-//!   `.../ancestors`, `.../stats`), with socket timeouts and bounded
-//!   load shedding;
+//! * [`http`] — a from-scratch HTTP/1.1 server serving the yProv-style
+//!   endpoints (`/api/v0/documents`, `/api/v0/documents/{id}`,
+//!   `.../subgraph`, `.../ancestors`, `.../stats`); by default an
+//!   epoll event-loop core (keep-alive, pipelining, watermark load
+//!   shedding, graceful drain), with the original thread-per-connection
+//!   core selectable as a baseline;
 //! * [`client`] — a blocking client with deterministic exponential
 //!   backoff for transient failures (connection refused, 502/503/504),
 //!   honoring server-supplied `Retry-After` schedules;
@@ -44,10 +45,12 @@
 pub mod backend;
 pub mod client;
 pub mod cluster;
+mod conn;
 pub mod error;
 pub mod explorer;
 pub mod http;
 pub mod ledger;
+mod reactor;
 pub mod store;
 
 pub use backend::{DurableBackend, MemoryBackend, StorageBackend, SyncPolicy};
@@ -56,5 +59,5 @@ pub use cluster::{
     ClusterClient, ClusterConfig, ClusterError, NodeSpec, ReplicationChaos, Replicator, Ring,
 };
 pub use error::ServiceError;
-pub use http::{Server, ServerConfig};
+pub use http::{Server, ServerConfig, ServerCore};
 pub use store::{DocumentStore, ReplicationApply, Upload};

@@ -1,0 +1,965 @@
+//! The event-loop server core: a from-scratch epoll reactor.
+//!
+//! One reactor thread multiplexes every connection through
+//! level-triggered `epoll` (raw syscalls — no tokio, no mio, matching
+//! the repo's dependency-free style): it accepts, reads, parses,
+//! dispatches complete requests to a small worker pool, and streams
+//! buffered responses back as sockets drain. Handlers never see any of
+//! this — they run the same `route()` the thread-per-connection core
+//! uses, on a worker thread, and hand their response back over a
+//! channel (an eventfd waker folds completions into the epoll wait).
+//!
+//! What the event loop buys over thread-per-connection:
+//!
+//! * **Keep-alive + pipelining** — a connection outlives its request;
+//!   queued requests on one socket are answered in order.
+//! * **Slow peers cost a buffer, not a thread** — a slowloris trickling
+//!   header bytes holds one [`Conn`] until the read timeout, while
+//!   every worker keeps serving.
+//! * **Watermark shedding** — admission is bounded by open connections
+//!   (`max_connections`, defaulting to `workers + queue_depth`, the
+//!   thread-core's admission bound) and dispatch by in-flight jobs and
+//!   globally queued response bytes; every shed answers 503 with
+//!   `Retry-After` and is counted in `server_shed_total{reason}`.
+//! * **Graceful drain** — stop deregisters the listener and lets
+//!   in-flight connections finish (bounded by `drain_deadline`), so a
+//!   mid-response close flushes instead of resetting.
+
+use crate::cluster::Replicator;
+use crate::conn::{HttpParser, Limits, WriteQueue};
+use crate::http::{self, Request, ServerConfig};
+use crate::store::DocumentStore;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde_json::json;
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Raw epoll/eventfd bindings — the only unsafe surface of the core.
+mod sys {
+    /// Linux's `struct epoll_event`; packed on x86-64 (the kernel ABI).
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance.
+struct Poller {
+    epfd: i32,
+}
+
+impl Poller {
+    fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: i32, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest,
+            data: token,
+        };
+        let evp = if op == sys::EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut sys::EpollEvent
+        };
+        cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, evp) }).map(|_| ())
+    }
+
+    fn add(&self, fd: i32, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    fn modify(&self, fd: i32, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    fn delete(&self, fd: i32) {
+        let _ = self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        cvt(n).map(|n| n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+struct EventFd(i32);
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// Wakes the reactor out of `epoll_wait` from another thread (worker
+/// completions, stop requests). Clones share one eventfd.
+#[derive(Clone)]
+struct Waker {
+    fd: Arc<EventFd>,
+}
+
+impl Waker {
+    fn new() -> io::Result<Waker> {
+        let fd = cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+        Ok(Waker {
+            fd: Arc::new(EventFd(fd)),
+        })
+    }
+
+    fn raw(&self) -> i32 {
+        self.fd.0
+    }
+
+    fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { sys::write(self.fd.0, (&one as *const u64).cast(), 8) };
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { sys::read(self.fd.0, buf.as_mut_ptr(), 8) };
+    }
+}
+
+const TOK_LISTENER: u64 = u64::MAX;
+const TOK_WAKER: u64 = u64::MAX - 1;
+
+/// Per-connection pipelining cap: beyond this many queued requests the
+/// reactor stops reading the socket until responses drain.
+const MAX_PIPELINED: usize = 64;
+/// Per-connection write-buffer high watermark: beyond this the reactor
+/// stops reading new requests from that socket (backpressure, not a
+/// shed — the peer is answered as fast as it reads).
+const PAUSE_WRITE_BYTES: usize = 256 * 1024;
+/// Fairness: bytes read from one socket per readiness event before
+/// yielding to the rest (level-triggered epoll re-arms).
+const READ_SLICE_BYTES: usize = 256 * 1024;
+
+/// One parsed request on its way to a worker.
+struct Job {
+    token: u64,
+    request: Request,
+    started: Instant,
+}
+
+/// A handler's finished response on its way back to the reactor.
+struct Completion {
+    token: u64,
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    keep_alive: bool,
+}
+
+/// Control handle held by the `Server` facade.
+pub(crate) struct ReactorHandle {
+    stop: Arc<AtomicBool>,
+    waker: Waker,
+}
+
+impl ReactorHandle {
+    /// Asks the reactor to drain and exit; returns immediately. Join
+    /// the reactor thread to wait for the drain.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.waker.wake();
+    }
+}
+
+/// A running event-loop core: the handle plus the reactor thread.
+pub(crate) struct EventCore {
+    pub handle: ReactorHandle,
+    pub thread: std::thread::JoinHandle<()>,
+}
+
+/// Builds and starts the core: worker pool, reactor thread, waker.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    store: DocumentStore,
+    cfg: ServerConfig,
+    chaos: Arc<AtomicU32>,
+    registry: Arc<obs::Registry>,
+    replicator: Option<Arc<Replicator>>,
+) -> io::Result<EventCore> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let waker = Waker::new()?;
+    poller.add(listener.as_raw_fd(), TOK_LISTENER, sys::EPOLLIN)?;
+    poller.add(waker.raw(), TOK_WAKER, sys::EPOLLIN)?;
+
+    let (jobs_tx, jobs_rx) = unbounded::<Job>();
+    let (done_tx, done_rx) = unbounded::<Completion>();
+    for i in 0..cfg.workers.max(1) {
+        let rx = jobs_rx.clone();
+        let tx = done_tx.clone();
+        let waker = waker.clone();
+        let store = store.clone();
+        let chaos = Arc::clone(&chaos);
+        let registry = Arc::clone(&registry);
+        let replicator = replicator.clone();
+        std::thread::Builder::new()
+            .name(format!("yprov-http-{i}"))
+            .spawn(move || worker(rx, tx, waker, store, chaos, registry, replicator))?;
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = ReactorHandle {
+        stop: Arc::clone(&stop),
+        waker: waker.clone(),
+    };
+    let max_conns = cfg
+        .max_connections
+        .unwrap_or(cfg.workers.max(1) + cfg.queue_depth)
+        .max(1);
+    let limits = Limits {
+        max_body: cfg.max_body,
+        max_header_bytes: cfg.max_header_bytes,
+        max_headers: cfg.max_headers,
+    };
+    let open_gauge = registry.gauge("server_connections_open");
+    open_gauge.set(0);
+    let reactor = Reactor {
+        accepted: registry.counter("server_connections_accepted_total"),
+        pipelined: registry.counter("server_requests_pipelined_total"),
+        open_gauge,
+        poller,
+        listener,
+        waker,
+        conns: Vec::new(),
+        free: Vec::new(),
+        next_gen: 1,
+        open: 0,
+        cfg,
+        limits,
+        registry,
+        jobs_tx,
+        done_rx,
+        in_flight_jobs: 0,
+        queued_bytes: 0,
+        stop,
+        draining: None,
+        max_conns,
+    };
+    let thread = std::thread::Builder::new()
+        .name("yprov-reactor".into())
+        .spawn(move || reactor.run())?;
+    Ok(EventCore { handle, thread })
+}
+
+/// A worker thread: runs the same handler stack as the blocking core —
+/// trace adoption, handler span, `route()`, per-route metrics — then
+/// reports the response back to the reactor.
+fn worker(
+    rx: Receiver<Job>,
+    tx: Sender<Completion>,
+    waker: Waker,
+    store: DocumentStore,
+    chaos: Arc<AtomicU32>,
+    registry: Arc<obs::Registry>,
+    replicator: Option<Arc<Replicator>>,
+) {
+    while let Ok(Job {
+        token,
+        request,
+        started,
+    }) = rx.recv()
+    {
+        let _remote = request
+            .traceparent
+            .as_deref()
+            .and_then(obs::trace::adopt_remote);
+        let mut trace = obs::trace::span("handle_request");
+        if obs::trace::is_enabled() {
+            trace.annotate("method", request.method.clone());
+            trace.annotate("path", request.path.clone());
+        }
+        let (status, body) =
+            http::route(&request, &store, &chaos, &registry, replicator.as_deref());
+        if obs::trace::is_enabled() {
+            trace.annotate("status", status.to_string());
+        }
+        drop(trace);
+        let label = http::route_label(&request.path);
+        http::count_request(&registry, &request.method, label, status);
+        registry
+            .histogram(&format!(
+                "http_request_duration_seconds{{route=\"{label}\"}}"
+            ))
+            .record(started.elapsed());
+        let content_type = http::content_type_for(&request.path, status);
+        if tx
+            .send(Completion {
+                token,
+                status,
+                content_type,
+                body,
+                keep_alive: request.keep_alive,
+            })
+            .is_err()
+        {
+            break;
+        }
+        waker.wake();
+    }
+}
+
+/// One connection's readiness state.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    parser: HttpParser,
+    write_q: WriteQueue,
+    /// Parsed requests awaiting dispatch (pipelining), with arrival
+    /// times for the latency histogram.
+    pending: VecDeque<(Request, Instant)>,
+    /// A request of this connection is with a worker.
+    in_flight: bool,
+    /// Registered epoll interest bits.
+    interest: u32,
+    /// Reading paused for backpressure; resumes when buffers drain.
+    paused: bool,
+    /// No further reads, ever (final request seen, error pending, or
+    /// draining).
+    stop_reading: bool,
+    /// Close as soon as the write queue drains, regardless of state.
+    error_close: bool,
+    /// Close once no request is pending or in flight.
+    close_when_idle: bool,
+    eof: bool,
+    /// At least one response has completed (keep-alive idle rules).
+    served: bool,
+    /// An incomplete request has been pending since this instant.
+    partial_since: Option<Instant>,
+    /// Last read progress (idle timeout baseline).
+    last_activity: Instant,
+    /// The write queue has been non-empty without progress since here.
+    write_since: Option<Instant>,
+}
+
+impl Conn {
+    fn token(&self, idx: usize) -> u64 {
+        (u64::from(self.gen) << 32) | idx as u64
+    }
+
+    fn idle(&self) -> bool {
+        !self.in_flight && self.pending.is_empty() && self.write_q.is_empty()
+    }
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    waker: Waker,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u32,
+    open: usize,
+    cfg: ServerConfig,
+    limits: Limits,
+    registry: Arc<obs::Registry>,
+    jobs_tx: Sender<Job>,
+    done_rx: Receiver<Completion>,
+    in_flight_jobs: usize,
+    /// Response bytes buffered across every connection — the global
+    /// queued-byte shed watermark.
+    queued_bytes: usize,
+    stop: Arc<AtomicBool>,
+    draining: Option<Instant>,
+    max_conns: usize,
+    open_gauge: Arc<obs::Gauge>,
+    accepted: Arc<obs::Counter>,
+    pipelined: Arc<obs::Counter>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 1024];
+        loop {
+            let n = match self.poller.wait(&mut events, 100) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            for ev in events.iter().take(n) {
+                let ev = *ev;
+                match ev.data {
+                    TOK_LISTENER => self.accept_ready(),
+                    TOK_WAKER => self.waker.drain(),
+                    token => self.conn_ready(token, ev.events),
+                }
+            }
+            // Completions drain *after* the socket events: a burst that
+            // arrived together is judged against the in-flight work it
+            // found, so the queue watermark sheds the way the bounded
+            // accept queue used to.
+            self.drain_completions();
+            if self.stop.load(Ordering::Acquire) && self.draining.is_none() {
+                self.begin_drain();
+            }
+            self.sweep_timeouts();
+            if self.draining.is_some() && self.open == 0 {
+                break;
+            }
+        }
+        // Dropping the job sender disconnects the workers' queue; each
+        // worker exits after its current handler returns.
+    }
+
+    // -- accept path --------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accepted.inc();
+                    if self.draining.is_some() {
+                        continue; // racing the listener deregistration
+                    }
+                    if self.open >= self.max_conns {
+                        self.shed_accept(stream);
+                        continue;
+                    }
+                    let _ = self.register(stream, false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Admits a connection into the slab. With `shed`, its only purpose
+    /// is to flush a queued 503 and close.
+    fn register(&mut self, stream: TcpStream, shed: bool) -> Option<usize> {
+        if stream.set_nonblocking(true).is_err() {
+            return None;
+        }
+        let _ = stream.set_nodelay(true);
+        let gen = self.next_gen;
+        self.next_gen = self.next_gen.wrapping_add(1).max(1);
+        let interest = if shed {
+            0
+        } else {
+            sys::EPOLLIN | sys::EPOLLRDHUP
+        };
+        let conn = Conn {
+            stream,
+            gen,
+            parser: HttpParser::new(),
+            write_q: WriteQueue::new(),
+            pending: VecDeque::new(),
+            in_flight: false,
+            interest,
+            paused: false,
+            stop_reading: shed,
+            error_close: false,
+            close_when_idle: false,
+            eof: false,
+            served: false,
+            partial_since: None,
+            last_activity: Instant::now(),
+            write_since: None,
+        };
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let token = conn.token(idx);
+        let fd = conn.stream.as_raw_fd();
+        if self.poller.add(fd, token, interest).is_err() {
+            self.free.push(idx);
+            return None;
+        }
+        self.conns[idx] = Some(conn);
+        self.open += 1;
+        self.open_gauge.set(self.open as i64);
+        Some(idx)
+    }
+
+    /// Sheds a just-accepted connection: 503 + `Retry-After`, flushed
+    /// through the normal write path (the reactor never blocks on a
+    /// peer that won't read its rejection).
+    fn shed_accept(&mut self, stream: TcpStream) {
+        self.count_shed("connections");
+        if let Some(idx) = self.register(stream, true) {
+            self.queue_shed_response(idx);
+        }
+    }
+
+    fn count_shed(&self, reason: &str) {
+        self.registry
+            .counter(&format!("server_shed_total{{reason=\"{reason}\"}}"))
+            .inc();
+    }
+
+    fn queue_shed_response(&mut self, idx: usize) {
+        let body = json!({"error": "server overloaded, retry later"}).to_string();
+        self.queue_response(idx, 503, "application/json", body, false);
+        if let Some(conn) = self.conn_mut(idx) {
+            conn.error_close = true;
+            conn.stop_reading = true;
+        }
+        self.flush(idx);
+        self.update_interest(idx);
+    }
+
+    // -- event dispatch -----------------------------------------------------
+
+    fn conn_mut(&mut self, idx: usize) -> Option<&mut Conn> {
+        self.conns.get_mut(idx).and_then(Option::as_mut)
+    }
+
+    fn is_open(&self, idx: usize) -> bool {
+        self.conns.get(idx).is_some_and(Option::is_some)
+    }
+
+    fn conn_ready(&mut self, token: u64, bits: u32) {
+        let idx = (token & 0xffff_ffff) as usize;
+        let gen = (token >> 32) as u32;
+        match self.conn_mut(idx) {
+            Some(conn) if conn.gen == gen => {}
+            _ => return, // stale event for a recycled slot
+        }
+        if bits & sys::EPOLLERR != 0 {
+            self.close_conn(idx);
+            return;
+        }
+        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0 {
+            self.readable(idx);
+        }
+        if self.is_open(idx) && bits & sys::EPOLLOUT != 0 {
+            self.writable(idx);
+        }
+    }
+
+    fn readable(&mut self, idx: usize) {
+        let mut buf = [0u8; 16 * 1024];
+        let mut read_total = 0usize;
+        loop {
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
+            if conn.stop_reading || conn.paused || conn.error_close || conn.eof {
+                break;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.parser.push(&buf[..n]);
+                    conn.last_activity = Instant::now();
+                    read_total += n;
+                    if read_total >= READ_SLICE_BYTES {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        self.parse_and_dispatch(idx);
+    }
+
+    fn parse_and_dispatch(&mut self, idx: usize) {
+        let limits = self.limits;
+        let pipelined = Arc::clone(&self.pipelined);
+        loop {
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
+            if conn.error_close {
+                break;
+            }
+            if conn.pending.len() >= MAX_PIPELINED {
+                conn.paused = true;
+                break;
+            }
+            match conn.parser.next(&limits) {
+                Ok(Some(request)) => {
+                    if conn.in_flight || !conn.pending.is_empty() {
+                        pipelined.inc();
+                    }
+                    if !request.keep_alive {
+                        // Final request of this connection: one-shot
+                        // clients read to EOF, so the response closes.
+                        conn.stop_reading = true;
+                        conn.close_when_idle = true;
+                    }
+                    conn.pending.push_back((request, Instant::now()));
+                }
+                Ok(None) => break,
+                Err((status, msg)) => {
+                    self.parse_reject(idx, status, msg);
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        conn.partial_since = if conn.parser.has_partial() {
+            conn.partial_since.or(Some(Instant::now()))
+        } else {
+            None
+        };
+        let mut eof_error = None;
+        let mut eof_idle = false;
+        if conn.eof {
+            conn.stop_reading = true;
+            eof_error = conn.parser.finish_eof(&limits);
+            if eof_error.is_none() {
+                conn.close_when_idle = true;
+                eof_idle = conn.idle();
+            }
+        }
+        if let Some((status, msg)) = eof_error {
+            self.parse_reject(idx, status, msg);
+            return;
+        }
+        if eof_idle {
+            self.close_conn(idx);
+            return;
+        }
+        self.try_dispatch(idx);
+        self.update_interest(idx);
+    }
+
+    /// Answers a protocol violation the way the blocking core did —
+    /// counted as a parse error, one response, connection closed.
+    fn parse_reject(&mut self, idx: usize, status: u16, msg: String) {
+        self.registry.counter("http_parse_errors_total").inc();
+        http::count_request(&self.registry, "-", "unparsed", status);
+        let body = json!({"error": msg}).to_string();
+        self.queue_response(idx, status, "application/json", body, false);
+        if let Some(conn) = self.conn_mut(idx) {
+            conn.error_close = true;
+            conn.stop_reading = true;
+            conn.partial_since = None;
+        }
+        self.flush(idx);
+        self.update_interest(idx);
+    }
+
+    /// Hands the connection's next pending request to the workers,
+    /// unless a watermark says shed.
+    fn try_dispatch(&mut self, idx: usize) {
+        let workers = self.cfg.workers.max(1);
+        let queue_slots = workers + self.cfg.queue_depth;
+        let over_queue = self.in_flight_jobs >= queue_slots;
+        let over_bytes = self.queued_bytes > self.cfg.max_queued_bytes;
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        if conn.in_flight || conn.pending.is_empty() || conn.error_close {
+            return;
+        }
+        if over_queue {
+            self.shed_dispatch(idx, "queue");
+            return;
+        }
+        if over_bytes {
+            self.shed_dispatch(idx, "queued_bytes");
+            return;
+        }
+        let conn = self.conn_mut(idx).expect("checked above");
+        let (request, started) = conn.pending.pop_front().expect("checked above");
+        conn.in_flight = true;
+        let token = conn.token(idx);
+        self.in_flight_jobs += 1;
+        let _ = self.jobs_tx.send(Job {
+            token,
+            request,
+            started,
+        });
+    }
+
+    /// Sheds a parsed-but-undispatched request: 503 + `Retry-After`,
+    /// connection closed (pipelined successors are shed with it).
+    fn shed_dispatch(&mut self, idx: usize, reason: &str) {
+        self.count_shed(reason);
+        self.queue_shed_response(idx);
+    }
+
+    // -- completion / write path -------------------------------------------
+
+    fn drain_completions(&mut self) {
+        let draining = self.draining.is_some();
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.in_flight_jobs = self.in_flight_jobs.saturating_sub(1);
+            let idx = (done.token & 0xffff_ffff) as usize;
+            let gen = (done.token >> 32) as u32;
+            let close = match self.conn_mut(idx) {
+                Some(conn) if conn.gen == gen => {
+                    conn.in_flight = false;
+                    conn.served = true;
+                    let close =
+                        !done.keep_alive || conn.close_when_idle || conn.error_close || draining;
+                    if close {
+                        conn.close_when_idle = true;
+                        conn.stop_reading = true;
+                    }
+                    close
+                }
+                _ => continue, // connection died while the handler ran
+            };
+            self.queue_response(idx, done.status, done.content_type, done.body, !close);
+            self.flush(idx);
+            if self.is_open(idx) {
+                self.try_dispatch(idx);
+                self.update_interest(idx);
+            }
+        }
+    }
+
+    fn queue_response(
+        &mut self,
+        idx: usize,
+        status: u16,
+        content_type: &str,
+        body: String,
+        keep_alive: bool,
+    ) {
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        let head = http::encode_response_head(status, content_type, body.len(), keep_alive);
+        let added = head.len() + body.len();
+        conn.write_q.push(head.into_bytes());
+        conn.write_q.push(body.into_bytes());
+        if conn.write_since.is_none() {
+            conn.write_since = Some(Instant::now());
+        }
+        self.queued_bytes += added;
+    }
+
+    /// Writes what the socket will take; closes on hard error or when
+    /// the drained queue says the connection is done.
+    fn flush(&mut self, idx: usize) {
+        let result = {
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
+            if conn.write_q.is_empty() {
+                None
+            } else {
+                let Conn {
+                    write_q, stream, ..
+                } = conn;
+                Some(write_q.write_to(stream))
+            }
+        };
+        match result {
+            None => {}
+            Some(Ok(n)) => {
+                self.queued_bytes = self.queued_bytes.saturating_sub(n);
+                let Some(conn) = self.conn_mut(idx) else {
+                    return;
+                };
+                if conn.write_q.is_empty() {
+                    conn.write_since = None;
+                } else if n > 0 {
+                    conn.write_since = Some(Instant::now());
+                }
+            }
+            Some(Err(_)) => {
+                self.close_conn(idx);
+                return;
+            }
+        }
+        self.maybe_finish(idx);
+    }
+
+    fn writable(&mut self, idx: usize) {
+        self.flush(idx);
+        if self.is_open(idx) {
+            self.try_dispatch(idx);
+            self.update_interest(idx);
+        }
+    }
+
+    /// Applies the close rules once buffers drain; resumes reading when
+    /// backpressure clears.
+    fn maybe_finish(&mut self, idx: usize) {
+        let draining = self.draining.is_some();
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        if conn.write_q.is_empty() {
+            if conn.error_close {
+                self.close_conn(idx);
+                return;
+            }
+            let conn = self.conn_mut(idx).expect("checked above");
+            if conn.idle() && (conn.close_when_idle || conn.eof || draining) {
+                self.close_conn(idx);
+                return;
+            }
+        }
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        if conn.paused
+            && conn.pending.len() < MAX_PIPELINED
+            && conn.write_q.len() < PAUSE_WRITE_BYTES
+        {
+            conn.paused = false;
+        } else if !conn.paused && conn.write_q.len() >= PAUSE_WRITE_BYTES {
+            conn.paused = true;
+        }
+    }
+
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        let mut want = 0u32;
+        if !(conn.paused || conn.stop_reading || conn.error_close || conn.eof) {
+            want |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if !conn.write_q.is_empty() {
+            want |= sys::EPOLLOUT;
+        }
+        if want != conn.interest {
+            let token = conn.token(idx);
+            let fd = conn.stream.as_raw_fd();
+            conn.interest = want;
+            let _ = self.poller.modify(fd, token, want);
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns.get_mut(idx).and_then(|slot| slot.take()) {
+            self.poller.delete(conn.stream.as_raw_fd());
+            self.queued_bytes = self.queued_bytes.saturating_sub(conn.write_q.len());
+            self.free.push(idx);
+            self.open -= 1;
+            self.open_gauge.set(self.open as i64);
+        }
+    }
+
+    // -- timers & drain -----------------------------------------------------
+
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        let drain_cutoff = self.draining.map(|since| since + self.cfg.drain_deadline);
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                continue;
+            };
+            let (write_since, partial_since, error_close, served, last_activity, idle) = (
+                conn.write_since,
+                conn.partial_since,
+                conn.error_close,
+                conn.served,
+                conn.last_activity,
+                conn.idle(),
+            );
+            if drain_cutoff.is_some_and(|cut| now >= cut) {
+                self.close_conn(idx);
+                continue;
+            }
+            if write_since.is_some_and(|since| now.duration_since(since) > self.cfg.write_timeout) {
+                // The peer stopped reading its response.
+                self.close_conn(idx);
+                continue;
+            }
+            if let Some(since) = partial_since {
+                // A request has been incomplete for the whole read
+                // timeout — slowloris or a stalled peer. The bound is
+                // on total time, so a byte-per-second trickle cannot
+                // hold the connection open past it.
+                if now.duration_since(since) > self.cfg.read_timeout && !error_close {
+                    self.parse_reject(idx, 400, "read error: request timed out".to_string());
+                }
+            } else if idle && !error_close {
+                let quiet = now.duration_since(last_activity);
+                if served {
+                    if quiet > self.cfg.idle_timeout {
+                        self.close_conn(idx); // silent keep-alive reap
+                    }
+                } else if quiet > self.cfg.read_timeout {
+                    // Never sent a complete request: the blocking core
+                    // answered 400 when its first read timed out.
+                    self.parse_reject(idx, 400, "read error: request timed out".to_string());
+                }
+            }
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = Some(Instant::now());
+        self.poller.delete(self.listener.as_raw_fd());
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                continue;
+            };
+            conn.stop_reading = true;
+            conn.close_when_idle = true;
+            if conn.idle() {
+                self.close_conn(idx);
+            } else {
+                self.update_interest(idx);
+            }
+        }
+    }
+}

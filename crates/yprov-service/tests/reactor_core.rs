@@ -1,0 +1,299 @@
+//! The event-loop core's new behaviors: keep-alive reuse, pipelined
+//! ordering, adversarial clients (slowloris, half-close), graceful
+//! drain, watermark shedding, and the `server_*` metrics.
+//!
+//! Byte-level compatibility with the old blocking core (431/501/503
+//! bodies, error strings) is covered by `http_robustness.rs`, which
+//! runs against the same default event-loop core.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+use yprov_service::http::request;
+use yprov_service::{DocumentStore, Server, ServerConfig, ServerCore};
+
+fn start(config: ServerConfig) -> Server {
+    Server::bind("127.0.0.1:0", DocumentStore::new(), config).unwrap()
+}
+
+/// Connects with generous socket timeouts so a server bug fails the
+/// test instead of hanging it.
+fn connect(server: &Server) -> TcpStream {
+    let s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Reads one `Content-Length`-framed response; returns
+/// `(status, head, body)`. Panics on a closed or reset connection.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+    let mut head = String::new();
+    loop {
+        let start = head.len();
+        let n = reader.read_line(&mut head).unwrap();
+        assert!(n > 0, "connection closed mid-head; got {head:?}");
+        if head[start..].trim_end().is_empty() {
+            break;
+        }
+    }
+    let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let content_length = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            if name.eq_ignore_ascii_case("content-length") {
+                value.trim().parse::<usize>().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, head, String::from_utf8_lossy(&body).into_owned())
+}
+
+fn header(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        if n.eq_ignore_ascii_case(name) {
+            Some(v.trim().to_string())
+        } else {
+            None
+        }
+    })
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = start(ServerConfig::default());
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream);
+    for i in 0..5 {
+        reader
+            .get_mut()
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        let (status, head, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "request {i}: {body}");
+        assert_eq!(
+            header(&head, "connection").as_deref(),
+            Some("keep-alive"),
+            "request {i} should keep the connection open: {head}"
+        );
+    }
+    // Without the opt-in header the server answers and closes, exactly
+    // like the one-shot core.
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "connection").as_deref(), Some("close"));
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no bytes may follow the final response");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_burst_is_answered_in_order() {
+    let server = start(ServerConfig::default());
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream);
+    // Three requests in a single write; responses must come back in
+    // request order even though handlers run on a worker pool.
+    reader
+        .get_mut()
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n\
+              GET /api/v0/documents HTTP/1.1\r\nConnection: keep-alive\r\n\r\n\
+              GET /metrics HTTP/1.1\r\nConnection: keep-alive\r\n\r\n",
+        )
+        .unwrap();
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"), "healthz first: {body}");
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("documents"), "document list second: {body}");
+    let (status, head, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        header(&head, "content-type").is_some_and(|ct| ct.starts_with("text/plain")),
+        "metrics third: {head}"
+    );
+    // The second and third request arrived while earlier ones were
+    // still queued, so the pipelining counter must have moved.
+    let pipelined = body
+        .lines()
+        .find_map(|l| l.strip_prefix("server_requests_pipelined_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    assert!(pipelined >= 1, "pipelined counter missing:\n{body}");
+    server.shutdown();
+}
+
+#[test]
+fn slowloris_times_out_without_pinning_the_worker() {
+    let server = start(ServerConfig {
+        workers: 1,
+        read_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    // A peer that sends a request head one fragment at a time and then
+    // stalls forever.
+    let mut slow = connect(&server);
+    slow.write_all(b"GET /slow HTTP/1.1\r\nX-Dribble: 1\r\n")
+        .unwrap();
+    // The single worker must keep serving other clients meanwhile.
+    for _ in 0..5 {
+        let (status, body) = request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200, "worker pinned by slowloris: {body}");
+    }
+    // The stalled connection is rejected once the read timeout lapses.
+    let mut answer = String::new();
+    slow.read_to_string(&mut answer).unwrap();
+    assert!(answer.starts_with("HTTP/1.1 400"), "{answer}");
+    assert!(answer.contains("timed out"), "{answer}");
+    server.shutdown();
+}
+
+#[test]
+fn half_close_mid_body_is_rejected_as_short_body() {
+    let server = start(ServerConfig::default());
+    let mut stream = connect(&server);
+    stream
+        .write_all(b"POST /api/v0/documents HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"tru")
+        .unwrap();
+    // FIN our write side: the server sees EOF with 95 body bytes
+    // outstanding and must answer (the response direction is open).
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut answer = String::new();
+    stream.read_to_string(&mut answer).unwrap();
+    assert!(answer.starts_with("HTTP/1.1 400"), "{answer}");
+    assert!(answer.contains("short body"), "{answer}");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_stop_drains_a_mid_flight_response_without_reset() {
+    // A document big enough that its response cannot hide in socket
+    // buffers: the drain has to keep streaming it after stop().
+    let mut doc = prov_model::ProvDocument::new();
+    doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+    for i in 0..20_000 {
+        doc.entity(prov_model::QName::new("ex", format!("entity-{i:05}")));
+    }
+    let server = start(ServerConfig::default());
+    let (status, upload) = request(
+        server.addr(),
+        "POST",
+        "/api/v0/documents",
+        Some(&doc.to_json_string().unwrap()),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{upload}");
+    let id: serde_json::Value = serde_json::from_str(&upload).unwrap();
+    let id = id["id"].as_str().unwrap().to_string();
+
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream);
+    reader
+        .get_mut()
+        .write_all(
+            format!("GET /api/v0/documents/{id} HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+    // Let the reactor parse and dispatch the request, then stop the
+    // server while the (unread) response is still in flight.
+    std::thread::sleep(Duration::from_millis(300));
+    let stopper = std::thread::spawn(move || server.shutdown());
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("entity-19999"),
+        "response truncated by shutdown: {} bytes",
+        body.len()
+    );
+    // A clean FIN, not an RST: further reads see EOF, not an error.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    stopper.join().unwrap();
+}
+
+#[test]
+fn connection_watermark_sheds_with_503_and_counts_it() {
+    let server = start(ServerConfig {
+        workers: 1,
+        queue_depth: 0, // admission watermark: exactly one connection
+        ..ServerConfig::default()
+    });
+    let parked = connect(&server);
+    std::thread::sleep(Duration::from_millis(100)); // let the accept land
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream);
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let (status, head, body) = read_response(&mut reader);
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(header(&head, "retry-after").as_deref(), Some("1"));
+    assert_eq!(header(&head, "connection").as_deref(), Some("close"));
+    assert!(body.contains("overloaded"), "{body}");
+    drop(parked);
+    std::thread::sleep(Duration::from_millis(200)); // let the close land
+    let (status, metrics) = request(server.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    for needle in [
+        "# HELP server_connections_open ",
+        "# HELP server_connections_accepted_total ",
+        "# HELP server_requests_pipelined_total ",
+        "# HELP server_shed_total ",
+        "server_shed_total{reason=\"connections\"} 1",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing {needle:?} in:\n{metrics}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connection_is_reaped() {
+    let server = start(ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream);
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    // Served once, then silent: the server closes without a response
+    // (reading just sees EOF) once the idle timeout lapses.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "idle reap must be silent: {rest:?}");
+    server.shutdown();
+}
+
+#[test]
+fn threaded_core_remains_selectable_as_baseline() {
+    let server = start(ServerConfig {
+        core: ServerCore::Threaded,
+        ..ServerConfig::default()
+    });
+    let (status, body) = request(server.addr(), "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+}
