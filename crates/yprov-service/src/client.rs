@@ -27,8 +27,14 @@
 //! streams — many small frames to the same peer — stop paying a TCP
 //! connect per frame. A parked connection the server has since closed
 //! is detected on first use (the failure happens before any response
-//! byte) and replaced with a fresh connect, transparently; servers
-//! that answer `Connection: close` simply never get pooled.
+//! byte); **idempotent** requests (GET/HEAD/PUT/DELETE) are replayed
+//! on a fresh connect transparently, while non-idempotent ones (POST —
+//! uploads, replication frames) surface the failure as a transport
+//! error instead, because a server can act on a request and die before
+//! writing a single response byte, and silently resending would apply
+//! the side effect twice. The caller-visible retry policy decides
+//! whether such a request is attempted again. Servers that answer
+//! `Connection: close` simply never get pooled.
 
 use parking_lot::Mutex;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -232,10 +238,13 @@ impl Client {
     /// `(status, retry_after_seconds, body)`.
     ///
     /// A parked keep-alive connection is tried first. If it fails
-    /// before a single response byte arrives — the server idle-closed
-    /// it while parked — the request is replayed once on a fresh
-    /// connection. Failures on a fresh connection, or after response
-    /// bytes were seen, propagate to the caller's retry policy.
+    /// before a single response byte arrives — usually the server
+    /// idle-closed it while parked — an idempotent request is replayed
+    /// once on a fresh connection. A non-idempotent request is not: the
+    /// server may have acted on it before dying, so the failure
+    /// propagates to the caller's retry policy instead of being
+    /// silently resent. Failures on a fresh connection, or after
+    /// response bytes were seen, always propagate.
     fn once(
         &self,
         method: &str,
@@ -251,6 +260,7 @@ impl Client {
             "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n{trace_header}Connection: keep-alive\r\n\r\n{body}",
             body.len()
         );
+        let replayable = matches!(method, "GET" | "HEAD" | "PUT" | "DELETE" | "OPTIONS");
         if let Some(mut reader) = self.pool.lock().take() {
             match exchange(&mut reader, req.as_bytes()) {
                 Ok((status, retry_after, payload, reuse)) => {
@@ -259,7 +269,13 @@ impl Client {
                     }
                     return Ok((status, retry_after, payload));
                 }
-                Err(ExchangeError::Stale) => {} // fall through to a fresh connect
+                Err(ExchangeError::Stale) if replayable => {} // fall through to a fresh connect
+                Err(ExchangeError::Stale) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "stale keep-alive connection closed before a response",
+                    ));
+                }
                 Err(ExchangeError::Io(e)) => return Err(e),
             }
         }
@@ -509,6 +525,64 @@ mod tests {
             started.elapsed() >= Duration::from_millis(900),
             "the 1 s Retry-After must override the 5 ms backoff; waited {:?}",
             started.elapsed()
+        );
+    }
+
+    /// A hand-rolled peer that answers one keep-alive response, closes
+    /// the connection while the client has it parked, then serves one
+    /// more request on a fresh connection.
+    fn park_then_close_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.read(&mut buf);
+            s.write_all(
+                b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}",
+            )
+            .unwrap();
+            drop(s); // the parked connection goes stale here
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = s.read(&mut buf);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}")
+                .unwrap();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn stale_parked_connection_replays_get_transparently() {
+        let (addr, server) = park_then_close_server();
+        let client = Client::new(addr, fast_policy());
+        assert_eq!(client.get("/a").unwrap().status, 200);
+        std::thread::sleep(Duration::from_millis(50)); // let the FIN land
+        let resp = client.get("/b").unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.attempts, 1,
+            "an idempotent replay is transparent, not a visible retry"
+        );
+    }
+
+    #[test]
+    fn stale_parked_connection_does_not_silently_replay_post() {
+        let (addr, server) = park_then_close_server();
+        let client = Client::new(addr, fast_policy());
+        assert_eq!(client.get("/a").unwrap().status, 200);
+        std::thread::sleep(Duration::from_millis(50)); // let the FIN land
+
+        // The POST hits the stale parked connection. It must NOT be
+        // replayed by the pool — the server could have acted on it —
+        // so the failure costs a visible attempt and the retry policy
+        // decides to resend.
+        let resp = client.send("POST", "/b", Some("{}")).unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.attempts, 2,
+            "a non-idempotent resend must be a counted retry"
         );
     }
 

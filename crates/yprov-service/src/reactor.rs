@@ -377,6 +377,11 @@ struct Conn {
     stop_reading: bool,
     /// Close as soon as the write queue drains, regardless of state.
     error_close: bool,
+    /// A parse rejection waiting for earlier pipelined responses to
+    /// finish: queueing it immediately would let the error jump ahead
+    /// of responses still owed, and pipelining clients correlate
+    /// responses strictly by order.
+    deferred_reject: Option<(u16, String)>,
     /// Close once no request is pending or in flight.
     close_when_idle: bool,
     eof: bool,
@@ -469,11 +474,21 @@ impl Reactor {
                     if self.draining.is_some() {
                         continue; // racing the listener deregistration
                     }
-                    if self.open >= self.max_conns {
-                        self.shed_accept(stream);
+                    if self.open < self.max_conns {
+                        let _ = self.register(stream, false);
                         continue;
                     }
-                    let _ = self.register(stream, false);
+                    // Even a shed holds an fd and a slab slot until its
+                    // 503 flushes (or times out), so the courtesy
+                    // response is itself a resource: above a hard
+                    // ceiling the socket is dropped unregistered, and a
+                    // connection flood cannot exhaust fds behind the
+                    // admission watermark.
+                    if self.open >= self.shed_ceiling() {
+                        self.count_shed("overflow");
+                        continue; // stream dropped without a response
+                    }
+                    self.shed_accept(stream);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -507,6 +522,7 @@ impl Reactor {
             paused: false,
             stop_reading: shed,
             error_close: false,
+            deferred_reject: None,
             close_when_idle: false,
             eof: false,
             served: false,
@@ -528,6 +544,15 @@ impl Reactor {
         self.open += 1;
         self.open_gauge.set(self.open as i64);
         Some(idx)
+    }
+
+    /// Total-registration ceiling, shed connections included: twice the
+    /// admission watermark, with headroom so tiny configs still get to
+    /// answer 503 during a burst.
+    fn shed_ceiling(&self) -> usize {
+        self.max_conns
+            .saturating_mul(2)
+            .max(self.max_conns.saturating_add(64))
     }
 
     /// Sheds a just-accepted connection: 503 + `Retry-After`, flushed
@@ -627,7 +652,7 @@ impl Reactor {
             let Some(conn) = self.conn_mut(idx) else {
                 return;
             };
-            if conn.error_close {
+            if conn.error_close || conn.deferred_reject.is_some() {
                 break;
             }
             if conn.pending.len() >= MAX_PIPELINED {
@@ -657,14 +682,20 @@ impl Reactor {
         let Some(conn) = self.conn_mut(idx) else {
             return;
         };
-        conn.partial_since = if conn.parser.has_partial() {
+        // A paused connection is waiting on *us* (buffers draining), not
+        // on the peer: the read timeout must not blame it, and EOF
+        // judgement waits until resume re-parses whatever complete
+        // requests are still buffered.
+        conn.partial_since = if conn.paused {
+            None
+        } else if conn.parser.has_partial() {
             conn.partial_since.or(Some(Instant::now()))
         } else {
             None
         };
         let mut eof_error = None;
         let mut eof_idle = false;
-        if conn.eof {
+        if conn.eof && !conn.paused {
             conn.stop_reading = true;
             eof_error = conn.parser.finish_eof(&limits);
             if eof_error.is_none() {
@@ -685,16 +716,59 @@ impl Reactor {
     }
 
     /// Answers a protocol violation the way the blocking core did —
-    /// counted as a parse error, one response, connection closed.
+    /// counted as a parse error, one response, connection closed. If
+    /// the connection still owes responses for earlier pipelined
+    /// requests, the rejection is parked until they complete so the
+    /// error cannot jump the response order.
     fn parse_reject(&mut self, idx: usize, status: u16, msg: String) {
+        {
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
+            if conn.error_close || conn.deferred_reject.is_some() {
+                return; // already answering an earlier violation
+            }
+        }
         self.registry.counter("http_parse_errors_total").inc();
         http::count_request(&self.registry, "-", "unparsed", status);
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        conn.stop_reading = true;
+        conn.partial_since = None;
+        if conn.in_flight || !conn.pending.is_empty() {
+            conn.deferred_reject = Some((status, msg));
+            // The requests parsed before the violation are still good;
+            // keep them flowing so the parked rejection can fire.
+            self.try_dispatch(idx);
+            self.update_interest(idx);
+            return;
+        }
         let body = json!({"error": msg}).to_string();
         self.queue_response(idx, status, "application/json", body, false);
         if let Some(conn) = self.conn_mut(idx) {
             conn.error_close = true;
-            conn.stop_reading = true;
-            conn.partial_since = None;
+        }
+        self.flush(idx);
+        self.update_interest(idx);
+    }
+
+    /// Emits a parked parse rejection once the connection owes nothing
+    /// for earlier requests.
+    fn fire_deferred_reject(&mut self, idx: usize) {
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        if conn.error_close || conn.in_flight || !conn.pending.is_empty() {
+            return;
+        }
+        let Some((status, msg)) = conn.deferred_reject.take() else {
+            return;
+        };
+        let body = json!({"error": msg}).to_string();
+        self.queue_response(idx, status, "application/json", body, false);
+        if let Some(conn) = self.conn_mut(idx) {
+            conn.error_close = true;
         }
         self.flush(idx);
         self.update_interest(idx);
@@ -748,24 +822,33 @@ impl Reactor {
             self.in_flight_jobs = self.in_flight_jobs.saturating_sub(1);
             let idx = (done.token & 0xffff_ffff) as usize;
             let gen = (done.token >> 32) as u32;
-            let close = match self.conn_mut(idx) {
+            let (close, drop_body) = match self.conn_mut(idx) {
                 Some(conn) if conn.gen == gen => {
                     conn.in_flight = false;
                     conn.served = true;
+                    // An error response (503 shed, parse reject) already
+                    // sits in the write queue: appending this body after
+                    // it would hand the client bytes for a request it
+                    // saw fail.
+                    let drop_body = conn.error_close;
                     let close =
                         !done.keep_alive || conn.close_when_idle || conn.error_close || draining;
                     if close {
                         conn.close_when_idle = true;
                         conn.stop_reading = true;
                     }
-                    close
+                    (close, drop_body)
                 }
                 _ => continue, // connection died while the handler ran
             };
-            self.queue_response(idx, done.status, done.content_type, done.body, !close);
+            if !drop_body {
+                self.queue_response(idx, done.status, done.content_type, done.body, !close);
+            }
             self.flush(idx);
             if self.is_open(idx) {
                 self.try_dispatch(idx);
+                self.maybe_resume(idx);
+                self.fire_deferred_reject(idx);
                 self.update_interest(idx);
             }
         }
@@ -833,6 +916,8 @@ impl Reactor {
         self.flush(idx);
         if self.is_open(idx) {
             self.try_dispatch(idx);
+            self.maybe_resume(idx);
+            self.fire_deferred_reject(idx);
             self.update_interest(idx);
         }
     }
@@ -850,7 +935,10 @@ impl Reactor {
                 return;
             }
             let conn = self.conn_mut(idx).expect("checked above");
-            if conn.idle() && (conn.close_when_idle || conn.eof || draining) {
+            if conn.deferred_reject.is_none()
+                && conn.idle()
+                && (conn.close_when_idle || conn.eof || draining)
+            {
                 self.close_conn(idx);
                 return;
             }
@@ -858,14 +946,30 @@ impl Reactor {
         let Some(conn) = self.conn_mut(idx) else {
             return;
         };
-        if conn.paused
-            && conn.pending.len() < MAX_PIPELINED
-            && conn.write_q.len() < PAUSE_WRITE_BYTES
-        {
-            conn.paused = false;
-        } else if !conn.paused && conn.write_q.len() >= PAUSE_WRITE_BYTES {
+        if !conn.paused && conn.write_q.len() >= PAUSE_WRITE_BYTES {
             conn.paused = true;
         }
+        self.maybe_resume(idx);
+    }
+
+    /// Clears a backpressure pause once its cause has drained — and
+    /// crucially re-parses: complete requests may already sit whole in
+    /// the parser buffer, and if the kernel socket buffer is empty the
+    /// socket never turns readable again, so re-arming `EPOLLIN` alone
+    /// would strand them until the read timeout 400s the connection.
+    fn maybe_resume(&mut self, idx: usize) {
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        if !conn.paused
+            || conn.error_close
+            || conn.pending.len() >= MAX_PIPELINED
+            || conn.write_q.len() >= PAUSE_WRITE_BYTES
+        {
+            return;
+        }
+        conn.paused = false;
+        self.parse_and_dispatch(idx);
     }
 
     fn update_interest(&mut self, idx: usize) {

@@ -137,6 +137,58 @@ fn pipelined_burst_is_answered_in_order() {
 }
 
 #[test]
+fn pipelined_burst_beyond_the_pipeline_cap_fully_drains() {
+    // 100 requests in one write — more than the 64-request pipelining
+    // cap. The whole burst lands in the reactor's first read, so the
+    // socket never turns readable again: the requests parked behind the
+    // cap must be parsed when backpressure clears, not stranded until
+    // the read timeout rejects them.
+    let server = start(ServerConfig::default());
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream);
+    let burst: String = (0..100)
+        .map(|_| "GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+        .collect();
+    reader.get_mut().write_all(burst.as_bytes()).unwrap();
+    for i in 0..100 {
+        let (status, _, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "request {i}: {body}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn parse_error_waits_its_turn_behind_pipelined_responses() {
+    // A good request and a malformed one arrive in one burst. The 400
+    // answers the *second* request, so it must come back second — a
+    // pipelining client correlates responses strictly by order.
+    let server = start(ServerConfig::default());
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream);
+    reader
+        .get_mut()
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n\
+              BOGUS /nope\r\n\r\n",
+        )
+        .unwrap();
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "the good request answers first: {body}");
+    assert!(body.contains("ok"), "{body}");
+    let (status, head, body) = read_response(&mut reader);
+    assert_eq!(status, 400, "then the rejection: {body}");
+    assert!(body.contains("missing version"), "{body}");
+    assert_eq!(header(&head, "connection").as_deref(), Some("close"));
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "nothing may follow the rejection: {rest:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn slowloris_times_out_without_pinning_the_worker() {
     let server = start(ServerConfig {
         workers: 1,
