@@ -12,7 +12,7 @@
 use train_sim::sim::{EpochEvent, RunResult, SimConfig, StepEvent, TrainObserver};
 use train_sim::TrainingSimulation;
 use yprov4ml::model::Context;
-use yprov4ml::Run;
+use yprov4ml::{DeltaCadence, DeltaEmitter, Run};
 
 /// Bridges simulator events into provenance records.
 pub struct ProvenanceObserver<'a> {
@@ -138,6 +138,100 @@ pub fn simulate_with_provenance(
     let sim = TrainingSimulation::new(cfg)?;
     let mut observer = ProvenanceObserver::with_stride(run, log_every);
     Ok(sim.run(&mut observer))
+}
+
+/// A [`TrainObserver`] that logs like [`ProvenanceObserver`] and, at a
+/// [`DeltaCadence`], cuts a cumulative provenance snapshot of the live
+/// run and hands it to `sink` — the live-streaming counterpart of the
+/// finalize-only pipeline. Point the sink at
+/// `yprov_service::client::Client::upload_delta` and a dashboard
+/// watching the document sees the run advance epoch by epoch.
+pub struct StreamingObserver<'a, F: FnMut(prov_model::ProvDocument)> {
+    inner: ProvenanceObserver<'a>,
+    run: &'a Run,
+    emitter: DeltaEmitter,
+    sink: F,
+}
+
+impl<'a, F: FnMut(prov_model::ProvDocument)> StreamingObserver<'a, F> {
+    /// Observer logging one step in `log_every`, cutting deltas at
+    /// `cadence`.
+    pub fn new(run: &'a Run, log_every: u64, cadence: DeltaCadence, sink: F) -> Self {
+        StreamingObserver {
+            inner: ProvenanceObserver::with_stride(run, log_every),
+            run,
+            emitter: DeltaEmitter::new(cadence),
+            sink,
+        }
+    }
+
+    /// Number of deltas cut so far.
+    pub fn deltas_emitted(&self) -> u64 {
+        self.emitter.emitted()
+    }
+}
+
+impl<F: FnMut(prov_model::ProvDocument)> TrainObserver for StreamingObserver<'_, F> {
+    fn on_run_start(&mut self, cfg: &SimConfig) {
+        self.inner.on_run_start(cfg);
+    }
+
+    fn on_step(&mut self, e: &StepEvent) {
+        self.inner.on_step(e);
+        if self.emitter.observe(e.step, e.epoch) {
+            // A snapshot failure (collector gone) means the run is
+            // being torn down; dropping the delta is the only sane
+            // response mid-loop.
+            if let Ok(doc) = self.run.snapshot_document() {
+                (self.sink)(doc);
+            }
+        }
+    }
+
+    fn on_epoch_end(&mut self, e: &EpochEvent) {
+        self.inner.on_epoch_end(e);
+    }
+
+    fn on_run_end(&mut self, r: &RunResult) {
+        self.inner.on_run_end(r);
+    }
+}
+
+/// Runs one simulated training job while streaming per-cadence deltas
+/// to a provenance service document. Returns the simulator result and
+/// the number of deltas shipped; any failed upload fails the call.
+pub fn simulate_streaming_to_service(
+    cfg: SimConfig,
+    run: &Run,
+    log_every: u64,
+    cadence: DeltaCadence,
+    client: &yprov_service::client::Client,
+    document_id: &str,
+) -> Result<(RunResult, u64), String> {
+    let sim = TrainingSimulation::new(cfg)?;
+    let mut errors: Vec<String> = Vec::new();
+    let mut observer = StreamingObserver::new(run, log_every, cadence, |doc| {
+        let delta = match doc.to_json_string() {
+            Ok(json) => json,
+            Err(e) => {
+                errors.push(format!("serialize delta: {e}"));
+                return;
+            }
+        };
+        match client.upload_delta(document_id, &delta) {
+            Ok(resp) if resp.status == 200 => {}
+            Ok(resp) => errors.push(format!("delta upload answered HTTP {}", resp.status)),
+            Err(e) => errors.push(format!("delta upload failed: {e}")),
+        }
+    });
+    let result = sim.run(&mut observer);
+    let shipped = observer.deltas_emitted();
+    drop(observer);
+    if errors.is_empty() {
+        Ok((result, shipped))
+    } else {
+        Err(errors.join("; "))
+    }
 }
 
 /// Reconstructs a runnable [`SimConfig`] from a run's provenance

@@ -88,6 +88,81 @@ impl GraphIndex {
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
+
+    /// Extends this index to cover `merged`, a document produced by
+    /// applying a delta onto the document this index was built from
+    /// (see `ProvDocument::apply_delta`). `new_positions` must be the
+    /// ascending positions of the delta's relations within `merged`'s
+    /// relation list.
+    ///
+    /// Only the new relations and their endpoints are indexed; existing
+    /// nodes, edges and adjacency lists are reused, so the cost is
+    /// `O(existing relations)` for the relation-index remap plus
+    /// `O(delta)` — no wholesale rebuild. New edges land at the tail of
+    /// the edge list (edge order is internal; traversals don't depend
+    /// on it), and node indices of pre-existing nodes are unchanged.
+    pub fn extended(&self, merged: &ProvDocument, new_positions: &[usize]) -> GraphIndex {
+        // Splicing the delta's relations shifted the old relations'
+        // positions; rebuild the old-index → merged-index map by
+        // walking around the inserted positions.
+        let mut old_to_new = Vec::with_capacity(self.edges.len());
+        let mut inserted = new_positions.iter().copied().peekable();
+        for i in 0..merged.relation_count() {
+            if inserted.peek() == Some(&i) {
+                inserted.next();
+            } else {
+                old_to_new.push(i);
+            }
+        }
+        debug_assert_eq!(old_to_new.len(), self.edges.len());
+
+        let mut ids = self.ids.clone();
+        let mut index = self.index.clone();
+        let mut edges = self.edges.clone();
+        let mut out = self.out.clone();
+        let mut inn = self.inn.clone();
+        for e in &mut edges {
+            e.relation = old_to_new[e.relation];
+        }
+
+        let intern = |q: &QName, ids: &mut Vec<QName>, index: &mut HashMap<QName, usize>| {
+            *index.entry(q.clone()).or_insert_with(|| {
+                ids.push(q.clone());
+                ids.len() - 1
+            })
+        };
+        // Elements the delta introduced without any relation still need
+        // nodes, exactly as a fresh build would give them.
+        for el in merged.iter_elements() {
+            intern(&el.id, &mut ids, &mut index);
+        }
+        for &pos in new_positions {
+            let rel = &merged.relations()[pos];
+            let from = intern(&rel.subject, &mut ids, &mut index);
+            let to = intern(&rel.object, &mut ids, &mut index);
+            out.resize(ids.len(), Vec::new());
+            inn.resize(ids.len(), Vec::new());
+            let ei = edges.len();
+            edges.push(Edge {
+                from,
+                to,
+                kind: rel.kind,
+                relation: pos,
+            });
+            out[from].push(ei);
+            inn[to].push(ei);
+        }
+        out.resize(ids.len(), Vec::new());
+        inn.resize(ids.len(), Vec::new());
+
+        GraphIndex {
+            ids,
+            index,
+            edges,
+            out,
+            inn,
+        }
+    }
 }
 
 /// An adjacency-indexed graph over a borrowed [`ProvDocument`].
@@ -326,6 +401,15 @@ impl SharedGraph {
         SharedGraph { doc, index }
     }
 
+    /// Assembles a shared graph from a document and an index already
+    /// known to describe it — e.g. one produced by
+    /// [`GraphIndex::extended`] alongside the merged document. The
+    /// index must have exactly one edge per document relation.
+    pub fn from_parts(doc: Arc<ProvDocument>, index: Arc<GraphIndex>) -> Self {
+        debug_assert_eq!(index.edges.len(), doc.relation_count());
+        SharedGraph { doc, index }
+    }
+
     /// The shared document.
     pub fn document(&self) -> &Arc<ProvDocument> {
         &self.doc
@@ -488,6 +572,95 @@ mod tests {
         let clone = shared.clone();
         assert!(Arc::ptr_eq(clone.index(), shared.index()));
         assert!(Arc::ptr_eq(clone.document(), shared.document()));
+    }
+
+    /// The extended index must answer every query exactly like an index
+    /// built from scratch over the merged document.
+    fn assert_matches_fresh(doc: &ProvDocument, ext: GraphIndex, locals: &[&str]) {
+        let fresh = GraphIndex::build(doc);
+        assert_eq!(ext.node_count(), fresh.node_count());
+        assert_eq!(ext.edge_count(), fresh.edge_count());
+        let ge = ProvGraph::with_index(doc, Arc::new(ext));
+        let gf = ProvGraph::with_index(doc, Arc::new(fresh));
+        for local in locals {
+            let id = q(local);
+            assert_eq!(ge.ancestors(&id), gf.ancestors(&id), "ancestors of {local}");
+            assert_eq!(
+                ge.descendants(&id),
+                gf.descendants(&id),
+                "descendants of {local}"
+            );
+        }
+        let mut roots_e = ge.roots();
+        let mut roots_f = gf.roots();
+        roots_e.sort();
+        roots_f.sort();
+        assert_eq!(roots_e, roots_f);
+        // Edge → relation back-pointers survived the remap.
+        for e in ge.edges() {
+            let rel = &ge.document().relations()[e.relation];
+            assert_eq!(ge.id(e.from), &rel.subject);
+            assert_eq!(ge.id(e.to), &rel.object);
+            assert_eq!(e.kind, rel.kind);
+        }
+    }
+
+    #[test]
+    fn extended_index_matches_fresh_build() {
+        let mut doc = pipeline_doc();
+        doc.canonicalize();
+        let base = GraphIndex::build(&doc);
+
+        let mut delta = ProvDocument::new();
+        delta.namespaces_mut().register("ex", "http://ex/").unwrap();
+        delta.entity(q("report2"));
+        delta.entity(q("isolated"));
+        delta.was_generated_by(q("report2"), q("eval"));
+        delta.used(q("eval"), q("data"));
+        delta.was_generated_by(q("report"), q("eval")); // exact duplicate — no edge
+
+        let applied = doc.apply_delta(&delta).unwrap();
+        assert_eq!(applied.new_relations.len(), 2);
+        let ext = base.extended(&doc, &applied.new_relations);
+        assert_matches_fresh(
+            &doc,
+            ext,
+            &[
+                "data", "train", "model", "eval", "report", "report2", "isolated",
+            ],
+        );
+    }
+
+    #[test]
+    fn repeated_extension_stays_consistent() {
+        let mut doc = pipeline_doc();
+        doc.canonicalize();
+        let mut index = GraphIndex::build(&doc);
+        for round in 0..3 {
+            let mut delta = ProvDocument::new();
+            delta.namespaces_mut().register("ex", "http://ex/").unwrap();
+            let ckpt = format!("ckpt{round}");
+            delta.entity(q(&ckpt));
+            delta.was_generated_by(q(&ckpt), q("train"));
+            delta.was_derived_from(q(&ckpt), q("data"));
+            let applied = doc.apply_delta(&delta).unwrap();
+            index = index.extended(&doc, &applied.new_relations);
+        }
+        assert_matches_fresh(
+            &doc,
+            index,
+            &["data", "train", "model", "ckpt0", "ckpt1", "ckpt2"],
+        );
+    }
+
+    #[test]
+    fn from_parts_assembles_shared_graph() {
+        let doc = Arc::new(pipeline_doc());
+        let index = Arc::new(GraphIndex::build(&doc));
+        let shared = SharedGraph::from_parts(Arc::clone(&doc), Arc::clone(&index));
+        assert!(Arc::ptr_eq(shared.index(), &index));
+        assert!(Arc::ptr_eq(shared.document(), &doc));
+        assert_eq!(shared.view().ancestors(&q("report")).len(), 4);
     }
 
     #[test]

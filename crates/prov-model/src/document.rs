@@ -282,6 +282,78 @@ impl ProvDocument {
         Ok(())
     }
 
+    /// Applies a *delta* document — a later, partial (or cumulative)
+    /// snapshot of the same logical document — onto `self`.
+    ///
+    /// Unlike [`ProvDocument::merge`], elements carried by the delta
+    /// **replace** the stored record wholesale instead of unioning
+    /// attribute values: a delta re-describing a metric entity carries
+    /// fresh aggregates (count, mean, last) that must supersede the
+    /// stale ones, not accumulate beside them. Relations still
+    /// deduplicate by full equality, and new ones are spliced in at
+    /// their canonical sort position so a document that was in
+    /// canonical order stays in canonical order (documents not yet
+    /// canonical are canonicalized first).
+    ///
+    /// Returns which elements were touched and where the new relations
+    /// landed, so callers can update derived indexes incrementally.
+    pub fn apply_delta(&mut self, delta: &ProvDocument) -> Result<DeltaApply, ProvError> {
+        self.namespaces.merge(&delta.namespaces)?;
+        let mut result = DeltaApply {
+            touched: delta.iter_elements().map(|e| e.id.clone()).collect(),
+            new_relations: Vec::new(),
+        };
+        for el in delta.iter_elements() {
+            self.elements.insert(el.id.clone(), el.clone());
+        }
+
+        let sorted = self.relations.windows(2).all(|w| {
+            crate::json::relation_sort_key(&w[0]) <= crate::json::relation_sort_key(&w[1])
+        });
+        if !sorted {
+            self.relations
+                .sort_by_cached_key(crate::json::relation_sort_key);
+        }
+        let mut fresh: Vec<Relation> = Vec::new();
+        for rel in &delta.relations {
+            if !self.relations.contains(rel) && !fresh.contains(rel) {
+                fresh.push(rel.clone());
+            }
+        }
+        if !fresh.is_empty() {
+            fresh.sort_by_cached_key(crate::json::relation_sort_key);
+            let old = std::mem::take(&mut self.relations);
+            let mut merged = Vec::with_capacity(old.len() + fresh.len());
+            let mut pending = fresh.into_iter().peekable();
+            for rel in old {
+                let key = crate::json::relation_sort_key(&rel);
+                // Ties break toward the existing relation, so a fresh
+                // relation lands at the end of its equal-key range.
+                while pending
+                    .peek()
+                    .is_some_and(|f| crate::json::relation_sort_key(f) < key)
+                {
+                    result.new_relations.push(merged.len());
+                    merged.push(pending.next().expect("peeked"));
+                }
+                merged.push(rel);
+            }
+            for f in pending {
+                result.new_relations.push(merged.len());
+                merged.push(f);
+            }
+            self.relations = merged;
+        }
+
+        for (name, bundle) in &delta.bundles {
+            self.bundles
+                .entry(name.clone())
+                .or_default()
+                .apply_delta(bundle)?;
+        }
+        Ok(result)
+    }
+
     /// Summary statistics, useful for explorer-style UIs and tests.
     pub fn stats(&self) -> DocumentStats {
         let mut per_relation = BTreeMap::new();
@@ -352,6 +424,19 @@ impl<'a> RecordBuilder<'a> {
     pub fn finish(self) -> &'a mut Element {
         self.element
     }
+}
+
+/// Outcome of [`ProvDocument::apply_delta`]: what the delta changed,
+/// expressed against the merged document, for incremental maintenance
+/// of derived structures (e.g. a cached graph index). Bundle-level
+/// changes are not position-tracked.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaApply {
+    /// Positions, in the merged document's relation list, of relations
+    /// the delta added (ascending).
+    pub new_relations: Vec<usize>,
+    /// Identifiers of elements the delta inserted or replaced.
+    pub touched: Vec<QName>,
 }
 
 /// Aggregate counts over a document.
@@ -461,6 +546,102 @@ mod tests {
         let rels: Vec<_> = doc.relations().to_vec();
         assert_eq!(rels[0].time, Some(t));
         assert_eq!(rels[1].time, None);
+    }
+
+    #[test]
+    fn apply_delta_replaces_elements_wholesale() {
+        let mut doc = ProvDocument::new();
+        doc.entity(q("metric"))
+            .attr(QName::yprov("samples"), AttrValue::Int(10))
+            .attr(QName::yprov("mean"), AttrValue::Double(0.5));
+        let mut delta = ProvDocument::new();
+        delta
+            .entity(q("metric"))
+            .attr(QName::yprov("samples"), AttrValue::Int(20));
+
+        let applied = doc.apply_delta(&delta).unwrap();
+        assert_eq!(applied.touched, vec![q("metric")]);
+        let el = doc.get(&q("metric")).unwrap();
+        // Replaced, not unioned: the stale mean is gone and samples
+        // holds only the new value.
+        assert_eq!(el.attrs(&QName::yprov("samples")), &[AttrValue::Int(20)]);
+        assert!(el.attr(&QName::yprov("mean")).is_none());
+    }
+
+    #[test]
+    fn apply_delta_splices_relations_at_canonical_positions() {
+        let mut doc = ProvDocument::new();
+        doc.used(q("act"), q("b"));
+        doc.used(q("act"), q("d"));
+        doc.canonicalize();
+
+        let mut delta = ProvDocument::new();
+        delta.used(q("act"), q("c"));
+        delta.used(q("act"), q("a"));
+        delta.used(q("act"), q("b")); // duplicate — dropped
+        delta.was_generated_by(q("z"), q("act"));
+
+        let applied = doc.apply_delta(&delta).unwrap();
+        let objects: Vec<String> = doc
+            .relations()
+            .iter()
+            .map(|r| r.object.to_string())
+            .collect();
+        assert_eq!(objects, ["ex:a", "ex:b", "ex:c", "ex:d", "ex:act"]);
+        assert_eq!(applied.new_relations, vec![0, 2, 4]);
+
+        // Merged-then-serialized equals canonicalized plain merge.
+        let mut reference = ProvDocument::new();
+        reference.merge(&delta).unwrap();
+        reference.used(q("act"), q("b"));
+        reference.used(q("act"), q("d"));
+        reference.canonicalize();
+        assert_eq!(doc.relations(), reference.relations());
+    }
+
+    #[test]
+    fn apply_delta_sequence_matches_full_document() {
+        // Two cumulative snapshots followed by the final document must
+        // converge to exactly the final document.
+        let mut full = ProvDocument::new();
+        full.namespaces_mut().register("ex", "http://ex/").unwrap();
+        full.entity(q("data")).label("frozen");
+        full.entity(q("model"))
+            .attr(QName::yprov("loss"), AttrValue::Double(0.1));
+        full.activity(q("train"));
+        full.used(q("train"), q("data"));
+        full.was_generated_by(q("model"), q("train"));
+        full.canonicalize();
+
+        let mut snap1 = ProvDocument::new();
+        snap1.namespaces_mut().register("ex", "http://ex/").unwrap();
+        snap1.entity(q("data")).label("frozen");
+        snap1
+            .entity(q("model"))
+            .attr(QName::yprov("loss"), AttrValue::Double(0.9));
+        snap1.activity(q("train"));
+        snap1.used(q("train"), q("data"));
+
+        let mut merged = ProvDocument::new();
+        merged.apply_delta(&snap1).unwrap();
+        merged.apply_delta(&full).unwrap();
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn apply_delta_recurses_into_bundles_and_rejects_ns_conflicts() {
+        let mut doc = ProvDocument::new();
+        doc.bundle(q("meta")).entity(q("inner"));
+        let mut delta = ProvDocument::new();
+        delta.bundle(q("meta")).entity(q("inner2"));
+        doc.apply_delta(&delta).unwrap();
+        assert_eq!(doc.get_bundle(&q("meta")).unwrap().element_count(), 2);
+
+        let mut a = ProvDocument::new();
+        a.namespaces_mut().register("ex", "http://a/").unwrap();
+        let mut b = ProvDocument::new();
+        b.namespaces_mut().register("ex", "http://b/").unwrap();
+        assert!(a.apply_delta(&b).is_err());
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl ProvDocument {
     }
 }
 
-fn relation_sort_key(r: &Relation) -> (usize, String, String, String) {
+pub(crate) fn relation_sort_key(r: &Relation) -> (usize, String, String, String) {
     let kind_pos = RelationKind::all()
         .iter()
         .position(|k| *k == r.kind)

@@ -47,7 +47,7 @@ pub mod validate;
 pub mod value;
 
 pub use datetime::XsdDateTime;
-pub use document::{ProvDocument, RecordBuilder};
+pub use document::{DeltaApply, ProvDocument, RecordBuilder};
 pub use error::ProvError;
 pub use qname::{Namespace, NamespaceRegistry, QName};
 pub use record::{Activity, Agent, Element, ElementKind, Entity};

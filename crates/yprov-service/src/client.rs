@@ -190,6 +190,19 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<Response, ClientError> {
+        self.send_with_read_timeout(method, path, body, self.policy.request_timeout)
+    }
+
+    /// [`Self::send`] with an explicit socket read timeout — the
+    /// long-poll [`Self::watch`] legitimately waits far past the normal
+    /// per-request budget while the server parks its request.
+    fn send_with_read_timeout(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        read_timeout: Duration,
+    ) -> Result<Response, ClientError> {
         let max_attempts = self.policy.max_attempts.max(1);
         // One span covers the whole logical request (all attempts); the
         // traceparent derived from it is attached to every attempt so
@@ -211,7 +224,7 @@ impl Client {
                     .unwrap_or_else(|| self.policy.backoff_delay(attempt - 1));
                 std::thread::sleep(wait);
             }
-            match self.once(method, path, body, traceparent.as_deref()) {
+            match self.once(method, path, body, traceparent.as_deref(), read_timeout) {
                 // Status 0 = unparseable response; treat like a
                 // transport failure.
                 Ok((status, _, resp_body)) if !matches!(status, 0 | 502 | 503 | 504) => {
@@ -251,6 +264,7 @@ impl Client {
         path: &str,
         body: Option<&str>,
         traceparent: Option<&str>,
+        read_timeout: Duration,
     ) -> std::io::Result<(u16, Option<u64>, String)> {
         let body = body.unwrap_or("");
         let trace_header = traceparent
@@ -262,6 +276,9 @@ impl Client {
         );
         let replayable = matches!(method, "GET" | "HEAD" | "PUT" | "DELETE" | "OPTIONS");
         if let Some(mut reader) = self.pool.lock().take() {
+            // The parked socket keeps whatever read timeout its last
+            // request used; re-arm it for this one.
+            reader.get_ref().set_read_timeout(Some(read_timeout))?;
             match exchange(&mut reader, req.as_bytes()) {
                 Ok((status, retry_after, payload, reuse)) => {
                     if reuse {
@@ -280,7 +297,7 @@ impl Client {
             }
         }
         let stream = TcpStream::connect_timeout(&self.addr, self.policy.request_timeout)?;
-        stream.set_read_timeout(Some(self.policy.request_timeout))?;
+        stream.set_read_timeout(Some(read_timeout))?;
         stream.set_write_timeout(Some(self.policy.request_timeout))?;
         let mut reader = BufReader::new(stream);
         let (status, retry_after, payload, reuse) =
@@ -309,6 +326,31 @@ impl Client {
     /// Uploads a PROV-JSON document; on 201 the body carries `{"id"}`.
     pub fn upload_document(&self, prov_json: &str) -> Result<Response, ClientError> {
         self.send("POST", "/api/v0/documents", Some(prov_json))
+    }
+
+    /// Merges a standalone PROV-JSON delta into document `id`; on 200
+    /// the body carries `{"id", "version"}` with the post-merge watch
+    /// cursor.
+    pub fn upload_delta(&self, id: &str, delta_json: &str) -> Result<Response, ClientError> {
+        self.send(
+            "POST",
+            &format!("/api/v0/documents/{id}/deltas"),
+            Some(delta_json),
+        )
+    }
+
+    /// Long-polls document `id` for a version newer than `after`,
+    /// parking server-side for up to `timeout`. The socket read timeout
+    /// is widened past the park window so a quiet document does not
+    /// read as a transport failure.
+    pub fn watch(&self, id: &str, after: u64, timeout: Duration) -> Result<Response, ClientError> {
+        let timeout_ms = timeout.as_millis().min(30_000) as u64;
+        self.send_with_read_timeout(
+            "GET",
+            &format!("/api/v0/documents/{id}/watch?after={after}&timeout_ms={timeout_ms}"),
+            None,
+            self.policy.request_timeout + Duration::from_millis(timeout_ms),
+        )
     }
 }
 
@@ -584,6 +626,45 @@ mod tests {
             resp.attempts, 2,
             "a non-idempotent resend must be a counted retry"
         );
+    }
+
+    #[test]
+    fn delta_upload_and_watch_long_poll_round_trip() {
+        let server =
+            Server::bind("127.0.0.1:0", DocumentStore::new(), ServerConfig::default()).unwrap();
+        let client = Client::new(server.addr(), fast_policy());
+        let up = client.upload_document(&sample_doc_json()).unwrap();
+        assert_eq!(up.status, 201);
+        let id = up.body.split('"').nth(3).unwrap().to_string();
+
+        // A watcher parked past the current version must wake when the
+        // delta lands, carrying the merged document.
+        let watcher = {
+            let client = client.clone();
+            let id = id.clone();
+            std::thread::spawn(move || client.watch(&id, 1, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(100)); // let the watcher park
+
+        let mut delta = prov_model::ProvDocument::new();
+        delta.namespaces_mut().register("ex", "http://ex/").unwrap();
+        delta.entity(prov_model::QName::new("ex", "extra"));
+        let resp = client
+            .upload_delta(&id, &delta.to_json_string().unwrap())
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"version\":2"), "{}", resp.body);
+
+        let woke = watcher.join().unwrap().unwrap();
+        assert_eq!(woke.status, 200);
+        assert!(woke.body.contains("\"changed\":true"), "{}", woke.body);
+        assert!(woke.body.contains("\"version\":2"), "{}", woke.body);
+        assert!(
+            woke.body.contains("extra"),
+            "woken watch carries the merged document: {}",
+            woke.body
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -41,6 +41,8 @@
 //! | GET    | `/api/v0/documents/{id}/provn` | PROV-N rendering (text) |
 //! | GET    | `/api/v0/documents/{id}/turtle` | PROV-O / Turtle rendering |
 //! | GET    | `/api/v0/documents/{id}/dot` | Graphviz DOT of the graph |
+//! | POST   | `/api/v0/documents/{id}/deltas` | merge a PROV-JSON delta (ledgered + replicated) |
+//! | GET    | `/api/v0/documents/{id}/watch?after=N&timeout_ms=M` | long-poll for a version newer than `N` |
 //! | GET    | `/api/v0/ledger` | the tamper-evident upload chain |
 //! | PUT    | `/api/v0/documents/{id}` | upload/replace under a chosen id |
 //! | GET    | `/api/v0/ledger/verify` | verify every chain this node holds |
@@ -56,7 +58,7 @@
 
 use crate::cluster::Replicator;
 use crate::error::ServiceError;
-use crate::store::DocumentStore;
+use crate::store::{DocumentStore, WatchOutcome};
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use prov_model::{ProvDocument, QName};
 use serde_json::json;
@@ -516,6 +518,8 @@ pub(crate) fn route_label(path: &str) -> &'static str {
         ["api", "v0", "documents", _, "provn"] => "/api/v0/documents/{id}/provn",
         ["api", "v0", "documents", _, "turtle"] => "/api/v0/documents/{id}/turtle",
         ["api", "v0", "documents", _, "dot"] => "/api/v0/documents/{id}/dot",
+        ["api", "v0", "documents", _, "deltas"] => "/api/v0/documents/{id}/deltas",
+        ["api", "v0", "documents", _, "watch"] => "/api/v0/documents/{id}/watch",
         _ => "unmatched",
     }
 }
@@ -946,6 +950,64 @@ pub(crate) fn route(
             ),
             None => not_found(id),
         },
+
+        ("POST", ["api", "v0", "documents", id, "deltas"]) => {
+            let text = match std::str::from_utf8(&req.body) {
+                Ok(t) => t,
+                Err(_) => return (400, json!({"error": "body is not UTF-8"}).to_string()),
+            };
+            match ProvDocument::from_json_str(text) {
+                Ok(delta) => match store.merge_delta(id, &delta) {
+                    Ok((up, version)) => {
+                        // The merged document replicates through the
+                        // ordinary frame path: the Upload carries the
+                        // full post-merge bytes, so replicas need no
+                        // delta-aware logic.
+                        let (status, body) = acked_response(replicator, store, &up);
+                        if status == 201 {
+                            (200, json!({"id": up.id, "version": version}).to_string())
+                        } else {
+                            (status, body)
+                        }
+                    }
+                    Err(e) => error_response(&e),
+                },
+                Err(e) => (400, json!({"error": e.to_string()}).to_string()),
+            }
+        }
+
+        ("GET", ["api", "v0", "documents", id, "watch"]) => {
+            let num = |key: &str| {
+                req.query
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+            };
+            let after = num("after").unwrap_or(0);
+            let timeout_ms = num("timeout_ms").unwrap_or(10_000).min(30_000);
+            // Long-poll: this blocks the worker thread, not the reactor.
+            // The connection counts as in-flight the whole time, so the
+            // idle-reap sweep leaves it alone while it is parked here.
+            match store.wait_for_newer(id, after, Duration::from_millis(timeout_ms)) {
+                WatchOutcome::Gone => not_found(id),
+                WatchOutcome::Unchanged(version) => (
+                    200,
+                    json!({"id": *id, "version": version, "changed": false}).to_string(),
+                ),
+                WatchOutcome::Changed(version) => match store.document_json(id) {
+                    // The stored canonical bytes embed verbatim — the
+                    // watcher receives exactly what a plain GET serves.
+                    Ok(doc_json) => (
+                        200,
+                        format!(
+                            "{{\"id\":{},\"version\":{version},\"changed\":true,\"document\":{doc_json}}}",
+                            json!(*id)
+                        ),
+                    ),
+                    Err(e) => error_response(&e),
+                },
+            }
+        }
 
         ("GET", ["api", "v0", "documents", id, "subgraph"]) => match focus(req) {
             None => (
@@ -1623,6 +1685,98 @@ mod tests {
         );
         assert!(
             scrape.contains("http_request_duration_seconds_bucket{route=\"/api/v0/documents\","),
+            "{scrape}"
+        );
+        server.shutdown();
+    }
+
+    fn delta_json() -> String {
+        let mut delta = ProvDocument::new();
+        delta.namespaces_mut().register("ex", "http://ex/").unwrap();
+        delta.activity(QName::new("ex", "eval"));
+        delta.entity(QName::new("ex", "report"));
+        delta.used(QName::new("ex", "eval"), QName::new("ex", "model"));
+        delta.was_generated_by(QName::new("ex", "report"), QName::new("ex", "eval"));
+        delta.to_json_string().unwrap()
+    }
+
+    #[test]
+    fn delta_upload_merges_and_watch_observes_versions() {
+        let server = start();
+        let addr = server.addr();
+        let (status, body) =
+            request(addr, "POST", "/api/v0/documents", Some(&sample_doc_json())).unwrap();
+        assert_eq!(status, 201, "{body}");
+
+        // A watch cursor behind the current version answers immediately
+        // with the document inline.
+        let (status, w) =
+            request(addr, "GET", "/api/v0/documents/doc-1/watch?after=0", None).unwrap();
+        assert_eq!(status, 200, "{w}");
+        let w: serde_json::Value = serde_json::from_str(&w).unwrap();
+        assert_eq!(w["changed"], true);
+        assert_eq!(w["version"], 1);
+        assert_eq!(w["id"], "doc-1");
+
+        // Park a watcher past the head, then merge a delta: it wakes
+        // with the merged document, well before its timeout.
+        let watcher = std::thread::spawn(move || {
+            request(
+                addr,
+                "GET",
+                "/api/v0/documents/doc-1/watch?after=1&timeout_ms=10000",
+                None,
+            )
+            .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let (status, body) = request(
+            addr,
+            "POST",
+            "/api/v0/documents/doc-1/deltas",
+            Some(&delta_json()),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["version"], 2);
+        let (status, w) = watcher.join().unwrap();
+        assert_eq!(status, 200, "{w}");
+        let w: serde_json::Value = serde_json::from_str(&w).unwrap();
+        assert_eq!(w["changed"], true);
+        assert_eq!(w["version"], 2);
+        let merged = ProvDocument::from_json_str(&w["document"].to_string()).unwrap();
+        assert_eq!(merged.element_count(), 5);
+
+        // At the head, the watch times out unchanged.
+        let (status, w) = request(
+            addr,
+            "GET",
+            "/api/v0/documents/doc-1/watch?after=2&timeout_ms=100",
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let w: serde_json::Value = serde_json::from_str(&w).unwrap();
+        assert_eq!(w["changed"], false);
+        assert_eq!(w["version"], 2);
+
+        // Ghost documents 404; the merged lineage spans the delta; the
+        // merge is visible as an incremental index extension.
+        let (status, _) = request(addr, "GET", "/api/v0/documents/ghost/watch", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, anc) = request(
+            addr,
+            "GET",
+            "/api/v0/documents/doc-1/ancestors?focus=ex:report",
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert!(anc.contains("ex:data"), "{anc}");
+        let (_, scrape) = request(addr, "GET", "/metrics", None).unwrap();
+        assert!(
+            scrape.contains("store_incremental_merges_total 1"),
             "{scrape}"
         );
         server.shutdown();

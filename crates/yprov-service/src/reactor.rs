@@ -826,6 +826,14 @@ impl Reactor {
                 Some(conn) if conn.gen == gen => {
                     conn.in_flight = false;
                     conn.served = true;
+                    // The idle clock restarts at the *response*, not the
+                    // last read. A long-poll watch legitimately parks a
+                    // request with a worker for far longer than
+                    // `idle_timeout`; judging the quiet period from the
+                    // request bytes would reap the connection the moment
+                    // its answer flushed, racing the client's next poll
+                    // on the keep-alive socket.
+                    conn.last_activity = Instant::now();
                     // An error response (503 shed, parse reject) already
                     // sits in the write queue: appending this body after
                     // it would hand the client bytes for a request it
@@ -1036,6 +1044,11 @@ impl Reactor {
                     self.parse_reject(idx, 400, "read error: request timed out".to_string());
                 }
             } else if idle && !error_close {
+                // `idle()` is false while a request is with a worker, so
+                // a parked long-poll watch is exempt from this branch for
+                // as long as it waits; its `partial_since` is also `None`
+                // (the request parsed completely), so the slowloris bound
+                // above cannot misjudge it either.
                 let quiet = now.duration_since(last_activity);
                 if served {
                     if quiet > self.cfg.idle_timeout {

@@ -11,7 +11,12 @@
 //!   rebuild per request and become O(answer) walks over a shared
 //!   index. Replacement and deletion invalidate the cached index;
 //! * **the tamper-evident ledger** — a hash chain over every upload,
-//!   appended (not rewritten) through the backend's ledger hook.
+//!   appended (not rewritten) through the backend's ledger hook;
+//! * **watch cursors** — a per-document version that bumps on every
+//!   mutation, with a condvar long-poll (`wait_for_newer`) behind the
+//!   service's watch endpoint. Delta uploads fold into the stored
+//!   document via [`DocumentStore::merge_delta`], extending the cached
+//!   index incrementally when it is still current.
 //!
 //! Cache hits/misses and backend put/get latency are recorded in the
 //! store's [`obs::Registry`], exposed through the HTTP `/metrics`
@@ -20,13 +25,14 @@
 use crate::backend::{DurableBackend, MemoryBackend, StorageBackend, SyncPolicy};
 use crate::error::ServiceError;
 use crate::ledger::{Ledger, LedgerEntry};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use prov_graph::SharedGraph;
 use prov_model::{ProvDocument, QName};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use yprov4ml::hash::sha256_hex;
 
 struct StoreMetrics {
@@ -35,6 +41,7 @@ struct StoreMetrics {
     put_seconds: Arc<obs::Histogram>,
     get_seconds: Arc<obs::Histogram>,
     ledger_truncations: Arc<obs::Counter>,
+    incremental_merges: Arc<obs::Counter>,
 }
 
 impl StoreMetrics {
@@ -43,14 +50,62 @@ impl StoreMetrics {
             "store_ledger_truncations_total",
             "Torn ledger/replication-chain tails truncated on load.",
         );
+        registry.set_help(
+            "store_incremental_merges_total",
+            "Delta merges that extended the cached graph index in place \
+             instead of rebuilding it from scratch.",
+        );
         StoreMetrics {
             cache_hits: registry.counter("store_graph_cache_hits_total"),
             cache_misses: registry.counter("store_graph_cache_misses_total"),
             put_seconds: registry.histogram("store_backend_put_seconds"),
             get_seconds: registry.histogram("store_backend_get_seconds"),
             ledger_truncations: registry.counter("store_ledger_truncations_total"),
+            incremental_merges: registry.counter("store_incremental_merges_total"),
         }
     }
+}
+
+/// Per-document version cursors plus the condvar parked watchers sleep
+/// on. A document's version starts at 1 when it first becomes visible
+/// (upload, replicated apply, or load at open) and bumps on every
+/// mutation — replacement, delta merge, replicated refresh. Deletion
+/// removes the cursor so waiters observe [`WatchOutcome::Gone`].
+struct WatchHub {
+    versions: Mutex<BTreeMap<String, u64>>,
+    cv: Condvar,
+}
+
+impl WatchHub {
+    fn bump(&self, id: &str) -> u64 {
+        let mut versions = self.versions.lock();
+        let slot = versions.entry(id.to_string()).or_insert(0);
+        *slot += 1;
+        let v = *slot;
+        self.cv.notify_all();
+        v
+    }
+
+    fn remove(&self, id: &str) {
+        let removed = self.versions.lock().remove(id).is_some();
+        if removed {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// What a long-poll wait observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchOutcome {
+    /// The document moved past the caller's cursor; the payload is the
+    /// current version.
+    Changed(u64),
+    /// The wait timed out with the document still at (or below) the
+    /// caller's cursor; the payload is the current version.
+    Unchanged(u64),
+    /// The document does not exist (never did, or was deleted while the
+    /// caller was parked).
+    Gone,
 }
 
 /// One upload's full outcome — what a replicating primary needs to ship
@@ -144,6 +199,8 @@ struct Inner {
     repl: Mutex<BTreeMap<String, Ledger>>,
     registry: Arc<obs::Registry>,
     metrics: StoreMetrics,
+    /// Version cursors for the watch endpoint.
+    watch: WatchHub,
 }
 
 impl Default for DocumentStore {
@@ -228,6 +285,10 @@ impl DocumentStore {
         // Every chain load above has happened by now; surface the torn
         // tails the backend repaired so they are visible in /metrics.
         metrics.ledger_truncations.add(backend.ledger_truncations());
+        // Reloaded documents start their watch cursor at 1 — a watcher
+        // reconnecting after a restart with `after=0` sees them as
+        // changed and refetches.
+        let versions = docs.keys().map(|id| (id.clone(), 1u64)).collect();
         Ok(DocumentStore {
             inner: Arc::new(Inner {
                 backend,
@@ -238,6 +299,10 @@ impl DocumentStore {
                 repl: Mutex::new(repl),
                 registry,
                 metrics,
+                watch: WatchHub {
+                    versions: Mutex::new(versions),
+                    cv: Condvar::new(),
+                },
             }),
         })
     }
@@ -261,6 +326,12 @@ impl DocumentStore {
         )
     }
 
+    /// How many delta merges extended the cached graph index in place
+    /// (the `store_incremental_merges_total` counter).
+    pub fn incremental_merges(&self) -> u64 {
+        self.inner.metrics.incremental_merges.get()
+    }
+
     /// The ledger entries, oldest first.
     pub fn ledger_entries(&self) -> Vec<crate::ledger::LedgerEntry> {
         self.inner.ledger.lock().entries().to_vec()
@@ -280,27 +351,37 @@ impl DocumentStore {
     }
 
     /// Serializes, persists and indexes one document under `id`.
-    fn insert(&self, id: String, doc: ProvDocument) -> Result<Upload, ServiceError> {
+    ///
+    /// The document is canonicalized first, so the stored bytes (and the
+    /// digest the ledger commits to) are identical however the relations
+    /// were ordered at upload — which is what lets a stream of deltas
+    /// converge byte-for-byte with a finalize-only upload.
+    fn insert(&self, id: String, mut doc: ProvDocument) -> Result<Upload, ServiceError> {
+        doc.canonicalize();
         let json = doc.to_json_string()?;
-        let entry = {
-            // One critical section for the byte write and the ledger
-            // append, so chain order always matches visible state even
-            // under concurrent replacement of the same id.
-            let mut ledger = self.inner.ledger.lock();
-            let put_span = self.inner.metrics.put_seconds.start_span();
-            self.inner.backend.put(&id, json.as_bytes())?;
-            drop(put_span);
-            let entry = ledger.append(&id, json.as_bytes()).clone();
-            self.inner.backend.ledger_append(&entry.to_line())?;
-            entry
-        };
+        // One critical section for the byte write, the ledger append
+        // *and* the in-memory maps, so chain order always matches
+        // visible state even under concurrent replacement of the same
+        // id — and a concurrent delta merge can never interleave its
+        // read-modify-write with ours.
+        let ledger = &mut *self.inner.ledger.lock();
+        let put_span = self.inner.metrics.put_seconds.start_span();
+        self.inner.backend.put(&id, json.as_bytes())?;
+        drop(put_span);
+        let entry = ledger.append(&id, json.as_bytes()).clone();
+        self.inner.backend.ledger_append(&entry.to_line())?;
         let doc = Arc::new(doc);
-        // Build the graph index once, at upload time; queries share it.
-        self.inner
-            .graphs
-            .write()
-            .insert(id.clone(), SharedGraph::new(Arc::clone(&doc)));
-        self.inner.docs.write().insert(id.clone(), doc);
+        {
+            // Graph and document swap under both write locks (graphs
+            // before docs, the store-wide order) so no reader ever pairs
+            // the new document with a superseded index or vice versa.
+            let mut graphs = self.inner.graphs.write();
+            let mut docs = self.inner.docs.write();
+            // Build the graph index once, at upload time; queries share it.
+            graphs.insert(id.clone(), SharedGraph::new(Arc::clone(&doc)));
+            docs.insert(id.clone(), doc);
+        }
+        self.inner.watch.bump(&id);
         Ok(Upload {
             id,
             entry,
@@ -378,8 +459,17 @@ impl DocumentStore {
     /// graph index is dropped.
     pub fn delete(&self, id: &str) -> Result<bool, ServiceError> {
         let existed_on_backend = self.inner.backend.delete(id)?;
-        self.inner.graphs.write().remove(id);
-        let existed = self.inner.docs.write().remove(id).is_some();
+        let existed = {
+            // Both maps clear under both write locks: a lazy graph
+            // builder can no longer observe the half-deleted state
+            // (graph gone, document still present) and resurrect a
+            // cache entry for a dead id.
+            let mut graphs = self.inner.graphs.write();
+            let mut docs = self.inner.docs.write();
+            graphs.remove(id);
+            docs.remove(id).is_some()
+        };
+        self.inner.watch.remove(id);
         Ok(existed || existed_on_backend)
     }
 
@@ -411,11 +501,29 @@ impl DocumentStore {
             .get(id)
             .ok_or_else(|| ServiceError::NotFound { id: id.to_string() })?;
         self.inner.metrics.cache_misses.inc();
-        let built = SharedGraph::new(doc);
+        let built = SharedGraph::new(Arc::clone(&doc));
+        let mut graphs = self.inner.graphs.write();
         // A racing query may have built it first; keep the existing one
         // so concurrent views share a single index.
-        let mut graphs = self.inner.graphs.write();
-        Ok(graphs.entry(id.to_string()).or_insert(built).clone())
+        if let Some(g) = graphs.get(id) {
+            return Ok(g.clone());
+        }
+        // Re-check, under the write lock, that the document we indexed
+        // is still the current one. Without this a builder racing a
+        // replace (or delete) would re-insert an index over the
+        // superseded document *after* the writer invalidated the cache,
+        // and every later query would serve stale lineage as a "hit".
+        let docs = self.inner.docs.read();
+        match docs.get(id) {
+            Some(current) if Arc::ptr_eq(current, &doc) => {
+                graphs.insert(id.to_string(), built.clone());
+                Ok(built)
+            }
+            // Replaced while we were building: serve an index over the
+            // current document but leave the cache to the writer.
+            Some(current) => Ok(SharedGraph::new(Arc::clone(current))),
+            None => Err(ServiceError::NotFound { id: id.to_string() }),
+        }
     }
 
     /// Provenance ancestors of `focus` inside document `id` (the
@@ -435,6 +543,116 @@ impl DocumentStore {
         keep.extend(graph.descendants(focus));
         keep.insert(focus.clone());
         Ok(prov_graph::subgraph(shared.document(), &keep))
+    }
+
+    // -----------------------------------------------------------------
+    // Live streaming: delta merge + watch cursors
+    // -----------------------------------------------------------------
+
+    /// Folds a standalone PROV-JSON delta document into the stored
+    /// document `id`: elements in the delta replace their stored
+    /// counterparts wholesale (so re-emitted aggregates supersede stale
+    /// values), genuinely new relations splice in at their canonical
+    /// positions, and the result is persisted, ledgered and replicated
+    /// exactly like a full upload.
+    ///
+    /// When the cached [`SharedGraph`] still indexes the pre-merge
+    /// document, the index is *extended* with just the new nodes and
+    /// edges ([`prov_graph::GraphIndex::extended`]) instead of rebuilt —
+    /// counted by `store_incremental_merges_total`.
+    ///
+    /// Returns the [`Upload`] (carrying the merged canonical bytes, so
+    /// the existing full-document replication path ships it unchanged)
+    /// and the document's new watch version.
+    pub fn merge_delta(
+        &self,
+        id: &str,
+        delta: &ProvDocument,
+    ) -> Result<(Upload, u64), ServiceError> {
+        // The whole read-modify-write runs under the ledger lock — the
+        // same critical section `insert` uses — so concurrent merges
+        // and replacements of one id serialize instead of losing
+        // updates.
+        let ledger = &mut *self.inner.ledger.lock();
+        let current = self
+            .inner
+            .docs
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServiceError::NotFound { id: id.to_string() })?;
+        let cached = self.inner.graphs.read().get(id).cloned();
+        let mut merged = (*current).clone();
+        let applied = merged
+            .apply_delta(delta)
+            .map_err(|e| ServiceError::Conflict {
+                reason: format!("merging delta into {id}: {e}"),
+            })?;
+        let json = merged.to_json_string()?;
+        let put_span = self.inner.metrics.put_seconds.start_span();
+        self.inner.backend.put(id, json.as_bytes())?;
+        drop(put_span);
+        let entry = ledger.append(id, json.as_bytes()).clone();
+        self.inner.backend.ledger_append(&entry.to_line())?;
+        let merged = Arc::new(merged);
+        let shared = match &cached {
+            // The cached index describes exactly the document we merged
+            // into: extend it with the delta's additions only.
+            Some(g) if Arc::ptr_eq(g.document(), &current) => {
+                self.inner.metrics.incremental_merges.inc();
+                let index = g.index().extended(&merged, &applied.new_relations);
+                SharedGraph::from_parts(Arc::clone(&merged), Arc::new(index))
+            }
+            // Cold cache (reopened store) or a stale entry: full build.
+            _ => SharedGraph::new(Arc::clone(&merged)),
+        };
+        {
+            let mut graphs = self.inner.graphs.write();
+            let mut docs = self.inner.docs.write();
+            graphs.insert(id.to_string(), shared);
+            docs.insert(id.to_string(), Arc::clone(&merged));
+        }
+        let version = self.inner.watch.bump(id);
+        Ok((
+            Upload {
+                id: id.to_string(),
+                entry,
+                canonical_json: json,
+            },
+            version,
+        ))
+    }
+
+    /// The document's current watch version, if it exists. Versions
+    /// start at 1 and bump on every mutation (replace, delta merge,
+    /// replicated refresh).
+    pub fn document_version(&self, id: &str) -> Option<u64> {
+        self.inner.watch.versions.lock().get(id).copied()
+    }
+
+    /// Parks the caller until document `id` moves past version `after`,
+    /// the timeout elapses, or the document is deleted. This is the
+    /// blocking half of the long-poll watch endpoint; spurious condvar
+    /// wakeups re-check and keep waiting.
+    pub fn wait_for_newer(&self, id: &str, after: u64, timeout: Duration) -> WatchOutcome {
+        let deadline = Instant::now() + timeout;
+        let hub = &self.inner.watch;
+        let mut versions = hub.versions.lock();
+        loop {
+            match versions.get(id).copied() {
+                None => return WatchOutcome::Gone,
+                Some(v) if v > after => return WatchOutcome::Changed(v),
+                Some(_) => {
+                    if hub.cv.wait_until(&mut versions, deadline).timed_out() {
+                        return match versions.get(id).copied() {
+                            None => WatchOutcome::Gone,
+                            Some(v) if v > after => WatchOutcome::Changed(v),
+                            Some(v) => WatchOutcome::Unchanged(v),
+                        };
+                    }
+                }
+            }
+        }
     }
 
     // -----------------------------------------------------------------
@@ -519,11 +737,13 @@ impl DocumentStore {
                 self.inner.next_id.fetch_max(n, Ordering::Relaxed);
             }
             let doc = Arc::new(doc);
-            self.inner
-                .graphs
-                .write()
-                .insert(id.clone(), SharedGraph::new(Arc::clone(&doc)));
-            self.inner.docs.write().insert(id, doc);
+            {
+                let mut graphs = self.inner.graphs.write();
+                let mut docs = self.inner.docs.write();
+                graphs.insert(id.clone(), SharedGraph::new(Arc::clone(&doc)));
+                docs.insert(id.clone(), doc);
+            }
+            self.inner.watch.bump(&id);
         }
         let line = entry.to_line();
         chain
@@ -1144,5 +1364,235 @@ mod tests {
         let store = DocumentStore::persistent(&dir).unwrap();
         assert_eq!(store.backend_name(), "durable");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A standalone delta extending [`pipeline_doc`]: an `eval` activity
+    /// consuming the model, generating a report.
+    fn eval_delta() -> ProvDocument {
+        let mut delta = ProvDocument::new();
+        delta.namespaces_mut().register("ex", "http://ex/").unwrap();
+        delta.activity(q("eval"));
+        delta.entity(q("report"));
+        delta.used(q("eval"), q("model"));
+        delta.was_generated_by(q("report"), q("eval"));
+        delta
+    }
+
+    #[test]
+    fn delta_merges_match_the_premerged_upload_byte_for_byte() {
+        // Streamed path: base document, then a delta folded in.
+        let streamed = DocumentStore::new();
+        streamed.upload_as("run-1", pipeline_doc()).unwrap();
+        let (up, _) = streamed.merge_delta("run-1", &eval_delta()).unwrap();
+
+        // Finalize-only path: the same content uploaded once, with the
+        // relations deliberately inserted in a scrambled order.
+        let mut full = ProvDocument::new();
+        full.namespaces_mut().register("ex", "http://ex/").unwrap();
+        full.entity(q("report"));
+        full.activity(q("eval"));
+        full.was_generated_by(q("report"), q("eval"));
+        full.used(q("eval"), q("model"));
+        full.entity(q("data"));
+        full.activity(q("train"));
+        full.entity(q("model"));
+        full.was_generated_by(q("model"), q("train"));
+        full.used(q("train"), q("data"));
+        let premerged = DocumentStore::new();
+        premerged.upload_as("run-1", full).unwrap();
+
+        let streamed_json = streamed.document_json("run-1").unwrap();
+        assert_eq!(
+            streamed_json,
+            premerged.document_json("run-1").unwrap(),
+            "streamed deltas must converge to the finalize-only bytes"
+        );
+        assert_eq!(up.canonical_json, streamed_json);
+        // The merged lineage spans base and delta.
+        let anc = streamed.ancestors("run-1", &q("report")).unwrap();
+        assert!(anc.contains(&q("eval")));
+        assert!(anc.contains(&q("model")));
+        assert!(anc.contains(&q("data")));
+    }
+
+    #[test]
+    fn merge_delta_extends_the_cached_index_instead_of_rebuilding() {
+        let store = DocumentStore::new();
+        store.upload_as("run-1", pipeline_doc()).unwrap();
+        assert_eq!(store.incremental_merges(), 0);
+        store.merge_delta("run-1", &eval_delta()).unwrap();
+        assert_eq!(
+            store.incremental_merges(),
+            1,
+            "a warm cache entry must be extended, not rebuilt"
+        );
+        // The extended index answers queries as a plain cache hit.
+        let (hits_before, misses_before) = store.graph_cache_stats();
+        let anc = store.ancestors("run-1", &q("report")).unwrap();
+        assert!(anc.contains(&q("data")));
+        assert_eq!(store.graph_cache_stats(), (hits_before + 1, misses_before));
+
+        // With the cache evicted (reopened store / cold cache) the merge
+        // falls back to a full rebuild and the counter stays put.
+        store.clear_index_cache();
+        store.merge_delta("run-1", &ProvDocument::new()).unwrap();
+        assert_eq!(store.incremental_merges(), 1);
+        let g = store.graph("run-1").unwrap();
+        assert_eq!(g.view().edge_count(), g.document().relation_count());
+    }
+
+    #[test]
+    fn merge_delta_rejects_unknown_ids_and_namespace_conflicts() {
+        let store = DocumentStore::new();
+        assert!(matches!(
+            store.merge_delta("ghost", &eval_delta()),
+            Err(ServiceError::NotFound { .. })
+        ));
+        let id = store.upload(pipeline_doc()).unwrap();
+        let mut clash = ProvDocument::new();
+        clash
+            .namespaces_mut()
+            .register("ex", "http://other/")
+            .unwrap();
+        clash.entity(q("x"));
+        assert!(matches!(
+            store.merge_delta(&id, &clash),
+            Err(ServiceError::Conflict { .. })
+        ));
+        // The failed merge left nothing behind: same version, same bytes.
+        assert_eq!(store.document_version(&id), Some(1));
+        assert!(store.get(&id).unwrap().get(&q("x")).is_none());
+    }
+
+    #[test]
+    fn merged_delta_replicates_like_a_full_upload() {
+        let primary = DocumentStore::new();
+        let replica = DocumentStore::new();
+        let up1 = primary.upload_as_full("run-1", pipeline_doc()).unwrap();
+        let (up2, _) = primary.merge_delta("run-1", &eval_delta()).unwrap();
+        // The merge's Upload rides the ordinary frame path: entry plus
+        // full merged bytes.
+        replica
+            .apply_replicated("node-a", up1.entry.clone(), Some(&up1.canonical_json))
+            .unwrap();
+        let applied = replica
+            .apply_replicated("node-a", up2.entry.clone(), Some(&up2.canonical_json))
+            .unwrap();
+        assert_eq!(applied, ReplicationApply::Applied);
+        assert_eq!(
+            replica.document_json("run-1").unwrap(),
+            primary.document_json("run-1").unwrap()
+        );
+        assert!(replica
+            .ancestors("run-1", &q("report"))
+            .unwrap()
+            .contains(&q("data")));
+        // Each applied frame bumped the replica's watch cursor too.
+        assert_eq!(replica.document_version("run-1"), Some(2));
+        replica.verify_all().unwrap();
+    }
+
+    #[test]
+    fn watch_cursors_track_mutations_and_deletion() {
+        let store = DocumentStore::new();
+        assert_eq!(store.document_version("doc-1"), None);
+        assert_eq!(
+            store.wait_for_newer("ghost", 0, Duration::from_millis(10)),
+            WatchOutcome::Gone
+        );
+        let id = store.upload(pipeline_doc()).unwrap();
+        assert_eq!(store.document_version(&id), Some(1));
+
+        // A parked watcher wakes on the merge, well before its timeout.
+        let waiter = {
+            let store = store.clone();
+            let id = id.clone();
+            std::thread::spawn(move || store.wait_for_newer(&id, 1, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        let (_, version) = store.merge_delta(&id, &eval_delta()).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(waiter.join().unwrap(), WatchOutcome::Changed(2));
+
+        // A cursor already at the head times out unchanged; a stale one
+        // returns immediately.
+        assert_eq!(
+            store.wait_for_newer(&id, 2, Duration::from_millis(20)),
+            WatchOutcome::Unchanged(2)
+        );
+        assert_eq!(
+            store.wait_for_newer(&id, 0, Duration::from_secs(10)),
+            WatchOutcome::Changed(2)
+        );
+
+        // Deletion wakes parked watchers with Gone.
+        let waiter = {
+            let store = store.clone();
+            let id = id.clone();
+            std::thread::spawn(move || store.wait_for_newer(&id, 2, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        store.delete(&id).unwrap();
+        assert_eq!(waiter.join().unwrap(), WatchOutcome::Gone);
+    }
+
+    #[test]
+    fn replace_while_querying_never_serves_stale_graph() {
+        // Pins the graph() TOCTOU fix: with the cache evicted, a lazy
+        // builder racing replacements must never re-insert (or serve) an
+        // index over a superseded document.
+        const GENS: usize = 60;
+        fn doc_gen(n: usize) -> ProvDocument {
+            let mut doc = ProvDocument::new();
+            doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+            doc.activity(q("train"));
+            for i in 0..=n {
+                let e = q(&format!("gen-{i}"));
+                doc.entity(e.clone());
+                doc.used(q("train"), e);
+            }
+            doc
+        }
+        let store = DocumentStore::new();
+        store.upload_as("run-1", doc_gen(0)).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let store = store.clone();
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    // Evict so this thread exercises the lazy-build path
+                    // the race lived in.
+                    store.clear_index_cache();
+                    let g = store.graph("run-1").unwrap();
+                    let doc = g.document();
+                    let gen = doc.element_count() - 2;
+                    assert_eq!(
+                        g.view().edge_count(),
+                        doc.relation_count(),
+                        "a served index must describe its own document"
+                    );
+                    assert!(
+                        gen >= last,
+                        "lineage regressed from generation {last} to {gen}"
+                    );
+                    last = gen;
+                }
+            }));
+        }
+        for n in 1..=GENS {
+            store.upload_as("run-1", doc_gen(n)).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        // After the last replacement no stale entry may linger: the next
+        // query must serve the final generation.
+        let g = store.graph("run-1").unwrap();
+        assert_eq!(g.document().element_count(), GENS + 2);
+        assert_eq!(g.view().edge_count(), GENS + 1);
     }
 }

@@ -340,6 +340,92 @@ fn idle_keep_alive_connection_is_reaped() {
 }
 
 #[test]
+fn parked_watch_outlives_the_idle_reaper() {
+    // A long-poll watch parks far longer than the idle timeout. The
+    // sweep must not reap it while parked (it is in flight, not idle),
+    // and after the response lands the idle clock must restart — a
+    // regression guard for the sweep judging quiet time from the last
+    // *read* instead of the last activity.
+    let store = DocumentStore::new();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        store,
+        ServerConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut doc = prov_model::ProvDocument::new();
+    doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+    doc.entity(prov_model::QName::new("ex", "data"));
+    let (status, upload) = request(
+        server.addr(),
+        "POST",
+        "/api/v0/documents",
+        Some(&doc.to_json_string().unwrap()),
+    )
+    .unwrap();
+    assert_eq!(status, 201, "{upload}");
+    let id: serde_json::Value = serde_json::from_str(&upload).unwrap();
+    let id = id["id"].as_str().unwrap().to_string();
+
+    let stream = connect(&server);
+    let mut reader = BufReader::new(stream);
+    // Serve once so the connection is reap-eligible, then park a watch
+    // for up to 2 s — ten times the idle timeout.
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    reader
+        .get_mut()
+        .write_all(
+            format!(
+                "GET /api/v0/documents/{id}/watch?after=1&timeout_ms=2000 HTTP/1.1\r\n\
+                 Connection: keep-alive\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+
+    // Stay parked well past the idle timeout, then merge a delta.
+    std::thread::sleep(Duration::from_millis(600));
+    let mut delta = prov_model::ProvDocument::new();
+    delta.namespaces_mut().register("ex", "http://ex/").unwrap();
+    delta.entity(prov_model::QName::new("ex", "extra"));
+    let (status, merged) = request(
+        server.addr(),
+        "POST",
+        &format!("/api/v0/documents/{id}/deltas"),
+        Some(&delta.to_json_string().unwrap()),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{merged}");
+
+    // The parked watch gets its event instead of a silent reap.
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"changed\":true"), "{body}");
+    assert!(body.contains("\"version\":2"), "{body}");
+
+    // The idle clock restarted at the response: after a pause shorter
+    // than the timeout (but long enough for a sweep tick), the
+    // connection still serves.
+    std::thread::sleep(Duration::from_millis(120));
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 200, "connection reaped despite fresh activity");
+    server.shutdown();
+}
+
+#[test]
 fn threaded_core_remains_selectable_as_baseline() {
     let server = start(ServerConfig {
         core: ServerCore::Threaded,

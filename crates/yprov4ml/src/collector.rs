@@ -161,6 +161,9 @@ enum Msg {
     /// Many records folded off one channel hop (`log_many`).
     Batch(Vec<LogRecord>),
     Flush(Sender<()>),
+    /// Ships a clone of the current state back without disturbing the
+    /// fold — the live-streaming path's read point.
+    Snapshot(Sender<RunState>),
     /// Final message: fold nothing more, ship the state back and exit.
     Shutdown(Sender<RunState>),
 }
@@ -204,6 +207,9 @@ fn fold_loop(rx: Receiver<Msg>) {
             }
             Msg::Flush(ack) => {
                 let _ = ack.send(());
+            }
+            Msg::Snapshot(out) => {
+                let _ = out.send(state.clone());
             }
             Msg::Shutdown(out) => {
                 let _ = out.send(std::mem::take(&mut state));
@@ -392,6 +398,43 @@ impl Collector {
         }
     }
 
+    /// A point-in-time clone of the folded state, without closing the
+    /// collector — the delta-streaming path reads cumulative snapshots
+    /// here while the run keeps logging.
+    ///
+    /// The snapshot reflects every record folded when the collector
+    /// thread services the request; call [`Collector::flush`] first for
+    /// a submit-side barrier. In sharded mode the per-shard snapshots
+    /// merge in shard order, the same deterministic reduction `close`
+    /// uses, so a snapshot taken after a flush equals what `close`
+    /// would have returned at that instant.
+    pub fn snapshot(&self) -> Result<RunState, ProvMLError> {
+        match &self.inner {
+            Inner::Sync(state) => Ok(state.lock().clone()),
+            Inner::Buffered { tx, .. } => {
+                let (out_tx, out_rx) = unbounded();
+                tx.send(Msg::Snapshot(out_tx))
+                    .map_err(|_| ProvMLError::CollectorGone)?;
+                out_rx.recv().map_err(|_| ProvMLError::CollectorGone)
+            }
+            Inner::Sharded { txs, .. } => {
+                let mut outs = Vec::with_capacity(txs.len());
+                for tx in txs {
+                    let (out_tx, out_rx) = unbounded();
+                    tx.send(Msg::Snapshot(out_tx))
+                        .map_err(|_| ProvMLError::CollectorGone)?;
+                    outs.push(out_rx);
+                }
+                let mut state = RunState::default();
+                for out in outs {
+                    let shard_state = out.recv().map_err(|_| ProvMLError::CollectorGone)?;
+                    state.merge(shard_state);
+                }
+                Ok(state)
+            }
+        }
+    }
+
     /// Number of records accepted (submitted) so far.
     pub fn accepted(&self) -> usize {
         self.accepted.load(Ordering::Relaxed)
@@ -527,6 +570,30 @@ mod tests {
             for (i, p) in s.points.iter().enumerate() {
                 assert_eq!(p.step, i as u64);
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_cumulative_and_leaves_the_collector_live() {
+        for c in [
+            Collector::synchronous(),
+            Collector::buffered().unwrap(),
+            Collector::sharded(3).unwrap(),
+        ] {
+            for i in 0..100 {
+                c.log(metric(&format!("m{}", i % 5), i, i as f64)).unwrap();
+            }
+            c.flush().unwrap();
+            let early = c.snapshot().unwrap();
+            assert_eq!(early.metric_samples, 100);
+            for i in 100..250 {
+                c.log(metric(&format!("m{}", i % 5), i, i as f64)).unwrap();
+            }
+            c.flush().unwrap();
+            let late = c.snapshot().unwrap();
+            assert_eq!(late.metric_samples, 250);
+            // The snapshot never drained anything: close sees it all.
+            assert_eq!(c.close().unwrap(), late);
         }
     }
 

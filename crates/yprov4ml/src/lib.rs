@@ -72,5 +72,5 @@ pub use journal::{
     recover, recover_detailed, JournalConfig, JournalMode, RecoveryReport, SyncPolicy,
 };
 pub use model::{Context, Direction, LogRecord, ParamValue, RunReport, RunStatus};
-pub use run::{FinalizeOptions, Run, RunOptions};
+pub use run::{DeltaCadence, DeltaEmitter, FinalizeOptions, Run, RunOptions};
 pub use spill::SpillPolicy;

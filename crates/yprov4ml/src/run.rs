@@ -7,7 +7,7 @@ use crate::journal::{JournalConfig, JournalHeader, JournalWriter};
 use crate::model::{ArtifactMeta, Context, Direction, LogRecord, ParamValue, RunReport, RunStatus};
 use crate::plugins::{PluginSink, ProvPlugin};
 use crate::prov_emit::{build_document, emit_overhead, write_prov_files, RunIdentity};
-use crate::spill::{spill_metrics_pooled, SpillPolicy};
+use crate::spill::{spill_metrics_pooled, SpillOutcome, SpillPolicy};
 use metric_store::WorkerPool;
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
@@ -40,6 +40,64 @@ impl FinalizeOptions {
         FinalizeOptions {
             threads: threads.max(1),
         }
+    }
+}
+
+/// When the live-streaming path cuts a provenance delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaCadence {
+    /// One delta per completed epoch (fires on the first step of the
+    /// next epoch, when the previous one is known to be over).
+    EveryEpoch,
+    /// One delta every N observed steps.
+    EverySteps(u64),
+}
+
+/// Decides, step by step, when to cut the next streaming delta.
+///
+/// Feed it every training step via [`DeltaEmitter::observe`]; when it
+/// answers `true`, take [`Run::snapshot_document`] and ship it with
+/// `Client::upload_delta`. Cheap enough to call unconditionally in the
+/// step loop.
+#[derive(Debug)]
+pub struct DeltaEmitter {
+    cadence: DeltaCadence,
+    last_epoch: Option<u32>,
+    steps_since: u64,
+    emitted: u64,
+}
+
+impl DeltaEmitter {
+    /// An emitter with the given cadence.
+    pub fn new(cadence: DeltaCadence) -> Self {
+        DeltaEmitter {
+            cadence,
+            last_epoch: None,
+            steps_since: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Observes one training step; `true` means cut a delta now.
+    pub fn observe(&mut self, _step: u64, epoch: u32) -> bool {
+        let fire = match self.cadence {
+            DeltaCadence::EveryEpoch => self.last_epoch.is_some_and(|prev| epoch != prev),
+            DeltaCadence::EverySteps(n) => {
+                self.steps_since += 1;
+                self.steps_since >= n.max(1)
+            }
+        };
+        self.last_epoch = Some(epoch);
+        if fire {
+            self.steps_since = 0;
+            self.emitted += 1;
+        }
+        fire
+    }
+
+    /// How many deltas this emitter has asked for so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
     }
 }
 
@@ -369,6 +427,44 @@ impl Run {
         self.collector.flush()
     }
 
+    // ----- streaming ----------------------------------------------------------
+
+    /// Builds a cumulative provenance snapshot of the live run — a
+    /// valid standalone PROV-JSON document covering everything folded
+    /// so far — without finishing the run.
+    ///
+    /// Each snapshot is a superset of the previous one (elements only
+    /// accumulate, relations repeat verbatim), so the service's
+    /// delta-merge endpoint folds a stream of them — capped by the
+    /// finalize document — into exactly the document a finalize-only
+    /// upload would have stored. Metrics are never spilled here (spill
+    /// happens at finalize); with an inline spill policy the snapshot
+    /// embeds the samples seen so far, otherwise only the series stats.
+    /// The run activity's end time reflects the snapshot instant and is
+    /// superseded by the next delta.
+    pub fn snapshot_document(&self) -> Result<prov_model::ProvDocument, ProvMLError> {
+        self.collector.flush()?;
+        let state = self.collector.snapshot()?;
+        let identity = RunIdentity {
+            experiment: self.experiment.clone(),
+            run: self.name.clone(),
+            user: self.user.clone(),
+            started_us: self.started_us,
+            ended_us: now_us(),
+        };
+        let spill = SpillOutcome {
+            store_path: None,
+            links: Vec::new(),
+            external_bytes: 0,
+        };
+        Ok(build_document(
+            &identity,
+            &state,
+            &spill,
+            self.spill.is_inline(),
+        ))
+    }
+
     // ----- finish -------------------------------------------------------------
 
     /// Finishes the run: drains the collector, spills metrics, writes
@@ -666,6 +762,85 @@ mod tests {
         assert_eq!(series.len(), 4000);
         let doc = exp.load_run_document("r").unwrap();
         assert!(prov_model::validate::is_valid(&doc));
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn delta_emitter_cadences() {
+        let mut by_epoch = DeltaEmitter::new(DeltaCadence::EveryEpoch);
+        let mut fired = Vec::new();
+        for step in 0..30u64 {
+            if by_epoch.observe(step, (step / 10) as u32) {
+                fired.push(step);
+            }
+        }
+        assert_eq!(
+            fired,
+            vec![10, 20],
+            "fires on the first step of a new epoch"
+        );
+        assert_eq!(by_epoch.emitted(), 2);
+
+        let mut by_steps = DeltaEmitter::new(DeltaCadence::EverySteps(7));
+        let fired: Vec<u64> = (0..21u64).filter(|s| by_steps.observe(*s, 0)).collect();
+        assert_eq!(fired, vec![6, 13, 20]);
+
+        // A zero stride is clamped to 1, not a division-by-zero foot-gun.
+        let mut every = DeltaEmitter::new(DeltaCadence::EverySteps(0));
+        assert!(every.observe(0, 0));
+    }
+
+    #[test]
+    fn streamed_snapshots_fold_into_the_finalized_document() {
+        let b = base("stream");
+        let exp = Experiment::new("e", &b).unwrap();
+        let run = exp.start_run("r").unwrap();
+        run.log_param("lr", 0.1);
+        run.start_context(Context::Training);
+        let mut emitter = DeltaEmitter::new(DeltaCadence::EveryEpoch);
+        let mut merged: Option<prov_model::ProvDocument> = None;
+        for step in 0..30u64 {
+            let epoch = (step / 10) as u32;
+            run.log_metric_at(
+                "loss",
+                Context::Training,
+                step,
+                epoch,
+                step as i64,
+                1.0 / (step + 1) as f64,
+            );
+            if emitter.observe(step, epoch) {
+                let snap = run.snapshot_document().unwrap();
+                assert!(prov_model::validate::is_valid(&snap));
+                match &mut merged {
+                    None => {
+                        let mut base = snap;
+                        base.canonicalize();
+                        merged = Some(base);
+                    }
+                    Some(doc) => {
+                        doc.apply_delta(&snap).unwrap();
+                    }
+                }
+            }
+        }
+        assert_eq!(emitter.emitted(), 2);
+        run.end_context(Context::Training);
+        run.finish().unwrap();
+
+        // The finalize document, applied as the last delta, must leave
+        // the streamed replica byte-identical to the canonicalized
+        // finalize-only document.
+        let final_doc = exp.load_run_document("r").unwrap();
+        let mut streamed = merged.unwrap();
+        streamed.apply_delta(&final_doc).unwrap();
+        let mut expected = final_doc;
+        expected.canonicalize();
+        assert_eq!(
+            streamed.to_json_string().unwrap(),
+            expected.to_json_string().unwrap(),
+            "streamed snapshots + finalize delta must converge"
+        );
         std::fs::remove_dir_all(&b).ok();
     }
 
