@@ -20,6 +20,37 @@ pub struct Edge {
     pub relation: usize,
 }
 
+/// Number of [`RelationKind`] variants — the size of the per-kind edge
+/// counter array kept by [`GraphIndex`].
+const KIND_SLOTS: usize = 14;
+
+/// Node/edge statistics of a [`GraphIndex`]: totals plus edge counts per
+/// relation kind. These are the planner's cost-model inputs
+/// (`prov-graph::engine`) and the payload of the service's `/stats`
+/// endpoint — one source of truth for both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphIndexStats {
+    /// Total nodes (declared elements plus dangling references).
+    pub nodes: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// Edge count per relation kind, in [`RelationKind::all`] order,
+    /// zero-count kinds included.
+    pub per_kind: Vec<(RelationKind, usize)>,
+}
+
+impl GraphIndexStats {
+    /// Mean out-degree (= mean in-degree) across all nodes; 0 for an
+    /// empty graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.nodes as f64
+        }
+    }
+}
+
 /// The borrow-free adjacency index under a [`ProvGraph`]: interned node
 /// ids, edges, and in/out adjacency lists — everything the graph knows
 /// except the document reference itself.
@@ -34,6 +65,10 @@ pub struct GraphIndex {
     edges: Vec<Edge>,
     out: Vec<Vec<usize>>,
     inn: Vec<Vec<usize>>,
+    // Edge counts per relation kind, indexed by `kind as usize`
+    // (variant order == RelationKind::all() order). Maintained on build
+    // and on every incremental extension, so stats are O(1) to read.
+    kind_counts: [usize; KIND_SLOTS],
 }
 
 impl GraphIndex {
@@ -65,9 +100,11 @@ impl GraphIndex {
 
         let mut out = vec![Vec::new(); ids.len()];
         let mut inn = vec![Vec::new(); ids.len()];
+        let mut kind_counts = [0usize; KIND_SLOTS];
         for (ei, e) in edges.iter().enumerate() {
             out[e.from].push(ei);
             inn[e.to].push(ei);
+            kind_counts[e.kind as usize] += 1;
         }
 
         GraphIndex {
@@ -76,6 +113,7 @@ impl GraphIndex {
             edges,
             out,
             inn,
+            kind_counts,
         }
     }
 
@@ -87,6 +125,24 @@ impl GraphIndex {
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Number of edges of one relation kind — an O(1) counter read,
+    /// maintained across builds and incremental extensions.
+    pub fn kind_count(&self, kind: RelationKind) -> usize {
+        self.kind_counts[kind as usize]
+    }
+
+    /// Snapshot of the index statistics (totals + per-kind counts).
+    pub fn stats(&self) -> GraphIndexStats {
+        GraphIndexStats {
+            nodes: self.node_count(),
+            edges: self.edge_count(),
+            per_kind: RelationKind::all()
+                .iter()
+                .map(|&k| (k, self.kind_counts[k as usize]))
+                .collect(),
+        }
     }
 
     /// Extends this index to cover `merged`, a document produced by
@@ -121,6 +177,7 @@ impl GraphIndex {
         let mut edges = self.edges.clone();
         let mut out = self.out.clone();
         let mut inn = self.inn.clone();
+        let mut kind_counts = self.kind_counts;
         for e in &mut edges {
             e.relation = old_to_new[e.relation];
         }
@@ -151,6 +208,7 @@ impl GraphIndex {
             });
             out[from].push(ei);
             inn[to].push(ei);
+            kind_counts[rel.kind as usize] += 1;
         }
         out.resize(ids.len(), Vec::new());
         inn.resize(ids.len(), Vec::new());
@@ -161,6 +219,7 @@ impl GraphIndex {
             edges,
             out,
             inn,
+            kind_counts,
         }
     }
 }
@@ -210,6 +269,11 @@ impl<'a> ProvGraph<'a> {
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
         self.index.edges.len()
+    }
+
+    /// Index statistics (totals + per-relation-kind edge counts).
+    pub fn stats(&self) -> GraphIndexStats {
+        self.index.stats()
     }
 
     /// The node index for an identifier, if present.
@@ -465,6 +529,36 @@ mod tests {
         let i = g.node(&q("model")).unwrap();
         assert_eq!(g.id(i), &q("model"));
         assert!(g.element(i).is_some());
+    }
+
+    #[test]
+    fn kind_counts_track_builds_and_extensions() {
+        let mut doc = pipeline_doc();
+        doc.canonicalize();
+        let index = GraphIndex::build(&doc);
+        assert_eq!(index.kind_count(RelationKind::Used), 2);
+        assert_eq!(index.kind_count(RelationKind::WasGeneratedBy), 2);
+        assert_eq!(index.kind_count(RelationKind::WasDerivedFrom), 0);
+        let stats = index.stats();
+        assert_eq!(stats.nodes, 5);
+        assert_eq!(stats.edges, 4);
+        assert_eq!(stats.per_kind.len(), RelationKind::all().len());
+        assert_eq!(
+            stats.per_kind.iter().map(|(_, n)| n).sum::<usize>(),
+            stats.edges,
+            "per-kind counts partition the edge total"
+        );
+
+        // Incremental extension keeps the counters in sync with a
+        // fresh build.
+        let mut delta = ProvDocument::new();
+        delta.namespaces_mut().register("ex", "http://ex/").unwrap();
+        delta.entity(q("ckpt"));
+        delta.was_derived_from(q("ckpt"), q("data"));
+        let applied = doc.apply_delta(&delta).unwrap();
+        let ext = index.extended(&doc, &applied.new_relations);
+        assert_eq!(ext.stats(), GraphIndex::build(&doc).stats());
+        assert_eq!(ext.kind_count(RelationKind::WasDerivedFrom), 1);
     }
 
     #[test]

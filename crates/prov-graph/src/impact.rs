@@ -9,7 +9,14 @@
 //!   where do their histories first differ?" (common vs. exclusive
 //!   ancestry).
 
+//! Since the engine refactor both answers are thin frontends over
+//! [`crate::engine::closure`], the engine's reachability primitive —
+//! the closure semantics (anchor excluded, even on a cycle) and the
+//! sorted output order are unchanged.
+
+use crate::engine;
 use crate::graph::ProvGraph;
+use prov_model::query::StepDirection;
 use prov_model::{ElementKind, ProvDocument, QName};
 use std::collections::BTreeSet;
 
@@ -28,9 +35,17 @@ pub struct TaintReport {
 }
 
 /// Computes the taint closure of `source` in `doc`.
+///
+/// Builds a fresh index; callers holding a cached graph should use
+/// [`taint_graph`] instead.
 pub fn taint(doc: &ProvDocument, source: &QName) -> TaintReport {
-    let graph = ProvGraph::new(doc);
-    let downstream = graph.descendants(source);
+    taint_graph(&ProvGraph::new(doc), source)
+}
+
+/// [`taint`] against an existing (e.g. cached) graph view.
+pub fn taint_graph(graph: &ProvGraph<'_>, source: &QName) -> TaintReport {
+    let doc = graph.document();
+    let downstream = engine::closure(graph, source, StepDirection::Backward, None);
     let mut tainted_entities = Vec::new();
     let mut tainted_activities = Vec::new();
     for id in &downstream {
@@ -78,10 +93,17 @@ impl Divergence {
 }
 
 /// Compares the ancestries of `left` and `right` in `doc`.
+///
+/// Builds a fresh index; callers holding a cached graph should use
+/// [`divergence_graph`] instead.
 pub fn divergence(doc: &ProvDocument, left: &QName, right: &QName) -> Divergence {
-    let graph = ProvGraph::new(doc);
-    let la = graph.ancestors(left);
-    let ra = graph.ancestors(right);
+    divergence_graph(&ProvGraph::new(doc), left, right)
+}
+
+/// [`divergence`] against an existing (e.g. cached) graph view.
+pub fn divergence_graph(graph: &ProvGraph<'_>, left: &QName, right: &QName) -> Divergence {
+    let la = engine::closure(graph, left, StepDirection::Forward, None);
+    let ra = engine::closure(graph, right, StepDirection::Forward, None);
     Divergence {
         common: la.intersection(&ra).cloned().collect(),
         only_left: la.difference(&ra).cloned().collect(),

@@ -1,5 +1,15 @@
 //! Declarative queries and sub-graph extraction over PROV documents.
+//!
+//! Since the engine refactor, [`QueryBuilder`] is a thin frontend: the
+//! structural clauses (`kind` / `with_type` / `id_contains`) lower to an
+//! IR [`ElementFilter`] (`prov-model::query`) evaluated by
+//! [`crate::engine::filter_elements`], and only the closure-based
+//! `where_attr` predicates — which cannot be serialized — run as a
+//! post-filter. Results stay in document order, byte-identical to the
+//! pre-engine code.
 
+use crate::engine;
+use prov_model::query::ElementFilter;
 use prov_model::{AttrValue, Element, ElementKind, ProvDocument, QName};
 use std::collections::BTreeSet;
 
@@ -81,23 +91,25 @@ impl<'a> QueryBuilder<'a> {
         self
     }
 
+    /// The builder's structural clauses as an IR [`ElementFilter`].
+    fn as_filter(&self) -> ElementFilter {
+        ElementFilter {
+            kind: self.kind,
+            type_is: self.prov_type.clone(),
+            id_contains: self.local_contains.clone(),
+            ..Default::default()
+        }
+    }
+
     /// Executes the query.
     pub fn run(self) -> Vec<&'a Element> {
-        self.doc
-            .iter_elements()
-            .filter(|el| self.kind.is_none_or(|k| el.kind == k))
-            .filter(|el| self.prov_type.as_ref().is_none_or(|t| el.has_type(t)))
-            .filter(|el| {
-                self.local_contains
-                    .as_ref()
-                    .is_none_or(|s| el.id.local().contains(s.as_str()))
-            })
-            .filter(|el| {
-                self.predicates
-                    .iter()
-                    .all(|(key, pred)| el.attrs(key).iter().any(pred))
-            })
-            .collect()
+        let mut hits = engine::filter_elements(self.doc, &self.as_filter());
+        hits.retain(|el| {
+            self.predicates
+                .iter()
+                .all(|(key, pred)| el.attrs(key).iter().any(pred))
+        });
+        hits
     }
 
     /// Executes the query and returns just the identifiers.

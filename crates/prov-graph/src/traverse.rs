@@ -1,8 +1,16 @@
 //! Configurable breadth-first / depth-first traversal with edge filters.
+//!
+//! Since the engine refactor, [`Traversal`] is a thin frontend: `run`
+//! lowers the builder's configuration to an IR [`Step`]
+//! (`prov-model::query`) and delegates to [`crate::engine::walk`], the
+//! engine's ordered-traversal primitive, which preserves the original
+//! algorithm byte for byte (single deque as queue/stack, nodes recorded
+//! at first discovery, start at depth 0).
 
-use crate::graph::{Edge, ProvGraph};
+use crate::engine;
+use crate::graph::ProvGraph;
+use prov_model::query::{ElementFilter, Repeat, Step, StepDirection};
 use prov_model::{QName, RelationKind};
-use std::collections::VecDeque;
 
 /// Visit order of a [`Traversal`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,10 +99,20 @@ impl<'g, 'a> Traversal<'g, 'a> {
         self
     }
 
-    fn edge_allowed(&self, e: &Edge) -> bool {
-        match &self.kinds {
-            Some(ks) => ks.contains(&e.kind),
-            None => true,
+    /// The builder's configuration as an IR [`Step`]: the walk travels
+    /// edges of these kinds in this direction, up to `max_depth` hops.
+    fn as_step(&self) -> Step {
+        Step {
+            kinds: self.kinds.clone().unwrap_or_default(),
+            direction: match self.direction {
+                Direction::Forward => StepDirection::Forward,
+                Direction::Backward => StepDirection::Backward,
+            },
+            repeat: Repeat {
+                min: 0,
+                max: self.max_depth,
+            },
+            target: ElementFilter::any(),
         }
     }
 
@@ -103,50 +121,19 @@ impl<'g, 'a> Traversal<'g, 'a> {
     /// The start node is included (depth 0). Unknown identifiers yield an
     /// empty result.
     pub fn run(&self, start: &QName) -> Vec<Visit> {
-        let Some(s) = self.graph.node(start) else {
-            return Vec::new();
-        };
-        let mut seen = vec![false; self.graph.node_count()];
-        seen[s] = true;
-        let mut result = vec![Visit {
-            id: start.clone(),
-            depth: 0,
-        }];
-        // Deque used as queue (BFS) or stack (DFS).
-        let mut work: VecDeque<(usize, usize)> = VecDeque::from([(s, 0)]);
-
-        while let Some((node, depth)) = match self.order {
-            TraversalOrder::BreadthFirst => work.pop_front(),
-            TraversalOrder::DepthFirst => work.pop_back(),
-        } {
-            if let Some(max) = self.max_depth {
-                if depth >= max {
-                    continue;
-                }
-            }
-            let edges: Vec<&Edge> = match self.direction {
-                Direction::Forward => self.graph.out_edges(node).collect(),
-                Direction::Backward => self.graph.in_edges(node).collect(),
+        // `only_kinds(&[])` historically allowed *no* edges (the empty
+        // kind list matched nothing), whereas an IR step with no kinds
+        // allows every edge — keep the legacy meaning here.
+        if matches!(&self.kinds, Some(ks) if ks.is_empty()) {
+            return match self.graph.node(start) {
+                Some(_) => vec![Visit {
+                    id: start.clone(),
+                    depth: 0,
+                }],
+                None => Vec::new(),
             };
-            for e in edges {
-                if !self.edge_allowed(e) {
-                    continue;
-                }
-                let next = match self.direction {
-                    Direction::Forward => e.to,
-                    Direction::Backward => e.from,
-                };
-                if !seen[next] {
-                    seen[next] = true;
-                    result.push(Visit {
-                        id: self.graph.id(next).clone(),
-                        depth: depth + 1,
-                    });
-                    work.push_back((next, depth + 1));
-                }
-            }
         }
-        result
+        engine::walk(self.graph, &self.as_step(), self.order, start)
     }
 }
 
@@ -244,5 +231,97 @@ mod tests {
         let doc = chain_doc();
         let g = ProvGraph::new(&doc);
         assert!(Traversal::new(&g).run(&q("nope")).is_empty());
+    }
+
+    /// A 3-cycle a -> b -> c -> a plus a tail c -> d, mixing relation
+    /// kinds so the kind filter has something to cut.
+    fn cyclic_doc() -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        for n in ["a", "b", "c", "d"] {
+            doc.entity(q(n));
+        }
+        doc.was_derived_from(q("a"), q("b"));
+        doc.was_derived_from(q("b"), q("c"));
+        doc.add_relation(prov_model::Relation::new(
+            RelationKind::WasInfluencedBy,
+            q("c"),
+            q("a"),
+        ));
+        doc.was_derived_from(q("c"), q("d"));
+        doc
+    }
+
+    #[test]
+    fn cycles_terminate_and_visit_each_node_once() {
+        let doc = cyclic_doc();
+        let g = ProvGraph::new(&doc);
+        for order in [TraversalOrder::BreadthFirst, TraversalOrder::DepthFirst] {
+            let visits = Traversal::new(&g).order(order).run(&q("a"));
+            let mut ids: Vec<_> = visits.iter().map(|v| v.id.clone()).collect();
+            assert_eq!(ids.len(), 4, "every node exactly once");
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), 4, "no node revisited");
+            // The start is recorded once, at depth 0, despite the cycle
+            // offering a 3-hop route back to it.
+            assert_eq!(visits[0].id, q("a"));
+            assert_eq!(visits[0].depth, 0);
+        }
+    }
+
+    #[test]
+    fn self_loop_is_visited_once() {
+        let mut doc = ProvDocument::new();
+        doc.entity(q("n"));
+        doc.add_relation(prov_model::Relation::new(
+            RelationKind::WasInfluencedBy,
+            q("n"),
+            q("n"),
+        ));
+        let g = ProvGraph::new(&doc);
+        let visits = Traversal::new(&g).run(&q("n"));
+        assert_eq!(visits.len(), 1);
+        assert_eq!(visits[0].depth, 0);
+    }
+
+    #[test]
+    fn max_depth_zero_on_cycle_is_just_the_start() {
+        let doc = cyclic_doc();
+        let g = ProvGraph::new(&doc);
+        let visits = Traversal::new(&g).max_depth(0).run(&q("a"));
+        assert_eq!(visits.len(), 1);
+        assert_eq!(
+            visits[0],
+            Visit {
+                id: q("a"),
+                depth: 0
+            }
+        );
+    }
+
+    #[test]
+    fn backward_traversal_mixes_kinds_unless_filtered() {
+        let doc = cyclic_doc();
+        let g = ProvGraph::new(&doc);
+        // Backward from a: b derives a? No — a derives from b. The
+        // in-edges of a are the influence edge c -> a only.
+        let ids: Vec<_> = Traversal::new(&g)
+            .backward()
+            .run(&q("a"))
+            .into_iter()
+            .map(|v| v.id)
+            .collect();
+        assert!(ids.contains(&q("c")), "influence edge walked backward");
+        assert!(ids.contains(&q("b")), "derivation then walked backward");
+        // Filtering to derivations cuts the influence hop, so backward
+        // from a goes nowhere.
+        let ids: Vec<_> = Traversal::new(&g)
+            .backward()
+            .only_kinds(&[RelationKind::WasDerivedFrom])
+            .run(&q("a"))
+            .into_iter()
+            .map(|v| v.id)
+            .collect();
+        assert_eq!(ids, vec![q("a")]);
     }
 }

@@ -2,8 +2,11 @@
 //! documents.
 
 use proptest::prelude::*;
-use prov_graph::{subgraph, ProvGraph};
-use prov_model::{ProvDocument, QName, Relation, RelationKind};
+use prov_graph::{execute, subgraph, ProvGraph, Traversal};
+use prov_model::query::{Repeat, Step};
+use prov_model::{
+    ElementFilter, PathQuery, ProvDocument, QName, Relation, RelationKind, StepDirection,
+};
 use std::collections::BTreeSet;
 
 fn q(i: usize) -> QName {
@@ -124,6 +127,85 @@ proptest! {
             .filter(|r| keep.contains(&r.subject) && keep.contains(&r.object))
             .count();
         prop_assert_eq!(sub_rel_count, expect);
+    }
+
+    /// The planned engine's one-plus-step closure query agrees with the
+    /// legacy reachability everywhere — including on cyclic graphs,
+    /// where the only divergence allowed is the start node itself (the
+    /// engine reports a >= 1-hop walk back to it; `ancestors` excludes
+    /// it by construction).
+    #[test]
+    fn engine_closure_matches_legacy_reachability(
+        n in 2usize..15,
+        edges in prop::collection::vec((0usize..15, 0usize..15), 0..40),
+    ) {
+        let doc = any_doc(n, &edges);
+        let graph = ProvGraph::new(&doc);
+        for (direction, legacy) in [
+            (StepDirection::Forward, true),
+            (StepDirection::Backward, false),
+        ] {
+            for a in 0..n {
+                let query = PathQuery {
+                    start: ElementFilter::by_id(q(a)),
+                    steps: vec![Step {
+                        kinds: Vec::new(),
+                        direction,
+                        repeat: Repeat::plus(),
+                        target: ElementFilter::any(),
+                    }],
+                    limit: None,
+                };
+                let result = execute(&graph, &query);
+                let mut ends: BTreeSet<QName> =
+                    result.rows.iter().map(|r| r.end.clone()).collect();
+                ends.remove(&q(a));
+                let expect = if legacy {
+                    graph.ancestors(&q(a))
+                } else {
+                    graph.descendants(&q(a))
+                };
+                prop_assert_eq!(ends, expect, "node {} dir {:?}", a, direction);
+            }
+        }
+    }
+
+    /// The engine's two traversal code paths agree: a bounded walk
+    /// (`Traversal::max_depth`, via `engine::walk`) visits exactly the
+    /// nodes a `{0,d}`-repeat path query (via `engine::execute`) lands
+    /// on.
+    #[test]
+    fn bounded_walk_matches_bounded_repeat_query(
+        n in 2usize..15,
+        edges in prop::collection::vec((0usize..15, 0usize..15), 0..40),
+        depth in 0usize..6,
+    ) {
+        let doc = any_doc(n, &edges);
+        let graph = ProvGraph::new(&doc);
+        for a in 0..n {
+            let walked: BTreeSet<QName> = Traversal::new(&graph)
+                .max_depth(depth)
+                .run(&q(a))
+                .into_iter()
+                .map(|v| v.id)
+                .collect();
+            let query = PathQuery {
+                start: ElementFilter::by_id(q(a)),
+                steps: vec![Step {
+                    kinds: Vec::new(),
+                    direction: StepDirection::Forward,
+                    repeat: Repeat { min: 0, max: Some(depth) },
+                    target: ElementFilter::any(),
+                }],
+                limit: None,
+            };
+            let landed: BTreeSet<QName> = execute(&graph, &query)
+                .rows
+                .iter()
+                .map(|r| r.end.clone())
+                .collect();
+            prop_assert_eq!(walked, landed, "node {} depth {}", a, depth);
+        }
     }
 
     #[test]

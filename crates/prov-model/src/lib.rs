@@ -40,6 +40,7 @@ pub mod json_stream;
 pub mod provn;
 pub mod provn_parse;
 pub mod qname;
+pub mod query;
 pub mod record;
 pub mod relation;
 pub mod turtle;
@@ -50,6 +51,7 @@ pub use datetime::XsdDateTime;
 pub use document::{DeltaApply, ProvDocument, RecordBuilder};
 pub use error::ProvError;
 pub use qname::{Namespace, NamespaceRegistry, QName};
+pub use query::{ElementFilter, PathQuery, Repeat, Step, StepDirection};
 pub use record::{Activity, Agent, Element, ElementKind, Entity};
 pub use relation::{Relation, RelationId, RelationKind};
 pub use validate::{validate, Severity, ValidationIssue};

@@ -275,7 +275,12 @@ impl Client {
             body.len()
         );
         let replayable = matches!(method, "GET" | "HEAD" | "PUT" | "DELETE" | "OPTIONS");
-        if let Some(mut reader) = self.pool.lock().take() {
+        // Take the parked connection in its own statement: an
+        // `if let Some(r) = self.pool.lock().take()` scrutinee keeps
+        // the MutexGuard alive for the whole if-let body (2021-edition
+        // temporary scope), and re-parking below would self-deadlock.
+        let parked = self.pool.lock().take();
+        if let Some(mut reader) = parked {
             // The parked socket keeps whatever read timeout its last
             // request used; re-arm it for this one.
             reader.get_ref().set_read_timeout(Some(read_timeout))?;
@@ -336,6 +341,19 @@ impl Client {
             "POST",
             &format!("/api/v0/documents/{id}/deltas"),
             Some(delta_json),
+        )
+    }
+
+    /// Runs a lineage query or ML audit against document `id`. The
+    /// body is the query endpoint's JSON form — either
+    /// `{"query": <PathQuery IR>}` or `{"audit": "leakage" | "gdpr" |
+    /// "fairness" | "join", ...}`, optionally with `"docs"` (joined
+    /// documents) and `"render": "dot"`.
+    pub fn query(&self, id: &str, body_json: &str) -> Result<Response, ClientError> {
+        self.send(
+            "POST",
+            &format!("/api/v0/documents/{id}/query"),
+            Some(body_json),
         )
     }
 
@@ -606,6 +624,35 @@ mod tests {
             resp.attempts, 1,
             "an idempotent replay is transparent, not a visible retry"
         );
+    }
+
+    #[test]
+    fn parked_connection_is_reused_across_sequential_requests() {
+        // A healthy keep-alive peer that serves three requests on ONE
+        // accepted connection. Every request after the first goes
+        // through the pooled-reuse path in `once()` — the path that
+        // used to self-deadlock on re-parking (the if-let scrutinee
+        // held the pool MutexGuard across the body).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            let (mut s, _) = listener.accept().unwrap();
+            for _ in 0..3 {
+                let _ = s.read(&mut buf);
+                s.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}",
+                )
+                .unwrap();
+            }
+        });
+        let client = Client::new(addr, fast_policy());
+        for i in 0..3 {
+            let resp = client.get("/a").unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.attempts, 1, "request {i} must not burn retries");
+        }
+        server.join().unwrap();
     }
 
     #[test]

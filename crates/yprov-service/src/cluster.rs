@@ -762,6 +762,35 @@ impl ClusterClient {
             detail: detail.join("; "),
         })
     }
+
+    /// Runs a lineage query / ML audit against document `id`, failing
+    /// over across the document's replica set exactly like [`Self::get`]
+    /// — the query endpoint is side-effect free, so replaying it on the
+    /// next replica is always safe. A 404 from a replica means that node
+    /// does not hold the document; the next one is tried, and the last
+    /// 404 is surfaced only when no replica can answer.
+    pub fn query(&self, id: &str, body_json: &str) -> Result<Response, ClusterError> {
+        let mut detail = Vec::new();
+        let mut missing: Option<Response> = None;
+        for node_id in &self.route_order(id) {
+            let Some(node) = self.spec(node_id) else {
+                continue;
+            };
+            let client = self.client_for(node);
+            match client.query(&encode_id(id), body_json) {
+                Ok(resp) if resp.status == 200 || resp.status == 400 => return Ok(resp),
+                Ok(resp) if resp.status == 404 => missing = Some(resp),
+                Ok(resp) => detail.push(format!("{node_id}: HTTP {}", resp.status)),
+                Err(e) => {
+                    self.mark_dead(node_id);
+                    detail.push(format!("{node_id}: {e}"));
+                }
+            }
+        }
+        missing.ok_or(ClusterError::Unavailable {
+            detail: detail.join("; "),
+        })
+    }
 }
 
 #[cfg(test)]

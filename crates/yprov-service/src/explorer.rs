@@ -137,10 +137,57 @@ pub fn render_html(summaries: &[DocumentSummary]) -> String {
          <table><tr><th>id</th><th>run</th><th>entities</th><th>activities</th>\
          <th>agents</th><th>relations</th><th>metrics</th><th>artifacts</th>\
          <th>nodes</th><th>edges</th><th>bytes</th><th>exports</th></tr>\n\
-         {rows}</table></body></html>",
+         {rows}</table>{panel}</body></html>",
         n = summaries.len(),
+        panel = QUERY_PANEL,
     )
 }
+
+/// The lineage-query panel appended to the explorer page: a JSON IR
+/// textarea posted to `/api/v0/documents/{id}/query`, with the response
+/// pretty-printed and — when the body asks for `\"render\": \"dot\"` —
+/// the matched subgraph's DOT shown alongside.
+const QUERY_PANEL: &str = r#"
+<h2>Lineage query</h2>
+<p>POSTs the JSON body to <code>/api/v0/documents/{id}/query</code>.
+Try <code>{"audit": "leakage"}</code>,
+<code>{"audit": "gdpr", "sample": "ex:s", "model": "ex:m"}</code>, or a
+path pattern under <code>"query"</code>; add <code>"render": "dot"</code>
+for the matched subgraph.</p>
+<form id="qform">
+  <label>document <input id="qdoc" size="12" placeholder="doc-1"></label><br>
+  <textarea id="qbody" rows="6" cols="70">{"audit": "leakage", "render": "dot"}</textarea><br>
+  <button type="submit">Run query</button>
+</form>
+<pre id="qout" style="background:#f8f8f8;padding:1em"></pre>
+<pre id="qdot" style="background:#f0f4ff;padding:1em"></pre>
+<script>
+document.getElementById('qform').addEventListener('submit', async (ev) => {
+  ev.preventDefault();
+  const id = encodeURIComponent(document.getElementById('qdoc').value.trim());
+  const out = document.getElementById('qout');
+  const dot = document.getElementById('qdot');
+  out.textContent = '...';
+  dot.textContent = '';
+  try {
+    const resp = await fetch('/api/v0/documents/' + id + '/query', {
+      method: 'POST',
+      body: document.getElementById('qbody').value,
+    });
+    const text = await resp.text();
+    try {
+      const v = JSON.parse(text);
+      if (v.dot) { dot.textContent = v.dot; delete v.dot; }
+      out.textContent = 'HTTP ' + resp.status + '\n' + JSON.stringify(v, null, 2);
+    } catch (_) {
+      out.textContent = 'HTTP ' + resp.status + '\n' + text;
+    }
+  } catch (e) {
+    out.textContent = String(e);
+  }
+});
+</script>
+"#;
 
 fn html_escape(s: &str) -> String {
     s.replace('&', "&amp;")
@@ -247,6 +294,21 @@ mod tests {
         assert!(!html.contains("<script>alert"), "labels must be escaped");
         assert!(html.contains("&lt;script&gt;"));
         assert!(html.contains("/api/v0/documents/doc-1/provn"));
+    }
+
+    #[test]
+    fn html_page_embeds_query_panel() {
+        let store = DocumentStore::new();
+        store.upload(yprov_style_doc("run-1", "aa")).unwrap();
+        let html = render_html(&summarize(&store));
+        assert!(html.contains("Lineage query"));
+        assert!(html.contains("id=\"qform\""));
+        assert!(html.contains("id=\"qbody\""));
+        assert!(html.contains("/query"), "panel posts to the query endpoint");
+        assert!(
+            html.contains("\"audit\": \"leakage\""),
+            "default body is the leakage audit"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! | GET    | `/api/v0/documents/{id}/dot` | Graphviz DOT of the graph |
 //! | POST   | `/api/v0/documents/{id}/deltas` | merge a PROV-JSON delta (ledgered + replicated) |
 //! | GET    | `/api/v0/documents/{id}/watch?after=N&timeout_ms=M` | long-poll for a version newer than `N` |
+//! | POST   | `/api/v0/documents/{id}/query` | planned path-pattern query / ML audit (JSON IR body; `docs` joins documents, `render:"dot"` adds the matched subgraph) |
 //! | GET    | `/api/v0/ledger` | the tamper-evident upload chain |
 //! | PUT    | `/api/v0/documents/{id}` | upload/replace under a chosen id |
 //! | GET    | `/api/v0/ledger/verify` | verify every chain this node holds |
@@ -60,6 +61,7 @@ use crate::cluster::Replicator;
 use crate::error::ServiceError;
 use crate::store::{DocumentStore, WatchOutcome};
 use crossbeam::channel::{bounded, Sender, TrySendError};
+use prov_model::query::{ElementFilter, PathQuery};
 use prov_model::{ProvDocument, QName};
 use serde_json::json;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -364,6 +366,7 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBoo
     }
 }
 
+#[derive(Debug)]
 pub(crate) struct Request {
     pub(crate) method: String,
     pub(crate) path: String,
@@ -520,6 +523,7 @@ pub(crate) fn route_label(path: &str) -> &'static str {
         ["api", "v0", "documents", _, "dot"] => "/api/v0/documents/{id}/dot",
         ["api", "v0", "documents", _, "deltas"] => "/api/v0/documents/{id}/deltas",
         ["api", "v0", "documents", _, "watch"] => "/api/v0/documents/{id}/watch",
+        ["api", "v0", "documents", _, "query"] => "/api/v0/documents/{id}/query",
         _ => "unmatched",
     }
 }
@@ -902,6 +906,25 @@ pub(crate) fn route(
         ("GET", ["api", "v0", "documents", id, "stats"]) => match store.get(id) {
             Some(doc) => {
                 let s = doc.stats();
+                // The cached index's statistics ride along: the same
+                // node/edge/per-kind counters the query planner costs
+                // anchor sides with.
+                let graph_stats = match store.graph(id) {
+                    Ok(shared) => {
+                        let gs = shared.index().stats();
+                        let mut per_kind = serde_json::Map::new();
+                        for (kind, count) in &gs.per_kind {
+                            per_kind.insert(kind.json_key().to_string(), json!(count));
+                        }
+                        json!({
+                            "nodes": gs.nodes,
+                            "edges": gs.edges,
+                            "avg_degree": gs.avg_degree(),
+                            "per_kind": serde_json::Value::Object(per_kind),
+                        })
+                    }
+                    Err(_) => serde_json::Value::Null,
+                };
                 (
                     200,
                     json!({
@@ -910,6 +933,7 @@ pub(crate) fn route(
                         "agents": s.agents,
                         "relations": s.relations,
                         "bundles": s.bundles,
+                        "graph": graph_stats,
                     })
                     .to_string(),
                 )
@@ -1020,8 +1044,398 @@ pub(crate) fn route(
             },
         },
 
+        ("POST", ["api", "v0", "documents", id, "query"]) => handle_query(store, id, &req.body),
+
         (_, _) => (404, json!({"error": "no such route"}).to_string()),
     }
+}
+
+// ---------------------------------------------------------------------------
+// The lineage query endpoint
+// ---------------------------------------------------------------------------
+
+/// Serves one `POST /api/v0/documents/{id}/query` request.
+///
+/// The body is a JSON object selecting exactly one scenario:
+///
+/// * `{"query": <PathQuery IR>}` — a planned path-pattern query;
+/// * `{"audit": "leakage", "test"?: <filter>, "training"?: <filter>}`;
+/// * `{"audit": "gdpr", "sample": "pre:x", "model": "pre:y"}`;
+/// * `{"audit": "fairness", "model": "pre:y", "group_key"?: "pre:k"}`;
+/// * `{"audit": "join", "digest_key"?: "pre:k"}`.
+///
+/// Two cross-cutting keys: `"docs": [id, ...]` joins the named
+/// documents into the queried view (canonical merge), and
+/// `"render": "dot"` additionally returns the matched subgraph as
+/// Graphviz DOT under `"dot"`.
+fn handle_query(store: &DocumentStore, id: &str, body: &[u8]) -> (u16, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, json!({"error": "body is not UTF-8"}).to_string()),
+    };
+    let v: serde_json::Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                400,
+                json!({"error": format!("body is not JSON: {e}")}).to_string(),
+            )
+        }
+    };
+    let Some(obj) = v.as_object() else {
+        return (
+            400,
+            json!({"error": "body must be a JSON object"}).to_string(),
+        );
+    };
+
+    let extra: Vec<String> = match obj.get("docs") {
+        None => Vec::new(),
+        Some(serde_json::Value::Array(ids)) => {
+            let mut out = Vec::with_capacity(ids.len());
+            for entry in ids {
+                match entry.as_str() {
+                    Some(s) => out.push(s.to_string()),
+                    None => {
+                        return (
+                            400,
+                            json!({"error": "\"docs\" must be an array of document ids"})
+                                .to_string(),
+                        )
+                    }
+                }
+            }
+            out
+        }
+        Some(_) => {
+            return (
+                400,
+                json!({"error": "\"docs\" must be an array of document ids"}).to_string(),
+            )
+        }
+    };
+    let render_dot = matches!(obj.get("render").and_then(|r| r.as_str()), Some("dot"));
+    let documents_json = || {
+        let mut all = vec![json!(*id)];
+        all.extend(extra.iter().map(|e| json!(e)));
+        serde_json::Value::Array(all)
+    };
+
+    match (obj.get("query"), obj.get("audit").and_then(|a| a.as_str())) {
+        (Some(q), None) => {
+            let query = match PathQuery::from_json(q) {
+                Ok(q) => q,
+                Err(e) => return (400, json!({"error": e.to_string()}).to_string()),
+            };
+            let (set, shared) = match store.run_query(id, &extra, &query) {
+                Ok(r) => r,
+                Err(e) => return error_response(&e),
+            };
+            let rows: Vec<serde_json::Value> = set.rows.iter().map(row_json).collect();
+            let mut out = match json!({
+                "scenario": "path",
+                "documents": documents_json(),
+                "plan": plan_json(&set.plan),
+                "rows": rows,
+                "row_count": set.rows.len(),
+                "truncated": set.truncated,
+            }) {
+                serde_json::Value::Object(o) => o,
+                _ => unreachable!("json! object literal"),
+            };
+            if render_dot {
+                let sub = prov_graph::subgraph(shared.document(), &set.node_set());
+                out.insert(
+                    "dot".into(),
+                    json!(prov_graph::to_dot(&sub, &prov_graph::DotOptions::default())),
+                );
+            }
+            (200, serde_json::Value::Object(out).to_string())
+        }
+
+        (None, Some(scenario)) => handle_audit(
+            store,
+            id,
+            &extra,
+            scenario,
+            obj,
+            render_dot,
+            documents_json(),
+        ),
+
+        _ => (
+            400,
+            json!({"error": "body must contain exactly one of \"query\" or \"audit\""}).to_string(),
+        ),
+    }
+}
+
+/// JSON rendering of a planner decision.
+fn plan_json(plan: &prov_graph::QueryPlan) -> serde_json::Value {
+    let side = match plan.side {
+        prov_graph::PlanSide::FromStart => "from_start",
+        prov_graph::PlanSide::FromEnd => "from_end",
+    };
+    json!({
+        "side": side,
+        "start_candidates": plan.start_candidates,
+        "end_candidates": plan.end_candidates,
+        "cost_from_start": plan.cost_from_start,
+        "cost_from_end": plan.cost_from_end,
+        "reason": plan.reason,
+    })
+}
+
+/// JSON rendering of one `(start, end)` match with its witness path.
+fn row_json(row: &prov_graph::MatchRow) -> serde_json::Value {
+    json!({
+        "start": row.start.to_string(),
+        "end": row.end.to_string(),
+        "path": row.path.iter().map(|q| q.to_string()).collect::<Vec<String>>(),
+    })
+}
+
+/// Dispatches the `"audit"` scenarios of [`handle_query`].
+fn handle_audit(
+    store: &DocumentStore,
+    id: &str,
+    extra: &[String],
+    scenario: &str,
+    obj: &serde_json::Map<String, serde_json::Value>,
+    render_dot: bool,
+    documents: serde_json::Value,
+) -> (u16, String) {
+    use prov_graph::audit;
+
+    let qname_arg = |key: &str| -> Result<Option<QName>, String> {
+        match obj.get(key) {
+            None => Ok(None),
+            Some(v) => match v.as_str().map(QName::parse) {
+                Some(Ok(q)) => Ok(Some(q)),
+                _ => Err(format!("\"{key}\" must be a \"prefix:local\" string")),
+            },
+        }
+    };
+    let filter_arg = |key: &str| -> Result<Option<ElementFilter>, String> {
+        match obj.get(key) {
+            None => Ok(None),
+            Some(v) => ElementFilter::from_json(v)
+                .map(Some)
+                .map_err(|e| format!("\"{key}\": {e}")),
+        }
+    };
+    macro_rules! arg {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(msg) => return (400, json!({ "error": msg }).to_string()),
+            }
+        };
+    }
+
+    // The join audit builds its own merged view; every other scenario
+    // runs over the (possibly joined) query view.
+    if scenario == "join" {
+        let digest_key = arg!(qname_arg("digest_key"));
+        let mut docs = match store.get(id) {
+            Some(d) => vec![d],
+            None => return error_response(&ServiceError::NotFound { id: id.to_string() }),
+        };
+        for other in extra {
+            match store.get(other) {
+                Some(d) => docs.push(d),
+                None => {
+                    return error_response(&ServiceError::NotFound {
+                        id: other.to_string(),
+                    })
+                }
+            }
+        }
+        store.note_query("join");
+        let refs: Vec<&ProvDocument> = docs.iter().map(|d| &**d).collect();
+        let t0 = Instant::now();
+        let (join, _merged) = match audit::cross_run_join(&refs, digest_key) {
+            Ok(r) => r,
+            Err(e) => {
+                return error_response(&ServiceError::Conflict {
+                    reason: format!("joining {id} + {extra:?}: {e}"),
+                })
+            }
+        };
+        // The merge + digest scan is the whole cost; there is no
+        // separate planning phase to split out.
+        store.note_query_timing(Duration::ZERO, t0.elapsed());
+        let joined: Vec<serde_json::Value> = join
+            .joined
+            .iter()
+            .map(|j| {
+                json!({
+                    "digest": j.digest,
+                    "artifacts": j.artifacts.iter().map(|q| q.to_string()).collect::<Vec<String>>(),
+                    "producers": j.producers.iter().map(|q| q.to_string()).collect::<Vec<String>>(),
+                    "consumers": j.consumers.iter().map(|q| q.to_string()).collect::<Vec<String>>(),
+                    "shared": j.is_shared(),
+                })
+            })
+            .collect();
+        return (
+            200,
+            json!({
+                "scenario": "join",
+                "documents": documents,
+                "digest_key": join.digest_key.to_string(),
+                "merged_nodes": join.merged_nodes,
+                "merged_edges": join.merged_edges,
+                "shared_count": join.shared().len(),
+                "joined": joined,
+            })
+            .to_string(),
+        );
+    }
+
+    let shared = match store.query_view(id, extra) {
+        Ok(s) => s,
+        Err(e) => return error_response(&e),
+    };
+    let graph = shared.view();
+
+    // Each audit exposes the IR behind it, so the plan the service
+    // reports is exactly the plan the audit executes under.
+    let (audit_query, result): (PathQuery, _) = match scenario {
+        "leakage" => {
+            let test = arg!(filter_arg("test")).unwrap_or_else(audit::default_test_filter);
+            let training =
+                arg!(filter_arg("training")).unwrap_or_else(audit::default_training_filter);
+            store.note_query("leakage");
+            let query = audit::leakage_query(test.clone(), training.clone());
+            let t0 = Instant::now();
+            let plan = prov_graph::plan(&graph, &query);
+            let planned = t0.elapsed();
+            let t1 = Instant::now();
+            let report = audit::data_leakage(&graph, Some(test), Some(training));
+            store.note_query_timing(planned, t1.elapsed());
+            let leaks: Vec<serde_json::Value> = report.leaks.iter().map(row_json).collect();
+            (
+                query,
+                json!({
+                    "scenario": "leakage",
+                    "documents": documents,
+                    "clean": report.is_clean(),
+                    "test_artifacts": report.test_artifacts,
+                    "training_activities": report.training_activities,
+                    "leaks": leaks,
+                    "plan": plan_json(&plan),
+                }),
+            )
+        }
+        "gdpr" => {
+            let sample = match arg!(qname_arg("sample")) {
+                Some(q) => q,
+                None => {
+                    return (
+                        400,
+                        json!({"error": "\"gdpr\" requires \"sample\" and \"model\" qnames"})
+                            .to_string(),
+                    )
+                }
+            };
+            let model = match arg!(qname_arg("model")) {
+                Some(q) => q,
+                None => {
+                    return (
+                        400,
+                        json!({"error": "\"gdpr\" requires \"sample\" and \"model\" qnames"})
+                            .to_string(),
+                    )
+                }
+            };
+            store.note_query("gdpr");
+            let query = audit::gdpr_query(&sample, &model);
+            let t0 = Instant::now();
+            let plan = prov_graph::plan(&graph, &query);
+            let planned = t0.elapsed();
+            let t1 = Instant::now();
+            let report = audit::gdpr_trained_on(&graph, &sample, &model);
+            store.note_query_timing(planned, t1.elapsed());
+            (
+                query,
+                json!({
+                    "scenario": "gdpr",
+                    "documents": documents,
+                    "sample": report.sample.to_string(),
+                    "model": report.model.to_string(),
+                    "trained_on": report.trained_on,
+                    "path": report.path.iter().map(|q| q.to_string()).collect::<Vec<String>>(),
+                    "plan": plan_json(&plan),
+                }),
+            )
+        }
+        "fairness" => {
+            let model = match arg!(qname_arg("model")) {
+                Some(q) => q,
+                None => {
+                    return (
+                        400,
+                        json!({"error": "\"fairness\" requires a \"model\" qname"}).to_string(),
+                    )
+                }
+            };
+            let group_key = arg!(qname_arg("group_key")).unwrap_or_else(|| QName::yprov("group"));
+            store.note_query("fairness");
+            let query = audit::fairness_query(&model, &group_key);
+            let t0 = Instant::now();
+            let plan = prov_graph::plan(&graph, &query);
+            let planned = t0.elapsed();
+            let t1 = Instant::now();
+            let report = audit::group_fairness(&graph, &model, &group_key);
+            store.note_query_timing(planned, t1.elapsed());
+            let mut groups = serde_json::Map::new();
+            for (value, count) in &report.groups {
+                groups.insert(value.clone(), json!(count));
+            }
+            (
+                query,
+                json!({
+                    "scenario": "fairness",
+                    "documents": documents,
+                    "model": report.model.to_string(),
+                    "group_key": report.group_key.to_string(),
+                    "groups": serde_json::Value::Object(groups),
+                    "total": report.total,
+                    "balance": report.balance(),
+                    "plan": plan_json(&plan),
+                }),
+            )
+        }
+        other => {
+            return (
+                400,
+                json!({
+                    "error": format!(
+                        "unknown audit {other:?}: expected \"leakage\", \"gdpr\", \
+                         \"fairness\" or \"join\""
+                    )
+                })
+                .to_string(),
+            )
+        }
+    };
+
+    let mut out = match result {
+        serde_json::Value::Object(o) => o,
+        _ => unreachable!("audit responses are objects"),
+    };
+    if render_dot {
+        // Re-run the audit's own query for its witness nodes — the
+        // matched subgraph is what the explorer renders.
+        let set = prov_graph::execute(&graph, &audit_query);
+        let sub = prov_graph::subgraph(shared.document(), &set.node_set());
+        out.insert(
+            "dot".into(),
+            json!(prov_graph::to_dot(&sub, &prov_graph::DotOptions::default())),
+        );
+    }
+    (200, serde_json::Value::Object(out).to_string())
 }
 
 fn not_found(id: &str) -> (u16, String) {
@@ -1820,6 +2234,295 @@ mod tests {
             scrape.contains("store_backend_put_seconds_count 1"),
             "{scrape}"
         );
+        server.shutdown();
+    }
+
+    /// An ML-run document with a leak: the test split feeds training.
+    fn leaky_doc_json() -> String {
+        let mut doc = ProvDocument::new();
+        doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+        doc.namespaces_mut()
+            .register("yprov4ml", prov_model::qname::YPROV_NS)
+            .unwrap();
+        doc.entity(QName::new("ex", "test_split"))
+            .attr(QName::yprov("split"), prov_model::AttrValue::from("test"));
+        doc.entity(QName::new("ex", "train_split"))
+            .attr(QName::yprov("group"), prov_model::AttrValue::from("a"));
+        doc.entity(QName::new("ex", "extra_split"))
+            .attr(QName::yprov("group"), prov_model::AttrValue::from("b"));
+        doc.activity(QName::new("ex", "training_run"));
+        doc.entity(QName::new("ex", "model"));
+        doc.used(
+            QName::new("ex", "training_run"),
+            QName::new("ex", "test_split"),
+        );
+        doc.used(
+            QName::new("ex", "training_run"),
+            QName::new("ex", "train_split"),
+        );
+        doc.used(
+            QName::new("ex", "training_run"),
+            QName::new("ex", "extra_split"),
+        );
+        doc.was_generated_by(QName::new("ex", "model"), QName::new("ex", "training_run"));
+        doc.to_json_string().unwrap()
+    }
+
+    fn upload(addr: std::net::SocketAddr, json: &str) -> String {
+        let (status, body) = request(addr, "POST", "/api/v0/documents", Some(json)).unwrap();
+        assert_eq!(status, 201, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        v["id"].as_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn query_endpoint_runs_path_queries() {
+        let server = start();
+        let id = upload(server.addr(), &sample_doc_json());
+
+        // ex:model towards its origins over any kinds to ex:data — the
+        // lineage path (forward follows the dependency edges).
+        let body = r#"{"query": {
+            "start": {"id": "ex:model"},
+            "steps": [{"dir": "forward", "repeat": "+",
+                       "target": {"id": "ex:data"}}]
+        }, "render": "dot"}"#;
+        let (status, resp) = request(
+            server.addr(),
+            "POST",
+            &format!("/api/v0/documents/{id}/query"),
+            Some(body),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{resp}");
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v["scenario"], "path");
+        assert_eq!(v["row_count"], 1);
+        assert_eq!(v["truncated"], false);
+        assert_eq!(v["rows"][0]["start"], "ex:model");
+        assert_eq!(v["rows"][0]["end"], "ex:data");
+        let path = v["rows"][0]["path"].as_array().unwrap();
+        assert_eq!(path.len(), 3, "{resp}");
+        assert!(v["plan"]["reason"].as_str().unwrap().len() > 0);
+        assert!(v["dot"].as_str().unwrap().contains("digraph"));
+
+        // Malformed bodies are 400s that say what went wrong.
+        for bad in [
+            "not json",
+            r#"{"render": "dot"}"#,
+            r#"{"query": {}, "audit": "leakage"}"#,
+            r#"{"audit": "no-such-audit"}"#,
+            r#"{"query": {"start": {"wrongClause": 1}, "steps": []}}"#,
+            r#"{"query": {"start": {}, "steps": []}, "docs": [1]}"#,
+        ] {
+            let (status, resp) = request(
+                server.addr(),
+                "POST",
+                &format!("/api/v0/documents/{id}/query"),
+                Some(bad),
+            )
+            .unwrap();
+            assert_eq!(status, 400, "{bad} -> {resp}");
+            assert!(resp.contains("error"), "{resp}");
+        }
+
+        // Unknown documents are 404s.
+        let (status, _) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents/ghost/query",
+            Some(r#"{"audit": "leakage"}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_endpoint_runs_ml_audits() {
+        let server = start();
+        let id = upload(server.addr(), &leaky_doc_json());
+        let post = |body: &str| {
+            let (status, resp) = request(
+                server.addr(),
+                "POST",
+                &format!("/api/v0/documents/{id}/query"),
+                Some(body),
+            )
+            .unwrap();
+            assert_eq!(status, 200, "{resp}");
+            serde_json::from_str::<serde_json::Value>(&resp).unwrap()
+        };
+
+        // Data leakage: the default filters catch test_split -> training_run.
+        let v = post(r#"{"audit": "leakage", "render": "dot"}"#);
+        assert_eq!(v["scenario"], "leakage");
+        assert_eq!(v["clean"], false);
+        assert_eq!(v["test_artifacts"], 1);
+        assert_eq!(v["training_activities"], 1);
+        assert_eq!(v["leaks"][0]["start"], "ex:test_split");
+        assert_eq!(v["leaks"][0]["end"], "ex:training_run");
+        assert!(v["dot"].as_str().unwrap().contains("digraph"));
+
+        // GDPR membership: the training sample reaches the model.
+        let v = post(r#"{"audit": "gdpr", "sample": "ex:train_split", "model": "ex:model"}"#);
+        assert_eq!(v["scenario"], "gdpr");
+        assert_eq!(v["trained_on"], true);
+        let path = v["path"].as_array().unwrap();
+        assert_eq!(path.first().unwrap(), "ex:train_split");
+        assert_eq!(path.last().unwrap(), "ex:model");
+        let v = post(r#"{"audit": "gdpr", "sample": "ex:model", "model": "ex:train_split"}"#);
+        assert_eq!(v["trained_on"], false);
+
+        // Group fairness: upstream groups a=1, b=1 -> balanced.
+        let v = post(r#"{"audit": "fairness", "model": "ex:model"}"#);
+        assert_eq!(v["scenario"], "fairness");
+        assert_eq!(v["groups"]["a"], 1);
+        assert_eq!(v["groups"]["b"], 1);
+        assert_eq!(v["balance"], 1.0);
+
+        // Missing required arguments are 400s.
+        for bad in [
+            r#"{"audit": "gdpr", "sample": "ex:train_split"}"#,
+            r#"{"audit": "fairness"}"#,
+            r#"{"audit": "gdpr", "sample": "not a qname", "model": "ex:model"}"#,
+        ] {
+            let (status, resp) = request(
+                server.addr(),
+                "POST",
+                &format!("/api/v0/documents/{id}/query"),
+                Some(bad),
+            )
+            .unwrap();
+            assert_eq!(status, 400, "{bad} -> {resp}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_endpoint_joins_runs_through_digests() {
+        let server = start();
+        let mk = |activity: &str, artifact: &str, digest: &str, produces: bool| {
+            let mut doc = ProvDocument::new();
+            doc.namespaces_mut().register("ex", "http://ex/").unwrap();
+            doc.namespaces_mut()
+                .register("yprov4ml", prov_model::qname::YPROV_NS)
+                .unwrap();
+            doc.activity(QName::new("ex", activity));
+            doc.entity(QName::new("ex", artifact))
+                .attr(QName::yprov("sha256"), prov_model::AttrValue::from(digest));
+            if produces {
+                doc.was_generated_by(QName::new("ex", artifact), QName::new("ex", activity));
+            } else {
+                doc.used(QName::new("ex", activity), QName::new("ex", artifact));
+            }
+            doc.to_json_string().unwrap()
+        };
+        let run = upload(
+            server.addr(),
+            &mk("training_run", "run_artifact", "d1", true),
+        );
+        let wf = upload(server.addr(), &mk("wf_task", "wf_artifact", "d1", false));
+
+        let body = format!(r#"{{"audit": "join", "docs": ["{wf}"]}}"#);
+        let (status, resp) = request(
+            server.addr(),
+            "POST",
+            &format!("/api/v0/documents/{run}/query"),
+            Some(&body),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{resp}");
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v["scenario"], "join");
+        assert_eq!(v["shared_count"], 1);
+        assert_eq!(v["documents"].as_array().unwrap().len(), 2);
+        let joined = v["joined"].as_array().unwrap();
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0]["digest"], "d1");
+        assert_eq!(joined[0]["producers"][0], "ex:training_run");
+        assert_eq!(joined[0]["consumers"][0], "ex:wf_task");
+        assert_eq!(joined[0]["shared"], true);
+
+        // A path query over the joined view sees both documents' nodes.
+        let body = format!(
+            r#"{{"query": {{"start": {{"attrEquals": {{"key": "yprov4ml:sha256", "value": "d1"}}}},
+                 "steps": []}}, "docs": ["{wf}"]}}"#
+        );
+        let (status, resp) = request(
+            server.addr(),
+            "POST",
+            &format!("/api/v0/documents/{run}/query"),
+            Some(&body),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{resp}");
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v["row_count"], 2, "{resp}");
+
+        // Joining against a missing document is a 404, not a panic.
+        let (status, _) = request(
+            server.addr(),
+            "POST",
+            &format!("/api/v0/documents/{run}/query"),
+            Some(r#"{"audit": "join", "docs": ["ghost"]}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_endpoint_reports_graph_index() {
+        let server = start();
+        let id = upload(server.addr(), &sample_doc_json());
+        let (status, stats) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}/stats"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&stats).unwrap();
+        assert_eq!(v["graph"]["nodes"], 3, "{stats}");
+        assert_eq!(v["graph"]["edges"], 2);
+        assert_eq!(v["graph"]["per_kind"]["used"], 1);
+        assert_eq!(v["graph"]["per_kind"]["wasGeneratedBy"], 1);
+        assert!(v["graph"]["avg_degree"].as_f64().unwrap() > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_queries_by_scenario() {
+        let server = start();
+        let id = upload(server.addr(), &leaky_doc_json());
+        for body in [
+            r#"{"query": {"start": {"id": "ex:model"}, "steps": []}}"#,
+            r#"{"audit": "leakage"}"#,
+            r#"{"audit": "leakage"}"#,
+        ] {
+            let (status, _) = request(
+                server.addr(),
+                "POST",
+                &format!("/api/v0/documents/{id}/query"),
+                Some(body),
+            )
+            .unwrap();
+            assert_eq!(status, 200);
+        }
+        let (status, scrape) = request(server.addr(), "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            scrape.contains("query_requests_total{scenario=\"path\"} 1"),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains("query_requests_total{scenario=\"leakage\"} 2"),
+            "{scrape}"
+        );
+        assert!(scrape.contains("# HELP query_plan_seconds"), "{scrape}");
+        assert!(scrape.contains("query_exec_seconds_count 3"), "{scrape}");
         server.shutdown();
     }
 }

@@ -27,6 +27,7 @@ use crate::error::ServiceError;
 use crate::ledger::{Ledger, LedgerEntry};
 use parking_lot::{Condvar, Mutex, RwLock};
 use prov_graph::SharedGraph;
+use prov_model::query::PathQuery;
 use prov_model::{ProvDocument, QName};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
@@ -42,6 +43,8 @@ struct StoreMetrics {
     get_seconds: Arc<obs::Histogram>,
     ledger_truncations: Arc<obs::Counter>,
     incremental_merges: Arc<obs::Counter>,
+    query_plan_seconds: Arc<obs::Histogram>,
+    query_exec_seconds: Arc<obs::Histogram>,
 }
 
 impl StoreMetrics {
@@ -55,6 +58,19 @@ impl StoreMetrics {
             "Delta merges that extended the cached graph index in place \
              instead of rebuilding it from scratch.",
         );
+        registry.set_help(
+            "query_requests_total",
+            "Lineage queries served, by scenario (path, leakage, gdpr, \
+             fairness, join).",
+        );
+        registry.set_help(
+            "query_plan_seconds",
+            "Time spent costing anchor sides and choosing a query plan.",
+        );
+        registry.set_help(
+            "query_exec_seconds",
+            "Time spent executing a planned query against the index.",
+        );
         StoreMetrics {
             cache_hits: registry.counter("store_graph_cache_hits_total"),
             cache_misses: registry.counter("store_graph_cache_misses_total"),
@@ -62,6 +78,8 @@ impl StoreMetrics {
             get_seconds: registry.histogram("store_backend_get_seconds"),
             ledger_truncations: registry.counter("store_ledger_truncations_total"),
             incremental_merges: registry.counter("store_incremental_merges_total"),
+            query_plan_seconds: registry.histogram("query_plan_seconds"),
+            query_exec_seconds: registry.histogram("query_exec_seconds"),
         }
     }
 }
@@ -543,6 +561,77 @@ impl DocumentStore {
         keep.extend(graph.descendants(focus));
         keep.insert(focus.clone());
         Ok(prov_graph::subgraph(shared.document(), &keep))
+    }
+
+    // -----------------------------------------------------------------
+    // Planned path-pattern queries
+    // -----------------------------------------------------------------
+
+    /// Counts one served query under its scenario label
+    /// (`query_requests_total{scenario="..."}`). Audit handlers that do
+    /// not route through [`Self::run_query`] call this directly.
+    pub fn note_query(&self, scenario: &str) {
+        self.inner
+            .registry
+            .counter(&format!("query_requests_total{{scenario=\"{scenario}\"}}"))
+            .inc();
+    }
+
+    /// Records a query's plan/execute split into the store's latency
+    /// histograms.
+    pub fn note_query_timing(&self, planned: Duration, executed: Duration) {
+        self.inner.metrics.query_plan_seconds.record(planned);
+        self.inner.metrics.query_exec_seconds.record(executed);
+    }
+
+    /// The graph a query runs against: document `id`'s cached index
+    /// when `extra` is empty, otherwise an ad-hoc index over the
+    /// canonical merge of `id` and every document in `extra` (the
+    /// cross-document join view). The merged view is built per request
+    /// — joins are explicitly the expensive path; single-document
+    /// queries stay on the O(1)-lookup cache.
+    pub fn query_view(&self, id: &str, extra: &[String]) -> Result<SharedGraph, ServiceError> {
+        if extra.is_empty() {
+            return self.graph(id);
+        }
+        let mut docs = vec![self
+            .get(id)
+            .ok_or_else(|| ServiceError::NotFound { id: id.to_string() })?];
+        for other in extra {
+            docs.push(self.get(other).ok_or_else(|| ServiceError::NotFound {
+                id: other.to_string(),
+            })?);
+        }
+        let refs: Vec<&ProvDocument> = docs.iter().map(|d| &**d).collect();
+        let merged =
+            prov_graph::engine::merged_document(&refs).map_err(|e| ServiceError::Conflict {
+                reason: format!("merging query view over {id} + {extra:?}: {e}"),
+            })?;
+        Ok(SharedGraph::new(Arc::new(merged)))
+    }
+
+    /// Plans and executes one IR path query over document `id` (merged
+    /// with `extra` when non-empty), recording the scenario counter and
+    /// the plan/execute latency split. Returns the result set together
+    /// with the view it ran over, so callers can render the matched
+    /// subgraph without re-resolving documents.
+    pub fn run_query(
+        &self,
+        id: &str,
+        extra: &[String],
+        query: &PathQuery,
+    ) -> Result<(prov_graph::MatchSet, SharedGraph), ServiceError> {
+        let shared = self.query_view(id, extra)?;
+        self.note_query("path");
+        let graph = shared.view();
+        let t0 = Instant::now();
+        let plan = prov_graph::plan(&graph, query);
+        let planned = t0.elapsed();
+        let t1 = Instant::now();
+        let set = prov_graph::execute_with_plan(&graph, query, plan);
+        let executed = t1.elapsed();
+        self.note_query_timing(planned, executed);
+        Ok((set, shared))
     }
 
     // -----------------------------------------------------------------
@@ -1594,5 +1683,62 @@ mod tests {
         let g = store.graph("run-1").unwrap();
         assert_eq!(g.document().element_count(), GENS + 2);
         assert_eq!(g.view().edge_count(), GENS + 1);
+    }
+
+    #[test]
+    fn run_query_plans_executes_and_records_metrics() {
+        let store = DocumentStore::new();
+        let id = store.upload(pipeline_doc()).unwrap();
+        let query = PathQuery {
+            start: prov_model::ElementFilter::by_id(q("model")),
+            steps: vec![prov_model::query::Step {
+                kinds: Vec::new(),
+                direction: prov_model::StepDirection::Forward,
+                repeat: prov_model::query::Repeat::plus(),
+                target: prov_model::ElementFilter::by_id(q("data")),
+            }],
+            limit: None,
+        };
+        let (set, _shared) = store.run_query(&id, &[], &query).unwrap();
+        assert_eq!(set.rows.len(), 1);
+        assert_eq!(set.rows[0].start, q("model"));
+        assert_eq!(set.rows[0].end, q("data"));
+        let scrape = store.registry().render_prometheus();
+        assert!(
+            scrape.contains("query_requests_total{scenario=\"path\"} 1"),
+            "{scrape}"
+        );
+        assert!(scrape.contains("query_plan_seconds_count 1"), "{scrape}");
+        assert!(scrape.contains("query_exec_seconds_count 1"), "{scrape}");
+
+        assert!(matches!(
+            store.run_query("ghost", &[], &query),
+            Err(ServiceError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn query_view_merges_extra_documents() {
+        let store = DocumentStore::new();
+        let a = store.upload(pipeline_doc()).unwrap();
+        let mut other = ProvDocument::new();
+        other.namespaces_mut().register("ex", "http://ex/").unwrap();
+        other.activity(q("deploy"));
+        other.used(q("deploy"), q("model"));
+        let b = store.upload(other).unwrap();
+
+        // Single-document views come straight from the cache.
+        let solo = store.query_view(&a, &[]).unwrap();
+        assert_eq!(solo.document().element_count(), 3);
+
+        // The joined view spans both documents' elements and edges.
+        let joined = store.query_view(&a, &[b.clone()]).unwrap();
+        assert_eq!(joined.document().element_count(), 4);
+        assert_eq!(joined.view().edge_count(), 3);
+
+        assert!(matches!(
+            store.query_view(&a, &["ghost".to_string()]),
+            Err(ServiceError::NotFound { .. })
+        ));
     }
 }
