@@ -6,7 +6,11 @@
 //! state.
 //!
 //! On failure, every surviving node's ledger files are copied into
-//! `$YPROV_CLUSTER_ARTIFACTS` (when set) so CI can upload them.
+//! `$YPROV_CLUSTER_ARTIFACTS` (when set) so CI can upload them. The
+//! headline test also exercises the ops plane mid-chaos — a survivor's
+//! `/api/v0/obs/health` and federated `/api/v0/obs/cluster` views —
+//! and dumps each survivor's slowlog and alert state into
+//! `$YPROV_OBS_ARTIFACTS` (when set) for the same upload path.
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -246,6 +250,45 @@ fn primary_killed_mid_upload_cluster_promotes_and_serves() {
         "unacked in-flight doc leaked to a survivor: {}",
         resp.body
     );
+
+    // Mid-chaos ops check: with the victim dead, any survivor must
+    // still answer the ops plane — health says ready, and the
+    // federated view reports the corpse as a degraded member rather
+    // than an error. The slowlog and alert states of every survivor
+    // land in `$YPROV_OBS_ARTIFACTS/<node>/` so CI ships the ops
+    // plane's view of the chaos run.
+    let survivor_idx = (0..ids.len()).find(|i| *i != victim_idx).unwrap();
+    let ops_probe = Client::new(addrs[survivor_idx], fast_policy(19));
+    let resp = ops_probe.get("/api/v0/obs/health").unwrap();
+    assert_eq!(resp.status, 200, "survivor not ready mid-chaos: {}", resp.body);
+    let resp = ops_probe.get("/api/v0/obs/cluster").unwrap();
+    assert_eq!(resp.status, 200, "dead peer broke federation: {}", resp.body);
+    let view: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    assert_eq!(view["ok"], serde_json::json!(false), "{}", resp.body);
+    let corpse = view["members"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|m| m["id"] == serde_json::json!(victim_id.as_str()))
+        .expect("dead member still listed");
+    assert_eq!(corpse["ok"], serde_json::json!(false));
+    if let Some(out) = std::env::var_os("YPROV_OBS_ARTIFACTS") {
+        let out = PathBuf::from(out);
+        for (i, server) in servers.iter().enumerate() {
+            let Some(server) = server else { continue };
+            let dest = out.join(ids[i]);
+            std::fs::create_dir_all(&dest).unwrap();
+            let probe = Client::new(server.addr(), fast_policy(23));
+            for (file, path) in [
+                ("slowlog.json", "/api/v0/obs/slowlog"),
+                ("alerts.json", "/api/v0/obs/alerts"),
+            ] {
+                let resp = probe.get(path).unwrap();
+                std::fs::write(dest.join(file), resp.body).unwrap();
+            }
+        }
+        eprintln!("[cluster-chaos] ops state copied to {}", out.display());
+    }
 
     // Phase 4: promotion. A write for a key the victim owned lands on a
     // verified survivor and is re-replicated among the survivors.

@@ -44,9 +44,11 @@
 //! assert!(registry.render_prometheus().contains("requests_total 1"));
 //! ```
 
+pub mod alerts;
 pub mod instrument;
 pub mod registry;
 pub mod trace;
+pub mod tsdb;
 
 pub use instrument::{Counter, Gauge, Histogram, SpanTimer, BUCKET_COUNT};
 pub use registry::{HistogramSnapshot, Registry, Snapshot};

@@ -578,6 +578,70 @@ mod tests {
     }
 
     #[test]
+    fn tsdb_scrape_absorbs_instruments_registering_between_ticks() {
+        // The same bucket-advance-with-registration-in-the-gap scenario,
+        // driven through a tsdb scrape loop: instruments that register
+        // while worker threads are live must show up as complete series
+        // (their full first delta), not partial ones.
+        use crate::tsdb::{Tsdb, TsdbConfig};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let r = Arc::new(Registry::new());
+        let db = Tsdb::new(TsdbConfig::default());
+        db.tick(0.0, &r.snapshot());
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let r = Arc::clone(&r);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    // Bounded so the registry (and the tsdb series
+                    // fuse) stays comfortably sized.
+                    while !stop.load(Ordering::Relaxed) && i < 200 {
+                        // Each worker keeps registering fresh names so
+                        // every scrape races a registration.
+                        r.counter(&format!("worker_{w}_burst_{i}")).add(7);
+                        r.histogram(&format!("worker_{w}_lat_{i}")).record_ns(640);
+                        i += 1;
+                        std::thread::yield_now();
+                    }
+                    i
+                })
+            })
+            .collect();
+
+        for t in 1..=20 {
+            db.tick(t as f64, &r.snapshot());
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let bursts: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert!(bursts > 0);
+
+        // Final settling tick so every registered instrument has been
+        // scraped at least once after its last update.
+        db.tick(21.0, &r.snapshot());
+
+        // Every counter the workers ever registered must have exactly
+        // its 7 increments accounted across the series' points: rate
+        // integrated over the tick intervals (dt = 1 s here) == 7.
+        let names = db.metric_names();
+        let counters: Vec<_> = names.iter().filter(|n| n.contains("_burst_")).collect();
+        assert!(!counters.is_empty());
+        for name in counters {
+            let s = db.query(name, 30.0, 1.0, 21.0);
+            let total: f64 = s.points.iter().map(|p| p.avg * p.count as f64).sum();
+            assert!(
+                (total - 7.0).abs() < 1e-6,
+                "{name}: integrated {total}, want 7 ({s:?})"
+            );
+        }
+    }
+
+    #[test]
     fn quantile_estimates_bound_the_data() {
         let h = HistogramSnapshot {
             count: 100,

@@ -367,6 +367,18 @@ impl Replicator {
         &self.cfg.node_id
     }
 
+    /// The other cluster members, as configured.
+    pub fn peers(&self) -> &[NodeSpec] {
+        &self.cfg.peers
+    }
+
+    /// The pooled keep-alive client for `peer` — the same connection
+    /// frame pushes ride, shared with metrics/health federation so the
+    /// ops plane adds no sockets of its own.
+    pub fn peer_client(&self, peer: &NodeSpec) -> Client {
+        self.client_for(peer)
+    }
+
     /// The full-membership placement ring.
     pub fn ring(&self) -> &Ring {
         &self.ring

@@ -137,9 +137,10 @@ pub fn render_html(summaries: &[DocumentSummary]) -> String {
          <table><tr><th>id</th><th>run</th><th>entities</th><th>activities</th>\
          <th>agents</th><th>relations</th><th>metrics</th><th>artifacts</th>\
          <th>nodes</th><th>edges</th><th>bytes</th><th>exports</th></tr>\n\
-         {rows}</table>{panel}</body></html>",
+         {rows}</table>{panel}{ops}</body></html>",
         n = summaries.len(),
         panel = QUERY_PANEL,
+        ops = OPS_PANEL,
     )
 }
 
@@ -186,6 +187,76 @@ document.getElementById('qform').addEventListener('submit', async (ev) => {
     out.textContent = String(e);
   }
 });
+</script>
+"#;
+
+/// The ops tab appended after the query panel: health badge, alert
+/// list, the slow-request log, and a sparkline drawn from the
+/// in-process tsdb (`/api/v0/obs/timeseries`). Everything is fetched
+/// client-side from the `/api/v0/obs/*` endpoints, so the page stays a
+/// static string on the server.
+const OPS_PANEL: &str = r#"
+<h2>Ops</h2>
+<p><span id="ohealth">health: ?</span> &mdash;
+<label>metric <input id="ometric" size="40"
+  value="http_requests_total{method=&quot;GET&quot;,route=&quot;/explorer&quot;,status=&quot;200&quot;}"></label>
+<button id="orefresh">Refresh</button></p>
+<svg id="ospark" width="600" height="60" style="background:#f8f8f8"></svg>
+<pre id="oalerts" style="background:#fff4f0;padding:1em"></pre>
+<pre id="oslow" style="background:#f8f8f8;padding:1em"></pre>
+<script>
+function sparkline(svg, points) {
+  while (svg.firstChild) svg.removeChild(svg.firstChild);
+  if (!points.length) return;
+  const w = svg.width.baseVal.value, h = svg.height.baseVal.value;
+  const t0 = points[0].t_s, t1 = points[points.length - 1].t_s || t0 + 1;
+  const max = Math.max(...points.map(p => p.max), 1e-9);
+  const coords = points.map(p => {
+    const x = t1 > t0 ? (p.t_s - t0) / (t1 - t0) * (w - 4) + 2 : w / 2;
+    const y = h - 2 - (p.avg / max) * (h - 4);
+    return x.toFixed(1) + ',' + y.toFixed(1);
+  });
+  const line = document.createElementNS('http://www.w3.org/2000/svg', 'polyline');
+  line.setAttribute('points', coords.join(' '));
+  line.setAttribute('fill', 'none');
+  line.setAttribute('stroke', '#36c');
+  line.setAttribute('stroke-width', '1.5');
+  svg.appendChild(line);
+}
+async function opsRefresh() {
+  const get = async (p) => (await fetch(p)).json();
+  try {
+    const health = await get('/api/v0/obs/health');
+    document.getElementById('ohealth').textContent =
+      'health: ' + (health.ready ? 'ready' : 'NOT READY') +
+      ' (' + health.backend + ', ledger ' + health.ledger_entries + ')';
+    const metric = document.getElementById('ometric').value.trim();
+    const ts = await get('/api/v0/obs/timeseries?metric=' +
+      encodeURIComponent(metric) + '&since=300');
+    sparkline(document.getElementById('ospark'), ts.points || []);
+    const alerts = await get('/api/v0/obs/alerts');
+    document.getElementById('oalerts').textContent =
+      'alerts\n' + (alerts.alerts || []).map(a =>
+        a.rule + ' [' + a.phase + '] ' + a.metric + ' ' + a.cmp +
+        ' ' + a.threshold + (a.last_value == null ? '' : ' (now ' + a.last_value + ')')
+      ).join('\n');
+    const slow = await get('/api/v0/obs/slowlog');
+    const rows = [];
+    for (const r of slow.routes || []) {
+      for (const e of r.slowest || []) {
+        rows.push((e.latency_ns / 1e6).toFixed(2).padStart(10) + 'ms  ' +
+          String(e.status).padStart(3) + '  ' + e.method + ' ' + e.path +
+          (e.shed ? '  shed=' + e.shed : '') +
+          (e.trace_id ? '  trace=' + e.trace_id : ''));
+      }
+    }
+    document.getElementById('oslow').textContent = 'slowlog\n' + rows.join('\n');
+  } catch (e) {
+    document.getElementById('ohealth').textContent = 'health: ' + String(e);
+  }
+}
+document.getElementById('orefresh').addEventListener('click', opsRefresh);
+opsRefresh();
 </script>
 "#;
 
@@ -309,6 +380,19 @@ mod tests {
             html.contains("\"audit\": \"leakage\""),
             "default body is the leakage audit"
         );
+    }
+
+    #[test]
+    fn html_page_embeds_ops_tab() {
+        let store = DocumentStore::new();
+        store.upload(yprov_style_doc("run-1", "aa")).unwrap();
+        let html = render_html(&summarize(&store));
+        assert!(html.contains("<h2>Ops</h2>"));
+        assert!(html.contains("id=\"ospark\""), "sparkline svg present");
+        assert!(html.contains("/api/v0/obs/timeseries"));
+        assert!(html.contains("/api/v0/obs/health"));
+        assert!(html.contains("/api/v0/obs/slowlog"));
+        assert!(html.contains("/api/v0/obs/alerts"));
     }
 
     #[test]

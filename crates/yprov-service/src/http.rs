@@ -126,6 +126,9 @@ pub struct ServerConfig {
     /// Multi-node mode: this node's identity, peers and replication
     /// tunables. `None` (the default) runs a plain single node.
     pub cluster: Option<crate::cluster::ClusterConfig>,
+    /// Ops plane: self-scrape cadence, tsdb tiers, slowlog depth and
+    /// alert rules.
+    pub ops: crate::ops::OpsConfig,
 }
 
 impl Default for ServerConfig {
@@ -145,6 +148,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             chaos_fail_uploads: 0,
             cluster: None,
+            ops: crate::ops::OpsConfig::default(),
         }
     }
 }
@@ -158,6 +162,10 @@ pub struct Server {
     core: Option<CoreHandle>,
     registry: Arc<obs::Registry>,
     replicator: Option<Arc<Replicator>>,
+    ops: Arc<crate::ops::Ops>,
+    /// Dropping the sender wakes the scraper out of its cadence sleep.
+    scraper_stop: Option<Sender<()>>,
+    scraper_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 /// The running core behind the facade.
@@ -224,10 +232,51 @@ impl Server {
             "server_shed_total",
             "Connections/requests shed with 503, by watermark reason.",
         );
+        registry.set_help(
+            "reactor_loop_lag_seconds",
+            "Time one reactor iteration spent processing between epoll waits.",
+        );
+        registry.set_help(
+            "reactor_queued_jobs",
+            "Requests dispatched to workers and not yet completed.",
+        );
+        registry.set_help(
+            "reactor_queued_bytes",
+            "Response bytes buffered across all connections.",
+        );
+        let ops = crate::ops::Ops::new(&config.ops, &registry);
         let replicator = config
             .cluster
             .as_ref()
             .map(|c| Arc::new(Replicator::new(c.clone(), &registry)));
+
+        // The scraper thread: snapshots both registries on the cadence
+        // and feeds the ops plane. Wall-clock seconds drive production
+        // ticks; tests that need determinism turn `self_scrape` off and
+        // call `Ops::tick` with a virtual clock instead.
+        let (scraper_stop, scraper_thread) = if config.ops.self_scrape {
+            let interval = config.ops.scrape_interval.max(Duration::from_millis(10));
+            let (tx, rx) = bounded::<()>(0);
+            let ops_handle = Arc::clone(&ops);
+            let server_registry = Arc::clone(&registry);
+            let store_registry = Arc::clone(store.registry());
+            let thread = std::thread::Builder::new()
+                .name("yprov-ops-scrape".into())
+                .spawn(move || loop {
+                    let now_s = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(0.0);
+                    ops_handle.tick(now_s, &[&server_registry, &store_registry]);
+                    match rx.recv_timeout(interval) {
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        _ => break, // stop signal or sender dropped
+                    }
+                })?;
+            (Some(tx), Some(thread))
+        } else {
+            (None, None)
+        };
 
         let core = match config.core {
             ServerCore::EventLoop => {
@@ -238,6 +287,7 @@ impl Server {
                     chaos,
                     Arc::clone(&registry),
                     replicator.clone(),
+                    Arc::clone(&ops),
                 )?;
                 CoreHandle::Event {
                     handle: ev.handle,
@@ -253,6 +303,7 @@ impl Server {
                     let chaos = Arc::clone(&chaos);
                     let registry = Arc::clone(&registry);
                     let replicator = replicator.clone();
+                    let ops = Arc::clone(&ops);
                     std::thread::Builder::new()
                         .name(format!("yprov-http-{i}"))
                         .spawn(move || {
@@ -264,6 +315,7 @@ impl Server {
                                     &chaos,
                                     &registry,
                                     replicator.as_deref(),
+                                    &ops,
                                 );
                             }
                         })?;
@@ -284,6 +336,9 @@ impl Server {
             core: Some(core),
             registry,
             replicator,
+            ops,
+            scraper_stop,
+            scraper_thread,
         })
     }
 
@@ -295,6 +350,11 @@ impl Server {
     /// The server's metrics registry (what `GET /metrics` renders).
     pub fn registry(&self) -> &Arc<obs::Registry> {
         &self.registry
+    }
+
+    /// The server's ops plane: tsdb history, alert rules, slowlog.
+    pub fn ops(&self) -> &Arc<crate::ops::Ops> {
+        &self.ops
     }
 
     /// A shared handle to the replication chaos knobs, when this server
@@ -314,6 +374,12 @@ impl Server {
     /// finish (bounded by [`ServerConfig::drain_deadline`]), and the
     /// call returns once the reactor has exited. Idempotent.
     pub fn stop(&mut self) {
+        // Stop the scraper first: dropping the sender wakes it out of
+        // its cadence sleep immediately.
+        drop(self.scraper_stop.take());
+        if let Some(thread) = self.scraper_thread.take() {
+            let _ = thread.join();
+        }
         match self.core.take() {
             None => {}
             Some(CoreHandle::Threaded {
@@ -419,6 +485,7 @@ fn handle_connection(
     chaos: &AtomicU32,
     registry: &obs::Registry,
     replicator: Option<&Replicator>,
+    ops: &crate::ops::Ops,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(cfg.read_timeout))?;
     stream.set_write_timeout(Some(cfg.write_timeout))?;
@@ -444,25 +511,44 @@ fn handle_connection(
         .as_deref()
         .and_then(obs::trace::adopt_remote);
     let mut trace = obs::trace::span("handle_request");
+    let trace_id = current_trace_id_hex();
     if obs::trace::is_enabled() {
         trace.annotate("method", request.method.clone());
         trace.annotate("path", request.path.clone());
     }
-    let (status, body) = route(&request, store, chaos, registry, replicator);
+    let (status, body) = route(&request, store, chaos, registry, replicator, ops);
     if obs::trace::is_enabled() {
         trace.annotate("status", status.to_string());
     }
     drop(trace);
     let label = route_label(&request.path);
     count_request(registry, &request.method, label, status);
+    let elapsed = started.elapsed();
     registry
         .histogram(&format!(
             "http_request_duration_seconds{{route=\"{label}\"}}"
         ))
-        .record(started.elapsed());
+        .record(elapsed);
+    ops.slowlog().record(
+        &request.method,
+        &request.path,
+        label,
+        status,
+        elapsed.as_nanos() as u64,
+        None,
+        trace_id,
+    );
 
     let content_type = content_type_for(&request.path, status);
     write_response_typed(stream, status, content_type, &body)
+}
+
+/// The active trace id (remote-adopted or process-local) as the same
+/// 32-hex string the Chrome trace export stamps on every span event —
+/// the slowlog's linkage key. `None` when tracing is disabled.
+pub(crate) fn current_trace_id_hex() -> Option<String> {
+    // `traceparent` is `00-<32 hex trace id>-<16 hex span id>-01`.
+    obs::trace::traceparent().map(|tp| tp[3..35].to_string())
 }
 
 /// Picks the response `Content-Type` for a route's body — text for the
@@ -524,6 +610,11 @@ pub(crate) fn route_label(path: &str) -> &'static str {
         ["api", "v0", "documents", _, "deltas"] => "/api/v0/documents/{id}/deltas",
         ["api", "v0", "documents", _, "watch"] => "/api/v0/documents/{id}/watch",
         ["api", "v0", "documents", _, "query"] => "/api/v0/documents/{id}/query",
+        ["api", "v0", "obs", "health"] => "/api/v0/obs/health",
+        ["api", "v0", "obs", "timeseries"] => "/api/v0/obs/timeseries",
+        ["api", "v0", "obs", "slowlog"] => "/api/v0/obs/slowlog",
+        ["api", "v0", "obs", "alerts"] => "/api/v0/obs/alerts",
+        ["api", "v0", "obs", "cluster"] => "/api/v0/obs/cluster",
         _ => "unmatched",
     }
 }
@@ -713,6 +804,7 @@ pub(crate) fn route(
     chaos: &AtomicU32,
     registry: &obs::Registry,
     replicator: Option<&Replicator>,
+    ops: &crate::ops::Ops,
 ) -> (u16, String) {
     // Path segments are percent-decoded individually so encoded
     // document ids round-trip; '/' produced by %2F stays inside its
@@ -1045,6 +1137,47 @@ pub(crate) fn route(
         },
 
         ("POST", ["api", "v0", "documents", id, "query"]) => handle_query(store, id, &req.body),
+
+        ("GET", ["api", "v0", "obs", "health"]) => {
+            let (ready, body) = crate::ops::health_json(store, registry);
+            (if ready { 200 } else { 503 }, body)
+        }
+
+        ("GET", ["api", "v0", "obs", "timeseries"]) => {
+            let param = |key: &str| {
+                req.query
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+            };
+            let Some(metric) = param("metric") else {
+                return (400, json!({"error": "missing ?metric=<name>"}).to_string());
+            };
+            let num =
+                |key: &str, default: f64| param(key).and_then(|v| v.parse().ok()).unwrap_or(default);
+            let since_s = num("since", 300.0).clamp(0.0, 86_400.0);
+            let step_s = num("step", 0.0).clamp(0.0, 3_600.0);
+            let now_s = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0);
+            (200, ops.timeseries_json(&metric, since_s, step_s, now_s))
+        }
+
+        ("GET", ["api", "v0", "obs", "slowlog"]) => (200, ops.slowlog_json()),
+
+        ("GET", ["api", "v0", "obs", "alerts"]) => (200, ops.alerts_json()),
+
+        ("GET", ["api", "v0", "obs", "cluster"]) => {
+            // Render this node's own exposition exactly the way
+            // `/metrics` does, then fan out to the peers.
+            let mut exposition = registry.render_prometheus();
+            exposition.push_str(&store.registry().render_prometheus());
+            (
+                200,
+                crate::ops::cluster_json(store, registry, replicator, &exposition),
+            )
+        }
 
         (_, _) => (404, json!({"error": "no such route"}).to_string()),
     }
@@ -2101,6 +2234,84 @@ mod tests {
             scrape.contains("http_request_duration_seconds_bucket{route=\"/api/v0/documents\","),
             "{scrape}"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_scrape_uses_the_prometheus_text_content_type() {
+        let server = start();
+        let resp = raw_request(
+            server.addr(),
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(
+            resp.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+            "scrape must use the 0.0.4 exposition content type: {}",
+            &resp[..resp.len().min(300)]
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn every_scraped_metric_family_carries_help_and_type() {
+        let server = start();
+        // Exercise enough surface that every family registers: a
+        // store write, a lineage query, a parse error, and a scrape.
+        let (status, body) = request(
+            server.addr(),
+            "POST",
+            "/api/v0/documents",
+            Some(&sample_doc_json()),
+        )
+        .unwrap();
+        assert_eq!(status, 201);
+        let id: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let id = id["id"].as_str().unwrap().to_string();
+        let (status, _) = request(
+            server.addr(),
+            "GET",
+            &format!("/api/v0/documents/{id}/ancestors?focus=ex:model"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        raw_request(server.addr(), b"NOT A REQUEST\r\n\r\n");
+
+        let (status, scrape) = request(server.addr(), "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        let mut typed = std::collections::BTreeSet::new();
+        let mut helped = std::collections::BTreeSet::new();
+        for line in scrape.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split(' ').next().unwrap().to_string());
+            } else if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.insert(rest.split(' ').next().unwrap().to_string());
+            }
+        }
+        let mut families_seen = 0;
+        for line in scrape.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            // Histogram samples render under `_bucket`/`_sum`/`_count`
+            // suffixes of their family name.
+            let family = std::iter::once(name)
+                .chain(
+                    ["_bucket", "_sum", "_count"]
+                        .iter()
+                        .filter_map(|s| name.strip_suffix(s)),
+                )
+                .find(|f| typed.contains(*f))
+                .unwrap_or_else(|| panic!("sample {name} has no # TYPE line:\n{scrape}"));
+            assert!(
+                helped.contains(family),
+                "family {family} has no # HELP line:\n{scrape}"
+            );
+            families_seen += 1;
+        }
+        assert!(families_seen > 0, "scrape was empty: {scrape}");
         server.shutdown();
     }
 

@@ -29,7 +29,12 @@
 //!   ([`Replicator`]), and the health-probe-driven routing/failover
 //!   client ([`ClusterClient`]);
 //! * [`explorer`] — cross-document summaries like the yProv Explorer's
-//!   landing view, served from the cached graph indexes.
+//!   landing view, served from the cached graph indexes;
+//! * [`ops`] — the ops plane: self-scraped time-series history over
+//!   the metrics registries, declarative alert rules, liveness and
+//!   readiness probes, and cluster-wide metric federation;
+//! * [`slowlog`] — bounded per-route rings of the slowest and erroring
+//!   requests, each entry carrying its trace id.
 //!
 //! ```
 //! use yprov_service::store::DocumentStore;
@@ -50,7 +55,9 @@ pub mod error;
 pub mod explorer;
 pub mod http;
 pub mod ledger;
+pub mod ops;
 mod reactor;
+pub mod slowlog;
 pub mod store;
 
 pub use backend::{DurableBackend, MemoryBackend, StorageBackend, SyncPolicy};
@@ -60,4 +67,6 @@ pub use cluster::{
 };
 pub use error::ServiceError;
 pub use http::{Server, ServerConfig, ServerCore};
+pub use ops::{Ops, OpsConfig};
+pub use slowlog::{SlowEntry, SlowLog};
 pub use store::{DocumentStore, ReplicationApply, Upload};

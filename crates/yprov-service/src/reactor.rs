@@ -234,6 +234,7 @@ pub(crate) fn spawn(
     chaos: Arc<AtomicU32>,
     registry: Arc<obs::Registry>,
     replicator: Option<Arc<Replicator>>,
+    ops: Arc<crate::ops::Ops>,
 ) -> io::Result<EventCore> {
     listener.set_nonblocking(true)?;
     let poller = Poller::new()?;
@@ -251,9 +252,10 @@ pub(crate) fn spawn(
         let chaos = Arc::clone(&chaos);
         let registry = Arc::clone(&registry);
         let replicator = replicator.clone();
+        let ops = Arc::clone(&ops);
         std::thread::Builder::new()
             .name(format!("yprov-http-{i}"))
-            .spawn(move || worker(rx, tx, waker, store, chaos, registry, replicator))?;
+            .spawn(move || worker(rx, tx, waker, store, chaos, registry, replicator, ops))?;
     }
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -272,10 +274,17 @@ pub(crate) fn spawn(
     };
     let open_gauge = registry.gauge("server_connections_open");
     open_gauge.set(0);
+    let queued_jobs_gauge = registry.gauge("reactor_queued_jobs");
+    queued_jobs_gauge.set(0);
+    let queued_bytes_gauge = registry.gauge("reactor_queued_bytes");
+    queued_bytes_gauge.set(0);
     let reactor = Reactor {
         accepted: registry.counter("server_connections_accepted_total"),
         pipelined: registry.counter("server_requests_pipelined_total"),
+        loop_lag: registry.histogram("reactor_loop_lag_seconds"),
         open_gauge,
+        queued_jobs_gauge,
+        queued_bytes_gauge,
         poller,
         listener,
         waker,
@@ -293,6 +302,7 @@ pub(crate) fn spawn(
         stop,
         draining: None,
         max_conns,
+        ops,
     };
     let thread = std::thread::Builder::new()
         .name("yprov-reactor".into())
@@ -303,6 +313,7 @@ pub(crate) fn spawn(
 /// A worker thread: runs the same handler stack as the blocking core —
 /// trace adoption, handler span, `route()`, per-route metrics — then
 /// reports the response back to the reactor.
+#[allow(clippy::too_many_arguments)]
 fn worker(
     rx: Receiver<Job>,
     tx: Sender<Completion>,
@@ -311,6 +322,7 @@ fn worker(
     chaos: Arc<AtomicU32>,
     registry: Arc<obs::Registry>,
     replicator: Option<Arc<Replicator>>,
+    ops: Arc<crate::ops::Ops>,
 ) {
     while let Ok(Job {
         token,
@@ -323,23 +335,40 @@ fn worker(
             .as_deref()
             .and_then(obs::trace::adopt_remote);
         let mut trace = obs::trace::span("handle_request");
+        let trace_id = http::current_trace_id_hex();
         if obs::trace::is_enabled() {
             trace.annotate("method", request.method.clone());
             trace.annotate("path", request.path.clone());
         }
-        let (status, body) =
-            http::route(&request, &store, &chaos, &registry, replicator.as_deref());
+        let (status, body) = http::route(
+            &request,
+            &store,
+            &chaos,
+            &registry,
+            replicator.as_deref(),
+            &ops,
+        );
         if obs::trace::is_enabled() {
             trace.annotate("status", status.to_string());
         }
         drop(trace);
         let label = http::route_label(&request.path);
         http::count_request(&registry, &request.method, label, status);
+        let elapsed = started.elapsed();
         registry
             .histogram(&format!(
                 "http_request_duration_seconds{{route=\"{label}\"}}"
             ))
-            .record(started.elapsed());
+            .record(elapsed);
+        ops.slowlog().record(
+            &request.method,
+            &request.path,
+            label,
+            status,
+            elapsed.as_nanos() as u64,
+            None,
+            trace_id,
+        );
         let content_type = http::content_type_for(&request.path, status);
         if tx
             .send(Completion {
@@ -428,6 +457,12 @@ struct Reactor {
     open_gauge: Arc<obs::Gauge>,
     accepted: Arc<obs::Counter>,
     pipelined: Arc<obs::Counter>,
+    /// Busy time of one loop iteration (everything between two epoll
+    /// waits) — the event-loop saturation signal.
+    loop_lag: Arc<obs::Histogram>,
+    queued_jobs_gauge: Arc<obs::Gauge>,
+    queued_bytes_gauge: Arc<obs::Gauge>,
+    ops: Arc<crate::ops::Ops>,
 }
 
 impl Reactor {
@@ -439,6 +474,10 @@ impl Reactor {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => break,
             };
+            // Loop lag = how long this iteration keeps the reactor away
+            // from epoll_wait. Growth here shows event-loop saturation
+            // before the shed watermarks trip.
+            let busy_started = Instant::now();
             for ev in events.iter().take(n) {
                 let ev = *ev;
                 match ev.data {
@@ -456,6 +495,9 @@ impl Reactor {
                 self.begin_drain();
             }
             self.sweep_timeouts();
+            self.loop_lag.record(busy_started.elapsed());
+            self.queued_jobs_gauge.set(self.in_flight_jobs as i64);
+            self.queued_bytes_gauge.set(self.queued_bytes as i64);
             if self.draining.is_some() && self.open == 0 {
                 break;
             }
@@ -808,9 +850,27 @@ impl Reactor {
     }
 
     /// Sheds a parsed-but-undispatched request: 503 + `Retry-After`,
-    /// connection closed (pipelined successors are shed with it).
-    fn shed_dispatch(&mut self, idx: usize, reason: &str) {
+    /// connection closed (pipelined successors are shed with it). The
+    /// refused request lands in the slowlog with its shed reason — the
+    /// histogram only sees requests that reached a worker, so the
+    /// slowlog is where shed victims stay findable.
+    fn shed_dispatch(&mut self, idx: usize, reason: &'static str) {
         self.count_shed(reason);
+        let victim = self.conn_mut(idx).and_then(|conn| {
+            conn.pending.front().map(|(request, started)| {
+                (
+                    request.method.clone(),
+                    request.path.clone(),
+                    started.elapsed().as_nanos() as u64,
+                )
+            })
+        });
+        if let Some((method, path, latency_ns)) = victim {
+            let label = http::route_label(&path);
+            self.ops
+                .slowlog()
+                .record(&method, &path, label, 503, latency_ns, Some(reason), None);
+        }
         self.queue_shed_response(idx);
     }
 

@@ -50,6 +50,22 @@ struct StoreMetrics {
 impl StoreMetrics {
     fn new(registry: &obs::Registry) -> Self {
         registry.set_help(
+            "store_graph_cache_hits_total",
+            "Lineage queries answered from a cached graph index.",
+        );
+        registry.set_help(
+            "store_graph_cache_misses_total",
+            "Lineage queries that had to (re)build the graph index.",
+        );
+        registry.set_help(
+            "store_backend_put_seconds",
+            "Latency of storage-backend document writes.",
+        );
+        registry.set_help(
+            "store_backend_get_seconds",
+            "Latency of storage-backend document reads.",
+        );
+        registry.set_help(
             "store_ledger_truncations_total",
             "Torn ledger/replication-chain tails truncated on load.",
         );

@@ -318,6 +318,42 @@ fn connection_watermark_sheds_with_503_and_counts_it() {
 }
 
 #[test]
+fn reactor_loop_metrics_surface_in_the_scrape() {
+    let server = start(ServerConfig::default());
+    // A few served requests guarantee the reactor loop has spun and
+    // recorded at least one lag sample and a queue-depth level.
+    for _ in 0..3 {
+        let (status, _) = request(server.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, metrics) = request(server.addr(), "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    for needle in [
+        "# HELP reactor_loop_lag_seconds ",
+        "# TYPE reactor_loop_lag_seconds histogram",
+        "# HELP reactor_queued_jobs ",
+        "# TYPE reactor_queued_jobs gauge",
+        "# HELP reactor_queued_bytes ",
+        "# TYPE reactor_queued_bytes gauge",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle:?} in:\n{metrics}");
+    }
+    let lag_count = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("reactor_loop_lag_seconds_count "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    assert!(lag_count >= 1, "loop lag never recorded:\n{metrics}");
+    // Nothing is in flight at scrape time, so the gauge reads a level
+    // (zero), not garbage.
+    assert!(
+        metrics.contains("reactor_queued_jobs 0") || metrics.contains("reactor_queued_jobs 1"),
+        "queued-jobs gauge missing or implausible:\n{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn idle_keep_alive_connection_is_reaped() {
     let server = start(ServerConfig {
         idle_timeout: Duration::from_millis(200),

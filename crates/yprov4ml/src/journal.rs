@@ -767,7 +767,10 @@ mod tests {
     fn create_refuses_existing_journal() {
         let dir = tmp("exists");
         write_records(&dir, 3);
-        let err = JournalWriter::create(&dir, &header()).unwrap_err();
+        let err = match JournalWriter::create(&dir, &header()) {
+            Ok(_) => panic!("create must refuse an existing journal"),
+            Err(e) => e,
+        };
         assert!(matches!(err, ProvMLError::JournalExists(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }

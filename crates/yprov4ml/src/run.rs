@@ -6,7 +6,7 @@ use crate::hash::sha256_hex;
 use crate::journal::{JournalConfig, JournalHeader, JournalWriter};
 use crate::model::{ArtifactMeta, Context, Direction, LogRecord, ParamValue, RunReport, RunStatus};
 use crate::plugins::{PluginSink, ProvPlugin};
-use crate::prov_emit::{build_document, emit_overhead, write_prov_files, RunIdentity};
+use crate::prov_emit::{build_document, emit_alerts, emit_overhead, write_prov_files, RunIdentity};
 use crate::spill::{spill_metrics_pooled, SpillOutcome, SpillPolicy};
 use metric_store::WorkerPool;
 use parking_lot::Mutex;
@@ -550,6 +550,12 @@ impl Run {
         }
         if let Some(delta) = overhead.filter(|d| !d.is_empty()) {
             emit_overhead(&mut doc, &identity, &delta);
+        }
+        // Fold in the ops plane's alert state, when a co-located
+        // service installed one: breached thresholds become part of
+        // the run's provenance, next to the overhead entities.
+        if let Some(alerts) = obs::alerts::global() {
+            emit_alerts(&mut doc, &identity, &alerts.states());
         }
 
         let prov_json_path = self.dir.join("prov.json");
